@@ -1,0 +1,94 @@
+// Ablation (extension): profiling staleness under popularity drift.
+//
+// UpDLRM partitions and mines its cache from a *historical* trace
+// (§3.2: "by profiling the historical user-item access trace"). This
+// ablation quantifies what happens when popularity moves on: the trace
+// generator swaps a fraction of the hot items' identities for the
+// second half of the trace; plans are built from first-half profiles
+// and evaluated by replaying the second half.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cache/grace.h"
+#include "common/table.h"
+#include "partition/cache_aware.h"
+#include "partition/metrics.h"
+#include "partition/nonuniform.h"
+#include "trace/profiler.h"
+
+namespace updlrm {
+namespace {
+
+trace::TableTrace SliceSamples(const trace::TableTrace& table,
+                               std::size_t begin, std::size_t end) {
+  trace::TableTrace out;
+  for (std::size_t s = begin; s < end; ++s) out.AppendSample(table.Sample(s));
+  return out;
+}
+
+}  // namespace
+}  // namespace updlrm
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf(
+      "== Ablation: profile-then-serve under popularity drift "
+      "(GoodReads) ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  auto spec = trace::FindDataset("read");
+  UPDLRM_CHECK(spec.ok());
+
+  TablePrinter out({"drift", "NU imbalance (served)", "CA traffic cut",
+                    "CA imbalance (served)"});
+  for (double drift : {0.0, 0.25, 0.5, 1.0}) {
+    trace::TraceGeneratorOptions options;
+    options.num_samples = scale.num_samples;
+    options.num_tables = 1;
+    options.popularity_drift = drift;
+    auto trace = trace::TraceGenerator(*spec).Generate(options);
+    UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
+
+    const std::size_t half = scale.num_samples / 2;
+    const trace::TableTrace history =
+        SliceSamples(trace->tables[0], 0, half);
+    const trace::TableTrace served =
+        SliceSamples(trace->tables[0], half, scale.num_samples);
+
+    // Profile + plan on history only.
+    const auto freq = trace::ItemFrequencies(history, spec->num_items);
+    auto geom = partition::GroupGeometry::Make(
+        dlrm::TableShape{spec->num_items, 32}, 32, 8);
+    UPDLRM_CHECK(geom.ok());
+
+    auto nu = partition::NonUniformPartition(*geom, freq);
+    UPDLRM_CHECK(nu.ok());
+    const auto nu_report = partition::ReplayLoads(served, *nu);
+
+    auto mined = cache::GraceMiner().Mine(history, spec->num_items);
+    UPDLRM_CHECK_MSG(mined.ok(), mined.status().ToString());
+    partition::CacheAwareOptions ca_options;
+    ca_options.capacity = partition::BinCapacity::FromMram(
+        64 * kMiB, 8 * kMiB,
+        AlignUp(mined->TotalStorageBytes(geom->row_bytes()) * 13 /
+                    (10 * geom->row_shards),
+                8));
+    auto ca =
+        partition::CacheAwarePartition(*geom, freq, *mined, ca_options);
+    UPDLRM_CHECK_MSG(ca.ok(), ca.status().ToString());
+    const auto ca_report = partition::ReplayLoads(served, ca->plan);
+
+    out.AddRow({TablePrinter::FmtPercent(drift, 0),
+                TablePrinter::Fmt(nu_report.imbalance, 2),
+                TablePrinter::FmtPercent(ca_report.TrafficReduction(), 1),
+                TablePrinter::Fmt(ca_report.imbalance, 2)});
+  }
+  out.Print(std::cout);
+  std::printf(
+      "\nwith stationary popularity the history-built plans stay "
+      "balanced and the cache keeps cutting traffic; as drift grows the "
+      "cached partial sums stop matching and balance erodes — "
+      "re-profiling cadence is an operational knob\n");
+  return 0;
+}

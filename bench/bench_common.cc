@@ -1,0 +1,77 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace updlrm::bench {
+
+BenchScale ParseScale(int argc, const char* const* argv) {
+  BenchScale scale;
+  auto cl = CommandLine::Parse(argc, argv);
+  if (cl.ok()) {
+    if (cl->GetBool("full", false)) {
+      scale.num_samples = 12'800;  // the paper's sampling
+    }
+    scale.num_samples = static_cast<std::size_t>(
+        cl->GetInt("samples", static_cast<std::int64_t>(scale.num_samples)));
+    scale.batch_size = static_cast<std::size_t>(
+        cl->GetInt("batch", static_cast<std::int64_t>(scale.batch_size)));
+  }
+  std::printf("# setup: %zu sampled inferences, batch size %zu "
+              "(paper: 12800 / 64; pass --full for paper scale)\n\n",
+              scale.num_samples, scale.batch_size);
+  return scale;
+}
+
+Workload PrepareWorkload(const trace::DatasetSpec& spec,
+                         const BenchScale& scale) {
+  Workload w;
+  w.spec = spec;
+  w.config.num_tables = 8;  // §4.1: each dataset duplicated into 8 EMTs
+  w.config.rows_per_table = spec.num_items;
+  w.config.embedding_dim = 32;
+  w.config.dense_features = 13;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = scale.num_samples;
+  options.num_tables = 8;
+  auto trace = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
+  w.trace = std::move(trace).value();
+  return w;
+}
+
+std::unique_ptr<pim::DpuSystem> MakePaperSystem() {
+  pim::DpuSystemConfig config;  // defaults are the Table 2 system
+  config.functional = false;
+  auto system = pim::DpuSystem::Create(config);
+  UPDLRM_CHECK_MSG(system.ok(), system.status().ToString());
+  return std::move(system).value();
+}
+
+core::EngineOptions PaperEngineOptions(partition::Method method,
+                                       std::uint32_t nc,
+                                       const BenchScale& scale) {
+  core::EngineOptions options;
+  options.method = method;
+  options.nc = nc;
+  options.batch_size = scale.batch_size;
+  return options;
+}
+
+std::vector<cache::CacheRes> MineCaches(const Workload& workload) {
+  std::vector<cache::CacheRes> caches;
+  caches.reserve(workload.config.num_tables);
+  cache::GraceMiner miner;
+  for (std::uint32_t t = 0; t < workload.config.num_tables; ++t) {
+    auto res = miner.Mine(workload.trace.tables[t],
+                          workload.config.rows_per_table);
+    UPDLRM_CHECK_MSG(res.ok(), res.status().ToString());
+    caches.push_back(std::move(res).value());
+  }
+  return caches;
+}
+
+baselines::FaeOptions PaperFaeOptions() {
+  return baselines::FaeOptions{};  // 64 MB hot cache (see systems.h)
+}
+
+}  // namespace updlrm::bench

@@ -1,0 +1,63 @@
+// Shared setup for the paper-reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper. They all
+// share the experimental setup of §4.1: Meta's DLRM with 8 duplicated
+// EMTs of 32-dim embeddings, batch size 64, 12,800 sampled inferences,
+// and the Table 2 UPMEM system (256 DPUs @ 350 MHz, 14 tasklets).
+//
+// By default benches run a reduced 640-sample trace (10 batches) so
+// the whole suite completes in minutes on one core; per-batch results
+// are unchanged because all timing models are per-batch. Pass --full
+// for the paper's 12,800 samples, or --samples=N explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/systems.h"
+#include "cache/grace.h"
+#include "common/cli.h"
+#include "dlrm/model.h"
+#include "pim/system.h"
+#include "trace/dataset.h"
+#include "trace/generator.h"
+#include "updlrm/engine.h"
+
+namespace updlrm::bench {
+
+struct BenchScale {
+  std::size_t num_samples = 640;
+  std::size_t batch_size = 64;
+};
+
+/// Parses --samples / --full / --batch from argv; prints a scale banner.
+BenchScale ParseScale(int argc, const char* const* argv);
+
+struct Workload {
+  trace::DatasetSpec spec;
+  dlrm::DlrmConfig config;  // 8 tables x (num_items x 32), dense 13
+  trace::Trace trace;
+};
+
+/// Generates the trace for one §4.1 workload at the given scale.
+Workload PrepareWorkload(const trace::DatasetSpec& spec,
+                         const BenchScale& scale);
+
+/// The Table 2 UPMEM system: 256 DPUs, 4 ranks, paper defaults.
+/// Timing-only (full-scale tables are never materialized in benches).
+std::unique_ptr<pim::DpuSystem> MakePaperSystem();
+
+/// Engine options matching the §4.1 setup.
+core::EngineOptions PaperEngineOptions(partition::Method method,
+                                       std::uint32_t nc,
+                                       const BenchScale& scale);
+
+/// Mines GRACE cache lists once per table so multiple engine
+/// configurations can share them.
+std::vector<cache::CacheRes> MineCaches(const Workload& workload);
+
+/// FAE GPU hot-cache provisioning used in comparisons.
+baselines::FaeOptions PaperFaeOptions();
+
+}  // namespace updlrm::bench

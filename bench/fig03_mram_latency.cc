@@ -1,0 +1,49 @@
+// Figure 3: MRAM read latency vs access size.
+//
+// Paper observation: latency is nearly flat from 8 B to 32 B, then
+// grows close to linearly up to the 2048 B maximum; accesses are
+// 8-byte aligned. This bench prints the calibrated model's curve and
+// the derived per-access bandwidth, plus the §3.1 conclusion the curve
+// implies (prefer Nc*4 <= 32 B).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "pim/mram_timing.h"
+
+int main() {
+  using namespace updlrm;
+  std::printf("== Figure 3: MRAM read latency vs access size ==\n\n");
+
+  const pim::MramTimingModel model;
+  const double clock = 350.0 * kMHz;
+
+  TablePrinter table({"access size", "latency (cycles)", "latency (ns)",
+                      "bandwidth (MB/s)", "rel. to 8B"});
+  const Cycles lat8 = model.AccessLatency(8);
+  for (std::uint32_t bytes = 8; bytes <= 2048; bytes *= 2) {
+    const Cycles lat = model.AccessLatency(bytes);
+    table.AddRow({std::to_string(bytes) + " B",
+                  TablePrinter::Fmt(static_cast<std::uint64_t>(lat)),
+                  TablePrinter::Fmt(CyclesToNanos(lat, clock), 1),
+                  TablePrinter::Fmt(
+                      model.StreamingBandwidth(bytes, clock) / 1.0e6, 1),
+                  TablePrinter::Fmt(static_cast<double>(lat) /
+                                        static_cast<double>(lat8),
+                                    2)});
+  }
+  table.Print(std::cout);
+
+  const double flat_ratio = static_cast<double>(model.AccessLatency(32)) /
+                            static_cast<double>(lat8);
+  const double knee_ratio = static_cast<double>(model.AccessLatency(128)) /
+                            static_cast<double>(model.AccessLatency(32));
+  std::printf(
+      "\npaper: latency 8B..32B nearly flat, then grows; our model: "
+      "32B/8B = %.2fx (flat), 128B/32B = %.2fx (growing)\n",
+      flat_ratio, knee_ratio);
+  std::printf(
+      "=> partitioning should keep Nc*4B <= 32B, i.e. Nc <= 8 (§3.1)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5: proportion of partitions (row blocks) being accessed.
+//
+// Paper observation: dividing each EMT's rows into 8 equal blocks, all
+// three trace-study datasets (Goodreads, Movie, Twitch) show strongly
+// imbalanced access counts — the most popular block sees up to ~340x
+// the accesses of the least popular one. This imbalance is what breaks
+// uniform partitioning (§3.2).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "trace/profiler.h"
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf("== Figure 5: accesses per row block (8 blocks) ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  TablePrinter table({"dataset", "b0", "b1", "b2", "b3", "b4", "b5", "b6",
+                      "b7", "max/min", "top share"});
+  double worst_ratio = 0.0;
+  for (const auto& spec : trace::AccessPatternDatasets()) {
+    trace::TraceGeneratorOptions options;
+    options.num_samples = scale.num_samples;
+    options.num_tables = 1;
+    auto trace = trace::TraceGenerator(spec).Generate(options);
+    UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
+    const auto freq =
+        trace::ItemFrequencies(trace->tables[0], spec.num_items);
+    const auto blocks = trace::RowBlockCounts(freq, 8);
+    const auto skew = trace::AnalyzeSkew(blocks);
+    worst_ratio = std::max(worst_ratio, skew.max_min_ratio);
+
+    std::vector<std::string> row = {spec.name};
+    for (std::uint64_t b : blocks) row.push_back(TablePrinter::Fmt(b));
+    row.push_back(TablePrinter::Fmt(skew.max_min_ratio, 1));
+    row.push_back(TablePrinter::FmtPercent(skew.top_block_share, 1));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\npaper: most popular block up to ~340x the least popular; "
+              "our worst max/min ratio: %.0fx\n",
+              worst_ratio);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 6: access pattern with and without caching (Movie dataset).
+//
+// Paper observation: non-uniform partitioning balances per-partition
+// accesses, and GRACE caching removes ~40% of the memory traffic — but
+// applying the cache *obliviously* on top of the NU partitioning makes
+// the access pattern imbalanced again, because cached-partial-sum reads
+// concentrate on whichever partitions hold the popular lists. The
+// cache-aware partitioner (Algorithm 1) restores balance at the reduced
+// traffic level.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cache/grace.h"
+#include "common/table.h"
+#include "partition/cache_aware.h"
+#include "partition/metrics.h"
+#include "partition/nonuniform.h"
+#include "trace/profiler.h"
+
+namespace updlrm {
+namespace {
+
+// "w/ cache" in Fig. 6: apply caching on top of the NU row placement
+// with a load-oblivious, capacity-driven list layout — fill each bin's
+// cache region in benefit order, moving to the next bin when full. The
+// highest-traffic lists pile into the first bins, which is exactly the
+// imbalance Algorithm 1 exists to fix.
+partition::PartitionPlan CacheObliviousPlan(
+    partition::PartitionPlan nu_plan, const cache::CacheRes& res) {
+  nu_plan.cache = res;
+  nu_plan.item_list = res.BuildItemToList(nu_plan.geom.table.rows);
+  nu_plan.list_bin.clear();
+  const std::uint32_t bins = nu_plan.geom.row_shards;
+  const std::uint64_t per_bin_budget =
+      CeilDiv(res.TotalStorageBytes(nu_plan.geom.row_bytes()), bins);
+  std::uint32_t bin = 0;
+  std::uint64_t used = 0;
+  for (const auto& list : nu_plan.cache.lists) {
+    const std::uint64_t need =
+        list.StorageBytes(nu_plan.geom.row_bytes());
+    if (used + need > per_bin_budget && bin + 1 < bins) {
+      ++bin;
+      used = 0;
+    }
+    used += need;
+    nu_plan.list_bin.push_back(static_cast<std::int32_t>(bin));
+    for (std::uint32_t item : list.items) nu_plan.row_bin[item] = bin;
+  }
+  return nu_plan;
+}
+
+void PrintRow(TablePrinter& table, const char* name,
+              const partition::LoadReport& report) {
+  std::vector<std::string> row = {name};
+  for (std::uint64_t reads : report.total_reads) {
+    row.push_back(TablePrinter::Fmt(reads));
+  }
+  row.push_back(TablePrinter::Fmt(report.imbalance, 2));
+  row.push_back(TablePrinter::FmtPercent(report.TrafficReduction(), 1));
+  table.AddRow(std::move(row));
+}
+
+}  // namespace
+}  // namespace updlrm
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf(
+      "== Figure 6: per-partition accesses w/ and w/o cache (Movie) ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  auto spec = trace::FindDataset("movie");
+  UPDLRM_CHECK(spec.ok());
+  trace::TraceGeneratorOptions options;
+  options.num_samples = scale.num_samples;
+  options.num_tables = 1;
+  auto trace = trace::TraceGenerator(*spec).Generate(options);
+  UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
+  const auto& table_trace = trace->tables[0];
+  const auto freq =
+      trace::ItemFrequencies(table_trace, spec->num_items);
+
+  // 8 partitions, as in the paper's figure (one column shard).
+  auto geom = partition::GroupGeometry::Make(
+      dlrm::TableShape{spec->num_items, 32}, 8, 32);
+  UPDLRM_CHECK(geom.ok());
+
+  auto nu = partition::NonUniformPartition(*geom, freq);
+  UPDLRM_CHECK(nu.ok());
+
+  auto mined = cache::GraceMiner().Mine(table_trace, spec->num_items);
+  UPDLRM_CHECK_MSG(mined.ok(), mined.status().ToString());
+
+  const partition::PartitionPlan oblivious =
+      CacheObliviousPlan(*nu, *mined);
+
+  partition::CacheAwareOptions ca_options;
+  ca_options.capacity = partition::BinCapacity::FromMram(
+      64 * kMiB, 8 * kMiB,
+      AlignUp(mined->TotalStorageBytes(geom->row_bytes()) / 8 * 13 / 10,
+              8));
+  auto ca =
+      partition::CacheAwarePartition(*geom, freq, *mined, ca_options);
+  UPDLRM_CHECK_MSG(ca.ok(), ca.status().ToString());
+
+  TablePrinter out({"configuration", "p0", "p1", "p2", "p3", "p4", "p5",
+                    "p6", "p7", "max/mean", "traffic cut"});
+  PrintRow(out, "NU, w/o cache", partition::ReplayLoads(table_trace, *nu));
+  const auto oblivious_report =
+      partition::ReplayLoads(table_trace, oblivious);
+  PrintRow(out, "NU + GRACE (cache-oblivious)", oblivious_report);
+  const auto ca_report = partition::ReplayLoads(table_trace, ca->plan);
+  PrintRow(out, "CA (Algorithm 1)", ca_report);
+  out.Print(std::cout);
+
+  std::printf(
+      "\npaper: caching cuts total accesses ~40%% but imbalances them; "
+      "measured: cache-oblivious cut %.0f%% with max/mean %.2f, "
+      "cache-aware cut %.0f%% with max/mean %.2f\n",
+      oblivious_report.TrafficReduction() * 100.0,
+      oblivious_report.imbalance, ca_report.TrafficReduction() * 100.0,
+      ca_report.imbalance);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 8 (+ Table 2): inference speedup over DLRM-CPU.
+//
+// Paper result: across the six Table 1 workloads, UpDLRM (cache-aware
+// partitioning, auto-tuned Nc) accelerates inference by 1.9x-3.2x over
+// DLRM-CPU, 2.2x-4.6x over DLRM-Hybrid and 1.1x-2.3x over FAE, with
+// larger gains at higher average reduction; DLRM-Hybrid is the slowest
+// (the GPU stalls on CPU-side lookups plus PCIe/sync overheads).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "updlrm/comparison.h"
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf("== Table 2: evaluated hardware architectures ==\n\n");
+  {
+    TablePrinter t2({"Implementation", "Architecture", "CPU", "Memory"});
+    for (const auto& row : baselines::Table2()) {
+      t2.AddRow({row.implementation, row.architecture, row.cpu,
+                 row.memory});
+    }
+    t2.Print(std::cout);
+  }
+
+  std::printf("\n== Figure 8: inference speedup over DLRM-CPU ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  TablePrinter out({"workload", "DLRM-CPU (ms/batch)", "Hybrid speedup",
+                    "FAE speedup", "UpDLRM speedup", "UpDLRM/Hybrid",
+                    "UpDLRM/FAE", "Nc*"});
+  double min_cpu = 1e18, max_cpu = 0, min_hy = 1e18, max_hy = 0,
+         min_fae = 1e18, max_fae = 0;
+  for (const auto& spec : trace::Table1Workloads()) {
+    const bench::Workload w = bench::PrepareWorkload(spec, scale);
+
+    core::ComparisonOptions options;
+    options.batch_size = scale.batch_size;
+    options.engine = bench::PaperEngineOptions(
+        partition::Method::kCacheAware, 0, scale);
+    options.fae = bench::PaperFaeOptions();
+    options.system.functional = false;  // Table 2 system, timing-only
+    auto cmp = core::CompareSystems(w.config, w.trace, options);
+    UPDLRM_CHECK_MSG(cmp.ok(), cmp.status().ToString());
+
+    const double t_cpu = cmp->dlrm_cpu.AvgBatchTotal();
+    const double t_hybrid = cmp->dlrm_hybrid.AvgBatchTotal();
+    const double t_fae = cmp->fae.AvgBatchTotal();
+
+    const double s_cpu = cmp->UpdlrmSpeedupVsCpu();
+    const double s_hybrid = cmp->UpdlrmSpeedupVsHybrid();
+    const double s_fae = cmp->UpdlrmSpeedupVsFae();
+    min_cpu = std::min(min_cpu, s_cpu);
+    max_cpu = std::max(max_cpu, s_cpu);
+    min_hy = std::min(min_hy, s_hybrid);
+    max_hy = std::max(max_hy, s_hybrid);
+    min_fae = std::min(min_fae, s_fae);
+    max_fae = std::max(max_fae, s_fae);
+
+    out.AddRow({spec.name, TablePrinter::Fmt(t_cpu / 1e6, 2),
+                TablePrinter::FmtSpeedup(t_cpu / t_hybrid),
+                TablePrinter::FmtSpeedup(t_cpu / t_fae),
+                TablePrinter::FmtSpeedup(s_cpu),
+                TablePrinter::FmtSpeedup(s_hybrid),
+                TablePrinter::FmtSpeedup(s_fae),
+                std::to_string(cmp->nc)});
+  }
+  out.Print(std::cout);
+  std::printf(
+      "\n(\"speedup\" columns are relative to DLRM-CPU; Nc* is the "
+      "Eq.1-3 auto-tuned tile width)\n");
+  std::printf(
+      "paper: UpDLRM 1.9-3.2x vs CPU, 2.2-4.6x vs Hybrid, 1.1-2.3x vs "
+      "FAE\nmeasured: %.1f-%.1fx vs CPU, %.1f-%.1fx vs Hybrid, "
+      "%.1f-%.1fx vs FAE\n",
+      min_cpu, max_cpu, min_hy, max_hy, min_fae, max_fae);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 9: embedding-layer speedup of the three partitioning methods.
+//
+// Paper result: uniform (U), non-uniform (NU) and cache-aware (CA)
+// partitioning, each at Nc in {2, 4, 8}, compared on embedding-layer
+// time against DLRM-CPU. Key observations: (1) CA wins clearly on the
+// High Hot datasets; (2) the three methods tie on "clo" (balanced
+// accesses, low cache rate); (3) no single Nc is best for every
+// dataset.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf(
+      "== Figure 9: embedding-layer speedup over DLRM-CPU (U / NU / CA, "
+      "Nc = 2/4/8) ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  const partition::Method methods[] = {partition::Method::kUniform,
+                                       partition::Method::kNonUniform,
+                                       partition::Method::kCacheAware};
+  const std::uint32_t ncs[] = {2, 4, 8};
+
+  TablePrinter out({"workload", "method", "Nc=2", "Nc=4", "Nc=8",
+                    "best Nc"});
+  for (const auto& spec : trace::Table1Workloads()) {
+    const bench::Workload w = bench::PrepareWorkload(spec, scale);
+    const baselines::DlrmCpu cpu(w.config, w.trace);
+    const double t_cpu_emb =
+        cpu.RunAll(scale.batch_size).AvgBatchEmbedding();
+    const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+
+    for (partition::Method method : methods) {
+      std::vector<std::string> row = {
+          spec.name, std::string(partition::MethodShortName(method))};
+      double best_speedup = 0.0;
+      std::uint32_t best_nc = 0;
+      for (std::uint32_t nc : ncs) {
+        auto system = bench::MakePaperSystem();
+        core::EngineOptions options =
+            bench::PaperEngineOptions(method, nc, scale);
+        options.premined_cache = &caches;
+        auto engine = core::UpDlrmEngine::Create(
+            nullptr, w.config, w.trace, system.get(), options);
+        UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
+        auto report = (*engine)->RunAll(nullptr);
+        UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
+        const double speedup = t_cpu_emb / report->AvgBatchEmbedding();
+        if (speedup > best_speedup) {
+          best_speedup = speedup;
+          best_nc = nc;
+        }
+        row.push_back(TablePrinter::FmtSpeedup(speedup));
+      }
+      row.push_back(std::to_string(best_nc));
+      out.AddRow(std::move(row));
+    }
+  }
+  out.Print(std::cout);
+  std::printf(
+      "\npaper: CA > NU > U on High Hot datasets; ~tie on clo; the best "
+      "Nc varies by dataset (4 for the first three, 8 for the rest)\n");
+  return 0;
+}

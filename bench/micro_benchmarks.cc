@@ -1,0 +1,157 @@
+// Wall-clock microbenchmarks (google-benchmark) of the library's own
+// hot paths: trace sampling, profiling, partitioning, cache mining and
+// the engine's per-batch routing. These measure the *simulator's*
+// execution cost, not the simulated latencies the fig* benches report.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/grace.h"
+#include "common/rng.h"
+#include "partition/cache_aware.h"
+#include "partition/nonuniform.h"
+#include "partition/uniform.h"
+#include "trace/generator.h"
+#include "trace/profiler.h"
+#include "updlrm/engine.h"
+
+namespace updlrm {
+namespace {
+
+trace::DatasetSpec BenchSpec(std::uint64_t items = 200'000) {
+  trace::DatasetSpec spec;
+  spec.name = "micro";
+  spec.num_items = items;
+  spec.avg_reduction = 64.0;
+  spec.zipf_alpha = 1.0;
+  spec.rank_jitter = 0.1;
+  spec.clique_prob = 0.5;
+  spec.num_hot_items = 2048;
+  spec.seed = 11;
+  return spec;
+}
+
+const trace::Trace& SharedTrace() {
+  static const trace::Trace trace = [] {
+    trace::TraceGeneratorOptions options;
+    options.num_samples = 1'024;
+    options.num_tables = 1;
+    auto t = trace::TraceGenerator(BenchSpec()).Generate(options);
+    UPDLRM_CHECK(t.ok());
+    return std::move(t).value();
+  }();
+  return trace;
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1'000'000, 1.05);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const trace::TraceGenerator gen(BenchSpec(50'000));
+  trace::TraceGeneratorOptions options;
+  options.num_samples = static_cast<std::size_t>(state.range(0));
+  options.num_tables = 1;
+  for (auto _ : state) {
+    auto t = gen.Generate(options);
+    benchmark::DoNotOptimize(t.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(64)->Arg(256);
+
+void BM_ItemFrequencies(benchmark::State& state) {
+  const auto& trace = SharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::ItemFrequencies(trace.tables[0], trace.num_items));
+  }
+}
+BENCHMARK(BM_ItemFrequencies);
+
+void BM_NonUniformPartition(benchmark::State& state) {
+  const auto& trace = SharedTrace();
+  const auto freq =
+      trace::ItemFrequencies(trace.tables[0], trace.num_items);
+  auto geom = partition::GroupGeometry::Make(
+      dlrm::TableShape{trace.num_items, 32}, 32, 8);
+  UPDLRM_CHECK(geom.ok());
+  for (auto _ : state) {
+    auto plan = partition::NonUniformPartition(*geom, freq);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.num_items);
+}
+BENCHMARK(BM_NonUniformPartition);
+
+void BM_GraceMining(benchmark::State& state) {
+  const auto& trace = SharedTrace();
+  const cache::GraceMiner miner;
+  for (auto _ : state) {
+    auto res = miner.Mine(trace.tables[0], trace.num_items);
+    benchmark::DoNotOptimize(res.ok());
+  }
+}
+BENCHMARK(BM_GraceMining);
+
+void BM_CacheAwarePartition(benchmark::State& state) {
+  const auto& trace = SharedTrace();
+  const auto freq =
+      trace::ItemFrequencies(trace.tables[0], trace.num_items);
+  auto mined = cache::GraceMiner().Mine(trace.tables[0], trace.num_items);
+  UPDLRM_CHECK(mined.ok());
+  auto geom = partition::GroupGeometry::Make(
+      dlrm::TableShape{trace.num_items, 32}, 32, 8);
+  UPDLRM_CHECK(geom.ok());
+  partition::CacheAwareOptions options;
+  options.capacity = partition::BinCapacity::FromMram(
+      64 * kMiB, 8 * kMiB, 8 * kMiB);
+  for (auto _ : state) {
+    auto plan =
+        partition::CacheAwarePartition(*geom, freq, *mined, options);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.num_items);
+}
+BENCHMARK(BM_CacheAwarePartition);
+
+void BM_EngineRunBatch(benchmark::State& state) {
+  // One timing-only inference batch: routing + cost models.
+  static const trace::Trace trace = [] {
+    trace::TraceGeneratorOptions options;
+    options.num_samples = 256;
+    options.num_tables = 8;
+    auto t = trace::TraceGenerator(BenchSpec()).Generate(options);
+    UPDLRM_CHECK(t.ok());
+    return std::move(t).value();
+  }();
+  dlrm::DlrmConfig config;
+  config.num_tables = 8;
+  config.rows_per_table = trace.num_items;
+  config.embedding_dim = 32;
+  pim::DpuSystemConfig sys;
+  sys.functional = false;
+  auto system = pim::DpuSystem::Create(sys);
+  UPDLRM_CHECK(system.ok());
+  core::EngineOptions options;
+  options.method = partition::Method::kCacheAware;
+  options.nc = 8;
+  auto engine = core::UpDlrmEngine::Create(nullptr, config, trace,
+                                           system->get(), options);
+  UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
+  for (auto _ : state) {
+    auto batch = (*engine)->RunBatch({0, 64}, nullptr);
+    benchmark::DoNotOptimize(batch.ok());
+  }
+}
+BENCHMARK(BM_EngineRunBatch);
+
+}  // namespace
+}  // namespace updlrm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Cache study: mine GRACE-style co-occurrence cache lists from a trace
+// and explore the capacity/benefit trade-off of §3.3.
+//
+//   build/examples/cache_study --dataset=goodreads --samples=2560
+//
+// Prints the top mined lists, the storage each needs (all non-empty
+// subset partial sums), and how much traffic survives at different
+// cache-capacity fractions.
+#include <cstdio>
+#include <iostream>
+
+#include "cache/grace.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "trace/generator.h"
+#include "trace/profiler.h"
+
+using namespace updlrm;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::printf("args: %s\n", cl.status().ToString().c_str());
+    return 1;
+  }
+  const std::string name = cl->GetString("dataset", "goodreads");
+  const auto samples =
+      static_cast<std::size_t>(cl->GetInt("samples", 2'560));
+
+  auto spec = trace::FindDataset(name);
+  if (!spec.ok()) {
+    std::printf("unknown dataset '%s'\n", name.c_str());
+    return 1;
+  }
+
+  trace::TraceGeneratorOptions options;
+  options.num_samples = samples;
+  options.num_tables = 1;
+  auto trace = trace::TraceGenerator(*spec).Generate(options);
+  if (!trace.ok()) {
+    std::printf("trace: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const auto& table = trace->tables[0];
+
+  auto mined = cache::GraceMiner().Mine(table, spec->num_items);
+  if (!mined.ok()) {
+    std::printf("mining: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  const std::uint32_t row_bytes = 32 * 4;  // full 32-dim rows
+
+  std::printf("mined %zu cache lists from %s (%llu lookups); total "
+              "benefit %.0f avoided reads (%.1f%% of traffic)\n\n",
+              mined->lists.size(), spec->name.c_str(),
+              static_cast<unsigned long long>(table.num_lookups()),
+              mined->TotalBenefit(),
+              100.0 * mined->TotalBenefit() /
+                  static_cast<double>(table.num_lookups()));
+
+  TablePrinter top({"rank", "items", "size", "slots", "storage",
+                    "benefit (avoided reads)"});
+  for (std::size_t l = 0; l < std::min<std::size_t>(10, mined->lists.size());
+       ++l) {
+    const auto& list = mined->lists[l];
+    std::string items;
+    for (std::uint32_t item : list.items) {
+      if (!items.empty()) items += ",";
+      items += std::to_string(item);
+    }
+    top.AddRow({std::to_string(l + 1), "{" + items + "}",
+                std::to_string(list.items.size()),
+                TablePrinter::Fmt(list.NumSlots()),
+                std::to_string(list.StorageBytes(row_bytes)) + " B",
+                TablePrinter::Fmt(list.benefit, 0)});
+  }
+  top.Print(std::cout);
+
+  std::printf("\ncapacity sweep (§3.3):\n");
+  TablePrinter sweep({"capacity fraction", "lists kept", "storage",
+                      "benefit kept"});
+  const double full_benefit = mined->TotalBenefit();
+  for (double fraction : {0.1, 0.4, 0.7, 1.0}) {
+    const cache::CacheRes trimmed =
+        mined->TrimToBudgetFraction(row_bytes, fraction);
+    sweep.AddRow({TablePrinter::FmtPercent(fraction, 0),
+                  TablePrinter::Fmt(trimmed.lists.size()),
+                  TablePrinter::Fmt(static_cast<double>(
+                                        trimmed.TotalStorageBytes(
+                                            row_bytes)) /
+                                        1024.0,
+                                    1) +
+                      " KiB",
+                  TablePrinter::FmtPercent(
+                      full_benefit == 0.0
+                          ? 0.0
+                          : trimmed.TotalBenefit() / full_benefit,
+                      1)});
+  }
+  sweep.Print(std::cout);
+  std::printf(
+      "\nnote how the benefit concentrates in the highest-ranked lists: "
+      "a partial cache keeps most of the win (the paper's 40%%->17%%, "
+      "100%%->26%% lookup-time reductions)\n");
+  return 0;
+}

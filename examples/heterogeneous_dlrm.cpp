@@ -1,0 +1,122 @@
+// Heterogeneous DLRM: mixed table sizes and DPU allocation policies.
+//
+//   build/examples/heterogeneous_dlrm
+//
+// The paper's evaluation duplicates one dataset into 8 identical EMTs;
+// real recommenders mix giant user/item tables with small side tables.
+// This example builds such a model end to end — per-table dataset
+// specs, a heterogeneous trace, traffic-proportional DPU groups — runs
+// a functional batch, verifies it against the reference model, and
+// shows how the group sizes track each table's traffic.
+#include <cstdio>
+
+#include "trace/generator.h"
+#include "updlrm/engine.h"
+
+using namespace updlrm;
+
+int main() {
+  // A miniature production-shaped model: one big "items" table, one
+  // medium "users" table, two small side tables.
+  struct TableSpec {
+    const char* name;
+    std::uint64_t rows;
+    double avg_reduction;
+    double alpha;
+  };
+  const TableSpec tables[] = {
+      {"items", 40'000, 48.0, 1.0},
+      {"users", 10'000, 12.0, 0.9},
+      {"geo", 500, 4.0, 0.6},
+      {"device", 100, 2.0, 0.4},
+  };
+
+  dlrm::DlrmConfig config;
+  config.num_tables = 4;
+  config.embedding_dim = 16;
+  config.dense_features = 8;
+  std::vector<trace::DatasetSpec> specs;
+  for (const TableSpec& t : tables) {
+    config.table_rows.push_back(t.rows);
+    trace::DatasetSpec spec;
+    spec.name = t.name;
+    spec.full_name = t.name;
+    spec.num_items = t.rows;
+    spec.avg_reduction = t.avg_reduction;
+    spec.zipf_alpha = t.alpha;
+    spec.rank_jitter = 0.15;
+    spec.clique_prob = 0.4;
+    spec.num_hot_items = 256;
+    spec.seed = 11;
+    specs.push_back(std::move(spec));
+  }
+
+  trace::TraceGeneratorOptions trace_options;
+  trace_options.num_samples = 256;
+  auto trace = trace::GenerateHeterogeneousTrace(specs, trace_options);
+  if (!trace.ok()) {
+    std::printf("trace: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+
+  auto model = dlrm::DlrmModel::Create(config);
+  if (!model.ok()) {
+    std::printf("model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  pim::DpuSystemConfig system_config;
+  system_config.num_dpus = 32;
+  system_config.dpus_per_rank = 32;
+  system_config.dpu.mram_bytes = 16 * kMiB;
+  system_config.functional = true;
+  auto system = pim::DpuSystem::Create(system_config);
+  UPDLRM_CHECK(system.ok());
+
+  core::EngineOptions options;
+  options.method = partition::Method::kCacheAware;
+  options.batch_size = 64;
+  options.reserved_io_bytes = 1 * kMiB;
+  options.allocation =
+      partition::DpuAllocationPolicy::kProportionalTraffic;
+  auto engine = core::UpDlrmEngine::Create(&model.value(), config, *trace,
+                                           system->get(), options);
+  if (!engine.ok()) {
+    std::printf("engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("traffic-proportional DPU groups (Nc=%u auto-tuned):\n",
+              (*engine)->nc());
+  for (std::uint32_t t = 0; t < config.num_tables; ++t) {
+    const auto& group = (*engine)->groups()[t];
+    std::printf(
+        "  %-7s %6llu rows, avg reduction %5.1f  ->  %2u DPUs "
+        "(%u row shards x %u column shards), %zu cache lists\n",
+        tables[t].name,
+        static_cast<unsigned long long>(config.table_rows[t]),
+        trace->tables[t].MeasuredAvgReduction(),
+        group.plan.geom.dpus_per_table, group.plan.geom.row_shards,
+        group.plan.geom.col_shards, group.plan.cache.lists.size());
+  }
+
+  const auto dense = dlrm::DenseInputs::Generate(256, 8, 21);
+  auto batch = (*engine)->RunBatch({0, 64}, &dense);
+  if (!batch.ok()) {
+    std::printf("batch: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  const auto expected = model->ForwardBatch(dense, *trace, {0, 64}, true);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (batch->ctr[i] != expected[i]) {
+      std::printf("MISMATCH at %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf(
+      "\nverified: 64 CTRs bit-identical to the reference model\n");
+  std::printf("embedding pipeline: %.0f us/batch (stage2 %.0f us)\n",
+              batch->stages.EmbeddingTotal() / 1e3,
+              batch->stages.dpu_lookup / 1e3);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Partitioning explorer: inspect how the three EMT partitioning methods
+// map a workload onto DPUs, and what the §3.1 tile optimizer chooses.
+//
+//   build/examples/partitioning_explorer --dataset=read --samples=2560
+//
+// For the chosen Table 1 workload it prints (a) the Eq. 1-3 candidate
+// table with per-stage estimates, and (b) for each method the per-bin
+// load balance obtained by replaying the trace.
+#include <cstdio>
+#include <iostream>
+
+#include "cache/grace.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "partition/cache_aware.h"
+#include "partition/metrics.h"
+#include "partition/nonuniform.h"
+#include "partition/uniform.h"
+#include "pim/system.h"
+#include "trace/generator.h"
+#include "trace/profiler.h"
+
+using namespace updlrm;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::printf("args: %s\n", cl.status().ToString().c_str());
+    return 1;
+  }
+  const std::string name = cl->GetString("dataset", "read");
+  const auto samples =
+      static_cast<std::size_t>(cl->GetInt("samples", 2'560));
+
+  auto spec = trace::FindDataset(name);
+  if (!spec.ok()) {
+    std::printf("unknown dataset '%s'; try clo/home/meta1/meta2/read/"
+                "read2/movie/twitch/goodreads\n",
+                name.c_str());
+    return 1;
+  }
+  std::printf("dataset %s (%s): %llu items, avg reduction %.2f\n\n",
+              spec->name.c_str(), spec->full_name.c_str(),
+              static_cast<unsigned long long>(spec->num_items),
+              spec->avg_reduction);
+
+  trace::TraceGeneratorOptions trace_options;
+  trace_options.num_samples = samples;
+  trace_options.num_tables = 1;
+  auto trace = trace::TraceGenerator(*spec).Generate(trace_options);
+  if (!trace.ok()) {
+    std::printf("trace: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const auto& table = trace->tables[0];
+  const auto freq = trace::ItemFrequencies(table, spec->num_items);
+
+  // --- The §3.1 tile-shape optimizer on the Table 2 system. ---
+  pim::DpuSystemConfig system_config;
+  system_config.functional = false;
+  auto system = pim::DpuSystem::Create(system_config);
+  UPDLRM_CHECK(system.ok());
+  const dlrm::TableShape shape{spec->num_items, 32};
+  auto tiles = partition::OptimizeTileShape(shape, 32, 64,
+                                            spec->avg_reduction, **system);
+  if (!tiles.ok()) {
+    std::printf("optimizer: %s\n", tiles.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Eq. 1-3 tile optimizer (32 DPUs per table, batch 64):\n");
+  TablePrinter tile_table({"Nc", "Nr (rows/bin)", "stage1", "stage2",
+                           "stage3", "total", ""});
+  for (const auto& cand : tiles->candidates) {
+    tile_table.AddRow(
+        {std::to_string(cand.nc), TablePrinter::Fmt(cand.nr),
+         TablePrinter::FmtMicros(cand.stage1_ns, 0),
+         TablePrinter::FmtMicros(cand.stage2_ns, 0),
+         TablePrinter::FmtMicros(cand.stage3_ns, 0),
+         TablePrinter::FmtMicros(cand.total_ns, 0),
+         cand.nc == tiles->best.nc ? "<= chosen" : ""});
+  }
+  tile_table.Print(std::cout);
+
+  // --- Per-method balance at the chosen Nc. ---
+  auto geom = partition::GroupGeometry::Make(shape, 32, tiles->best.nc);
+  UPDLRM_CHECK(geom.ok());
+  std::printf("\nper-bin load balance (%u bins, replayed trace):\n",
+              geom->row_shards);
+  TablePrinter balance({"method", "total MRAM reads", "traffic cut",
+                        "max/mean", "CV"});
+
+  auto add_row = [&](const char* label,
+                     const partition::PartitionPlan& plan) {
+    const auto report = partition::ReplayLoads(table, plan);
+    balance.AddRow({label, TablePrinter::Fmt(report.sum_reads),
+                    TablePrinter::FmtPercent(report.TrafficReduction(), 1),
+                    TablePrinter::Fmt(report.imbalance, 2),
+                    TablePrinter::Fmt(report.cv, 3)});
+  };
+
+  auto uniform = partition::UniformPartition(*geom);
+  UPDLRM_CHECK(uniform.ok());
+  add_row("uniform (U)", *uniform);
+
+  auto nu = partition::NonUniformPartition(*geom, freq);
+  UPDLRM_CHECK(nu.ok());
+  add_row("non-uniform (NU)", *nu);
+
+  auto mined = cache::GraceMiner().Mine(table, spec->num_items);
+  UPDLRM_CHECK(mined.ok());
+  partition::CacheAwareOptions ca_options;
+  ca_options.capacity = partition::BinCapacity::FromMram(
+      64 * kMiB, 8 * kMiB,
+      AlignUp(mined->TotalStorageBytes(geom->row_bytes()) * 13 /
+                  (10 * geom->row_shards),
+              8));
+  auto ca = partition::CacheAwarePartition(*geom, freq, *mined, ca_options);
+  UPDLRM_CHECK(ca.ok());
+  add_row("cache-aware (CA)", ca->plan);
+  balance.Print(std::cout);
+
+  std::printf("\ncache mining: %zu lists, %zu dropped for capacity, "
+              "est. benefit %.0f avoided reads\n",
+              ca->plan.cache.lists.size(), ca->dropped_lists,
+              ca->plan.cache.TotalBenefit());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// PIM playground: the UPMEM substrate as a standalone library.
+//
+//   build/examples/pim_playground
+//
+// Tours the `pim` layer without the DLRM stack on top:
+//   1. functional MRAM banks (write/read, alignment, capacity);
+//   2. the Fig. 3 access-latency model and where the 32 B knee sits;
+//   3. the tasklet pipeline: analytic makespans vs the cycle-driven
+//      kernel simulator across tasklet counts;
+//   4. host transfer paths: equal vs ragged (padded / sequential).
+#include <cstdio>
+#include <vector>
+
+#include "pim/kernel_sim.h"
+#include "pim/system.h"
+
+using namespace updlrm;
+
+int main() {
+  // --- 1. MRAM banks are functional byte stores. ---
+  pim::DpuSystemConfig config;
+  config.num_dpus = 64;
+  config.dpus_per_rank = 64;
+  auto system_or = pim::DpuSystem::Create(config);
+  if (!system_or.ok()) {
+    std::printf("system: %s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  pim::DpuSystem& system = **system_or;
+  std::printf("system: %u DPUs in %u rank(s), %.0f MHz, %u tasklets\n\n",
+              system.num_dpus(), system.num_ranks(),
+              config.dpu.clock_hz / 1e6, config.dpu.num_tasklets);
+
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  UPDLRM_CHECK(system.dpu(0).mram().Write(0, payload).ok());
+  std::vector<std::uint8_t> readback(8);
+  UPDLRM_CHECK(system.dpu(0).mram().Read(0, readback).ok());
+  std::printf("MRAM round-trip on DPU 0: wrote/read %u..%u; a misaligned "
+              "write reports: %s\n",
+              readback.front(), readback.back(),
+              system.dpu(0)
+                  .mram()
+                  .Write(4, payload)
+                  .ToString()
+                  .c_str());
+
+  // --- 2. The Fig. 3 latency curve. ---
+  std::printf("\naccess latency (cycles): ");
+  for (std::uint32_t bytes : {8u, 16u, 32u, 64u, 256u, 2048u}) {
+    std::printf("%uB=%llu  ", bytes,
+                static_cast<unsigned long long>(
+                    system.mram_timing().AccessLatency(bytes)));
+  }
+  std::printf("\n=> flat to 32 B: tile columns should keep Nc*4 <= 32 B\n");
+
+  // --- 3. Pipeline model vs executed kernel. ---
+  std::printf("\nkernel of 2000 x 32 B lookups, analytic vs executed:\n");
+  const pim::EmbeddingKernelWork work{.num_lookups = 2000,
+                                      .num_cache_reads = 0,
+                                      .num_samples = 64,
+                                      .row_bytes = 32};
+  for (std::uint32_t tasklets : {1u, 4u, 11u, 14u, 24u}) {
+    pim::DpuConfig dpu = config.dpu;
+    dpu.num_tasklets = tasklets;
+    const pim::EmbeddingKernelCostModel analytic(
+        config.kernel_cost, dpu, pim::MramTimingModel(config.mram_timing));
+    const auto sim = pim::SimulateEmbeddingKernel(
+        dpu, pim::MramTimingModel(config.mram_timing), config.kernel_cost,
+        work);
+    std::printf(
+        "  %2u tasklets: analytic %7llu cycles, executed %7llu cycles "
+        "(utilization %.0f%%)\n",
+        tasklets,
+        static_cast<unsigned long long>(analytic.KernelCycles(work)),
+        static_cast<unsigned long long>(sim.makespan),
+        sim.issue_utilization * 100.0);
+  }
+  std::printf("=> gains saturate near the 11-deep revolver pipeline; the "
+              "paper runs 14 tasklets\n");
+
+  // --- 4. Transfer paths. ---
+  // Non-uniform partitioning produces mildly ragged index buffers
+  // (every DPU gets a similar-but-not-equal share of the batch).
+  std::vector<std::uint64_t> equal(system.num_dpus(), 4096);
+  std::vector<std::uint64_t> ragged(system.num_dpus());
+  for (std::uint32_t d = 0; d < system.num_dpus(); ++d) {
+    ragged[d] = 3072 + (d * 37) % 2048;  // 3-5 KiB spread
+  }
+  std::printf("\nhost->MRAM, 64 DPUs:\n");
+  std::printf("  equal 4 KiB buffers       : %8.1f us (parallel)\n",
+              system.transfer().PushTime(equal, false) / 1e3);
+  std::printf("  ragged 3-5 KiB, padded    : %8.1f us (parallel, padded "
+              "to 5 KiB)\n",
+              system.transfer().PushTime(ragged, true) / 1e3);
+  std::printf("  ragged 3-5 KiB, unpadded  : %8.1f us (sequential!)\n",
+              system.transfer().PushTime(ragged, false) / 1e3);
+  std::printf("=> §2.2's equal-buffer rule is why the engine pads its "
+              "index buffers\n");
+  return 0;
+}

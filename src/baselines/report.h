@@ -1,0 +1,45 @@
+// Latency reports for the baseline systems of Table 2.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace updlrm::baselines {
+
+struct BaselineBatchReport {
+  Nanos embedding = 0.0;      // lookup/gather path (CPU and/or GPU cache)
+  Nanos dense_compute = 0.0;  // MLP stacks + interaction
+  Nanos transfer = 0.0;       // PCIe movement (hybrid systems)
+  Nanos overhead = 0.0;       // kernel-launch / sync / driver costs
+  Nanos total = 0.0;
+};
+
+struct BaselineReport {
+  Nanos embedding = 0.0;
+  Nanos dense_compute = 0.0;
+  Nanos transfer = 0.0;
+  Nanos overhead = 0.0;
+  Nanos total = 0.0;
+  std::size_t num_batches = 0;
+  std::size_t num_samples = 0;
+
+  void Accumulate(const BaselineBatchReport& batch) {
+    embedding += batch.embedding;
+    dense_compute += batch.dense_compute;
+    transfer += batch.transfer;
+    overhead += batch.overhead;
+    total += batch.total;
+    ++num_batches;
+  }
+
+  Nanos AvgBatchTotal() const {
+    return num_batches == 0 ? 0.0 : total / static_cast<double>(num_batches);
+  }
+  Nanos AvgBatchEmbedding() const {
+    return num_batches == 0 ? 0.0
+                            : embedding / static_cast<double>(num_batches);
+  }
+};
+
+}  // namespace updlrm::baselines

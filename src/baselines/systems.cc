@@ -1,0 +1,314 @@
+#include "baselines/systems.h"
+
+#include <algorithm>
+
+#include "trace/profiler.h"
+
+namespace updlrm::baselines {
+
+namespace {
+
+std::uint64_t LookupsInRange(const trace::Trace& trace,
+                             trace::BatchRange range) {
+  std::uint64_t lookups = 0;
+  for (const auto& table : trace.tables) {
+    lookups +=
+        table.offsets()[range.end] - table.offsets()[range.begin];
+  }
+  return lookups;
+}
+
+std::uint32_t GpuKernelCount(const dlrm::DlrmConfig& config) {
+  // One kernel per FC layer plus the interaction kernel.
+  return static_cast<std::uint32_t>(config.bottom_hidden.size() + 1 +
+                                    config.top_hidden.size() + 1 + 1);
+}
+
+// Share of lookups the LLC-resident hot rows absorb: the top rows that
+// fit the LLC's embedding share, weighted by profiled access frequency.
+// The LLC budget splits evenly across tables; each table's share is
+// weighted by its lookup volume.
+double ComputeLlcHitFraction(const dlrm::DlrmConfig& config,
+                             const trace::Trace& trace,
+                             const host::CpuTimingModel& cpu) {
+  const std::uint32_t row_bytes = config.embedding_dim * 4;
+  const std::uint64_t per_table =
+      cpu.LlcResidentRows(row_bytes) / config.num_tables;
+  if (per_table == 0 || trace.tables.empty()) return 0.0;
+  double hit_lookups = 0.0;
+  double total_lookups = 0.0;
+  for (std::uint32_t t = 0; t < config.num_tables; ++t) {
+    const auto freq =
+        trace::ItemFrequencies(trace.tables[t], config.RowsInTable(t));
+    const auto lookups =
+        static_cast<double>(trace.tables[t].num_lookups());
+    hit_lookups += trace::TopKAccessShare(freq, per_table) * lookups;
+    total_lookups += lookups;
+  }
+  return total_lookups == 0.0 ? 0.0 : hit_lookups / total_lookups;
+}
+
+}  // namespace
+
+std::vector<SystemDescription> Table2() {
+  return {
+      {"DLRM-CPU [13]", "CPU-only", "Intel Xeon(R) Silver 4110 (2.10GHz) x32",
+       "128GB DDR4"},
+      {"DLRM-Hybrid [4]", "CPU-GPU hybrid",
+       "Intel Xeon(R) Silver 4110 (2.10GHz) x32",
+       "128GB DDR4 + 11GB GDDR5X (GTX 1080 Ti)"},
+      {"FAE [4]", "CPU-GPU hybrid + hot-row GPU cache",
+       "Intel Xeon(R) Silver 4110 (2.10GHz) x32",
+       "128GB DDR4 + 11GB GDDR5X (GTX 1080 Ti)"},
+      {"UpDLRM (ours)", "CPU + UPMEM PIM",
+       "Intel Xeon(R) Silver 4110 (2.10GHz) x32",
+       "128GB DDR4 + 256x UPMEM DPU (350MHz, 16GB MRAM)"},
+  };
+}
+
+// ---------------------------------------------------------------- DlrmCpu
+
+DlrmCpu::DlrmCpu(dlrm::DlrmConfig config, const trace::Trace& trace,
+                 host::CpuModelParams cpu)
+    : config_(std::move(config)), trace_(trace), cpu_(cpu) {
+  llc_hit_fraction_ = ComputeLlcHitFraction(config_, trace_, cpu_);
+}
+
+BaselineBatchReport DlrmCpu::RunBatch(trace::BatchRange range) const {
+  const std::size_t batch = range.size();
+  const std::uint32_t row_bytes = config_.embedding_dim * 4;
+
+  BaselineBatchReport report;
+  report.embedding =
+      cpu_.GatherTime(LookupsInRange(trace_, range), row_bytes,
+                      config_.TotalTableBytes(),
+                      llc_hit_fraction_) +
+      cpu_.BagOverhead(config_.num_tables);
+  report.dense_compute =
+      cpu_.MlpTime(batch * (config_.BottomFlopsPerSample() +
+                            config_.TopFlopsPerSample())) +
+      cpu_.StreamTime(batch *
+                      static_cast<std::uint64_t>(config_.num_tables + 1) *
+                      config_.embedding_dim * 4);
+  report.total = report.embedding + report.dense_compute;
+  return report;
+}
+
+BaselineReport DlrmCpu::RunAll(std::size_t batch_size) const {
+  BaselineReport report;
+  for (const auto& range :
+       trace::MakeBatches(trace_.num_samples(), batch_size)) {
+    report.Accumulate(RunBatch(range));
+    report.num_samples += range.size();
+  }
+  return report;
+}
+
+// ------------------------------------------------------------- DlrmHybrid
+
+DlrmHybrid::DlrmHybrid(dlrm::DlrmConfig config, const trace::Trace& trace,
+                       host::CpuModelParams cpu, host::GpuModelParams gpu)
+    : config_(std::move(config)), trace_(trace), cpu_(cpu), gpu_(gpu) {
+  llc_hit_fraction_ = ComputeLlcHitFraction(config_, trace_, cpu_);
+}
+
+BaselineBatchReport DlrmHybrid::RunBatch(trace::BatchRange range) const {
+  const std::size_t batch = range.size();
+  const std::uint32_t row_bytes = config_.embedding_dim * 4;
+
+  BaselineBatchReport report;
+  // The CPU still owns the EMTs and executes every lookup; the GPU
+  // stalls on this (§4.2).
+  report.embedding =
+      cpu_.GatherTime(LookupsInRange(trace_, range), row_bytes,
+                      config_.TotalTableBytes(),
+                      llc_hit_fraction_) +
+      cpu_.BagOverhead(config_.num_tables);
+
+  const std::uint64_t dense_bytes =
+      batch * static_cast<std::uint64_t>(config_.dense_features) * 4;
+  const std::uint64_t pooled_bytes =
+      batch * static_cast<std::uint64_t>(config_.num_tables) * row_bytes;
+  report.transfer = gpu_.PcieTransfer(dense_bytes) +
+                    gpu_.PcieTransfer(pooled_bytes) +
+                    gpu_.PcieTransfer(batch * 4);  // CTR back
+
+  report.dense_compute =
+      gpu_.MlpTime(batch * (config_.BottomFlopsPerSample() +
+                            config_.TopFlopsPerSample()),
+                   GpuKernelCount(config_));
+  report.overhead = gpu_.BatchSyncOverhead();
+  report.total = report.embedding + report.transfer +
+                 report.dense_compute + report.overhead;
+  return report;
+}
+
+BaselineReport DlrmHybrid::RunAll(std::size_t batch_size) const {
+  BaselineReport report;
+  for (const auto& range :
+       trace::MakeBatches(trace_.num_samples(), batch_size)) {
+    report.Accumulate(RunBatch(range));
+    report.num_samples += range.size();
+  }
+  return report;
+}
+
+// -------------------------------------------------------------------- Fae
+
+Fae::Fae(dlrm::DlrmConfig config, const trace::Trace& trace,
+         FaeOptions options, host::CpuModelParams cpu,
+         host::GpuModelParams gpu)
+    : config_(std::move(config)),
+      trace_(trace),
+      options_(options),
+      cpu_(cpu),
+      gpu_(gpu) {}
+
+Result<std::unique_ptr<Fae>> Fae::Create(dlrm::DlrmConfig config,
+                                         const trace::Trace& trace,
+                                         FaeOptions options,
+                                         host::CpuModelParams cpu,
+                                         host::GpuModelParams gpu) {
+  UPDLRM_RETURN_IF_ERROR(config.Validate());
+  if (trace.num_tables() != config.num_tables) {
+    return Status::InvalidArgument("trace table count mismatches model");
+  }
+  std::unique_ptr<Fae> fae(
+      new Fae(std::move(config), trace, options, cpu, gpu));
+  fae->ClassifyLookups();
+  return fae;
+}
+
+void Fae::ClassifyLookups() {
+  const std::uint32_t row_bytes = config_.embedding_dim * 4;
+  const std::uint64_t per_table_bytes =
+      options_.hot_cache_bytes / config_.num_tables;
+  hot_rows_per_table_ = per_table_bytes / row_bytes;  // per-table budget
+
+  hot_lookups_.assign(trace_.num_samples(), 0);
+  cold_lookups_.assign(trace_.num_samples(), 0);
+  std::vector<bool> is_hot;
+  std::vector<bool> is_llc;
+  const std::uint64_t llc_rows_per_table =
+      cpu_.LlcResidentRows(row_bytes) / config_.num_tables;
+  std::uint64_t cold_total = 0;
+  std::uint64_t cold_llc = 0;
+  // FAE picks its hot set from *historical* profiling, not the served
+  // requests; profile on the first half of the trace so short traces do
+  // not oracle-fit the cache to the evaluation samples.
+  const std::size_t profile_samples =
+      std::max<std::size_t>(1, trace_.num_samples() / 2);
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    const std::uint64_t rows = config_.RowsInTable(t);
+    const std::uint64_t hot_budget =
+        std::min<std::uint64_t>(rows, hot_rows_per_table_);
+    std::vector<std::uint64_t> freq(rows, 0);
+    for (std::size_t s = 0; s < profile_samples; ++s) {
+      for (std::uint32_t idx : trace_.tables[t].Sample(s)) ++freq[idx];
+    }
+    const auto by_freq = trace::ItemsByFrequency(freq);
+    is_hot.assign(rows, false);
+    is_llc.assign(rows, false);
+    for (std::uint64_t k = 0; k < hot_budget && freq[by_freq[k]] > 0;
+         ++k) {
+      is_hot[by_freq[k]] = true;
+    }
+    // The host LLC caches the hottest rows the GPU does *not* hold.
+    std::fill(is_llc.begin(), is_llc.end(), false);
+    std::uint64_t llc_used = 0;
+    for (std::uint32_t id : by_freq) {
+      if (llc_used >= llc_rows_per_table || freq[id] == 0) break;
+      if (is_hot[id]) continue;
+      is_llc[id] = true;
+      ++llc_used;
+    }
+    for (std::size_t s = 0; s < trace_.num_samples(); ++s) {
+      for (std::uint32_t idx : trace_.tables[t].Sample(s)) {
+        if (is_hot[idx]) {
+          ++hot_lookups_[s];
+        } else {
+          ++cold_lookups_[s];
+          ++cold_total;
+          if (is_llc[idx]) ++cold_llc;
+        }
+      }
+    }
+  }
+  cold_llc_fraction_ =
+      cold_total == 0 ? 0.0
+                      : static_cast<double>(cold_llc) /
+                            static_cast<double>(cold_total);
+}
+
+double Fae::HotLookupFraction() const {
+  std::uint64_t hot = 0;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < hot_lookups_.size(); ++s) {
+    hot += hot_lookups_[s];
+    total += hot_lookups_[s] + cold_lookups_[s];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hot) / static_cast<double>(total);
+}
+
+BaselineBatchReport Fae::RunBatch(trace::BatchRange range) const {
+  const std::size_t batch = range.size();
+  const std::uint32_t row_bytes = config_.embedding_dim * 4;
+
+  std::uint64_t hot = 0;
+  std::uint64_t cold = 0;
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    hot += hot_lookups_[s];
+    cold += cold_lookups_[s];
+  }
+
+  BaselineBatchReport report;
+  // Cold lookups gather on the CPU (with its own LLC-resident hot rows);
+  // hot lookups gather in GPU memory.
+  report.embedding =
+      cpu_.GatherTime(cold, row_bytes,
+                      config_.TotalTableBytes(),
+                      cold_llc_fraction_) +
+      cpu_.BagOverhead(config_.num_tables) +
+      gpu_.GatherTime(hot, row_bytes);
+
+  const std::uint64_t dense_bytes =
+      batch * static_cast<std::uint64_t>(config_.dense_features) * 4;
+  // Cold partial sums cross PCIe and merge with the GPU-resident hot
+  // partial sums on device.
+  const std::uint64_t cold_partial_bytes =
+      batch * static_cast<std::uint64_t>(config_.num_tables) * row_bytes;
+  report.transfer = gpu_.PcieTransfer(dense_bytes) +
+                    gpu_.PcieTransfer(cold_partial_bytes) +
+                    gpu_.PcieTransfer(batch * 4);
+
+  report.dense_compute =
+      gpu_.MlpTime(batch * (config_.BottomFlopsPerSample() +
+                            config_.TopFlopsPerSample()),
+                   GpuKernelCount(config_));
+  report.overhead = gpu_.BatchSyncOverhead();
+  // Unlike DLRM-Hybrid, FAE pipelines the CPU cold gather with the
+  // GPU-side work (hot gathers, MLPs, sync): the batch cost is the
+  // slower of the two sides plus the PCIe hops between them.
+  const Nanos cpu_side =
+      cpu_.GatherTime(cold, row_bytes,
+                      config_.TotalTableBytes(),
+                      cold_llc_fraction_) +
+      cpu_.BagOverhead(config_.num_tables);
+  const Nanos gpu_side = gpu_.GatherTime(hot, row_bytes) +
+                         report.dense_compute + report.overhead;
+  report.total = std::max(cpu_side, gpu_side) + report.transfer;
+  return report;
+}
+
+BaselineReport Fae::RunAll(std::size_t batch_size) const {
+  BaselineReport report;
+  for (const auto& range :
+       trace::MakeBatches(trace_.num_samples(), batch_size)) {
+    report.Accumulate(RunBatch(range));
+    report.num_samples += range.size();
+  }
+  return report;
+}
+
+}  // namespace updlrm::baselines

@@ -1,0 +1,108 @@
+#include "cache/cache_list.h"
+
+#include <algorithm>
+
+namespace updlrm::cache {
+
+Status CacheList::Validate(std::uint64_t num_items) const {
+  if (items.size() < 2 || items.size() > kMaxCacheListSize) {
+    return Status::InvalidArgument("cache list must hold 2.." +
+                                   std::to_string(kMaxCacheListSize) +
+                                   " items");
+  }
+  if (!std::is_sorted(items.begin(), items.end())) {
+    return Status::InvalidArgument("cache list items must be sorted");
+  }
+  if (std::adjacent_find(items.begin(), items.end()) != items.end()) {
+    return Status::InvalidArgument("cache list items must be unique");
+  }
+  if (items.back() >= num_items) {
+    return Status::OutOfRange("cache list item out of table range");
+  }
+  if (benefit < 0.0) {
+    return Status::InvalidArgument("cache list benefit must be >= 0");
+  }
+  return Status::Ok();
+}
+
+std::uint64_t CacheRes::TotalStorageBytes(std::uint32_t row_bytes) const {
+  std::uint64_t total = 0;
+  for (const auto& list : lists) total += list.StorageBytes(row_bytes);
+  return total;
+}
+
+double CacheRes::TotalBenefit() const {
+  double total = 0.0;
+  for (const auto& list : lists) total += list.benefit;
+  return total;
+}
+
+std::vector<std::int32_t> CacheRes::BuildItemToList(
+    std::uint64_t num_items) const {
+  std::vector<std::int32_t> item_to_list(num_items, -1);
+  for (std::size_t l = 0; l < lists.size(); ++l) {
+    for (std::uint32_t item : lists[l].items) {
+      UPDLRM_CHECK(item < num_items);
+      UPDLRM_CHECK_MSG(item_to_list[item] == -1,
+                       "item appears in multiple cache lists");
+      item_to_list[item] = static_cast<std::int32_t>(l);
+    }
+  }
+  return item_to_list;
+}
+
+Status CacheRes::Validate(std::uint64_t num_items) const {
+  std::vector<bool> seen(num_items, false);
+  double prev_benefit = -1.0;
+  for (std::size_t l = 0; l < lists.size(); ++l) {
+    UPDLRM_RETURN_IF_ERROR(lists[l].Validate(num_items));
+    if (l > 0 && lists[l].benefit > prev_benefit) {
+      return Status::InvalidArgument(
+          "cache lists must be sorted by descending benefit");
+    }
+    prev_benefit = lists[l].benefit;
+    for (std::uint32_t item : lists[l].items) {
+      if (seen[item]) {
+        return Status::InvalidArgument("item " + std::to_string(item) +
+                                       " appears in multiple cache lists");
+      }
+      seen[item] = true;
+    }
+  }
+  return Status::Ok();
+}
+
+CacheRes CacheRes::TrimToBudgetFraction(std::uint32_t row_bytes,
+                                        double fraction) const {
+  UPDLRM_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const auto budget = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(TotalStorageBytes(row_bytes)));
+  return TrimToBudgetBytes(row_bytes, budget);
+}
+
+CacheRes CacheRes::TrimToBudgetBytes(std::uint32_t row_bytes,
+                                     std::uint64_t budget_bytes) const {
+  CacheRes trimmed;
+  std::uint64_t used = 0;
+  for (const auto& list : lists) {
+    const std::uint64_t need = list.StorageBytes(row_bytes);
+    if (used + need > budget_bytes) continue;  // keep probing smaller lists
+    used += need;
+    trimmed.lists.push_back(list);
+  }
+  return trimmed;
+}
+
+std::uint32_t IntersectionMask(std::span<const std::uint32_t> sample_sorted,
+                               std::span<const std::uint32_t> list_items) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < list_items.size(); ++i) {
+    if (std::binary_search(sample_sorted.begin(), sample_sorted.end(),
+                           list_items[i])) {
+      mask |= 1U << i;
+    }
+  }
+  return mask;
+}
+
+}  // namespace updlrm::cache

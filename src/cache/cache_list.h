@@ -1,0 +1,70 @@
+// Cache lists of co-occurring items and their partial-sum storage.
+//
+// §3.3 of the paper: a cache list {a, b, c} means items a, b, c
+// frequently coexist in the same sample, so the partial sums of *every
+// non-empty subset* (a, b, c, a+b, a+c, b+c, a+b+c) are cached — one
+// MRAM read then serves any subset of the list a sample requests. A list
+// of k items therefore needs (2^k - 1) slots of one row-slice each.
+//
+// CacheRes is the paper's `cache_res` input to Algorithm 1: the list
+// collection plus each list's estimated benefit (the number of memory
+// accesses it avoids on the profiled trace, GRACE's `list[-1]`).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::cache {
+
+/// Hard cap on list size; subset storage is exponential in it.
+inline constexpr std::size_t kMaxCacheListSize = 4;
+
+struct CacheList {
+  std::vector<std::uint32_t> items;  // sorted item ids, 2..kMaxCacheListSize
+  double benefit = 0.0;  // avoided memory accesses on the profiled trace
+
+  Status Validate(std::uint64_t num_items) const;
+
+  /// Slots needed for all non-empty subset sums.
+  std::uint64_t NumSlots() const { return (1ULL << items.size()) - 1; }
+
+  /// Cache-region bytes for a row slice of `row_bytes`.
+  std::uint64_t StorageBytes(std::uint32_t row_bytes) const {
+    return NumSlots() * row_bytes;
+  }
+};
+
+struct CacheRes {
+  std::vector<CacheList> lists;  // descending benefit
+
+  std::uint64_t TotalStorageBytes(std::uint32_t row_bytes) const;
+  double TotalBenefit() const;
+
+  /// item id -> list index (or -1). Size num_items. Items appear in at
+  /// most one list.
+  std::vector<std::int32_t> BuildItemToList(std::uint64_t num_items) const;
+
+  /// All lists valid, benefit-sorted, items disjoint across lists.
+  Status Validate(std::uint64_t num_items) const;
+
+  /// Keeps the highest-benefit prefix of lists whose combined storage
+  /// fits `fraction` of the full requirement — the paper's cache
+  /// capacity knob (§3.3: 40% / 70% / 100%).
+  CacheRes TrimToBudgetFraction(std::uint32_t row_bytes,
+                                double fraction) const;
+
+  /// Same, with an absolute per-system byte budget.
+  CacheRes TrimToBudgetBytes(std::uint32_t row_bytes,
+                             std::uint64_t budget_bytes) const;
+};
+
+/// Bitmask of `sample ∩ list` with bit i set when list.items[i] is in
+/// `sample_sorted` (both sorted ascending). Mask value m > 0 maps to
+/// cache slot m - 1.
+std::uint32_t IntersectionMask(std::span<const std::uint32_t> sample_sorted,
+                               std::span<const std::uint32_t> list_items);
+
+}  // namespace updlrm::cache

@@ -1,0 +1,175 @@
+#include "cache/grace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "trace/profiler.h"
+
+namespace updlrm::cache {
+
+namespace {
+
+// Pairs counted per sample are capped (a sample with h hot items
+// contributes O(h^2) edges). The cap keeps a *random* subset — sampling
+// by frequency would count the same head items every time and starve
+// mid-popularity cliques; random subsampling scales every pair's
+// support by the same expected factor, preserving the ranking.
+constexpr std::size_t kMaxHotPerSample = 96;
+
+std::uint64_t PairKey(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Status GraceOptions::Validate() const {
+  if (num_hot_items < 2) {
+    return Status::InvalidArgument("num_hot_items must be >= 2");
+  }
+  if (max_list_size < 2 || max_list_size > kMaxCacheListSize) {
+    return Status::InvalidArgument("max_list_size must be in [2, " +
+                                   std::to_string(kMaxCacheListSize) + "]");
+  }
+  if (max_lists == 0) {
+    return Status::InvalidArgument("max_lists must be >= 1");
+  }
+  return Status::Ok();
+}
+
+GraceMiner::GraceMiner(GraceOptions options) : options_(options) {}
+
+Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
+                                  std::uint64_t num_items) const {
+  UPDLRM_RETURN_IF_ERROR(options_.Validate());
+  if (num_items == 0) {
+    return Status::InvalidArgument("num_items must be > 0");
+  }
+
+  const std::vector<std::uint64_t> freq =
+      trace::ItemFrequencies(table, num_items);
+
+  // Hot set: the most frequent items with nonzero counts.
+  const std::vector<std::uint32_t> by_freq = trace::ItemsByFrequency(freq);
+  std::vector<bool> is_hot(num_items, false);
+  std::size_t hot_count = 0;
+  for (std::uint32_t id : by_freq) {
+    if (hot_count >= options_.num_hot_items || freq[id] == 0) break;
+    is_hot[id] = true;
+    ++hot_count;
+  }
+
+  // Pairwise co-occurrence graph over hot items.
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_counts;
+  std::vector<std::uint32_t> hot_in_sample;
+  Rng subsample_rng(0x9e3779b97f4a7c15ULL);  // deterministic mining
+  for (std::size_t s = 0; s < table.num_samples(); ++s) {
+    hot_in_sample.clear();
+    for (std::uint32_t idx : table.Sample(s)) {
+      if (is_hot[idx]) hot_in_sample.push_back(idx);
+    }
+    if (hot_in_sample.size() > kMaxHotPerSample) {
+      subsample_rng.Shuffle(hot_in_sample);
+      hot_in_sample.resize(kMaxHotPerSample);
+    }
+    for (std::size_t i = 0; i < hot_in_sample.size(); ++i) {
+      for (std::size_t j = i + 1; j < hot_in_sample.size(); ++j) {
+        ++pair_counts[PairKey(hot_in_sample[i], hot_in_sample[j])];
+      }
+    }
+  }
+
+  // Heaviest edges first.
+  struct Edge {
+    std::uint64_t count;
+    std::uint32_t a, b;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(pair_counts.size());
+  for (const auto& [key, count] : pair_counts) {
+    if (count < options_.min_pair_count) continue;
+    edges.push_back({count, static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xffffffffU)});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.count != y.count) return x.count > y.count;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  // Greedy group growth from heavy edges.
+  std::unordered_map<std::uint32_t, std::int32_t> group_of;
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (const Edge& e : edges) {
+    const auto ita = group_of.find(e.a);
+    const auto itb = group_of.find(e.b);
+    const std::int32_t ga = ita == group_of.end() ? -1 : ita->second;
+    const std::int32_t gb = itb == group_of.end() ? -1 : itb->second;
+    if (ga == -1 && gb == -1) {
+      group_of[e.a] = static_cast<std::int32_t>(groups.size());
+      group_of[e.b] = static_cast<std::int32_t>(groups.size());
+      groups.push_back({e.a, e.b});
+    } else if (ga >= 0 && gb == -1 &&
+               groups[ga].size() < options_.max_list_size) {
+      group_of[e.b] = ga;
+      groups[ga].push_back(e.b);
+    } else if (gb >= 0 && ga == -1 &&
+               groups[gb].size() < options_.max_list_size) {
+      group_of[e.a] = gb;
+      groups[gb].push_back(e.a);
+    }
+    // Both already grouped: keep groups disjoint (no merges; subset
+    // storage is exponential in list size).
+  }
+
+  CacheRes res;
+  for (auto& group : groups) {
+    std::sort(group.begin(), group.end());
+    res.lists.push_back(CacheList{std::move(group), 0.0});
+  }
+
+  res = ScoreCacheLists(table, num_items, res);
+  if (res.lists.size() > options_.max_lists) {
+    res.lists.resize(options_.max_lists);
+  }
+  UPDLRM_RETURN_IF_ERROR(res.Validate(num_items));
+  return res;
+}
+
+CacheRes ScoreCacheLists(const trace::TableTrace& table,
+                         std::uint64_t num_items, const CacheRes& res) {
+  CacheRes scored = res;
+  for (auto& list : scored.lists) list.benefit = 0.0;
+  if (scored.lists.empty()) return scored;
+
+  const std::vector<std::int32_t> item_to_list =
+      scored.BuildItemToList(num_items);
+
+  std::vector<std::uint32_t> hits(scored.lists.size(), 0);
+  std::vector<std::uint32_t> touched;
+  for (std::size_t s = 0; s < table.num_samples(); ++s) {
+    touched.clear();
+    for (std::uint32_t idx : table.Sample(s)) {
+      const std::int32_t l = item_to_list[idx];
+      if (l < 0) continue;
+      if (hits[l]++ == 0) touched.push_back(static_cast<std::uint32_t>(l));
+    }
+    for (std::uint32_t l : touched) {
+      // An intersection of c >= 2 items collapses into one cached read.
+      if (hits[l] >= 2) scored.lists[l].benefit += hits[l] - 1;
+      hits[l] = 0;
+    }
+  }
+
+  std::stable_sort(scored.lists.begin(), scored.lists.end(),
+                   [](const CacheList& a, const CacheList& b) {
+                     return a.benefit > b.benefit;
+                   });
+  while (!scored.lists.empty() && scored.lists.back().benefit <= 0.0) {
+    scored.lists.pop_back();
+  }
+  return scored;
+}
+
+}  // namespace updlrm::cache

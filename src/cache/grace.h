@@ -1,0 +1,59 @@
+// GRACE-style co-occurrence mining.
+//
+// The paper uses GRACE [Ye et al., ASPLOS'23] as a black box that turns
+// an access trace into `cache_res`: groups of hot items that frequently
+// coexist in a sample, with an estimated memory-access benefit per
+// group. GraceMiner reproduces that artifact with the same graph-based
+// idea: build the pairwise co-occurrence graph over the hottest items,
+// then greedily grow high-weight groups (up to kMaxCacheListSize items)
+// from the heaviest edges, and finally score each group by replaying the
+// trace ("benefit" = accesses avoided when every >=2-item intersection
+// collapses to a single cached-partial-sum read). The paper notes
+// UpDLRM works with any cache-list generator; this one is ours.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_list.h"
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace updlrm::cache {
+
+struct GraceOptions {
+  // Only the `num_hot_items` most frequent items enter the graph
+  // (co-occurrence counting over all items is quadratic in sample size).
+  std::size_t num_hot_items = 16384;
+  // Minimum pair co-occurrence count for an edge to be considered.
+  std::uint64_t min_pair_count = 4;
+  // Maximum number of lists to emit (highest benefit first).
+  std::size_t max_lists = 8192;
+  // Maximum items per list; capped at kMaxCacheListSize.
+  std::size_t max_list_size = kMaxCacheListSize;
+
+  Status Validate() const;
+};
+
+class GraceMiner {
+ public:
+  explicit GraceMiner(GraceOptions options = {});
+
+  /// Mines cache lists from one table's trace. Lists are disjoint,
+  /// benefit-scored on the same trace, and sorted by descending benefit;
+  /// zero-benefit groups are dropped.
+  Result<CacheRes> Mine(const trace::TableTrace& table,
+                        std::uint64_t num_items) const;
+
+  const GraceOptions& options() const { return options_; }
+
+ private:
+  GraceOptions options_;
+};
+
+/// Replays `table` and recomputes the benefit of each list in `res`
+/// (avoided accesses). Used to score externally supplied or trimmed
+/// cache lists; returns a copy with updated, re-sorted benefits.
+CacheRes ScoreCacheLists(const trace::TableTrace& table,
+                         std::uint64_t num_items, const CacheRes& res);
+
+}  // namespace updlrm::cache

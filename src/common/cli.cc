@@ -1,0 +1,78 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace updlrm {
+
+Result<CommandLine> CommandLine::Parse(int argc, const char* const* argv) {
+  CommandLine cl;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      cl.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      cl.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag or absent, in
+    // which case treat it as a boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      cl.flags_[body] = argv[++i];
+    } else {
+      cl.flags_[body] = "true";
+    }
+  }
+  return cl;
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+std::int64_t CommandLine::GetInt(const std::string& name,
+                                 std::int64_t default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name,
+                              double default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CommandLine::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, _] : flags_) {
+    if (!queried_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace updlrm

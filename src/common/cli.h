@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for examples and benches.
+//
+// Supports `--name=value` and `--name value`; unknown flags are reported
+// so typos don't silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm {
+
+class CommandLine {
+ public:
+  /// Parses argv; returns an error for malformed flags (missing value).
+  static Result<CommandLine> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried — typo detection for
+  /// examples; call after all Get*() calls.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  CommandLine() = default;
+
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace updlrm

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace updlrm {
+
+double Rng::NextGaussian() {
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return gaussian_spare_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  gaussian_spare_ = v * mul;
+  has_gaussian_spare_ = true;
+  return u * mul;
+}
+
+std::uint32_t Rng::NextPoisson(double mean) {
+  UPDLRM_CHECK(mean >= 0.0);
+  // Knuth's method, chunked at mean 30 per round. Poisson additivity keeps
+  // the chunked draw exact while avoiding exp() underflow for large means.
+  std::uint32_t total = 0;
+  double remaining = mean;
+  while (remaining > 0.0) {
+    const double m = remaining < 30.0 ? remaining : 30.0;
+    remaining -= m;
+    const double limit = std::exp(-m);
+    double p = 1.0;
+    std::uint32_t k = 0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    total += k - 1;
+  }
+  return total;
+}
+
+namespace {
+
+// expm1(t)/t, continuous at t == 0.
+double Helper1(double t) { return t == 0.0 ? 1.0 : std::expm1(t) / t; }
+
+// log1p(t)/t, continuous at t == 0.
+double Helper2(double t) { return t == 0.0 ? 1.0 : std::log1p(t) / t; }
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  UPDLRM_CHECK(n >= 1);
+  UPDLRM_CHECK(alpha >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInv(H(2.5) - std::exp(-alpha_ * std::log(2.0)));
+}
+
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper1((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInv(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // numerical guard near the distribution head
+  return std::exp(Helper2(t) * x);
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  // Rejection-inversion (Hörmann & Derflinger, 1996). O(1) expected time.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    const double n_d = static_cast<double>(n_);
+    if (k > n_d) k = n_d;
+    if (k - x <= s_ ||
+        u >= H(k + 0.5) - std::exp(-alpha_ * std::log(k))) {
+      return static_cast<std::uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfSampler::Probability(std::uint64_t k) const {
+  UPDLRM_CHECK(k < n_);
+  if (normalizer_ == 0.0) {
+    for (std::uint64_t i = 0; i < n_; ++i) {
+      normalizer_ +=
+          std::exp(-alpha_ * std::log(static_cast<double>(i + 1)));
+    }
+  }
+  return std::exp(-alpha_ * std::log(static_cast<double>(k + 1))) /
+         normalizer_;
+}
+
+}  // namespace updlrm

@@ -1,0 +1,140 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (trace generation, weight
+// initialization, workload sampling) draw from Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded via splitmix64; both are tiny, fast, and have
+// well-studied statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    UPDLRM_CHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling, unbiased.
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (polar form, cached spare).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Poisson-distributed count with the given mean (mean <= ~700).
+  std::uint32_t NextPoisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng Fork() { return Rng(NextU64() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double gaussian_spare_ = 0.0;
+  bool has_gaussian_spare_ = false;
+};
+
+/// Zipf(α) sampler over {0, ..., n-1}: P(k) ∝ 1/(k+1)^α.
+///
+/// Item popularity in recommendation traces is well modelled by a power
+/// law (see GRACE [Ye et al., ASPLOS'23] and the skew the paper reports
+/// in Fig. 5). Uses the rejection-inversion method of Hörmann/Derflinger,
+/// which is O(1) per sample and exact for any α > 0, α != 1 handled too.
+class ZipfSampler {
+ public:
+  /// n: support size (must be >= 1); alpha: skew (>= 0; 0 == uniform).
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Exact probability of rank k (for tests / analytic hit rates).
+  /// The O(n) normalizer is computed lazily on first call and cached;
+  /// not thread-safe across concurrent first calls.
+  double Probability(std::uint64_t k) const;
+
+ private:
+  double H(double x) const;     // integral of 1/x^alpha
+  double HInv(double x) const;  // inverse of H
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  mutable double normalizer_ = 0.0;  // sum of 1/(k+1)^alpha, lazy
+};
+
+}  // namespace updlrm

@@ -1,0 +1,154 @@
+// Lightweight status / result types for recoverable errors.
+//
+// The library reports expected failures (capacity overflow, bad
+// configuration, misaligned access requests) through Status / Result<T>
+// rather than exceptions, so callers can probe "what if" configurations
+// (e.g. a partition plan that does not fit MRAM) without control-flow
+// surprises. Programmer errors (violated preconditions) use UPDLRM_CHECK,
+// which aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace updlrm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCapacityExceeded,
+  kFailedPrecondition,
+  kNotFound,
+  kUnimplemented,
+};
+
+/// Human-readable name of a StatusCode (e.g. "CAPACITY_EXCEEDED").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status OutOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return {StatusCode::kCapacityExceeded, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status Unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Minimal stand-in for std::expected (C++23).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    UpgradeOkError();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+  // Constructing a Result<T> from an OK status is a bug; make it loud.
+  void UpgradeOkError() {
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition(
+          "Result<T> constructed from OK status without a value");
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+/// Precondition check: aborts with location info when `cond` is false.
+#define UPDLRM_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::updlrm::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                    \
+  } while (0)
+
+#define UPDLRM_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::updlrm::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                    \
+  } while (0)
+
+/// Propagate a non-OK Status from the current function.
+#define UPDLRM_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::updlrm::Status updlrm_status__ = (expr);    \
+    if (!updlrm_status__.ok()) {                  \
+      return updlrm_status__;                     \
+    }                                             \
+  } while (0)
+
+}  // namespace updlrm

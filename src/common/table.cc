@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace updlrm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  UPDLRM_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  UPDLRM_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::FmtMicros(double nanos, int precision) {
+  return Fmt(nanos / 1.0e3, precision) + " us";
+}
+
+std::string TablePrinter::FmtMillis(double nanos, int precision) {
+  return Fmt(nanos / 1.0e6, precision) + " ms";
+}
+
+std::string TablePrinter::FmtSpeedup(double ratio, int precision) {
+  return Fmt(ratio, precision) + "x";
+}
+
+std::string TablePrinter::FmtPercent(double fraction, int precision) {
+  return Fmt(fraction * 100.0, precision) + "%";
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace updlrm

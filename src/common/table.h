@@ -1,0 +1,43 @@
+// ASCII table / CSV rendering for the benchmark harnesses.
+//
+// Every bench reproduces a paper table or figure by printing the same
+// rows/series the paper reports; TablePrinter keeps that output aligned
+// and machine-greppable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace updlrm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Format helpers for numeric cells.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(std::uint64_t value);
+  static std::string FmtMicros(double nanos, int precision = 1);
+  static std::string FmtMillis(double nanos, int precision = 3);
+  static std::string FmtSpeedup(double ratio, int precision = 2);
+  static std::string FmtPercent(double fraction, int precision = 1);
+
+  /// Render with aligned columns and a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace updlrm

@@ -1,0 +1,73 @@
+// Size / time / frequency unit helpers.
+//
+// Simulator timing flows through two domains: DPU cycles (integral, at
+// the DPU clock) and host-side nanoseconds (double). Conversions are
+// centralized here so calibration constants stay legible
+// (e.g. `350 * kMHz`, `64 * kMiB`).
+#pragma once
+
+#include <cstdint>
+
+namespace updlrm {
+
+// --- sizes (bytes) ---
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+// --- frequency (Hz) ---
+inline constexpr double kMHz = 1.0e6;
+inline constexpr double kGHz = 1.0e9;
+
+// --- time (seconds as doubles) ---
+inline constexpr double kNanosPerSecond = 1.0e9;
+inline constexpr double kMicrosPerSecond = 1.0e6;
+
+/// DPU cycle count. Kept integral so kernel timing is exact and
+/// platform-independent.
+using Cycles = std::uint64_t;
+
+/// Host-side wall time in nanoseconds.
+using Nanos = double;
+
+/// Convert DPU cycles at `freq_hz` to nanoseconds.
+inline Nanos CyclesToNanos(Cycles cycles, double freq_hz) {
+  return static_cast<double>(cycles) * kNanosPerSecond / freq_hz;
+}
+
+/// Convert nanoseconds to whole DPU cycles (rounded up).
+inline Cycles NanosToCycles(Nanos ns, double freq_hz) {
+  const double cycles = ns * freq_hz / kNanosPerSecond;
+  auto whole = static_cast<Cycles>(cycles);
+  return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+inline double NanosToMicros(Nanos ns) { return ns / 1.0e3; }
+inline double NanosToMillis(Nanos ns) { return ns / 1.0e6; }
+
+/// Bytes moved in `ns` at `bytes_per_sec` — transfer-time helper.
+inline Nanos TransferNanos(std::uint64_t bytes, double bytes_per_sec) {
+  return static_cast<double>(bytes) / bytes_per_sec * kNanosPerSecond;
+}
+
+/// Round `value` up to a multiple of `alignment` (alignment must be a
+/// power of two).
+inline constexpr std::uint64_t AlignUp(std::uint64_t value,
+                                       std::uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+inline constexpr bool IsAligned(std::uint64_t value, std::uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+inline constexpr bool IsPowerOfTwo(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Integer ceiling division.
+inline constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace updlrm

@@ -1,0 +1,62 @@
+#include "dlrm/embedding.h"
+
+#include <algorithm>
+
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace updlrm::dlrm {
+
+Result<EmbeddingTable> EmbeddingTable::Create(std::uint64_t rows,
+                                              std::uint32_t cols,
+                                              std::uint64_t seed) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("embedding table dimensions must be > 0");
+  }
+  std::vector<float> data(rows * cols);
+  Rng rng(seed);
+  for (auto& v : data) {
+    v = static_cast<float>(rng.NextGaussian() * 0.1);
+  }
+  return EmbeddingTable(TableShape{rows, cols}, std::move(data));
+}
+
+std::span<const float> EmbeddingTable::Row(std::uint64_t r) const {
+  UPDLRM_CHECK(r < shape_.rows);
+  return {data_.data() + r * shape_.cols, shape_.cols};
+}
+
+void EmbeddingTable::QuantizedRow(std::uint64_t r,
+                                  std::span<std::int32_t> out) const {
+  UPDLRM_CHECK(out.size() == shape_.cols);
+  const auto row = Row(r);
+  for (std::uint32_t c = 0; c < shape_.cols; ++c) {
+    out[c] = ToFixed(row[c]);
+  }
+}
+
+void EmbeddingTable::BagSum(std::span<const std::uint32_t> indices,
+                            std::span<float> out) const {
+  UPDLRM_CHECK(out.size() == shape_.cols);
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::uint32_t idx : indices) {
+    const auto row = Row(idx);
+    for (std::uint32_t c = 0; c < shape_.cols; ++c) {
+      out[c] += row[c];
+    }
+  }
+}
+
+void EmbeddingTable::BagSumFixed(std::span<const std::uint32_t> indices,
+                                 std::span<std::int64_t> out) const {
+  UPDLRM_CHECK(out.size() == shape_.cols);
+  std::fill(out.begin(), out.end(), std::int64_t{0});
+  for (std::uint32_t idx : indices) {
+    const auto row = Row(idx);
+    for (std::uint32_t c = 0; c < shape_.cols; ++c) {
+      out[c] += ToFixed(row[c]);
+    }
+  }
+}
+
+}  // namespace updlrm::dlrm

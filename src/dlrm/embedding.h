@@ -1,0 +1,60 @@
+// Embedding table and embedding-bag (lookup + sum reduction) reference
+// implementation.
+//
+// Values are initialized N(0, 0.1), deterministically from a seed. The
+// table exposes both float rows (for the CPU reference path) and Q15.16
+// quantized rows (what gets placed into DPU MRAM); BagSumFixed is the
+// bit-exact reference for the simulated DPU kernel output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::dlrm {
+
+/// Shape of an embedding table; the partitioners and timing models only
+/// need this, not the contents.
+struct TableShape {
+  std::uint64_t rows = 0;
+  std::uint32_t cols = 0;
+
+  std::uint64_t SizeBytes() const { return rows * cols * 4ULL; }
+};
+
+class EmbeddingTable {
+ public:
+  /// Allocates rows*cols floats; fails for zero dimensions.
+  static Result<EmbeddingTable> Create(std::uint64_t rows,
+                                       std::uint32_t cols,
+                                       std::uint64_t seed);
+
+  std::uint64_t rows() const { return shape_.rows; }
+  std::uint32_t cols() const { return shape_.cols; }
+  const TableShape& shape() const { return shape_; }
+
+  std::span<const float> Row(std::uint64_t r) const;
+
+  /// Quantized (Q15.16) copy of row `r` into `out` (size == cols).
+  void QuantizedRow(std::uint64_t r, std::span<std::int32_t> out) const;
+
+  /// Float embedding-bag: out[c] = sum over indices of Row(i)[c].
+  void BagSum(std::span<const std::uint32_t> indices,
+              std::span<float> out) const;
+
+  /// Fixed-point embedding-bag with int64 accumulation — the bit-exact
+  /// reference for the DPU pipeline (quantize rows, then sum).
+  void BagSumFixed(std::span<const std::uint32_t> indices,
+                   std::span<std::int64_t> out) const;
+
+ private:
+  EmbeddingTable(TableShape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {}
+
+  TableShape shape_;
+  std::vector<float> data_;  // row-major
+};
+
+}  // namespace updlrm::dlrm

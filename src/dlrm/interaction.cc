@@ -1,0 +1,59 @@
+#include "dlrm/interaction.h"
+
+#include <algorithm>
+
+namespace updlrm::dlrm {
+
+std::uint32_t InteractionOutputDim(InteractionKind kind,
+                                   std::uint32_t num_tables,
+                                   std::uint32_t dim) {
+  switch (kind) {
+    case InteractionKind::kConcat:
+      return (num_tables + 1) * dim;
+    case InteractionKind::kDot: {
+      const std::uint32_t vectors = num_tables + 1;
+      return dim + vectors * (vectors - 1) / 2;
+    }
+  }
+  return 0;
+}
+
+void ComputeInteraction(InteractionKind kind, std::span<const float> dense,
+                        std::span<const float> pooled,
+                        std::uint32_t num_tables, std::uint32_t dim,
+                        std::span<float> out) {
+  UPDLRM_CHECK(dense.size() == dim);
+  UPDLRM_CHECK(pooled.size() == static_cast<std::size_t>(num_tables) * dim);
+  UPDLRM_CHECK(out.size() == InteractionOutputDim(kind, num_tables, dim));
+
+  switch (kind) {
+    case InteractionKind::kConcat: {
+      std::copy(dense.begin(), dense.end(), out.begin());
+      std::copy(pooled.begin(), pooled.end(), out.begin() + dim);
+      return;
+    }
+    case InteractionKind::kDot: {
+      // Vector 0 is the dense feature; vectors 1..num_tables are pooled
+      // embeddings. Emit dense passthrough, then upper-triangle dots.
+      auto vec = [&](std::uint32_t v) -> std::span<const float> {
+        if (v == 0) return dense;
+        return pooled.subspan(static_cast<std::size_t>(v - 1) * dim, dim);
+      };
+      std::copy(dense.begin(), dense.end(), out.begin());
+      std::size_t k = dim;
+      const std::uint32_t vectors = num_tables + 1;
+      for (std::uint32_t i = 0; i < vectors; ++i) {
+        const auto vi = vec(i);
+        for (std::uint32_t j = i + 1; j < vectors; ++j) {
+          const auto vj = vec(j);
+          float dot = 0.0f;
+          for (std::uint32_t c = 0; c < dim; ++c) dot += vi[c] * vj[c];
+          out[k++] = dot;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace updlrm::dlrm

@@ -1,0 +1,37 @@
+// Feature interaction between the dense feature vector and the pooled
+// embeddings.
+//
+// Fig. 1 of the paper concatenates dense and sparse features before the
+// top FC stack (kConcat, the default). Meta's reference DLRM also offers
+// pairwise dot-product interaction (kDot); both are provided so the
+// model matches either convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::dlrm {
+
+enum class InteractionKind { kConcat, kDot };
+
+/// Output width of the interaction for `num_tables` embedding vectors of
+/// width `dim` plus one dense feature vector of width `dim`.
+///   kConcat: (num_tables + 1) * dim
+///   kDot:    dim + C(num_tables + 1, 2)   (dense passthrough + pairwise
+///            dots of all feature vectors, as in Meta's DLRM)
+std::uint32_t InteractionOutputDim(InteractionKind kind,
+                                   std::uint32_t num_tables,
+                                   std::uint32_t dim);
+
+/// Computes the interaction. `dense` has width dim; `pooled` is
+/// num_tables vectors of width dim, concatenated. `out` must have
+/// InteractionOutputDim(...) elements.
+void ComputeInteraction(InteractionKind kind, std::span<const float> dense,
+                        std::span<const float> pooled,
+                        std::uint32_t num_tables, std::uint32_t dim,
+                        std::span<float> out);
+
+}  // namespace updlrm::dlrm

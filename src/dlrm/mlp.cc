@@ -1,0 +1,86 @@
+#include "dlrm/mlp.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace updlrm::dlrm {
+
+Result<MlpLayer> MlpLayer::Create(std::uint32_t in_dim,
+                                  std::uint32_t out_dim, Activation act,
+                                  std::uint64_t seed) {
+  if (in_dim == 0 || out_dim == 0) {
+    return Status::InvalidArgument("MLP layer dimensions must be > 0");
+  }
+  Rng rng(seed);
+  // He initialization, appropriate for the ReLU stacks.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+  std::vector<float> weights(static_cast<std::size_t>(in_dim) * out_dim);
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.NextGaussian() * scale);
+  }
+  std::vector<float> bias(out_dim, 0.0f);
+  return MlpLayer(in_dim, out_dim, act, std::move(weights),
+                  std::move(bias));
+}
+
+void MlpLayer::Forward(std::span<const float> in,
+                       std::span<float> out) const {
+  UPDLRM_CHECK(in.size() == in_dim_);
+  UPDLRM_CHECK(out.size() == out_dim_);
+  for (std::uint32_t o = 0; o < out_dim_; ++o) {
+    const float* w = weights_.data() + static_cast<std::size_t>(o) * in_dim_;
+    float acc = bias_[o];
+    for (std::uint32_t i = 0; i < in_dim_; ++i) {
+      acc += w[i] * in[i];
+    }
+    switch (act_) {
+      case Activation::kRelu:
+        out[o] = acc > 0.0f ? acc : 0.0f;
+        break;
+      case Activation::kSigmoid:
+        out[o] = 1.0f / (1.0f + std::exp(-acc));
+        break;
+      case Activation::kNone:
+        out[o] = acc;
+        break;
+    }
+  }
+}
+
+Result<Mlp> Mlp::Create(std::span<const std::uint32_t> dims,
+                        Activation final_act, std::uint64_t seed) {
+  if (dims.size() < 2) {
+    return Status::InvalidArgument("MLP needs at least input and output dims");
+  }
+  std::vector<MlpLayer> layers;
+  layers.reserve(dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    const bool last = (l + 2 == dims.size());
+    auto layer = MlpLayer::Create(dims[l], dims[l + 1],
+                                  last ? final_act : Activation::kRelu,
+                                  seed + l * 0x9e3779b9ULL);
+    if (!layer.ok()) return layer.status();
+    layers.push_back(std::move(layer).value());
+  }
+  return Mlp(std::move(layers));
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> in) const {
+  std::vector<float> current(in.begin(), in.end());
+  std::vector<float> next;
+  for (const auto& layer : layers_) {
+    next.assign(layer.out_dim(), 0.0f);
+    layer.Forward(current, next);
+    current.swap(next);
+  }
+  return current;
+}
+
+std::uint64_t Mlp::FlopsPerSample() const {
+  std::uint64_t total = 0;
+  for (const auto& layer : layers_) total += layer.FlopsPerSample();
+  return total;
+}
+
+}  // namespace updlrm::dlrm

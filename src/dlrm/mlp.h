@@ -1,0 +1,72 @@
+// Dense multilayer perceptron (the bottom- and top-FC stacks of Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::dlrm {
+
+enum class Activation { kRelu, kSigmoid, kNone };
+
+/// One fully connected layer: y = act(W x + b), W is out x in row-major.
+class MlpLayer {
+ public:
+  static Result<MlpLayer> Create(std::uint32_t in_dim, std::uint32_t out_dim,
+                                 Activation act, std::uint64_t seed);
+
+  std::uint32_t in_dim() const { return in_dim_; }
+  std::uint32_t out_dim() const { return out_dim_; }
+  Activation activation() const { return act_; }
+
+  void Forward(std::span<const float> in, std::span<float> out) const;
+
+  /// Multiply-accumulate FLOPs per sample (2 * in * out).
+  std::uint64_t FlopsPerSample() const {
+    return 2ULL * in_dim_ * out_dim_;
+  }
+
+ private:
+  MlpLayer(std::uint32_t in_dim, std::uint32_t out_dim, Activation act,
+           std::vector<float> weights, std::vector<float> bias)
+      : in_dim_(in_dim),
+        out_dim_(out_dim),
+        act_(act),
+        weights_(std::move(weights)),
+        bias_(std::move(bias)) {}
+
+  std::uint32_t in_dim_;
+  std::uint32_t out_dim_;
+  Activation act_;
+  std::vector<float> weights_;  // out x in, row-major
+  std::vector<float> bias_;
+};
+
+/// A stack of FC layers. Hidden layers use ReLU; the final layer's
+/// activation is configurable (sigmoid for the CTR head, none for the
+/// bottom MLP's feature output... the bottom stack conventionally ends
+/// in ReLU, which is the default here).
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; requires >= 2 entries.
+  static Result<Mlp> Create(std::span<const std::uint32_t> dims,
+                            Activation final_act, std::uint64_t seed);
+
+  std::uint32_t in_dim() const { return layers_.front().in_dim(); }
+  std::uint32_t out_dim() const { return layers_.back().out_dim(); }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Single-sample forward.
+  std::vector<float> Forward(std::span<const float> in) const;
+
+  std::uint64_t FlopsPerSample() const;
+
+ private:
+  explicit Mlp(std::vector<MlpLayer> layers) : layers_(std::move(layers)) {}
+
+  std::vector<MlpLayer> layers_;
+};
+
+}  // namespace updlrm::dlrm

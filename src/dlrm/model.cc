@@ -1,0 +1,177 @@
+#include "dlrm/model.h"
+
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace updlrm::dlrm {
+
+namespace {
+
+std::uint64_t StackFlops(std::uint32_t in,
+                         std::span<const std::uint32_t> hidden,
+                         std::uint32_t out) {
+  std::uint64_t flops = 0;
+  std::uint32_t prev = in;
+  for (std::uint32_t h : hidden) {
+    flops += 2ULL * prev * h;
+    prev = h;
+  }
+  flops += 2ULL * prev * out;
+  return flops;
+}
+
+}  // namespace
+
+Status DlrmConfig::Validate() const {
+  if (num_tables == 0) {
+    return Status::InvalidArgument("num_tables must be >= 1");
+  }
+  if (!table_rows.empty()) {
+    if (table_rows.size() != num_tables) {
+      return Status::InvalidArgument(
+          "table_rows must have one entry per table");
+    }
+    for (std::uint64_t rows : table_rows) {
+      if (rows == 0) {
+        return Status::InvalidArgument("every table needs >= 1 row");
+      }
+    }
+  } else if (rows_per_table == 0) {
+    return Status::InvalidArgument("rows_per_table must be >= 1");
+  }
+  if (embedding_dim == 0 || embedding_dim % 2 != 0) {
+    return Status::InvalidArgument(
+        "embedding_dim must be positive and even (8-byte MRAM alignment)");
+  }
+  if (dense_features == 0) {
+    return Status::InvalidArgument("dense_features must be >= 1");
+  }
+  return Status::Ok();
+}
+
+std::uint64_t DlrmConfig::BottomFlopsPerSample() const {
+  return StackFlops(dense_features, bottom_hidden, embedding_dim);
+}
+
+std::uint64_t DlrmConfig::TopFlopsPerSample() const {
+  return StackFlops(
+      InteractionOutputDim(interaction, num_tables, embedding_dim),
+      top_hidden, 1);
+}
+
+std::uint64_t DlrmConfig::TotalTableBytes() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < num_tables; ++t) {
+    total += table_shape(t).SizeBytes();
+  }
+  return total;
+}
+
+DenseInputs DenseInputs::Generate(std::size_t num_samples, std::uint32_t dim,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(num_samples * dim);
+  for (auto& v : data) v = static_cast<float>(rng.NextDouble());
+  return DenseInputs(num_samples, dim, std::move(data));
+}
+
+Result<DlrmModel> DlrmModel::Create(const DlrmConfig& config) {
+  UPDLRM_RETURN_IF_ERROR(config.Validate());
+
+  std::vector<std::shared_ptr<const EmbeddingTable>> tables;
+  tables.reserve(config.num_tables);
+  for (std::uint32_t t = 0; t < config.num_tables; ++t) {
+    // Sharing backing stores requires identical shapes.
+    if (config.share_table_content && !config.heterogeneous() && t > 0) {
+      tables.push_back(tables.front());
+      continue;
+    }
+    auto table = EmbeddingTable::Create(config.RowsInTable(t),
+                                        config.embedding_dim,
+                                        config.seed + 17 * (t + 1));
+    if (!table.ok()) return table.status();
+    tables.push_back(
+        std::make_shared<const EmbeddingTable>(std::move(table).value()));
+  }
+
+  std::vector<std::uint32_t> bottom_dims;
+  bottom_dims.push_back(config.dense_features);
+  bottom_dims.insert(bottom_dims.end(), config.bottom_hidden.begin(),
+                     config.bottom_hidden.end());
+  bottom_dims.push_back(config.embedding_dim);
+  auto bottom = Mlp::Create(bottom_dims, Activation::kRelu,
+                            config.seed + 0xb0770);
+  if (!bottom.ok()) return bottom.status();
+
+  std::vector<std::uint32_t> top_dims;
+  top_dims.push_back(InteractionOutputDim(
+      config.interaction, config.num_tables, config.embedding_dim));
+  top_dims.insert(top_dims.end(), config.top_hidden.begin(),
+                  config.top_hidden.end());
+  top_dims.push_back(1);
+  auto top = Mlp::Create(top_dims, Activation::kSigmoid,
+                         config.seed + 0x70101);
+  if (!top.ok()) return top.status();
+
+  return DlrmModel(config, std::move(tables), std::move(bottom).value(),
+                   std::move(top).value());
+}
+
+void DlrmModel::PooledEmbeddings(const trace::Trace& trace,
+                                 std::size_t sample,
+                                 std::span<float> out) const {
+  const std::uint32_t dim = config_.embedding_dim;
+  UPDLRM_CHECK(out.size() ==
+               static_cast<std::size_t>(config_.num_tables) * dim);
+  UPDLRM_CHECK(trace.num_tables() == config_.num_tables);
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    tables_[t]->BagSum(trace.tables[t].Sample(sample),
+                       out.subspan(static_cast<std::size_t>(t) * dim, dim));
+  }
+}
+
+void DlrmModel::PooledEmbeddingsFixed(const trace::Trace& trace,
+                                      std::size_t sample,
+                                      std::span<float> out) const {
+  const std::uint32_t dim = config_.embedding_dim;
+  UPDLRM_CHECK(out.size() ==
+               static_cast<std::size_t>(config_.num_tables) * dim);
+  UPDLRM_CHECK(trace.num_tables() == config_.num_tables);
+  std::vector<std::int64_t> acc(dim);
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    tables_[t]->BagSumFixed(trace.tables[t].Sample(sample), acc);
+    for (std::uint32_t c = 0; c < dim; ++c) {
+      out[static_cast<std::size_t>(t) * dim + c] = FromFixedSum(acc[c]);
+    }
+  }
+}
+
+float DlrmModel::ForwardSample(std::span<const float> dense_raw,
+                               std::span<const float> pooled) const {
+  const std::vector<float> dense_feat = bottom_->Forward(dense_raw);
+  std::vector<float> inter(InteractionOutputDim(
+      config_.interaction, config_.num_tables, config_.embedding_dim));
+  ComputeInteraction(config_.interaction, dense_feat, pooled,
+                     config_.num_tables, config_.embedding_dim, inter);
+  return top_->Forward(inter).front();
+}
+
+std::vector<float> DlrmModel::ForwardBatch(
+    const DenseInputs& dense, const trace::Trace& trace,
+    trace::BatchRange range, bool fixed_point_embeddings) const {
+  std::vector<float> ctr;
+  ctr.reserve(range.size());
+  std::vector<float> pooled(
+      static_cast<std::size_t>(config_.num_tables) * config_.embedding_dim);
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    if (fixed_point_embeddings) {
+      PooledEmbeddingsFixed(trace, s, pooled);
+    } else {
+      PooledEmbeddings(trace, s, pooled);
+    }
+    ctr.push_back(ForwardSample(dense.Sample(s), pooled));
+  }
+  return ctr;
+}
+
+}  // namespace updlrm::dlrm

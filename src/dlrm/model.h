@@ -1,0 +1,138 @@
+// The DLRM reference model (Fig. 1): bottom MLP over dense inputs,
+// embedding bags over sparse inputs, feature interaction, top MLP with a
+// sigmoid CTR head.
+//
+// This is the functional ground truth every accelerated implementation
+// is validated against: the UpDLRM engine's DPU-simulated embedding path
+// must reproduce PooledEmbeddingsFixed() bit-exactly, and end-to-end CTR
+// outputs must match ForwardBatch() exactly when both use the same
+// embedding arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dlrm/embedding.h"
+#include "dlrm/interaction.h"
+#include "dlrm/mlp.h"
+#include "trace/trace.h"
+
+namespace updlrm::dlrm {
+
+struct DlrmConfig {
+  std::uint32_t num_tables = 8;       // the paper duplicates into 8 EMTs
+  std::uint64_t rows_per_table = 0;   // dataset #Items (homogeneous)
+  /// Heterogeneous table sizes (size == num_tables when non-empty;
+  /// overrides rows_per_table). Real DLRMs mix table sizes widely; the
+  /// paper's evaluation duplicates one dataset, so this stays empty
+  /// there.
+  std::vector<std::uint64_t> table_rows;
+  std::uint32_t embedding_dim = 32;   // the paper's embedding dimension
+  std::uint32_t dense_features = 13;  // continuous input width
+
+  // Hidden widths; the bottom stack ends in embedding_dim, the top stack
+  // in a single sigmoid CTR output (both appended automatically).
+  std::vector<std::uint32_t> bottom_hidden = {64, 32};
+  std::vector<std::uint32_t> top_hidden = {96, 64};
+
+  InteractionKind interaction = InteractionKind::kConcat;
+
+  // The paper forms the 8 EMTs by duplicating one dataset; sharing the
+  // backing store keeps full-scale functional runs within host memory.
+  bool share_table_content = true;
+
+  std::uint64_t seed = 1234;
+
+  Status Validate() const;
+  bool heterogeneous() const { return !table_rows.empty(); }
+  std::uint64_t RowsInTable(std::uint32_t t) const {
+    UPDLRM_CHECK(t < num_tables);
+    return heterogeneous() ? table_rows[t] : rows_per_table;
+  }
+  /// Shape of table `t` (all tables when homogeneous).
+  TableShape table_shape(std::uint32_t t = 0) const {
+    return TableShape{RowsInTable(t), embedding_dim};
+  }
+  /// Combined size of all EMTs (the CPU gather working set).
+  std::uint64_t TotalTableBytes() const;
+
+  /// MLP multiply-accumulate FLOPs per sample, used by the CPU/GPU
+  /// timing models.
+  std::uint64_t BottomFlopsPerSample() const;
+  std::uint64_t TopFlopsPerSample() const;
+};
+
+/// Deterministic synthetic continuous features (age, price, ... stand-ins).
+class DenseInputs {
+ public:
+  static DenseInputs Generate(std::size_t num_samples, std::uint32_t dim,
+                              std::uint64_t seed);
+
+  std::span<const float> Sample(std::size_t s) const {
+    UPDLRM_CHECK(s < num_samples_);
+    return {data_.data() + s * dim_, dim_};
+  }
+  std::size_t num_samples() const { return num_samples_; }
+  std::uint32_t dim() const { return dim_; }
+
+ private:
+  DenseInputs(std::size_t num_samples, std::uint32_t dim,
+              std::vector<float> data)
+      : num_samples_(num_samples), dim_(dim), data_(std::move(data)) {}
+
+  std::size_t num_samples_;
+  std::uint32_t dim_;
+  std::vector<float> data_;
+};
+
+class DlrmModel {
+ public:
+  static Result<DlrmModel> Create(const DlrmConfig& config);
+
+  const DlrmConfig& config() const { return config_; }
+  const EmbeddingTable& table(std::uint32_t t) const {
+    UPDLRM_CHECK(t < tables_.size());
+    return *tables_[t];
+  }
+  const Mlp& bottom_mlp() const { return *bottom_; }
+  const Mlp& top_mlp() const { return *top_; }
+
+  /// Float pooled embeddings of one sample: num_tables * dim values.
+  void PooledEmbeddings(const trace::Trace& trace, std::size_t sample,
+                        std::span<float> out) const;
+
+  /// Fixed-point pooled embeddings (quantize rows, int64-accumulate,
+  /// dequantize) — the DPU-equivalent arithmetic.
+  void PooledEmbeddingsFixed(const trace::Trace& trace, std::size_t sample,
+                             std::span<float> out) const;
+
+  /// CTR for one sample given raw dense inputs and precomputed pooled
+  /// embeddings (lets accelerated embedding paths reuse the MLP stacks).
+  float ForwardSample(std::span<const float> dense_raw,
+                      std::span<const float> pooled) const;
+
+  /// Full-model reference forward over a batch range.
+  std::vector<float> ForwardBatch(const DenseInputs& dense,
+                                  const trace::Trace& trace,
+                                  trace::BatchRange range,
+                                  bool fixed_point_embeddings) const;
+
+ private:
+  DlrmModel(DlrmConfig config,
+            std::vector<std::shared_ptr<const EmbeddingTable>> tables,
+            Mlp bottom, Mlp top)
+      : config_(std::move(config)),
+        tables_(std::move(tables)),
+        bottom_(std::make_unique<Mlp>(std::move(bottom))),
+        top_(std::make_unique<Mlp>(std::move(top))) {}
+
+  DlrmConfig config_;
+  std::vector<std::shared_ptr<const EmbeddingTable>> tables_;
+  std::unique_ptr<Mlp> bottom_;
+  std::unique_ptr<Mlp> top_;
+};
+
+}  // namespace updlrm::dlrm

@@ -1,0 +1,63 @@
+#include "host/cpu_model.h"
+
+namespace updlrm::host {
+
+Status CpuModelParams::Validate() const {
+  if (threads == 0) return Status::InvalidArgument("threads must be >= 1");
+  if (clock_hz <= 0.0 || flops_per_cycle_per_thread <= 0.0 ||
+      mlp_efficiency <= 0.0 || mlp_efficiency > 1.0) {
+    return Status::InvalidArgument("invalid CPU compute parameters");
+  }
+  if (random_gather_bytes_per_sec <= 0.0 ||
+      llc_gather_bytes_per_sec <= 0.0 || stream_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  return Status::Ok();
+}
+
+CpuTimingModel::CpuTimingModel(CpuModelParams params) : params_(params) {
+  UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid CpuModelParams");
+}
+
+Nanos CpuTimingModel::MlpTime(std::uint64_t flops) const {
+  const double flops_per_sec = params_.clock_hz * params_.threads *
+                               params_.flops_per_cycle_per_thread *
+                               params_.mlp_efficiency;
+  return static_cast<double>(flops) / flops_per_sec * kNanosPerSecond;
+}
+
+Nanos CpuTimingModel::GatherTime(std::uint64_t num_lookups,
+                                 std::uint32_t bytes_each,
+                                 std::uint64_t working_set_bytes,
+                                 double llc_hit_fraction) const {
+  UPDLRM_CHECK(llc_hit_fraction >= 0.0 && llc_hit_fraction <= 1.0);
+  if (working_set_bytes <= params_.llc_bytes) {
+    return TransferNanos(num_lookups * bytes_each,
+                         params_.llc_gather_bytes_per_sec);
+  }
+  const double bytes = static_cast<double>(num_lookups) * bytes_each;
+  const Nanos hot = TransferNanos(
+      static_cast<std::uint64_t>(bytes * llc_hit_fraction),
+      params_.llc_gather_bytes_per_sec);
+  const Nanos cold = TransferNanos(
+      static_cast<std::uint64_t>(bytes * (1.0 - llc_hit_fraction)),
+      params_.random_gather_bytes_per_sec);
+  return hot + cold;
+}
+
+std::uint64_t CpuTimingModel::LlcResidentRows(
+    std::uint32_t bytes_each) const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(params_.llc_bytes) *
+      params_.llc_embedding_fraction / bytes_each);
+}
+
+Nanos CpuTimingModel::StreamTime(std::uint64_t bytes) const {
+  return TransferNanos(bytes, params_.stream_bytes_per_sec);
+}
+
+Nanos CpuTimingModel::BagOverhead(std::uint64_t num_bags) const {
+  return static_cast<double>(num_bags) * params_.bag_call_overhead_ns;
+}
+
+}  // namespace updlrm::host

@@ -1,0 +1,83 @@
+// Analytic timing model of the host CPU (Table 2: dual-socket Intel Xeon
+// Silver 4110, 32 hardware threads, 128 GB DDR4).
+//
+// Three behaviours matter for DLRM inference:
+//   * embedding gathers — random reads across a table far larger than
+//     the LLC; throughput is bound by an effective random-access
+//     bandwidth (a small fraction of peak streaming bandwidth), the
+//     regime the DLRM literature reports as the CPU bottleneck;
+//   * MLPs — small-batch GEMMs at a fraction of peak FLOPS;
+//   * streaming passes (partial-sum aggregation, concatenation).
+// Calibration constants are documented in EXPERIMENTS.md; the paper's
+// cross-system *ratios* are the target, not absolute testbed numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::host {
+
+struct CpuModelParams {
+  std::uint32_t threads = 32;
+  double clock_hz = 2.1 * kGHz;
+  double flops_per_cycle_per_thread = 8.0;  // AVX2 FMA, one port
+  double mlp_efficiency = 0.20;             // achieved fraction on small GEMMs
+
+  // Effective gather throughput for random row reads from DRAM, all
+  // threads combined. Far below streaming bandwidth: each pooled lookup
+  // is an independent ~128 B access.
+  double random_gather_bytes_per_sec = 2.6e9;
+  // Gather throughput when the working set fits in the last-level cache.
+  double llc_gather_bytes_per_sec = 60.0e9;
+  std::uint64_t llc_bytes = 22ULL * kMiB;
+
+  // Streaming (sequential) bandwidth for aggregation passes.
+  double stream_bytes_per_sec = 60.0e9;
+
+  // Fraction of the LLC the embedding hot set can occupy (the rest is
+  // MLP weights, activations, index streams).
+  double llc_embedding_fraction = 0.5;
+
+  // Fixed software cost per embedding-bag call (offsets handling, loop
+  // setup) per table per batch.
+  Nanos bag_call_overhead_ns = 2'000.0;
+
+  Status Validate() const;
+};
+
+class CpuTimingModel {
+ public:
+  explicit CpuTimingModel(CpuModelParams params = {});
+
+  /// Dense-compute time for `flops` multiply-accumulates.
+  Nanos MlpTime(std::uint64_t flops) const;
+
+  /// Embedding-gather time: `num_lookups` random reads of `bytes_each`
+  /// from a working set of `working_set_bytes`. Small working sets
+  /// gather at LLC speed. For DRAM-resident tables, `llc_hit_fraction`
+  /// models the skew benefit real CPUs get on hot traces: that share of
+  /// the lookups hits LLC-resident hot rows (callers derive it from the
+  /// trace's access histogram, e.g. with trace::TopKAccessShare over the
+  /// LLC-resident row budget).
+  Nanos GatherTime(std::uint64_t num_lookups, std::uint32_t bytes_each,
+                   std::uint64_t working_set_bytes,
+                   double llc_hit_fraction = 0.0) const;
+
+  /// Rows of `bytes_each` the LLC's embedding share can hold.
+  std::uint64_t LlcResidentRows(std::uint32_t bytes_each) const;
+
+  /// Sequential pass over `bytes` (read + accumulate).
+  Nanos StreamTime(std::uint64_t bytes) const;
+
+  /// Fixed per-embedding-bag software overhead for `num_bags` bag calls.
+  Nanos BagOverhead(std::uint64_t num_bags) const;
+
+  const CpuModelParams& params() const { return params_; }
+
+ private:
+  CpuModelParams params_;
+};
+
+}  // namespace updlrm::host

@@ -1,0 +1,62 @@
+#include "host/energy.h"
+
+#include <algorithm>
+
+namespace updlrm::host {
+
+Status EnergyParams::Validate() const {
+  if (cpu_active_watts < cpu_idle_watts || cpu_idle_watts < 0.0) {
+    return Status::InvalidArgument("CPU power figures inconsistent");
+  }
+  if (gpu_active_watts < gpu_idle_watts || gpu_idle_watts < 0.0) {
+    return Status::InvalidArgument("GPU power figures inconsistent");
+  }
+  if (dpu_rank_active_watts < dpu_rank_idle_watts ||
+      dpu_rank_idle_watts < 0.0) {
+    return Status::InvalidArgument("DPU power figures inconsistent");
+  }
+  if (dram_watts < 0.0) {
+    return Status::InvalidArgument("dram_watts must be >= 0");
+  }
+  return Status::Ok();
+}
+
+EnergyModel::EnergyModel(EnergyParams params) : params_(params) {
+  UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid EnergyParams");
+}
+
+double EnergyModel::BatchJoules(const ComponentActivity& a) const {
+  UPDLRM_CHECK(a.window_ns >= 0.0);
+  const double window_s = a.window_ns / kNanosPerSecond;
+  auto busy_s = [&](Nanos busy) {
+    return std::min(busy, a.window_ns) / kNanosPerSecond;
+  };
+
+  double joules = params_.dram_watts * window_s;
+
+  const double cpu_busy = busy_s(a.cpu_busy_ns);
+  joules += params_.cpu_active_watts * cpu_busy +
+            params_.cpu_idle_watts * (window_s - cpu_busy);
+
+  if (a.has_gpu) {
+    const double gpu_busy = busy_s(a.gpu_busy_ns);
+    joules += params_.gpu_active_watts * gpu_busy +
+              params_.gpu_idle_watts * (window_s - gpu_busy);
+  }
+
+  if (a.dpu_ranks > 0) {
+    const double dpu_busy = busy_s(a.dpu_busy_ns);
+    joules += a.dpu_ranks * (params_.dpu_rank_active_watts * dpu_busy +
+                             params_.dpu_rank_idle_watts *
+                                 (window_s - dpu_busy));
+  }
+  return joules;
+}
+
+double EnergyModel::MillijoulesPerInference(const ComponentActivity& a,
+                                            std::size_t batch_size) const {
+  UPDLRM_CHECK(batch_size > 0);
+  return BatchJoules(a) * 1000.0 / static_cast<double>(batch_size);
+}
+
+}  // namespace updlrm::host

@@ -1,0 +1,65 @@
+// Energy model for the Table-2 systems.
+//
+// §2.3 motivates PIM with UPMEM's reported ~10x TCO gain and up to 60%
+// energy reduction. This model turns the timing results into energy
+// estimates: each component draws its active power while busy and its
+// idle power for the rest of the batch window; DRAM and MRAM power
+// scale with provisioned capacity. Power figures are public TDPs /
+// datasheet-order numbers (see EXPERIMENTS.md); as with latency, the
+// cross-system *ratios* are the meaningful output.
+#pragma once
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::host {
+
+struct EnergyParams {
+  // Dual-socket Xeon Silver 4110 (Table 2): 85 W TDP per socket.
+  double cpu_active_watts = 170.0;
+  double cpu_idle_watts = 40.0;
+
+  // 128 GB DDR4: ~0.375 W/GB active.
+  double dram_watts = 48.0;
+
+  // GTX 1080 Ti: 250 W TDP.
+  double gpu_active_watts = 250.0;
+  double gpu_idle_watts = 15.0;
+
+  // One UPMEM rank (64 DPUs): ~1.2 W per 8-DPU chip plus DIMM DRAM.
+  double dpu_rank_active_watts = 14.0;
+  double dpu_rank_idle_watts = 4.0;
+
+  Status Validate() const;
+};
+
+/// Busy times of each component within one batch window. Components a
+/// system lacks stay 0 with count 0.
+struct ComponentActivity {
+  Nanos window_ns = 0.0;  // wall time of the batch
+  Nanos cpu_busy_ns = 0.0;
+  Nanos gpu_busy_ns = 0.0;
+  bool has_gpu = false;
+  Nanos dpu_busy_ns = 0.0;  // DPUs active (kernel or transfer)
+  std::uint32_t dpu_ranks = 0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {});
+
+  /// Joules consumed over the window (busy power while busy, idle power
+  /// for the remainder; DRAM draws for the full window).
+  double BatchJoules(const ComponentActivity& activity) const;
+
+  /// Convenience: millijoules per inference.
+  double MillijoulesPerInference(const ComponentActivity& activity,
+                                 std::size_t batch_size) const;
+
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace updlrm::host

@@ -1,0 +1,44 @@
+#include "host/gpu_model.h"
+
+namespace updlrm::host {
+
+Status GpuModelParams::Validate() const {
+  if (peak_flops_per_sec <= 0.0 || mlp_efficiency <= 0.0 ||
+      mlp_efficiency > 1.0) {
+    return Status::InvalidArgument("invalid GPU compute parameters");
+  }
+  if (mem_bytes_per_sec <= 0.0 || gather_bytes_per_sec <= 0.0 ||
+      pcie_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (pcie_call_overhead_ns < 0.0 || kernel_launch_ns < 0.0 ||
+      batch_sync_overhead_ns < 0.0) {
+    return Status::InvalidArgument("overheads must be >= 0");
+  }
+  return Status::Ok();
+}
+
+GpuTimingModel::GpuTimingModel(GpuModelParams params) : params_(params) {
+  UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid GpuModelParams");
+}
+
+Nanos GpuTimingModel::MlpTime(std::uint64_t flops,
+                              std::uint32_t num_kernels) const {
+  const double flops_per_sec =
+      params_.peak_flops_per_sec * params_.mlp_efficiency;
+  return static_cast<double>(flops) / flops_per_sec * kNanosPerSecond +
+         static_cast<double>(num_kernels) * params_.kernel_launch_ns;
+}
+
+Nanos GpuTimingModel::PcieTransfer(std::uint64_t bytes) const {
+  return params_.pcie_call_overhead_ns +
+         TransferNanos(bytes, params_.pcie_bytes_per_sec);
+}
+
+Nanos GpuTimingModel::GatherTime(std::uint64_t num_lookups,
+                                 std::uint32_t bytes_each) const {
+  return TransferNanos(num_lookups * bytes_each,
+                       params_.gather_bytes_per_sec);
+}
+
+}  // namespace updlrm::host

@@ -1,0 +1,56 @@
+// Analytic GPU + PCIe timing model (Table 2: NVIDIA GTX 1080 Ti, 11 GB,
+// PCIe 3.0 x16) for the CPU-GPU hybrid baselines.
+//
+// The hybrid systems run the MLP stacks (and, for FAE, hot-embedding
+// gathers) on the GPU; the dominant costs at batch 64 are not the GPU
+// FLOPs but the per-batch fixed overheads — kernel launches, cudaMemcpy
+// latency, host/device synchronization — which is exactly why the paper
+// finds DLRM-Hybrid *slower* than CPU-only inference (§4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::host {
+
+struct GpuModelParams {
+  double peak_flops_per_sec = 11.3e12;  // FP32, GTX 1080 Ti
+  double mlp_efficiency = 0.10;         // small-batch GEMM efficiency
+  double mem_bytes_per_sec = 484.0e9;   // GDDR5X streaming
+  double gather_bytes_per_sec = 120.0e9;  // device-memory random gathers
+  std::uint64_t mem_bytes = 11ULL * kGiB;
+
+  double pcie_bytes_per_sec = 12.0e9;  // effective PCIe 3.0 x16
+  Nanos pcie_call_overhead_ns = 25'000.0;   // per cudaMemcpy
+  Nanos kernel_launch_ns = 8'000.0;         // per kernel
+  Nanos batch_sync_overhead_ns = 450'000.0;  // per-batch host<->device sync,
+                                             // stream setup, driver time
+
+  Status Validate() const;
+};
+
+class GpuTimingModel {
+ public:
+  explicit GpuTimingModel(GpuModelParams params = {});
+
+  /// Dense-compute time for `flops`, plus `num_kernels` launch costs.
+  Nanos MlpTime(std::uint64_t flops, std::uint32_t num_kernels) const;
+
+  /// One host<->device copy of `bytes`.
+  Nanos PcieTransfer(std::uint64_t bytes) const;
+
+  /// Random gathers from GPU-resident memory (FAE's hot-item cache).
+  Nanos GatherTime(std::uint64_t num_lookups, std::uint32_t bytes_each) const;
+
+  /// Per-batch fixed synchronization cost of the hybrid execution.
+  Nanos BatchSyncOverhead() const { return params_.batch_sync_overhead_ns; }
+
+  const GpuModelParams& params() const { return params_; }
+
+ private:
+  GpuModelParams params_;
+};
+
+}  // namespace updlrm::host

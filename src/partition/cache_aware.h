@@ -1,0 +1,42 @@
+// Cache-aware non-uniform partitioning — Algorithm 1 of the paper.
+//
+// Partial-sum caching removes many EMT reads but concentrates the
+// remaining traffic on whichever DPUs hold popular cache lists, undoing
+// the balance non-uniform partitioning won (Fig. 6). Algorithm 1 places
+// cache lists and uncached rows jointly: each bin's running load is the
+// *effective* access count — the sum of its items' frequencies minus the
+// accesses its cached lists avoid (`benefit`, line 10) — so the greedy
+// argmin balances EMT + cache traffic together.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/cache_list.h"
+#include "common/status.h"
+#include "partition/plan.h"
+
+namespace updlrm::partition {
+
+struct CacheAwareOptions {
+  /// Per-bin byte budgets for the EMT and cache MRAM regions.
+  BinCapacity capacity;
+  /// When a list fits no bin's remaining cache space: drop it (its items
+  /// fall back to the EMT region) instead of failing. Algorithm 1's
+  /// "enough cache capacity" guard.
+  bool drop_unplaceable_lists = true;
+};
+
+struct CacheAwareResult {
+  PartitionPlan plan;
+  std::size_t dropped_lists = 0;  // lists that found no cache space
+};
+
+/// Runs Algorithm 1. `freq` is obj_freq (access count per row);
+/// `cache_res` is the (benefit-sorted) cache list collection, already
+/// trimmed to the desired capacity fraction (§3.3).
+Result<CacheAwareResult> CacheAwarePartition(
+    const GroupGeometry& geom, std::span<const std::uint64_t> freq,
+    const cache::CacheRes& cache_res, const CacheAwareOptions& options);
+
+}  // namespace updlrm::partition

@@ -1,0 +1,44 @@
+// Load / balance metrics for partition plans (Figs. 5-6 analysis).
+//
+// ReplayLoads re-executes the routing decision of the DPU kernel over a
+// trace — per sample, each >=1-item intersection with a cached list
+// costs one cache-region read on the list's bin; every uncached index
+// costs one EMT-region read on its row's bin — and reports per-bin
+// counts plus balance statistics. This is the ground truth the engine's
+// timing is driven by, computable without instantiating a DpuSystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/plan.h"
+#include "trace/trace.h"
+
+namespace updlrm::partition {
+
+struct LoadReport {
+  std::vector<std::uint64_t> emt_reads;    // per bin
+  std::vector<std::uint64_t> cache_reads;  // per bin
+  std::vector<std::uint64_t> total_reads;  // per bin (emt + cache)
+
+  std::uint64_t sum_reads = 0;       // all bins, after caching
+  std::uint64_t uncached_reads = 0;  // trace lookups (no-cache baseline)
+
+  double imbalance = 0.0;     // max / mean of total_reads
+  double cv = 0.0;            // coefficient of variation
+  double max_min_ratio = 0.0;
+
+  /// Fraction of memory accesses the cache removed (the paper reports
+  /// ~40% for Movie with GRACE, Fig. 6).
+  double TrafficReduction() const {
+    if (uncached_reads == 0) return 0.0;
+    return 1.0 - static_cast<double>(sum_reads) /
+                     static_cast<double>(uncached_reads);
+  }
+};
+
+/// Replays `table` against `plan` and accumulates per-bin read counts.
+LoadReport ReplayLoads(const trace::TableTrace& table,
+                       const PartitionPlan& plan);
+
+}  // namespace updlrm::partition

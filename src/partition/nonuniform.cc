@@ -1,0 +1,71 @@
+#include "partition/nonuniform.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "trace/profiler.h"
+
+namespace updlrm::partition {
+
+Result<PartitionPlan> NonUniformPartition(
+    const GroupGeometry& geom, std::span<const std::uint64_t> freq,
+    const NonUniformOptions& options) {
+  if (freq.size() != geom.table.rows) {
+    return Status::InvalidArgument(
+        "freq must have one entry per table row");
+  }
+  if (options.assignment_batch == 0) {
+    return Status::InvalidArgument("assignment_batch must be >= 1");
+  }
+  const std::uint64_t capacity = options.max_rows_per_bin == 0
+                                     ? std::numeric_limits<std::uint64_t>::max()
+                                     : options.max_rows_per_bin;
+  if (capacity * geom.row_shards < geom.table.rows) {
+    return Status::CapacityExceeded(
+        "rows exceed total bin capacity: " +
+        std::to_string(geom.table.rows) + " rows, " +
+        std::to_string(capacity) + " per bin x " +
+        std::to_string(geom.row_shards) + " bins");
+  }
+
+  PartitionPlan plan;
+  plan.geom = geom;
+  plan.method = Method::kNonUniform;
+  plan.row_bin.assign(geom.table.rows, 0);
+
+  const std::vector<std::uint32_t> order = trace::ItemsByFrequency(freq);
+
+  std::vector<std::uint64_t> bin_load(geom.row_shards, 0);
+  std::vector<std::uint64_t> bin_rows(geom.row_shards, 0);
+  for (std::size_t i = 0; i < order.size();) {
+    // Lowest aggregate frequency wins; ties break toward fewer rows so
+    // the zero-frequency tail still spreads evenly.
+    std::int64_t best = -1;
+    for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
+      if (bin_rows[b] >= capacity) continue;
+      if (best < 0 || bin_load[b] < bin_load[best] ||
+          (bin_load[b] == bin_load[best] &&
+           bin_rows[b] < bin_rows[best])) {
+        best = b;
+      }
+    }
+    UPDLRM_CHECK_MSG(best >= 0, "capacity pre-check guarantees a free bin");
+    // Assign up to `assignment_batch` consecutive items, but never past
+    // the bin's capacity (the next batch re-runs the argmin). The
+    // dominant head is always assigned per-item.
+    const bool in_head =
+        i < options.head_items_per_bin * geom.row_shards;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        in_head ? 1 : options.assignment_batch,
+        capacity - bin_rows[best]);
+    for (std::uint64_t k = 0; k < take && i < order.size(); ++k, ++i) {
+      const std::uint32_t row = order[i];
+      plan.row_bin[row] = static_cast<std::uint32_t>(best);
+      bin_load[best] += freq[row];
+      ++bin_rows[best];
+    }
+  }
+  return plan;
+}
+
+}  // namespace updlrm::partition

@@ -1,0 +1,32 @@
+#include "partition/replication.h"
+
+#include <algorithm>
+
+#include "trace/profiler.h"
+
+namespace updlrm::partition {
+
+Result<std::size_t> ApplyReplication(PartitionPlan& plan,
+                                     std::span<const std::uint64_t> freq,
+                                     std::uint32_t top_k) {
+  if (freq.size() != plan.geom.table.rows) {
+    return Status::InvalidArgument("freq must have one entry per row");
+  }
+  plan.replicated_rows.clear();
+  if (top_k == 0) return std::size_t{0};
+
+  const std::vector<std::uint32_t> order = trace::ItemsByFrequency(freq);
+  plan.replicated_rows.reserve(top_k);
+  for (std::uint32_t row : order) {
+    if (plan.replicated_rows.size() >= top_k) break;
+    if (freq[row] == 0) break;  // order is descending: all zero from here
+    const bool cached =
+        !plan.item_list.empty() && plan.item_list[row] >= 0;
+    if (cached) continue;  // cached rows already collapse into one read
+    plan.replicated_rows.push_back(row);
+  }
+  std::sort(plan.replicated_rows.begin(), plan.replicated_rows.end());
+  return plan.replicated_rows.size();
+}
+
+}  // namespace updlrm::partition

@@ -1,0 +1,28 @@
+// Hot-row replication (extension; cf. RecNMP's hot-entry replication).
+//
+// Even a perfectly frequency-balanced partition leaves per-batch load
+// variance: within one batch the hottest rows land wherever their bin
+// is, and stage 2 waits for the slowest DPU. Replicating the top-k
+// uncached rows into *every* bin lets the engine route each of their
+// lookups to whichever bin currently has the least work, shaving the
+// per-batch maximum toward the mean at a cost of k extra row slices per
+// DPU. bench/abl_replication quantifies the trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "partition/plan.h"
+
+namespace updlrm::partition {
+
+/// Marks the `top_k` most frequently accessed rows that are not members
+/// of cache lists as replicated (plan.replicated_rows). Rows with zero
+/// profiled frequency are never replicated. Returns the number of rows
+/// actually marked. Idempotent: any previous replication is replaced.
+Result<std::size_t> ApplyReplication(PartitionPlan& plan,
+                                     std::span<const std::uint64_t> freq,
+                                     std::uint32_t top_k);
+
+}  // namespace updlrm::partition

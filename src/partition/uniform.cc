@@ -1,0 +1,98 @@
+#include "partition/uniform.h"
+
+#include <array>
+#include <cmath>
+
+namespace updlrm::partition {
+
+Result<PartitionPlan> UniformPartition(const GroupGeometry& geom) {
+  PartitionPlan plan;
+  plan.geom = geom;
+  plan.method = Method::kUniform;
+  const std::uint64_t nr = geom.UniformRowsPerBin();
+  plan.row_bin.resize(geom.table.rows);
+  for (std::uint64_t r = 0; r < geom.table.rows; ++r) {
+    plan.row_bin[r] = static_cast<std::uint32_t>(r / nr);
+  }
+  return plan;
+}
+
+std::span<const std::uint32_t> DefaultNcCandidates() {
+  static constexpr std::array<std::uint32_t, 4> kCandidates = {2, 4, 6, 8};
+  return kCandidates;
+}
+
+Result<TileOptimizerResult> OptimizeTileShape(
+    dlrm::TableShape table, std::uint32_t dpus_per_table,
+    std::size_t batch_size, double avg_reduction,
+    const pim::DpuSystem& system,
+    std::span<const std::uint32_t> nc_candidates) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (avg_reduction < 1.0) {
+    return Status::InvalidArgument("avg_reduction must be >= 1");
+  }
+
+  // Eq. (2): N_r * N_c <= 64 MB / 4 B per DPU.
+  const std::uint64_t max_tile_values = system.config().dpu.mram_bytes / 4;
+
+  TileOptimizerResult result;
+  for (std::uint32_t nc : nc_candidates) {
+    auto geom_or = GroupGeometry::Make(table, dpus_per_table, nc);
+    if (!geom_or.ok()) continue;  // infeasible geometry for this Nc
+    const GroupGeometry& geom = geom_or.value();
+
+    TileCandidate cand;
+    cand.nc = nc;
+    cand.nr = geom.UniformRowsPerBin();
+    if (cand.nr * nc > max_tile_values) continue;  // violates Eq. (2)
+    if (!system.kernel_cost().ValidateWramFit(geom.row_bytes()).ok()) {
+      continue;
+    }
+
+    // Balanced-access assumption of §3.1: every DPU of a row shard sees
+    // batch * Avg_Red / row_shards lookups per batch.
+    const auto lookups_per_dpu = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(batch_size) * avg_reduction /
+        static_cast<double>(geom.row_shards)));
+
+    // Stage 2: in-DPU lookup + reduction.
+    pim::EmbeddingKernelWork work{
+        .num_lookups = lookups_per_dpu,
+        .num_cache_reads = 0,
+        .num_samples = batch_size,
+        .row_bytes = geom.row_bytes(),
+    };
+    cand.stage2_ns =
+        system.transfer().KernelLaunchOverhead() +
+        CyclesToNanos(system.kernel_cost().KernelCycles(work),
+                      system.config().dpu.clock_hz);
+
+    // Stage 1: indices (4 B each) + per-sample offsets to every DPU.
+    const std::uint64_t push_bytes =
+        lookups_per_dpu * 4 + (batch_size + 1) * 4;
+    // Stage 3: one Nc-wide partial sum per sample from every DPU.
+    const std::uint64_t pull_bytes =
+        static_cast<std::uint64_t>(batch_size) * geom.row_bytes();
+    const std::vector<std::uint64_t> push(system.num_dpus(), push_bytes);
+    const std::vector<std::uint64_t> pull(system.num_dpus(), pull_bytes);
+    cand.stage1_ns = system.transfer().PushTime(push, /*pad_to_max=*/true);
+    cand.stage3_ns = system.transfer().PullTime(pull, /*pad_to_max=*/true);
+
+    cand.total_ns = cand.stage1_ns + cand.stage2_ns + cand.stage3_ns;
+    result.candidates.push_back(cand);
+  }
+
+  if (result.candidates.empty()) {
+    return Status::InvalidArgument(
+        "no feasible N_c candidate for this table/DPU configuration");
+  }
+  result.best = result.candidates.front();
+  for (const auto& cand : result.candidates) {
+    if (cand.total_ns < result.best.total_ns) result.best = cand;
+  }
+  return result;
+}
+
+}  // namespace updlrm::partition

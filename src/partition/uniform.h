@@ -1,0 +1,52 @@
+// Uniform EMT partitioning and the tile-shape optimizer (§3.1).
+//
+// Uniform partitioning cuts the table into equal contiguous row blocks
+// (N_r rows x N_c columns per DPU). The tile optimizer solves the
+// paper's Eq. (1)-(3): enumerate the feasible N_c = 2k (k = 1..4),
+// estimate T_c-comm + T_lkp + T_d-comm per batch with the same timing
+// models the simulator uses, and pick the argmin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "dlrm/embedding.h"
+#include "partition/plan.h"
+#include "pim/system.h"
+
+namespace updlrm::partition {
+
+/// Equal contiguous row blocks: row r -> bin r / N_r.
+Result<PartitionPlan> UniformPartition(const GroupGeometry& geom);
+
+struct TileCandidate {
+  std::uint32_t nc = 0;
+  std::uint64_t nr = 0;  // rows per bin
+  Nanos stage1_ns = 0;   // CPU->DPU index transfer
+  Nanos stage2_ns = 0;   // DPU lookup + reduce
+  Nanos stage3_ns = 0;   // DPU->CPU partial results
+  Nanos total_ns = 0;
+};
+
+struct TileOptimizerResult {
+  TileCandidate best;
+  std::vector<TileCandidate> candidates;  // all feasible Nc, ascending
+};
+
+/// Paper's default search space: N_c = 2k, 1 <= k <= 4 (Eq. 3).
+std::span<const std::uint32_t> DefaultNcCandidates();
+
+/// Estimates per-batch embedding-layer time for each feasible N_c under
+/// the balanced-access assumption of §3.1 and returns the argmin.
+/// Candidates violating Eq. (2) (tile exceeding MRAM) or geometry
+/// divisibility are skipped; fails if none are feasible.
+Result<TileOptimizerResult> OptimizeTileShape(
+    dlrm::TableShape table, std::uint32_t dpus_per_table,
+    std::size_t batch_size, double avg_reduction,
+    const pim::DpuSystem& system,
+    std::span<const std::uint32_t> nc_candidates = DefaultNcCandidates());
+
+}  // namespace updlrm::partition

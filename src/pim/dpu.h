@@ -1,0 +1,42 @@
+// One simulated DPU: MRAM bank plus execution statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "pim/dpu_config.h"
+#include "pim/mram.h"
+
+namespace updlrm::pim {
+
+/// Cumulative per-DPU counters, reported by the benches for utilization
+/// and balance analysis.
+struct DpuStats {
+  Cycles kernel_cycles = 0;
+  std::uint64_t lookups = 0;       // EMT row-slice reads
+  std::uint64_t cache_reads = 0;   // cached partial-sum reads
+  std::uint64_t samples = 0;       // partial sums produced
+  std::uint64_t mram_bytes_read = 0;
+
+  void Reset() { *this = DpuStats{}; }
+};
+
+class DpuCore {
+ public:
+  DpuCore(std::uint32_t id, const DpuConfig& config)
+      : id_(id), mram_(config.mram_bytes) {}
+
+  std::uint32_t id() const { return id_; }
+  Mram& mram() { return mram_; }
+  const Mram& mram() const { return mram_; }
+
+  DpuStats& stats() { return stats_; }
+  const DpuStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t id_;
+  Mram mram_;
+  DpuStats stats_;
+};
+
+}  // namespace updlrm::pim

@@ -1,0 +1,27 @@
+#include "pim/dpu_config.h"
+
+namespace updlrm::pim {
+
+Status DpuConfig::Validate() const {
+  if (mram_bytes == 0) {
+    return Status::InvalidArgument("mram_bytes must be > 0");
+  }
+  if (wram_bytes == 0) {
+    return Status::InvalidArgument("wram_bytes must be > 0");
+  }
+  if (clock_hz <= 0.0) {
+    return Status::InvalidArgument("clock_hz must be > 0");
+  }
+  if (num_tasklets == 0) {
+    return Status::InvalidArgument("num_tasklets must be >= 1");
+  }
+  if (num_tasklets > max_tasklets) {
+    return Status::InvalidArgument("num_tasklets exceeds hardware maximum");
+  }
+  if (revolver_depth == 0) {
+    return Status::InvalidArgument("revolver_depth must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace updlrm::pim

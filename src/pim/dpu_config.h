@@ -1,0 +1,36 @@
+// UPMEM DPU hardware configuration.
+//
+// Models the architecture described in §2.2 of the paper and the UPMEM
+// SDK documentation: each DPU is a multithreaded 32-bit RISC core with a
+// 64 MB MRAM bank, 64 KB WRAM scratchpad and 24 KB IRAM, clocked at
+// 350 MHz. The pipeline is fine-grained multithreaded: one instruction
+// issues per cycle, round-robin across tasklets, and instructions from
+// the same tasklet must be at least `revolver_depth` cycles apart — so
+// ≥11 tasklets are needed to saturate the pipeline (the paper runs 14).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::pim {
+
+struct DpuConfig {
+  std::uint64_t mram_bytes = 64 * kMiB;
+  std::uint32_t wram_bytes = 64 * static_cast<std::uint32_t>(kKiB);
+  std::uint32_t iram_bytes = 24 * static_cast<std::uint32_t>(kKiB);
+  double clock_hz = 350.0 * kMHz;
+
+  // Tasklets launched per kernel (paper: 14). Hardware maximum is 24.
+  std::uint32_t num_tasklets = 14;
+  std::uint32_t max_tasklets = 24;
+
+  // Minimum cycle distance between two instructions of the same tasklet
+  // (the "revolver" pipeline constraint).
+  std::uint32_t revolver_depth = 11;
+
+  Status Validate() const;
+};
+
+}  // namespace updlrm::pim

@@ -1,0 +1,78 @@
+#include "pim/host_api.h"
+
+#include <algorithm>
+
+namespace updlrm::pim {
+
+Result<DpuSet> DpuSet::Allocate(DpuSystem* system, std::uint32_t first,
+                                std::uint32_t count) {
+  UPDLRM_CHECK(system != nullptr);
+  if (count == 0) {
+    return Status::InvalidArgument("a DPU set needs at least one DPU");
+  }
+  if (first + count > system->num_dpus()) {
+    return Status::OutOfRange(
+        "set [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") exceeds the system's " +
+        std::to_string(system->num_dpus()) + " DPUs");
+  }
+  return DpuSet(system, first, count);
+}
+
+DpuCore& DpuSet::dpu(std::uint32_t i) {
+  UPDLRM_CHECK(i < count_);
+  return system_->dpu(first_ + i);
+}
+
+Result<Nanos> DpuSet::Broadcast(std::uint64_t mram_offset,
+                                std::span<const std::uint8_t> data) {
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Write(mram_offset, data));
+  }
+  return system_->transfer().BroadcastTime(data.size());
+}
+
+Result<Nanos> DpuSet::Push(
+    std::uint64_t mram_offset,
+    std::span<const std::vector<std::uint8_t>> buffers) {
+  if (buffers.size() != count_) {
+    return Status::InvalidArgument("need one buffer per DPU of the set");
+  }
+  // The transfer model prices the whole system; DPUs outside the set
+  // move zero bytes.
+  std::vector<std::uint64_t> bytes(system_->num_dpus(), 0);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Write(mram_offset, buffers[i]));
+    bytes[first_ + i] = buffers[i].size();
+  }
+  return system_->transfer().PushTime(bytes, /*pad_to_max=*/true);
+}
+
+Result<Nanos> DpuSet::Pull(std::uint64_t mram_offset,
+                           std::uint64_t bytes_per_dpu,
+                           std::vector<std::vector<std::uint8_t>>* out) {
+  UPDLRM_CHECK(out != nullptr);
+  out->assign(count_, std::vector<std::uint8_t>(bytes_per_dpu));
+  std::vector<std::uint64_t> bytes(system_->num_dpus(), 0);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Read(mram_offset, (*out)[i]));
+    bytes[first_ + i] = bytes_per_dpu;
+  }
+  return system_->transfer().PullTime(bytes, /*pad_to_max=*/true);
+}
+
+Result<Nanos> DpuSet::Launch(DpuProgram& program) {
+  Cycles max_cycles = 0;
+  std::vector<KernelWorkload> phases;
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    phases.clear();
+    UPDLRM_RETURN_IF_ERROR(program.Run(i, dpu(i).mram(), phases));
+    const Cycles cycles = system_->pipeline().Makespan(phases);
+    dpu(i).stats().kernel_cycles += cycles;
+    max_cycles = std::max(max_cycles, cycles);
+  }
+  return system_->transfer().KernelLaunchOverhead() +
+         CyclesToNanos(max_cycles, system_->config().dpu.clock_hz);
+}
+
+}  // namespace updlrm::pim

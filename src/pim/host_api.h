@@ -1,0 +1,86 @@
+// Host-side programming facade, shaped after the UPMEM SDK's dpu.h.
+//
+// The UpDLRM engine drives the simulator directly, but downstream users
+// who want to prototype *other* PIM workloads (SpMV, filters, joins)
+// should not have to re-implement routing and cost accounting. DpuSet
+// mirrors the SDK's host API surface:
+//
+//   dpu_alloc / dpu_free        -> DpuSet::Allocate (RAII)
+//   dpu_broadcast_to            -> Broadcast
+//   dpu_push_xfer(TO_DPU)       -> Push (per-DPU buffers, padded)
+//   dpu_push_xfer(FROM_DPU)     -> Pull
+//   dpu_launch                  -> Launch(program)
+//
+// A DpuProgram is the tasklet code: its Run method executes once per
+// DPU against that DPU's MRAM and returns the per-item work counts that
+// the pipeline model prices. Launch reports the wall time as the launch
+// overhead plus the slowest DPU's makespan — identical semantics to the
+// engine's stage 2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "pim/pipeline.h"
+#include "pim/system.h"
+
+namespace updlrm::pim {
+
+/// User kernel code. Run executes on one DPU: read/write its MRAM
+/// (functionally) and describe the work performed as pipeline phases.
+class DpuProgram {
+ public:
+  virtual ~DpuProgram() = default;
+
+  /// `dpu_index` is the position within the set (0-based). Fill
+  /// `phases` with the per-item costs of what the kernel did; the
+  /// scheduler prices them with the tasklet pipeline model.
+  virtual Status Run(std::uint32_t dpu_index, Mram& mram,
+                     std::vector<KernelWorkload>& phases) = 0;
+};
+
+class DpuSet {
+ public:
+  /// Borrows `count` DPUs starting at `first` from the system. The
+  /// system must outlive the set.
+  static Result<DpuSet> Allocate(DpuSystem* system, std::uint32_t first,
+                                 std::uint32_t count);
+
+  std::uint32_t size() const { return count_; }
+  DpuCore& dpu(std::uint32_t i);
+
+  /// Writes the same buffer to every DPU at `mram_offset`. Returns the
+  /// modeled transfer time.
+  Result<Nanos> Broadcast(std::uint64_t mram_offset,
+                          std::span<const std::uint8_t> data);
+
+  /// Per-DPU buffers to `mram_offset` (buffers.size() == size()).
+  /// Ragged buffers are padded to the maximum (the SDK's transfer
+  /// matrix), keeping the parallel path.
+  Result<Nanos> Push(std::uint64_t mram_offset,
+                     std::span<const std::vector<std::uint8_t>> buffers);
+
+  /// Reads `bytes_per_dpu` from every DPU at `mram_offset` into
+  /// `out` (resized to size() buffers).
+  Result<Nanos> Pull(std::uint64_t mram_offset, std::uint64_t bytes_per_dpu,
+                     std::vector<std::vector<std::uint8_t>>* out);
+
+  /// Runs `program` on every DPU of the set; the reported time is the
+  /// kernel-launch overhead plus the slowest DPU's pipeline makespan.
+  /// Per-DPU cycles are added to the DpuStats counters.
+  Result<Nanos> Launch(DpuProgram& program);
+
+ private:
+  DpuSet(DpuSystem* system, std::uint32_t first, std::uint32_t count)
+      : system_(system), first_(first), count_(count) {}
+
+  DpuSystem* system_;
+  std::uint32_t first_;
+  std::uint32_t count_;
+};
+
+}  // namespace updlrm::pim

@@ -1,0 +1,84 @@
+#include "pim/kernel_cost.h"
+
+#include <array>
+
+namespace updlrm::pim {
+
+Status EmbeddingKernelCostParams::Validate() const {
+  if (index_chunk == 0) {
+    return Status::InvalidArgument("index_chunk must be >= 1");
+  }
+  return Status::Ok();
+}
+
+EmbeddingKernelCostModel::EmbeddingKernelCostModel(
+    EmbeddingKernelCostParams params, const DpuConfig& dpu,
+    MramTimingModel mram_timing)
+    : params_(params),
+      dpu_(dpu),
+      mram_timing_(std::move(mram_timing)),
+      pipeline_(dpu) {
+  UPDLRM_CHECK_MSG(params_.Validate().ok(),
+                   "invalid EmbeddingKernelCostParams");
+}
+
+Cycles EmbeddingKernelCostModel::KernelCycles(
+    const EmbeddingKernelWork& work) const {
+  if (work.num_lookups + work.num_cache_reads + work.num_samples == 0) {
+    return 0;
+  }
+  UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
+  const std::uint32_t elements = work.row_bytes / 4;
+  const Cycles instr_per_read =
+      params_.instr_per_lookup_base + params_.instr_per_element * elements;
+
+  // Phase 1: stream index lists MRAM->WRAM in chunks.
+  const std::uint64_t total_reads = work.num_lookups + work.num_cache_reads;
+  const std::uint32_t chunk_bytes = params_.index_chunk * 4;
+  KernelWorkload index_stream{
+      .num_items = CeilDiv(total_reads, params_.index_chunk),
+      .instr_cycles_per_item = 16,
+      .dma_latency_per_item = mram_timing_.AccessLatency(chunk_bytes),
+      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(chunk_bytes),
+  };
+
+  // Phase 2: row-slice / cached-partial-sum reads + accumulation. EMT and
+  // cache reads have identical cost structure (same size, same region
+  // type), so they share one workload entry.
+  KernelWorkload reads{
+      .num_items = total_reads,
+      .instr_cycles_per_item = instr_per_read,
+      .dma_latency_per_item = mram_timing_.AccessLatency(work.row_bytes),
+      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
+  };
+
+  // Phase 3: per-sample bookkeeping and output write-back.
+  KernelWorkload outputs{
+      .num_items = work.num_samples,
+      .instr_cycles_per_item = params_.instr_per_sample,
+      .dma_latency_per_item = mram_timing_.AccessLatency(work.row_bytes),
+      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
+  };
+
+  const std::array<KernelWorkload, 3> phases = {index_stream, reads,
+                                                outputs};
+  return params_.boot_cycles + pipeline_.Makespan(phases);
+}
+
+Status EmbeddingKernelCostModel::ValidateWramFit(
+    std::uint32_t row_bytes) const {
+  // Per tasklet: double-buffered row slice, one index chunk, one staged
+  // output row, and ~256 B of stack/locals.
+  const std::uint64_t per_tasklet = 2ULL * row_bytes +
+                                    params_.index_chunk * 4ULL + row_bytes +
+                                    256;
+  const std::uint64_t total = per_tasklet * dpu_.num_tasklets;
+  if (total > dpu_.wram_bytes) {
+    return Status::CapacityExceeded(
+        "WRAM overflow: " + std::to_string(total) + " bytes needed, " +
+        std::to_string(dpu_.wram_bytes) + " available");
+  }
+  return Status::Ok();
+}
+
+}  // namespace updlrm::pim

@@ -1,0 +1,73 @@
+// Cycle-cost model of the DPU embedding-lookup kernel.
+//
+// The kernel each DPU runs in stage 2 (Fig. 4) does, per assigned batch:
+//   1. stream its routed index/offset lists from MRAM into WRAM chunks;
+//   2. for every index, DMA the Nc*4-byte row slice (EMT region) or
+//      cached partial-sum slice (cache region) into WRAM and accumulate
+//      it into the sample's int32 partial sum;
+//   3. write each sample's partial sum back to the MRAM output buffer.
+// This model prices those phases for the PipelineModel. Instruction
+// budgets are calibrated against the paper's Fig. 11 magnitudes (see
+// EXPERIMENTS.md); the UPMEM ISA has no FPU, hence integer accumulation
+// (see common/fixed_point.h).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "pim/dpu_config.h"
+#include "pim/mram_timing.h"
+#include "pim/pipeline.h"
+
+namespace updlrm::pim {
+
+struct EmbeddingKernelCostParams {
+  // Per-lookup fixed instruction budget: index load, bounds check,
+  // address computation, DMA setup, loop control.
+  Cycles instr_per_lookup_base = 56;
+  // Per 4-byte lane: int32 load + add + store in WRAM.
+  Cycles instr_per_element = 2;
+  // Per-sample bookkeeping: offset-list scan, partial-sum init, output
+  // staging.
+  Cycles instr_per_sample = 32;
+  // Tasklet boot, barrier and drain per kernel launch on one DPU.
+  Cycles boot_cycles = 8'000;
+  // Index-streaming chunk: indices copied MRAM->WRAM per DMA.
+  std::uint32_t index_chunk = 64;
+
+  Status Validate() const;
+};
+
+/// Work one DPU performs for one batch.
+struct EmbeddingKernelWork {
+  std::uint64_t num_lookups = 0;      // EMT row-slice reads
+  std::uint64_t num_cache_reads = 0;  // cached partial-sum reads
+  std::uint64_t num_samples = 0;      // partial sums produced
+  std::uint32_t row_bytes = 0;        // Nc * 4
+};
+
+class EmbeddingKernelCostModel {
+ public:
+  EmbeddingKernelCostModel(EmbeddingKernelCostParams params,
+                           const DpuConfig& dpu,
+                           MramTimingModel mram_timing);
+
+  /// Total cycles for one kernel launch on one DPU, including boot.
+  Cycles KernelCycles(const EmbeddingKernelWork& work) const;
+
+  /// Checks that per-tasklet WRAM buffers (double-buffered row slice,
+  /// index chunk, sample staging) fit the 64 KB WRAM.
+  Status ValidateWramFit(std::uint32_t row_bytes) const;
+
+  const EmbeddingKernelCostParams& params() const { return params_; }
+  const MramTimingModel& mram_timing() const { return mram_timing_; }
+
+ private:
+  EmbeddingKernelCostParams params_;
+  DpuConfig dpu_;
+  MramTimingModel mram_timing_;
+  PipelineModel pipeline_;
+};
+
+}  // namespace updlrm::pim

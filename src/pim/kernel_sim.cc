@@ -1,0 +1,138 @@
+#include "pim/kernel_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace updlrm::pim {
+
+namespace {
+
+struct PhaseSpec {
+  std::uint64_t num_items = 0;
+  Cycles instr_per_item = 0;
+  Cycles dma_latency = 0;
+  Cycles dma_occupancy = 0;
+};
+
+struct TaskletState {
+  std::uint64_t items_left = 0;
+  Cycles instr_left = 0;       // instructions left in the current item
+  Cycles next_issue_ok = 0;    // revolver constraint
+  bool waiting_dma = false;
+  Cycles dma_done = 0;
+
+  bool Active() const { return items_left > 0 || instr_left > 0; }
+};
+
+// Executes one phase to completion; returns its makespan and updates
+// the instruction/DMA counters.
+Cycles RunPhase(const PhaseSpec& phase, std::uint32_t tasklets,
+                std::uint32_t revolver_depth,
+                std::uint64_t* instructions, std::uint64_t* dmas) {
+  if (phase.num_items == 0) return 0;
+  UPDLRM_CHECK(phase.instr_per_item >= 1);
+
+  std::vector<TaskletState> state(tasklets);
+  for (std::uint32_t t = 0; t < tasklets; ++t) {
+    state[t].items_left = phase.num_items / tasklets +
+                          (t < phase.num_items % tasklets ? 1 : 0);
+    if (state[t].items_left > 0) {
+      state[t].instr_left = phase.instr_per_item;
+      --state[t].items_left;
+    }
+  }
+
+  Cycles cycle = 0;
+  Cycles engine_free = 0;
+  std::uint32_t rr = 0;
+  auto any_active = [&] {
+    for (const auto& s : state) {
+      if (s.Active() || s.waiting_dma) return true;
+    }
+    return false;
+  };
+
+  while (any_active()) {
+    // Wake tasklets whose DMA completed.
+    for (auto& s : state) {
+      if (s.waiting_dma && cycle >= s.dma_done) {
+        s.waiting_dma = false;
+        if (s.items_left > 0) {
+          s.instr_left = phase.instr_per_item;
+          --s.items_left;
+        }
+      }
+    }
+    // Issue at most one instruction, round-robin from the last issuer.
+    for (std::uint32_t i = 0; i < tasklets; ++i) {
+      const std::uint32_t t = (rr + i) % tasklets;
+      TaskletState& s = state[t];
+      if (s.instr_left == 0 || s.waiting_dma || cycle < s.next_issue_ok) {
+        continue;
+      }
+      ++*instructions;
+      s.next_issue_ok = cycle + revolver_depth;
+      if (--s.instr_left == 0) {
+        // The item's compute is done; launch its DMA.
+        if (phase.dma_latency > 0 || phase.dma_occupancy > 0) {
+          const Cycles start = std::max(cycle + 1, engine_free);
+          engine_free = start + phase.dma_occupancy;
+          s.waiting_dma = true;
+          s.dma_done = start + phase.dma_latency;
+          ++*dmas;
+        } else if (s.items_left > 0) {
+          s.instr_left = phase.instr_per_item;
+          --s.items_left;
+        }
+      }
+      rr = t + 1;
+      break;
+    }
+    ++cycle;
+  }
+  return std::max(cycle, engine_free);
+}
+
+}  // namespace
+
+KernelSimResult SimulateEmbeddingKernel(
+    const DpuConfig& dpu, const MramTimingModel& mram,
+    const EmbeddingKernelCostParams& params,
+    const EmbeddingKernelWork& work) {
+  UPDLRM_CHECK_MSG(dpu.Validate().ok(), "invalid DpuConfig");
+  KernelSimResult result;
+  if (work.num_lookups + work.num_cache_reads + work.num_samples == 0) {
+    return result;
+  }
+  UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
+  const std::uint32_t elements = work.row_bytes / 4;
+  const std::uint64_t total_reads = work.num_lookups + work.num_cache_reads;
+  const std::uint32_t chunk_bytes = params.index_chunk * 4;
+
+  const PhaseSpec phases[3] = {
+      {CeilDiv(total_reads, params.index_chunk), 16,
+       mram.AccessLatency(chunk_bytes), mram.EngineOccupancy(chunk_bytes)},
+      {total_reads,
+       params.instr_per_lookup_base + params.instr_per_element * elements,
+       mram.AccessLatency(work.row_bytes),
+       mram.EngineOccupancy(work.row_bytes)},
+      {work.num_samples, params.instr_per_sample,
+       mram.AccessLatency(work.row_bytes),
+       mram.EngineOccupancy(work.row_bytes)},
+  };
+
+  Cycles makespan = params.boot_cycles;
+  for (const PhaseSpec& phase : phases) {
+    makespan += RunPhase(phase, dpu.num_tasklets, dpu.revolver_depth,
+                         &result.instructions_issued,
+                         &result.dma_transfers);
+  }
+  result.makespan = makespan;
+  result.issue_utilization =
+      makespan == 0 ? 0.0
+                    : static_cast<double>(result.instructions_issued) /
+                          static_cast<double>(makespan);
+  return result;
+}
+
+}  // namespace updlrm::pim

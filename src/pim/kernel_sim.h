@@ -1,0 +1,45 @@
+// Cycle-driven simulation of the embedding kernel on one DPU.
+//
+// The analytic PipelineModel prices a kernel with closed-form resource
+// bounds (issue slots, DMA-engine occupancy, per-tasklet latency
+// chains). This module *executes* the same kernel structure on a
+// cycle-by-cycle model of the DPU front end — round-robin issue across
+// tasklets, the revolver constraint (one instruction per tasklet per
+// `revolver_depth` cycles), and a single DMA engine that serializes
+// transfers while the issuing tasklet blocks for the access latency.
+//
+// It exists to validate the analytic model: tests assert the simulated
+// makespan stays within a tight band above the analytic lower bound
+// across tasklet counts, access sizes and work mixes. It is not used on
+// the timing fast path (it is orders of magnitude slower).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "pim/dpu_config.h"
+#include "pim/kernel_cost.h"
+#include "pim/mram_timing.h"
+
+namespace updlrm::pim {
+
+struct KernelSimResult {
+  Cycles makespan = 0;
+  std::uint64_t instructions_issued = 0;
+  std::uint64_t dma_transfers = 0;
+  /// Fraction of cycles with an instruction issued (pipeline
+  /// utilization).
+  double issue_utilization = 0.0;
+};
+
+/// Executes the three-phase embedding kernel (index streaming, row
+/// reads + accumulation, per-sample output) with the same per-item
+/// instruction budgets as EmbeddingKernelCostModel. Work items are
+/// distributed round-robin over the configured tasklets; phases are
+/// separated by barriers, as in the analytic model.
+KernelSimResult SimulateEmbeddingKernel(
+    const DpuConfig& dpu, const MramTimingModel& mram,
+    const EmbeddingKernelCostParams& params,
+    const EmbeddingKernelWork& work);
+
+}  // namespace updlrm::pim

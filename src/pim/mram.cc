@@ -1,0 +1,41 @@
+#include "pim/mram.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace updlrm::pim {
+
+Status Mram::Write(std::uint64_t offset,
+                   std::span<const std::uint8_t> data) {
+  if (!IsAligned(offset, 8)) {
+    return Status::InvalidArgument("MRAM write offset must be 8-byte aligned");
+  }
+  if (offset + data.size() > capacity_) {
+    return Status::CapacityExceeded(
+        "MRAM write of " + std::to_string(data.size()) + " bytes at offset " +
+        std::to_string(offset) + " exceeds capacity " +
+        std::to_string(capacity_));
+  }
+  const std::uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(end);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  return Status::Ok();
+}
+
+Status Mram::Read(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  if (!IsAligned(offset, 8)) {
+    return Status::InvalidArgument("MRAM read offset must be 8-byte aligned");
+  }
+  if (offset + out.size() > capacity_) {
+    return Status::OutOfRange("MRAM read beyond capacity");
+  }
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  if (offset < data_.size()) {
+    const std::uint64_t available =
+        std::min<std::uint64_t>(out.size(), data_.size() - offset);
+    std::memcpy(out.data(), data_.data() + offset, available);
+  }
+  return Status::Ok();
+}
+
+}  // namespace updlrm::pim

@@ -1,0 +1,41 @@
+// Functional MRAM bank storage.
+//
+// Each simulated DPU owns one Mram. Storage is materialized lazily (a
+// high-watermark byte vector) so that a 256-DPU system does not allocate
+// 16 GB up front; the capacity limit is still enforced on every access.
+// In timing-only simulations nothing is written and the vector stays
+// empty.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::pim {
+
+class Mram {
+ public:
+  explicit Mram(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Host- or DPU-side write. Offsets must be 8-byte aligned (UPMEM
+  /// requires aligned MRAM transfers in both directions).
+  Status Write(std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  /// Read `out.size()` bytes at `offset`. Reading beyond the written
+  /// high-watermark (but within capacity) yields zeros, matching
+  /// uninitialized DRAM semantics of the simulator.
+  Status Read(std::uint64_t offset, std::span<std::uint8_t> out) const;
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t high_watermark() const { return data_.size(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace updlrm::pim

@@ -1,0 +1,63 @@
+#include "pim/mram_timing.h"
+
+#include <cmath>
+
+namespace updlrm::pim {
+
+Status MramTimingParams::Validate() const {
+  if (!IsPowerOfTwo(alignment)) {
+    return Status::InvalidArgument("alignment must be a power of two");
+  }
+  if (max_access_bytes == 0 || !IsAligned(max_access_bytes, alignment)) {
+    return Status::InvalidArgument("max_access_bytes must be aligned");
+  }
+  if (cycles_per_byte < 0.0 || engine_cycles_per_byte < 0.0) {
+    return Status::InvalidArgument("cycle costs must be non-negative");
+  }
+  return Status::Ok();
+}
+
+MramTimingModel::MramTimingModel(MramTimingParams params)
+    : params_(params) {
+  UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid MramTimingParams");
+}
+
+Status MramTimingModel::ValidateAccess(std::uint64_t offset,
+                                       std::uint32_t bytes) const {
+  if (bytes == 0) {
+    return Status::InvalidArgument("MRAM access size must be > 0");
+  }
+  if (!IsAligned(offset, params_.alignment)) {
+    return Status::InvalidArgument("MRAM offset must be 8-byte aligned");
+  }
+  if (!IsAligned(bytes, params_.alignment)) {
+    return Status::InvalidArgument("MRAM access size must be 8-byte aligned");
+  }
+  if (bytes > params_.max_access_bytes) {
+    return Status::OutOfRange("MRAM access exceeds 2048-byte maximum");
+  }
+  return Status::Ok();
+}
+
+Cycles MramTimingModel::AccessLatency(std::uint32_t bytes) const {
+  const std::uint32_t over =
+      bytes > params_.flat_until_bytes ? bytes - params_.flat_until_bytes : 0;
+  return params_.base_latency +
+         static_cast<Cycles>(std::llround(params_.cycles_per_byte *
+                                          static_cast<double>(over)));
+}
+
+Cycles MramTimingModel::EngineOccupancy(std::uint32_t bytes) const {
+  return params_.engine_setup +
+         static_cast<Cycles>(std::llround(params_.engine_cycles_per_byte *
+                                          static_cast<double>(bytes)));
+}
+
+double MramTimingModel::StreamingBandwidth(std::uint32_t bytes,
+                                           double clock_hz) const {
+  const Cycles occ = EngineOccupancy(bytes);
+  if (occ == 0) return 0.0;
+  return static_cast<double>(bytes) * clock_hz / static_cast<double>(occ);
+}
+
+}  // namespace updlrm::pim

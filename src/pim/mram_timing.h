@@ -1,0 +1,65 @@
+// MRAM access timing model (Fig. 3 of the paper).
+//
+// The paper measures MRAM read latency as a function of access size:
+// nearly flat from 8 B to 32 B, then growing close to linearly up to the
+// 2048 B hardware maximum. Accesses must be 8-byte aligned. We model the
+// latency a tasklet observes as
+//
+//     lat(s) = base_latency + cycles_per_byte * max(0, s - flat_until)
+//
+// and separately model the DMA *engine occupancy* — the time the DPU's
+// single DMA engine is busy with the transfer, which serializes
+// concurrent tasklet DMAs and therefore bounds throughput:
+//
+//     occ(s) = engine_setup + engine_cycles_per_byte * s
+//
+// Defaults are calibrated so that a 2048 B streaming read sustains
+// ~800 MB/s at 350 MHz, the bandwidth UPMEM documents (§2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::pim {
+
+struct MramTimingParams {
+  Cycles base_latency = 84;
+  std::uint32_t flat_until_bytes = 32;
+  double cycles_per_byte = 0.4;
+
+  Cycles engine_setup = 20;
+  double engine_cycles_per_byte = 0.4;
+
+  std::uint32_t alignment = 8;
+  std::uint32_t max_access_bytes = 2048;
+
+  Status Validate() const;
+};
+
+class MramTimingModel {
+ public:
+  explicit MramTimingModel(MramTimingParams params = {});
+
+  /// Checks UPMEM DMA constraints: offset and size 8-byte aligned,
+  /// 0 < size <= 2048.
+  Status ValidateAccess(std::uint64_t offset, std::uint32_t bytes) const;
+
+  /// Latency the issuing tasklet waits for, in DPU cycles.
+  Cycles AccessLatency(std::uint32_t bytes) const;
+
+  /// Time the (single, per-DPU) DMA engine is occupied, in DPU cycles.
+  Cycles EngineOccupancy(std::uint32_t bytes) const;
+
+  /// Effective bandwidth of back-to-back accesses of `bytes` at
+  /// `clock_hz`, limited by engine occupancy (bytes/second).
+  double StreamingBandwidth(std::uint32_t bytes, double clock_hz) const;
+
+  const MramTimingParams& params() const { return params_; }
+
+ private:
+  MramTimingParams params_;
+};
+
+}  // namespace updlrm::pim

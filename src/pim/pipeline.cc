@@ -1,0 +1,47 @@
+#include "pim/pipeline.h"
+
+#include <algorithm>
+
+namespace updlrm::pim {
+
+PipelineModel::PipelineModel(const DpuConfig& config)
+    : tasklets_(config.num_tasklets),
+      revolver_depth_(config.revolver_depth) {
+  UPDLRM_CHECK_MSG(config.Validate().ok(), "invalid DpuConfig");
+}
+
+Cycles PipelineModel::Makespan(const KernelWorkload& w) const {
+  if (w.num_items == 0) return 0;
+
+  // Issue bound: the pipeline retires at most one instruction per cycle;
+  // with fewer tasklets than the revolver depth, each tasklet's own
+  // issue-interval constraint caps utilization at T / revolver_depth.
+  const double issue_scale =
+      tasklets_ >= revolver_depth_
+          ? 1.0
+          : static_cast<double>(revolver_depth_) /
+                static_cast<double>(tasklets_);
+  const auto issue_bound = static_cast<Cycles>(
+      static_cast<double>(w.num_items * w.instr_cycles_per_item) *
+      issue_scale);
+
+  // DMA-engine bound: one engine per DPU serializes all transfers.
+  const Cycles dma_bound = w.num_items * w.dma_occupancy_per_item;
+
+  // Latency bound: each tasklet walks its share of items serially,
+  // blocking on each DMA.
+  const std::uint64_t items_per_tasklet =
+      CeilDiv(w.num_items, tasklets_);
+  const Cycles latency_bound =
+      items_per_tasklet * (w.instr_cycles_per_item + w.dma_latency_per_item);
+
+  return std::max({issue_bound, dma_bound, latency_bound});
+}
+
+Cycles PipelineModel::Makespan(std::span<const KernelWorkload> phases) const {
+  Cycles total = 0;
+  for (const auto& phase : phases) total += Makespan(phase);
+  return total;
+}
+
+}  // namespace updlrm::pim

@@ -1,0 +1,36 @@
+#include "pim/stats_summary.h"
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace updlrm::pim {
+
+DpuStatsSummary SummarizeStats(const DpuSystem& system) {
+  DpuStatsSummary summary;
+  std::vector<double> cycles;
+  cycles.reserve(system.num_dpus());
+  for (std::uint32_t d = 0; d < system.num_dpus(); ++d) {
+    const DpuStats& stats = system.dpu(d).stats();
+    summary.total_lookups += stats.lookups;
+    summary.total_cache_reads += stats.cache_reads;
+    summary.total_mram_bytes_read += stats.mram_bytes_read;
+    summary.max_kernel_cycles =
+        std::max(summary.max_kernel_cycles, stats.kernel_cycles);
+    cycles.push_back(static_cast<double>(stats.kernel_cycles));
+  }
+  OnlineStats online;
+  for (double c : cycles) online.Add(c);
+  summary.mean_kernel_cycles = static_cast<Cycles>(online.mean());
+  summary.cycle_imbalance = ImbalanceRatio(cycles);
+  summary.cycle_cv = CoefficientOfVariation(cycles);
+  const std::uint64_t reads =
+      summary.total_lookups + summary.total_cache_reads;
+  summary.cache_read_share =
+      reads == 0 ? 0.0
+                 : static_cast<double>(summary.total_cache_reads) /
+                       static_cast<double>(reads);
+  return summary;
+}
+
+}  // namespace updlrm::pim

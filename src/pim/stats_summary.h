@@ -1,0 +1,33 @@
+// Aggregate statistics over a DpuSystem's per-DPU counters.
+//
+// The engine accumulates per-DPU work (kernel cycles, EMT/cache reads,
+// bytes moved); this summarizes them into the utilization and balance
+// numbers the benches and examples report.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "pim/system.h"
+
+namespace updlrm::pim {
+
+struct DpuStatsSummary {
+  std::uint64_t total_lookups = 0;
+  std::uint64_t total_cache_reads = 0;
+  std::uint64_t total_mram_bytes_read = 0;
+  Cycles max_kernel_cycles = 0;
+  Cycles mean_kernel_cycles = 0;
+
+  /// max / mean of per-DPU kernel cycles; 1.0 == perfectly balanced
+  /// stage-2 work. 0 when no work was recorded.
+  double cycle_imbalance = 0.0;
+  /// Coefficient of variation of per-DPU kernel cycles.
+  double cycle_cv = 0.0;
+  /// Share of lookups served from cached partial sums.
+  double cache_read_share = 0.0;
+};
+
+DpuStatsSummary SummarizeStats(const DpuSystem& system);
+
+}  // namespace updlrm::pim

@@ -1,0 +1,91 @@
+#include "pim/transfer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace updlrm::pim {
+
+Status HostTransferParams::Validate() const {
+  if (push_bytes_per_sec_per_rank <= 0.0 ||
+      pull_bytes_per_sec_per_rank <= 0.0 || serial_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (transfer_launch_ns < 0.0 || kernel_launch_ns < 0.0) {
+    return Status::InvalidArgument("launch overheads must be >= 0");
+  }
+  return Status::Ok();
+}
+
+HostTransferModel::HostTransferModel(HostTransferParams params,
+                                     std::uint32_t num_dpus,
+                                     std::uint32_t dpus_per_rank)
+    : params_(params),
+      num_dpus_(num_dpus),
+      dpus_per_rank_(dpus_per_rank) {
+  UPDLRM_CHECK(num_dpus_ > 0);
+  UPDLRM_CHECK(dpus_per_rank_ > 0);
+  UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid HostTransferParams");
+  num_ranks_ = static_cast<std::uint32_t>(CeilDiv(num_dpus_, dpus_per_rank_));
+}
+
+Nanos HostTransferModel::TransferTime(
+    std::span<const std::uint64_t> bytes_per_dpu, bool pad_to_max,
+    double rank_bw) const {
+  UPDLRM_CHECK_MSG(bytes_per_dpu.size() == num_dpus_,
+                   "bytes_per_dpu must cover every DPU");
+  const std::uint64_t max_bytes =
+      *std::max_element(bytes_per_dpu.begin(), bytes_per_dpu.end());
+  if (max_bytes == 0) return 0.0;
+
+  const bool all_equal =
+      std::all_of(bytes_per_dpu.begin(), bytes_per_dpu.end(),
+                  [&](std::uint64_t b) { return b == max_bytes; });
+
+  if (all_equal || pad_to_max) {
+    // Parallel path: every rank streams its (padded) buffer matrix
+    // concurrently; the slowest rank bounds the call. Padding makes each
+    // rank's matrix dpus_per_rank * max_bytes.
+    std::uint64_t worst_rank_bytes = 0;
+    for (std::uint32_t r = 0; r < num_ranks_; ++r) {
+      const std::uint32_t lo = r * dpus_per_rank_;
+      const std::uint32_t hi =
+          std::min(num_dpus_, lo + dpus_per_rank_);
+      worst_rank_bytes =
+          std::max<std::uint64_t>(worst_rank_bytes,
+                                  static_cast<std::uint64_t>(hi - lo) *
+                                      max_bytes);
+    }
+    return params_.transfer_launch_ns +
+           TransferNanos(worst_rank_bytes, rank_bw);
+  }
+
+  // Sequential path: ragged buffers are copied one DPU at a time.
+  const std::uint64_t total = std::accumulate(
+      bytes_per_dpu.begin(), bytes_per_dpu.end(), std::uint64_t{0});
+  return params_.transfer_launch_ns +
+         TransferNanos(total, params_.serial_bytes_per_sec);
+}
+
+Nanos HostTransferModel::PushTime(
+    std::span<const std::uint64_t> bytes_per_dpu, bool pad_to_max) const {
+  return TransferTime(bytes_per_dpu, pad_to_max,
+                      params_.push_bytes_per_sec_per_rank);
+}
+
+Nanos HostTransferModel::PullTime(
+    std::span<const std::uint64_t> bytes_per_dpu, bool pad_to_max) const {
+  return TransferTime(bytes_per_dpu, pad_to_max,
+                      params_.pull_bytes_per_sec_per_rank);
+}
+
+Nanos HostTransferModel::BroadcastTime(std::uint64_t bytes) const {
+  if (bytes == 0) return 0.0;
+  // A broadcast writes the same buffer to every DPU of every rank in
+  // parallel; each rank streams dpus_per_rank copies.
+  const std::uint64_t rank_bytes =
+      static_cast<std::uint64_t>(dpus_per_rank_) * bytes;
+  return params_.transfer_launch_ns +
+         TransferNanos(rank_bytes, params_.push_bytes_per_sec_per_rank);
+}
+
+}  // namespace updlrm::pim

@@ -1,0 +1,76 @@
+// Host <-> DPU transfer timing model.
+//
+// §2.2 of the paper: host transfers to/from MRAM banks "can occur
+// concurrently if the buffers transferred to and from all MRAM banks are
+// of the same size. Otherwise, the transfers happen sequentially." The
+// UPMEM SDK's batched transfer call pads ragged buffers to the largest
+// size to regain the parallel path; UpDLRM does the same (see
+// engine.cc), and this model prices both paths:
+//
+//   parallel (equal / padded):  launch + max_rank_padded_bytes / rank_bw
+//   sequential (ragged):        launch + sum_bytes / serial_bw
+//
+// Ranks transfer concurrently; within a rank the padded buffer matrix is
+// streamed at the rank's aggregate bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace updlrm::pim {
+
+struct HostTransferParams {
+  // Aggregate CPU->MRAM bandwidth of one 64-DPU rank (parallel path).
+  double push_bytes_per_sec_per_rank = 3.0e9;
+  // Aggregate MRAM->CPU bandwidth of one rank (parallel path).
+  double pull_bytes_per_sec_per_rank = 0.9e9;
+  // Single-buffer bandwidth of the sequential (ragged) path.
+  double serial_bytes_per_sec = 0.25e9;
+  // Fixed software cost of one batched push/pull call (SDK overhead:
+  // building the transfer matrix, rank scheduling).
+  Nanos transfer_launch_ns = 45'000.0;
+  // Fixed software cost of one dpu_launch() kernel boot.
+  Nanos kernel_launch_ns = 50'000.0;
+
+  Status Validate() const;
+};
+
+class HostTransferModel {
+ public:
+  HostTransferModel(HostTransferParams params, std::uint32_t num_dpus,
+                    std::uint32_t dpus_per_rank);
+
+  /// Time to push per-DPU buffers (bytes_per_dpu[i] to DPU i). When
+  /// `pad_to_max` the buffers are padded to the per-call maximum and
+  /// streamed on the parallel path; otherwise ragged buffers fall back
+  /// to the sequential path (equal buffers always go parallel).
+  Nanos PushTime(std::span<const std::uint64_t> bytes_per_dpu,
+                 bool pad_to_max) const;
+
+  /// Same for DPU->CPU retrieval.
+  Nanos PullTime(std::span<const std::uint64_t> bytes_per_dpu,
+                 bool pad_to_max) const;
+
+  /// Broadcast of one buffer to all DPUs (always parallel).
+  Nanos BroadcastTime(std::uint64_t bytes) const;
+
+  /// Fixed cost of one kernel boot across the system.
+  Nanos KernelLaunchOverhead() const { return params_.kernel_launch_ns; }
+
+  const HostTransferParams& params() const { return params_; }
+  std::uint32_t num_ranks() const { return num_ranks_; }
+
+ private:
+  Nanos TransferTime(std::span<const std::uint64_t> bytes_per_dpu,
+                     bool pad_to_max, double rank_bw) const;
+
+  HostTransferParams params_;
+  std::uint32_t num_dpus_;
+  std::uint32_t dpus_per_rank_;
+  std::uint32_t num_ranks_;
+};
+
+}  // namespace updlrm::pim

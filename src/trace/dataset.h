@@ -1,0 +1,72 @@
+// Dataset specifications.
+//
+// The paper evaluates on six real-world workloads (Table 1) grouped by
+// "hotness" (average multi-hot reduction), plus three trace-analysis
+// datasets (Goodreads / Movie / Twitch) for Figs. 5-6. The raw datasets
+// are not redistributable, so each spec captures the properties the
+// algorithms actually consume — item count, average reduction, popularity
+// skew, id-vs-popularity locality, and co-occurrence strength — and the
+// TraceGenerator synthesizes access traces with exactly those properties
+// (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace updlrm::trace {
+
+enum class Hotness { kLow, kMedium, kHigh };
+
+std::string_view HotnessName(Hotness h);
+
+struct DatasetSpec {
+  std::string name;       // short name used in the paper's figures
+  std::string full_name;  // e.g. "AmazonClothes"
+  Hotness hotness = Hotness::kLow;
+
+  std::uint64_t num_items = 0;   // EMT rows (Table 1 "#Items")
+  double avg_reduction = 0.0;    // Table 1 "Avg.Reduction"
+
+  // Popularity model: P(rank k) ∝ 1/(k+1)^zipf_alpha.
+  double zipf_alpha = 0.8;
+
+  // How strongly item id correlates with popularity rank. 0 = ids are
+  // exactly popularity-ordered (maximum row-block skew, Fig. 5);
+  // 1 = ids fully shuffled (flat row-block histogram).
+  double rank_jitter = 0.1;
+
+  // Co-occurrence model: popular items form cliques of 2..4 that appear
+  // together in a sample with this probability (drives GRACE caching).
+  double clique_prob = 0.3;
+  std::uint32_t num_hot_items = 4096;  // clique pool size (top ranks)
+
+  std::uint64_t seed = 42;  // base seed for this dataset's traces
+
+  /// Validates ranges (e.g. num_items >= 1, avg_reduction >= 1).
+  Status Validate() const;
+};
+
+/// The six Table 1 workloads, in the paper's order:
+/// clo, home (Low Hot); meta1, meta2 (Medium Hot); read, read2 (High Hot).
+std::span<const DatasetSpec> Table1Workloads();
+
+/// The three trace-analysis datasets of Figs. 5-6: Goodreads, Movie,
+/// Twitch.
+std::span<const DatasetSpec> AccessPatternDatasets();
+
+/// Look up any built-in dataset by short name ("clo", "read2", "movie",
+/// ...). Returns NotFound for unknown names.
+Result<DatasetSpec> FindDataset(std::string_view name);
+
+/// A synthetic spec with a balanced access pattern and a given average
+/// reduction — the configuration of the paper's sensitivity study
+/// (Fig. 11, §4.4).
+DatasetSpec MakeBalancedSyntheticSpec(std::uint64_t num_items,
+                                      double avg_reduction,
+                                      std::uint64_t seed = 7);
+
+}  // namespace updlrm::trace

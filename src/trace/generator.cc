@@ -1,0 +1,202 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace updlrm::trace {
+
+namespace {
+
+// Independent, order-insensitive per-table / per-purpose seed streams.
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint32_t table,
+                         std::uint64_t purpose) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (table + 1)) ^
+                    (0xc2b2ae3d27d4eb4fULL * purpose);
+  return SplitMix64(s);
+}
+
+constexpr std::uint64_t kPurposePerm = 1;
+constexpr std::uint64_t kPurposeClique = 2;
+constexpr std::uint64_t kPurposeSamples = 3;
+constexpr std::uint64_t kPurposeDrift = 4;
+
+}  // namespace
+
+std::vector<std::uint32_t> TraceGenerator::BuildRankToId(Rng& rng) const {
+  const std::uint64_t n = spec_.num_items;
+  // "Noisy sort": sort ids by (id + jitter * n * U). jitter == 0 keeps the
+  // identity map (ids exactly popularity-ordered); jitter == 1 approaches
+  // a uniform random permutation.
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0U);
+  if (spec_.rank_jitter <= 0.0) return ids;
+
+  std::vector<double> keys(n);
+  const double noise_scale = spec_.rank_jitter * static_cast<double>(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<double>(i) + noise_scale * rng.NextDouble();
+  }
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return ids;
+}
+
+CliqueModel TraceGenerator::BuildCliqueModel(
+    std::uint32_t table, const TraceGeneratorOptions& options) const {
+  const std::uint64_t base_seed =
+      options.seed_override != 0 ? options.seed_override : spec_.seed;
+  Rng perm_rng(DeriveSeed(base_seed, table, kPurposePerm));
+  const std::vector<std::uint32_t> rank_to_id = BuildRankToId(perm_rng);
+
+  CliqueModel model;
+  const auto num_hot = static_cast<std::uint64_t>(
+      std::min<std::uint64_t>(spec_.num_hot_items, spec_.num_items));
+  model.clique_of_rank.assign(num_hot, -1);
+  if (spec_.clique_prob <= 0.0 || num_hot < 2) return model;
+
+  Rng clique_rng(DeriveSeed(base_seed, table, kPurposeClique));
+  std::uint64_t rank = 0;
+  while (rank + 1 < num_hot) {
+    const std::uint64_t size =
+        std::min<std::uint64_t>(2 + clique_rng.NextBounded(3),  // 2..4
+                                num_hot - rank);
+    if (size < 2) break;
+    std::vector<std::uint32_t> clique;
+    clique.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      model.clique_of_rank[rank + i] =
+          static_cast<std::int32_t>(model.cliques.size());
+      clique.push_back(rank_to_id[rank + i]);
+    }
+    model.cliques.push_back(std::move(clique));
+    rank += size;
+  }
+  return model;
+}
+
+Result<Trace> GenerateHeterogeneousTrace(
+    std::span<const DatasetSpec> specs,
+    const TraceGeneratorOptions& options) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("need at least one DatasetSpec");
+  }
+  Trace trace;
+  trace.items_per_table.reserve(specs.size());
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    TraceGeneratorOptions per_table = options;
+    per_table.num_tables = 1;
+    // Independent per-table seed streams even when specs share a seed.
+    std::uint64_t seed =
+        (options.seed_override != 0 ? options.seed_override
+                                    : specs[t].seed) ^
+        (0xd1b54a32d192ed03ULL * (t + 1));
+    per_table.seed_override = SplitMix64(seed);
+    if (per_table.seed_override == 0) per_table.seed_override = 1;
+    auto one = TraceGenerator(specs[t]).Generate(per_table);
+    if (!one.ok()) return one.status();
+    trace.tables.push_back(std::move(one->tables[0]));
+    trace.items_per_table.push_back(specs[t].num_items);
+  }
+  trace.num_items = 0;
+  UPDLRM_RETURN_IF_ERROR(trace.Validate());
+  return trace;
+}
+
+Result<Trace> TraceGenerator::Generate(
+    const TraceGeneratorOptions& options) const {
+  UPDLRM_RETURN_IF_ERROR(spec_.Validate());
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be > 0");
+  }
+  if (options.num_tables == 0) {
+    return Status::InvalidArgument("num_tables must be > 0");
+  }
+
+  if (options.popularity_drift < 0.0 || options.popularity_drift > 1.0) {
+    return Status::InvalidArgument("popularity_drift must be in [0, 1]");
+  }
+  const std::uint64_t base_seed =
+      options.seed_override != 0 ? options.seed_override : spec_.seed;
+  const std::uint64_t n = spec_.num_items;
+  const ZipfSampler zipf(n, spec_.zipf_alpha);
+
+  Trace trace;
+  trace.num_items = n;
+  trace.tables.resize(options.num_tables);
+
+  for (std::uint32_t t = 0; t < options.num_tables; ++t) {
+    Rng perm_rng(DeriveSeed(base_seed, t, kPurposePerm));
+    const std::vector<std::uint32_t> rank_to_id = BuildRankToId(perm_rng);
+    const CliqueModel cliques = BuildCliqueModel(t, options);
+    Rng rng(DeriveSeed(base_seed, t, kPurposeSamples));
+
+    // clique index -> its member *ranks* (so drifted id maps keep
+    // cliques coherent).
+    std::vector<std::vector<std::uint32_t>> clique_ranks(
+        cliques.cliques.size());
+    for (std::uint32_t r = 0; r < cliques.clique_of_rank.size(); ++r) {
+      if (cliques.clique_of_rank[r] >= 0) {
+        clique_ranks[cliques.clique_of_rank[r]].push_back(r);
+      }
+    }
+
+    // Second-half id map under popularity drift: hot ranks swap
+    // identity with random cold items.
+    std::vector<std::uint32_t> drifted = rank_to_id;
+    if (options.popularity_drift > 0.0) {
+      Rng drift_rng(DeriveSeed(base_seed, t, kPurposeDrift));
+      const std::uint64_t hot = std::min<std::uint64_t>(
+          std::max<std::uint32_t>(spec_.num_hot_items, 1024), n);
+      for (std::uint64_t r = 0; r < hot && hot < n; ++r) {
+        if (!drift_rng.NextBernoulli(options.popularity_drift)) continue;
+        const std::uint64_t cold = hot + drift_rng.NextBounded(n - hot);
+        std::swap(drifted[r], drifted[cold]);
+      }
+    }
+    const std::size_t drift_from =
+        options.popularity_drift > 0.0 ? options.num_samples / 2
+                                       : options.num_samples;
+
+    std::vector<std::uint32_t> items;
+    for (std::size_t s = 0; s < options.num_samples; ++s) {
+      const std::vector<std::uint32_t>& id_map =
+          s >= drift_from ? drifted : rank_to_id;
+      std::uint64_t target =
+          std::max<std::uint64_t>(1, rng.NextPoisson(spec_.avg_reduction));
+      target = std::min(target, n);
+
+      items.clear();
+      // Draw in rounds; sort+unique between rounds keeps multi-hot
+      // semantics without per-insert set lookups.
+      for (int round = 0; round < 6 && items.size() < target; ++round) {
+        const std::size_t need = target - items.size();
+        const std::size_t draws = need + need / 4 + 4;
+        for (std::size_t d = 0; d < draws && items.size() < target + 8;
+             ++d) {
+          const std::uint64_t rank = zipf.Sample(rng);
+          const bool in_clique =
+              rank < cliques.clique_of_rank.size() &&
+              cliques.clique_of_rank[rank] >= 0;
+          if (in_clique && rng.NextBernoulli(spec_.clique_prob)) {
+            for (std::uint32_t member_rank :
+                 clique_ranks[cliques.clique_of_rank[rank]]) {
+              items.push_back(id_map[member_rank]);
+            }
+          } else {
+            items.push_back(id_map[rank]);
+          }
+        }
+        std::sort(items.begin(), items.end());
+        items.erase(std::unique(items.begin(), items.end()), items.end());
+      }
+      trace.tables[t].AppendSample(items);
+    }
+  }
+  UPDLRM_RETURN_IF_ERROR(trace.Validate());
+  return trace;
+}
+
+}  // namespace updlrm::trace

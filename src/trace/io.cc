@@ -1,0 +1,146 @@
+#include "trace/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace updlrm::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'P', 'T', 'R'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteVector(std::FILE* f, const std::vector<T>& v) {
+  if (!WriteScalar<std::uint64_t>(f, v.size())) return false;
+  if (v.empty()) return true;
+  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVector(std::FILE* f, std::vector<T>* v,
+                std::uint64_t max_elements) {
+  std::uint64_t size = 0;
+  if (!ReadScalar(f, &size)) return false;
+  if (size > max_elements) return false;  // corrupt / hostile header
+  v->resize(size);
+  if (size == 0) return true;
+  return std::fread(v->data(), sizeof(T), size, f) == size;
+}
+
+// An upper bound on plausible element counts, to reject corrupt sizes
+// before attempting a huge allocation.
+constexpr std::uint64_t kMaxElements = 1ULL << 36;
+
+}  // namespace
+
+Status SaveTrace(const Trace& trace, const std::string& path) {
+  UPDLRM_RETURN_IF_ERROR(trace.Validate());
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  bool ok = std::fwrite(kMagic, 1, 4, f.get()) == 4 &&
+            WriteScalar<std::uint32_t>(f.get(), kTraceFormatVersion) &&
+            WriteScalar<std::uint64_t>(f.get(), trace.num_items) &&
+            WriteScalar<std::uint32_t>(f.get(), trace.num_tables()) &&
+            WriteVector(f.get(), trace.items_per_table);
+  for (const auto& table : trace.tables) {
+    if (!ok) break;
+    const std::vector<std::uint64_t> offsets(table.offsets().begin(),
+                                             table.offsets().end());
+    const std::vector<std::uint32_t> indices(table.indices().begin(),
+                                             table.indices().end());
+    ok = WriteVector(f.get(), offsets) && WriteVector(f.get(), indices);
+  }
+  if (!ok) {
+    return Status::FailedPrecondition("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + " is not a trace file");
+  }
+  std::uint32_t version = 0;
+  if (!ReadScalar(f.get(), &version) || version != kTraceFormatVersion) {
+    return Status::InvalidArgument("unsupported trace format version");
+  }
+
+  Trace trace;
+  std::uint32_t num_tables = 0;
+  if (!ReadScalar(f.get(), &trace.num_items) ||
+      !ReadScalar(f.get(), &num_tables)) {
+    return Status::InvalidArgument("truncated trace header");
+  }
+  if (num_tables == 0 || num_tables > 4096) {
+    return Status::InvalidArgument("implausible table count");
+  }
+  if (!ReadVector(f.get(), &trace.items_per_table, 4096)) {
+    return Status::InvalidArgument("truncated items_per_table");
+  }
+
+  for (std::uint32_t t = 0; t < num_tables; ++t) {
+    std::vector<std::uint64_t> offsets;
+    std::vector<std::uint32_t> indices;
+    if (!ReadVector(f.get(), &offsets, kMaxElements) ||
+        !ReadVector(f.get(), &indices, kMaxElements)) {
+      return Status::InvalidArgument("truncated trace table " +
+                                     std::to_string(t));
+    }
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != indices.size()) {
+      return Status::InvalidArgument("inconsistent offsets in table " +
+                                     std::to_string(t));
+    }
+    TableTrace table;
+    for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+      if (offsets[s + 1] < offsets[s] || offsets[s + 1] > indices.size()) {
+        return Status::InvalidArgument("corrupt offsets in table " +
+                                       std::to_string(t));
+      }
+      const std::span<const std::uint32_t> sample(
+          indices.data() + offsets[s], offsets[s + 1] - offsets[s]);
+      // Validate before AppendSample (whose preconditions abort).
+      if (!std::is_sorted(sample.begin(), sample.end()) ||
+          std::adjacent_find(sample.begin(), sample.end()) !=
+              sample.end()) {
+        return Status::InvalidArgument("unsorted sample in table " +
+                                       std::to_string(t));
+      }
+      table.AppendSample(sample);
+    }
+    trace.tables.push_back(std::move(table));
+  }
+  UPDLRM_RETURN_IF_ERROR(trace.Validate());
+  return trace;
+}
+
+}  // namespace updlrm::trace

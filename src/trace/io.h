@@ -1,0 +1,30 @@
+// Trace (de)serialization.
+//
+// Profiling traces drive every pre-processing decision (partitioning,
+// cache mining), so being able to persist and reload them — e.g. a
+// production trace captured once and reused across experiments — is
+// part of the public API. The format is a little-endian binary layout
+// with a magic/version header; Load validates structure and index
+// ranges before returning.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace updlrm::trace {
+
+/// Binary format version written by SaveTrace. Version 2 added
+/// per-table item counts for heterogeneous workloads.
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+
+/// Writes `trace` to `path` (overwrites). Fails on I/O errors or an
+/// invalid trace.
+Status SaveTrace(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by SaveTrace. Validates the header, structure
+/// and index ranges.
+Result<Trace> LoadTrace(const std::string& path);
+
+}  // namespace updlrm::trace

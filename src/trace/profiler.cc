@@ -1,0 +1,73 @@
+#include "trace/profiler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace updlrm::trace {
+
+std::vector<std::uint64_t> ItemFrequencies(const TableTrace& table,
+                                           std::uint64_t num_items) {
+  std::vector<std::uint64_t> freq(num_items, 0);
+  for (std::uint32_t idx : table.indices()) {
+    UPDLRM_CHECK(idx < num_items);
+    ++freq[idx];
+  }
+  return freq;
+}
+
+std::vector<std::uint64_t> RowBlockCounts(
+    std::span<const std::uint64_t> freq, std::size_t num_blocks) {
+  UPDLRM_CHECK(num_blocks >= 1 && num_blocks <= freq.size());
+  const std::size_t block_size = freq.size() / num_blocks;
+  std::vector<std::uint64_t> blocks(num_blocks, 0);
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    const std::size_t b = std::min(i / block_size, num_blocks - 1);
+    blocks[b] += freq[i];
+  }
+  return blocks;
+}
+
+SkewReport AnalyzeSkew(std::span<const std::uint64_t> block_counts) {
+  SkewReport report;
+  const std::vector<double> loads = ToDoubles(block_counts);
+  report.max_min_ratio = MaxMinRatio(loads);
+  report.imbalance = ImbalanceRatio(loads);
+  report.cv = CoefficientOfVariation(loads);
+  report.gini = GiniCoefficient(loads);
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  if (total > 0.0) {
+    report.top_block_share =
+        *std::max_element(loads.begin(), loads.end()) / total;
+  }
+  return report;
+}
+
+double TopKAccessShare(std::span<const std::uint64_t> freq,
+                       std::size_t top_k) {
+  if (freq.empty() || top_k == 0) return 0.0;
+  std::vector<std::uint64_t> sorted(freq.begin(), freq.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = static_cast<double>(
+      std::accumulate(sorted.begin(), sorted.end(), std::uint64_t{0}));
+  if (total == 0.0) return 0.0;
+  top_k = std::min(top_k, sorted.size());
+  const double top = static_cast<double>(
+      std::accumulate(sorted.begin(), sorted.begin() + top_k,
+                      std::uint64_t{0}));
+  return top / total;
+}
+
+std::vector<std::uint32_t> ItemsByFrequency(
+    std::span<const std::uint64_t> freq) {
+  std::vector<std::uint32_t> ids(freq.size());
+  std::iota(ids.begin(), ids.end(), 0U);
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return freq[a] > freq[b];
+                   });
+  return ids;
+}
+
+}  // namespace updlrm::trace

@@ -1,0 +1,59 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace updlrm::trace {
+
+void TableTrace::AppendSample(std::span<const std::uint32_t> indices) {
+  UPDLRM_CHECK_MSG(std::is_sorted(indices.begin(), indices.end()),
+                   "sample indices must be sorted");
+  UPDLRM_CHECK_MSG(
+      std::adjacent_find(indices.begin(), indices.end()) == indices.end(),
+      "sample indices must be unique");
+  indices_.insert(indices_.end(), indices.begin(), indices.end());
+  offsets_.push_back(indices_.size());
+}
+
+double TableTrace::MeasuredAvgReduction() const {
+  if (num_samples() == 0) return 0.0;
+  return static_cast<double>(num_lookups()) /
+         static_cast<double>(num_samples());
+}
+
+Status Trace::Validate() const {
+  if (tables.empty()) return Status::InvalidArgument("trace has no tables");
+  if (!items_per_table.empty() &&
+      items_per_table.size() != tables.size()) {
+    return Status::InvalidArgument(
+        "items_per_table must match the table count");
+  }
+  const std::size_t n = tables.front().num_samples();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (tables[t].num_samples() != n) {
+      return Status::InvalidArgument("table " + std::to_string(t) +
+                                     " has mismatched sample count");
+    }
+    const std::uint64_t items =
+        ItemsInTable(static_cast<std::uint32_t>(t));
+    for (std::uint32_t idx : tables[t].indices()) {
+      if (idx >= items) {
+        return Status::OutOfRange(
+            "index " + std::to_string(idx) + " >= table " +
+            std::to_string(t) + "'s " + std::to_string(items) + " items");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<BatchRange> MakeBatches(std::size_t num_samples,
+                                    std::size_t batch_size) {
+  UPDLRM_CHECK(batch_size > 0);
+  std::vector<BatchRange> batches;
+  for (std::size_t begin = 0; begin < num_samples; begin += batch_size) {
+    batches.push_back({begin, std::min(begin + batch_size, num_samples)});
+  }
+  return batches;
+}
+
+}  // namespace updlrm::trace

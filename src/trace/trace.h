@@ -1,0 +1,84 @@
+// Access-trace containers.
+//
+// A Trace is the sparse-input side of a DLRM inference workload: for each
+// sample and each embedding table, the set of active item indices (the
+// "ones" of the multi-hot encoding). Storage is CSR-style (flat index
+// array + per-sample offsets), which is also exactly the IDX/OFFSET
+// layout the UpDLRM engine ships to the DPUs in stage 1 (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::trace {
+
+/// Per-table CSR of sample index lists. Indices within a sample are
+/// sorted and unique (multi-hot semantics).
+class TableTrace {
+ public:
+  TableTrace() = default;
+
+  /// Appends one sample's (sorted, unique) indices.
+  void AppendSample(std::span<const std::uint32_t> indices);
+
+  std::size_t num_samples() const { return offsets_.size() - 1; }
+  std::uint64_t num_lookups() const { return indices_.size(); }
+
+  std::span<const std::uint32_t> Sample(std::size_t s) const {
+    UPDLRM_CHECK(s < num_samples());
+    return {indices_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+  }
+
+  std::span<const std::uint32_t> indices() const { return indices_; }
+  std::span<const std::uint64_t> offsets() const { return offsets_; }
+
+  /// Mean number of active indices per sample.
+  double MeasuredAvgReduction() const;
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  std::vector<std::uint64_t> offsets_ = {0};
+};
+
+/// A full multi-table trace.
+struct Trace {
+  /// Rows per EMT when all tables are duplicates of one dataset (the
+  /// paper's setup). Ignored when `items_per_table` is set.
+  std::uint64_t num_items = 0;
+  /// Per-table row counts for heterogeneous workloads (size must equal
+  /// tables.size() when non-empty).
+  std::vector<std::uint64_t> items_per_table;
+  std::vector<TableTrace> tables;
+
+  std::size_t num_samples() const {
+    return tables.empty() ? 0 : tables.front().num_samples();
+  }
+  std::uint32_t num_tables() const {
+    return static_cast<std::uint32_t>(tables.size());
+  }
+  std::uint64_t ItemsInTable(std::uint32_t t) const {
+    UPDLRM_CHECK(t < tables.size());
+    return items_per_table.empty() ? num_items : items_per_table[t];
+  }
+
+  /// All tables must have the same sample count and indices within
+  /// their table's row count.
+  Status Validate() const;
+};
+
+/// A contiguous range of samples — the unit of inference execution.
+struct BatchRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits [0, num_samples) into batches of `batch_size` (last may be
+/// short).
+std::vector<BatchRange> MakeBatches(std::size_t num_samples,
+                                    std::size_t batch_size);
+
+}  // namespace updlrm::trace

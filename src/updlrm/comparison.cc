@@ -1,0 +1,43 @@
+#include "updlrm/comparison.h"
+
+namespace updlrm::core {
+
+Result<SystemComparison> CompareSystems(const dlrm::DlrmConfig& config,
+                                        const trace::Trace& trace,
+                                        const ComparisonOptions& options) {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  SystemComparison result;
+
+  const baselines::DlrmCpu cpu(config, trace, options.cpu);
+  result.dlrm_cpu = cpu.RunAll(options.batch_size);
+
+  const baselines::DlrmHybrid hybrid(config, trace, options.cpu,
+                                     options.gpu);
+  result.dlrm_hybrid = hybrid.RunAll(options.batch_size);
+
+  auto fae = baselines::Fae::Create(config, trace, options.fae,
+                                    options.cpu, options.gpu);
+  if (!fae.ok()) return fae.status();
+  result.fae = (*fae)->RunAll(options.batch_size);
+  result.fae_hot_fraction = (*fae)->HotLookupFraction();
+
+  pim::DpuSystemConfig system_config = options.system;
+  system_config.functional = false;
+  auto system = pim::DpuSystem::Create(system_config);
+  if (!system.ok()) return system.status();
+
+  EngineOptions engine_options = options.engine;
+  engine_options.batch_size = options.batch_size;
+  auto engine = UpDlrmEngine::Create(nullptr, config, trace,
+                                     system->get(), engine_options);
+  if (!engine.ok()) return engine.status();
+  auto report = (*engine)->RunAll(nullptr);
+  if (!report.ok()) return report.status();
+  result.updlrm = std::move(report).value();
+  result.nc = (*engine)->nc();
+  return result;
+}
+
+}  // namespace updlrm::core

@@ -1,0 +1,59 @@
+// Four-system comparison harness — the Fig. 8 experiment as a library
+// call.
+//
+// Given a model configuration and a trace, runs DLRM-CPU, DLRM-Hybrid,
+// FAE and UpDLRM with a consistent setup and returns every system's
+// report plus the derived speedups. This is the entry point for "how
+// would my workload do on PIM?" questions; the fig08 bench and the
+// inference_comparison example are thin wrappers over it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/systems.h"
+#include "common/status.h"
+#include "pim/system.h"
+#include "updlrm/engine.h"
+
+namespace updlrm::core {
+
+struct ComparisonOptions {
+  std::size_t batch_size = 64;
+  /// UpDLRM engine configuration (method, Nc, caching, allocation...).
+  /// batch_size above overrides engine.batch_size.
+  EngineOptions engine;
+  baselines::FaeOptions fae;
+  host::CpuModelParams cpu;
+  host::GpuModelParams gpu;
+  /// The PIM system; functional is forced off (comparisons are
+  /// timing-only).
+  pim::DpuSystemConfig system;
+};
+
+struct SystemComparison {
+  baselines::BaselineReport dlrm_cpu;
+  baselines::BaselineReport dlrm_hybrid;
+  baselines::BaselineReport fae;
+  InferenceReport updlrm;
+  std::uint32_t nc = 0;           // UpDLRM's (possibly auto-tuned) tile
+  double fae_hot_fraction = 0.0;  // share of lookups served by FAE's GPU
+
+  double UpdlrmSpeedupVsCpu() const {
+    return dlrm_cpu.AvgBatchTotal() / updlrm.AvgBatchTotal();
+  }
+  double UpdlrmSpeedupVsHybrid() const {
+    return dlrm_hybrid.AvgBatchTotal() / updlrm.AvgBatchTotal();
+  }
+  double UpdlrmSpeedupVsFae() const {
+    return fae.AvgBatchTotal() / updlrm.AvgBatchTotal();
+  }
+};
+
+/// Runs all four systems over the whole trace. The trace must satisfy
+/// the config's table shapes.
+Result<SystemComparison> CompareSystems(const dlrm::DlrmConfig& config,
+                                        const trace::Trace& trace,
+                                        const ComparisonOptions& options);
+
+}  // namespace updlrm::core

@@ -1,0 +1,554 @@
+#include "updlrm/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fixed_point.h"
+#include "partition/replication.h"
+#include "trace/profiler.h"
+
+namespace updlrm::core {
+
+void UpDlrmEngine::BinRoute::Clear() {
+  emt_slots.clear();
+  cache_slots.clear();
+  emt_offsets.clear();
+  cache_offsets.clear();
+  emt_count = 0;
+  cache_count = 0;
+}
+
+UpDlrmEngine::UpDlrmEngine(const dlrm::DlrmModel* model,
+                           dlrm::DlrmConfig config,
+                           const trace::Trace& trace,
+                           pim::DpuSystem* system, EngineOptions options)
+    : model_(model),
+      config_(std::move(config)),
+      trace_(trace),
+      system_(system),
+      options_(std::move(options)),
+      cpu_(options_.cpu) {}
+
+Result<std::unique_ptr<UpDlrmEngine>> UpDlrmEngine::Create(
+    const dlrm::DlrmModel* model, const dlrm::DlrmConfig& config,
+    const trace::Trace& trace, pim::DpuSystem* system,
+    EngineOptions options) {
+  UPDLRM_CHECK(system != nullptr);
+  std::unique_ptr<UpDlrmEngine> engine(
+      new UpDlrmEngine(model, config, trace, system, std::move(options)));
+  UPDLRM_RETURN_IF_ERROR(engine->Setup());
+  return engine;
+}
+
+Status UpDlrmEngine::Setup() {
+  UPDLRM_RETURN_IF_ERROR(config_.Validate());
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options_.cache_capacity_fraction < 0.0 ||
+      options_.cache_capacity_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "cache_capacity_fraction must be in [0, 1]");
+  }
+  if (trace_.num_tables() != config_.num_tables) {
+    return Status::InvalidArgument("trace table count mismatches model");
+  }
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    if (trace_.ItemsInTable(t) != config_.RowsInTable(t)) {
+      return Status::InvalidArgument("trace item count mismatches table " +
+                                     std::to_string(t) + "'s rows");
+    }
+  }
+  if (model_ != nullptr && !system_->functional()) {
+    return Status::FailedPrecondition(
+        "functional engine requires a functional DpuSystem");
+  }
+
+  std::vector<dlrm::TableShape> shapes;
+  std::vector<double> traffic;
+  double avg_red = 0.0;
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    shapes.push_back(config_.table_shape(t));
+    traffic.push_back(
+        static_cast<double>(trace_.tables[t].num_lookups()));
+    avg_red += trace_.tables[t].MeasuredAvgReduction();
+  }
+  avg_red = std::max(1.0, avg_red / trace_.num_tables());
+
+  const bool paper_setup =
+      !config_.heterogeneous() &&
+      options_.allocation == partition::DpuAllocationPolicy::kEqual;
+
+  auto allocate_at =
+      [&](std::uint32_t nc) -> Result<std::vector<std::uint32_t>> {
+    if (config_.embedding_dim % nc != 0) {
+      return Status::InvalidArgument("nc must divide the embedding dim");
+    }
+    const std::uint32_t col_shards = config_.embedding_dim / nc;
+    if (paper_setup) {
+      if (system_->num_dpus() % config_.num_tables != 0) {
+        return Status::InvalidArgument(
+            "num_dpus must be divisible by num_tables (one group per "
+            "EMT)");
+      }
+      return std::vector<std::uint32_t>(
+          config_.num_tables, system_->num_dpus() / config_.num_tables);
+    }
+    return partition::AllocateDpus(shapes, system_->num_dpus(),
+                                   col_shards, options_.allocation,
+                                   traffic);
+  };
+
+  if (options_.nc != 0) {
+    nc_ = options_.nc;
+    auto alloc = allocate_at(nc_);
+    if (!alloc.ok()) return alloc.status();
+    dpus_per_table_ = std::move(alloc).value();
+  } else if (paper_setup) {
+    auto tile = partition::OptimizeTileShape(
+        config_.table_shape(), system_->num_dpus() / config_.num_tables,
+        options_.batch_size, avg_red, *system_);
+    if (!tile.ok()) return tile.status();
+    tile_result_ = std::move(tile).value();
+    nc_ = tile_result_->best.nc;
+    auto alloc = allocate_at(nc_);
+    if (!alloc.ok()) return alloc.status();
+    dpus_per_table_ = std::move(alloc).value();
+  } else {
+    // Heterogeneous / non-equal allocation: search Nc candidates with
+    // the allocation each implies.
+    Nanos best_cost = 0.0;
+    for (std::uint32_t nc : partition::DefaultNcCandidates()) {
+      auto alloc = allocate_at(nc);
+      if (!alloc.ok()) continue;
+      bool feasible = true;
+      const std::uint32_t col_shards = config_.embedding_dim / nc;
+      for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+        if (!partition::GroupGeometry::Make(shapes[t],
+                                            (*alloc)[t], nc)
+                 .ok() ||
+            !system_->kernel_cost()
+                 .ValidateWramFit(nc * 4)
+                 .ok()) {
+          feasible = false;
+          break;
+        }
+        (void)col_shards;
+      }
+      if (!feasible) continue;
+      const Nanos cost = EstimateBatchCost(nc, *alloc);
+      if (nc_ == 0 || cost < best_cost) {
+        nc_ = nc;
+        best_cost = cost;
+        dpus_per_table_ = std::move(alloc).value();
+      }
+    }
+    if (nc_ == 0) {
+      return Status::InvalidArgument(
+          "no feasible Nc for this model/system combination");
+    }
+  }
+
+  first_dpu_.assign(config_.num_tables, 0);
+  std::uint32_t next_dpu = 0;
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    first_dpu_[t] = next_dpu;
+    next_dpu += dpus_per_table_[t];
+  }
+  if (next_dpu > system_->num_dpus()) {
+    return Status::CapacityExceeded("allocation exceeds the DPU count");
+  }
+
+  groups_.clear();
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    const std::vector<std::uint64_t> freq =
+        trace::ItemFrequencies(trace_.tables[t], config_.RowsInTable(t));
+    auto plan = BuildPlan(t, freq);
+    if (!plan.ok()) return plan.status();
+    auto group = BuildTableGroup(t, first_dpu_[t],
+                                 std::move(plan).value(), system_->config(),
+                                 options_.reserved_io_bytes,
+                                 /*build_row_slots=*/model_ != nullptr);
+    if (!group.ok()) return group.status();
+    groups_.push_back(std::move(group).value());
+    if (model_ != nullptr) {
+      UPDLRM_RETURN_IF_ERROR(
+          PlaceTable(model_->table(t), groups_.back(), *system_));
+    }
+  }
+
+  routes_.resize(groups_.size());
+  std::size_t max_lists = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    routes_[g].assign(groups_[g].plan.geom.row_shards, BinRoute{});
+    max_lists = std::max(max_lists, groups_[g].plan.cache.lists.size());
+  }
+  list_mask_.assign(max_lists, 0);
+  return Status::Ok();
+}
+
+Nanos UpDlrmEngine::EstimateBatchCost(
+    std::uint32_t nc, std::span<const std::uint32_t> alloc) const {
+  const std::uint32_t col_shards = config_.embedding_dim / nc;
+  const std::uint32_t row_bytes = nc * 4;
+  Cycles max_kernel = 0;
+  std::uint64_t max_push = 0;
+  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+    const std::uint32_t row_shards = alloc[t] / col_shards;
+    const double avg_red =
+        std::max(1.0, trace_.tables[t].MeasuredAvgReduction());
+    const auto lookups_per_dpu = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(options_.batch_size) * avg_red /
+                  static_cast<double>(row_shards)));
+    const pim::EmbeddingKernelWork work{
+        .num_lookups = lookups_per_dpu,
+        .num_cache_reads = 0,
+        .num_samples = options_.batch_size,
+        .row_bytes = row_bytes,
+    };
+    max_kernel =
+        std::max(max_kernel, system_->kernel_cost().KernelCycles(work));
+    max_push = std::max(
+        max_push, lookups_per_dpu * 4 + (options_.batch_size + 1) * 4);
+  }
+  const std::vector<std::uint64_t> push(system_->num_dpus(), max_push);
+  const std::vector<std::uint64_t> pull(
+      system_->num_dpus(),
+      static_cast<std::uint64_t>(options_.batch_size) * row_bytes);
+  return system_->transfer().PushTime(push, true) +
+         system_->transfer().KernelLaunchOverhead() +
+         CyclesToNanos(max_kernel, system_->config().dpu.clock_hz) +
+         system_->transfer().PullTime(pull, true);
+}
+
+Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
+    std::uint32_t table, std::span<const std::uint64_t> freq) {
+  auto geom_or = partition::GroupGeometry::Make(
+      config_.table_shape(table), dpus_per_table_[table], nc_);
+  if (!geom_or.ok()) return geom_or.status();
+  const partition::GroupGeometry& geom = geom_or.value();
+  UPDLRM_RETURN_IF_ERROR(
+      system_->kernel_cost().ValidateWramFit(geom.row_bytes()));
+
+  const std::uint64_t mram = system_->config().dpu.mram_bytes;
+  if (options_.reserved_io_bytes >= mram) {
+    return Status::InvalidArgument("reserved_io_bytes exceeds MRAM");
+  }
+  const std::uint64_t usable = mram - options_.reserved_io_bytes;
+
+  partition::PartitionPlan plan;
+  partition::BinCapacity capacity{usable, 0};
+  switch (options_.method) {
+    case partition::Method::kUniform: {
+      auto built = partition::UniformPartition(geom);
+      if (!built.ok()) return built;
+      plan = std::move(built).value();
+      break;
+    }
+    case partition::Method::kNonUniform: {
+      partition::NonUniformOptions nu;
+      nu.max_rows_per_bin = usable / geom.row_bytes();
+      auto built = partition::NonUniformPartition(geom, freq, nu);
+      if (!built.ok()) return built;
+      plan = std::move(built).value();
+      break;
+    }
+    case partition::Method::kCacheAware: {
+      cache::CacheRes mined_res;
+      if (options_.premined_cache != nullptr) {
+        if (options_.premined_cache->size() != config_.num_tables) {
+          return Status::InvalidArgument(
+              "premined_cache must hold one CacheRes per table");
+        }
+        mined_res = (*options_.premined_cache)[table];
+      } else {
+        cache::GraceMiner miner(options_.grace);
+        auto mined =
+            miner.Mine(trace_.tables[table], config_.RowsInTable(table));
+        if (!mined.ok()) return mined.status();
+        mined_res = std::move(mined).value();
+      }
+      const cache::CacheRes trimmed = mined_res.TrimToBudgetFraction(
+          geom.row_bytes(), options_.cache_capacity_fraction);
+
+      const std::uint64_t total_cache =
+          trimmed.TotalStorageBytes(geom.row_bytes());
+      std::uint64_t cache_budget = AlignUp(
+          static_cast<std::uint64_t>(
+              std::ceil(options_.cache_headroom *
+                        static_cast<double>(total_cache) /
+                        static_cast<double>(geom.row_shards))),
+          8);
+      cache_budget = std::min(cache_budget, usable);
+
+      partition::CacheAwareOptions ca;
+      ca.capacity =
+          partition::BinCapacity{usable - cache_budget, cache_budget};
+      auto result = partition::CacheAwarePartition(geom, freq, trimmed, ca);
+      if (!result.ok()) return result.status();
+      plan = std::move(result).value().plan;
+      capacity = ca.capacity;
+      break;
+    }
+  }
+  if (options_.replicate_hot_rows > 0) {
+    auto replicated = partition::ApplyReplication(
+        plan, freq, options_.replicate_hot_rows);
+    if (!replicated.ok()) return replicated.status();
+  }
+  UPDLRM_RETURN_IF_ERROR(plan.Validate(capacity));
+  return plan;
+}
+
+Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
+                                           const dlrm::DenseInputs* dense) {
+  if (range.size() == 0 || range.end > trace_.num_samples()) {
+    return Status::InvalidArgument("invalid batch range");
+  }
+  const std::size_t batch = range.size();
+  const bool fn = functional();
+  const std::uint32_t dim = config_.embedding_dim;
+  const std::uint32_t tables = config_.num_tables;
+
+  BatchResult out;
+  std::vector<std::uint64_t> push_bytes(system_->num_dpus(), 0);
+  std::vector<std::uint64_t> pull_bytes(system_->num_dpus(), 0);
+  Cycles max_kernel = 0;
+
+  std::vector<std::int64_t> pooled_acc;
+  if (fn) {
+    pooled_acc.assign(batch * static_cast<std::size_t>(tables) * dim, 0);
+  }
+
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const TableGroup& group = groups_[g];
+    const auto& geom = group.plan.geom;
+    const std::uint32_t row_bytes = geom.row_bytes();
+    const auto& ttrace = trace_.tables[group.table_index];
+    const bool has_cache = group.plan.has_cache();
+    auto& routes = routes_[g];
+    for (auto& rt : routes) {
+      rt.Clear();
+      if (fn) {
+        rt.emt_offsets.push_back(0);
+        rt.cache_offsets.push_back(0);
+      }
+    }
+
+    // --- Routing: decide, per index, which bin serves it and whether a
+    // cached subset sum covers it (one read per touched list, §3.3).
+    // Slot references are absolute (offset / row_bytes), so EMT, replica
+    // and cache reads share one addressing scheme. ---
+    const bool has_replicas = !group.replica_slot.empty();
+    const std::uint64_t replica_ref_base =
+        group.layout.replica_base / row_bytes;
+    const std::uint64_t cache_ref_base =
+        group.layout.cache_base / row_bytes;
+    for (std::size_t s = range.begin; s < range.end; ++s) {
+      touched_lists_.clear();
+      for (std::uint32_t idx : ttrace.Sample(s)) {
+        if (has_replicas && group.replica_slot[idx] != kCachedRowSlot) {
+          // Adaptive routing: replicated rows exist in every bin; send
+          // the lookup to the currently least-loaded one.
+          std::uint32_t best = 0;
+          std::uint64_t best_load = ~0ULL;
+          for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
+            const std::uint64_t load =
+                routes[b].emt_count + routes[b].cache_count;
+            if (load < best_load) {
+              best_load = load;
+              best = b;
+            }
+          }
+          BinRoute& rt = routes[best];
+          ++rt.emt_count;
+          if (fn) {
+            rt.emt_slots.push_back(static_cast<std::uint32_t>(
+                replica_ref_base + group.replica_slot[idx]));
+          }
+          continue;
+        }
+        const std::int32_t l = has_cache ? group.plan.item_list[idx] : -1;
+        if (l >= 0) {
+          if (list_mask_[l] == 0) {
+            touched_lists_.push_back(static_cast<std::uint32_t>(l));
+          }
+          const auto& items = group.plan.cache.lists[l].items;
+          for (std::size_t i = 0; i < items.size(); ++i) {
+            if (items[i] == idx) {
+              list_mask_[l] |= 1U << i;
+              break;
+            }
+          }
+        } else {
+          const std::uint32_t bin = group.plan.row_bin[idx];
+          BinRoute& rt = routes[bin];
+          ++rt.emt_count;
+          if (fn) rt.emt_slots.push_back(group.row_slot[idx]);
+        }
+      }
+      for (std::uint32_t l : touched_lists_) {
+        const std::uint32_t mask = list_mask_[l];
+        list_mask_[l] = 0;
+        const auto bin = static_cast<std::uint32_t>(group.plan.list_bin[l]);
+        BinRoute& rt = routes[bin];
+        ++rt.cache_count;
+        if (fn) {
+          rt.cache_slots.push_back(static_cast<std::uint32_t>(
+              cache_ref_base + group.list_offset[l] / row_bytes + mask -
+              1));
+        }
+      }
+      if (fn) {
+        for (auto& rt : routes) {
+          rt.emt_offsets.push_back(
+              static_cast<std::uint32_t>(rt.emt_slots.size()));
+          rt.cache_offsets.push_back(
+              static_cast<std::uint32_t>(rt.cache_slots.size()));
+        }
+      }
+    }
+
+    // --- Stage-2 cost and per-DPU statistics. ---
+    for (std::uint32_t bin = 0; bin < geom.row_shards; ++bin) {
+      const BinRoute& rt = routes[bin];
+      const pim::EmbeddingKernelWork work{
+          .num_lookups = rt.emt_count,
+          .num_cache_reads = rt.cache_count,
+          .num_samples = batch,
+          .row_bytes = row_bytes,
+      };
+      const Cycles cycles = system_->kernel_cost().KernelCycles(work);
+      max_kernel = std::max(max_kernel, cycles);
+
+      const std::uint64_t idx_bytes =
+          (rt.emt_count + rt.cache_count + 2 * (batch + 1)) * 4;
+      if (idx_bytes > group.layout.index_bytes) {
+        return Status::CapacityExceeded(
+            "stage-1 index buffer overflow (" + std::to_string(idx_bytes) +
+            " bytes); increase EngineOptions::reserved_io_bytes");
+      }
+      const std::uint64_t out_bytes = batch * row_bytes;
+      UPDLRM_CHECK(out_bytes <= group.layout.output_bytes);
+
+      for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
+        const std::uint32_t id = group.GlobalDpu(bin, c);
+        push_bytes[id] = idx_bytes;
+        pull_bytes[id] = out_bytes;
+        pim::DpuStats& st = system_->dpu(id).stats();
+        st.kernel_cycles += cycles;
+        st.lookups += rt.emt_count;
+        st.cache_reads += rt.cache_count;
+        st.samples += batch;
+        st.mram_bytes_read +=
+            (rt.emt_count + rt.cache_count) * row_bytes + idx_bytes;
+      }
+    }
+
+    // --- Functional kernel execution: real MRAM reads, bit-exact
+    // int32 partial sums per (bin, column shard, sample). ---
+    if (fn) {
+      std::vector<std::int32_t> buf(geom.nc);
+      auto buf_bytes = std::span<std::uint8_t>(
+          reinterpret_cast<std::uint8_t*>(buf.data()), row_bytes);
+      std::vector<std::int64_t> acc(geom.nc);
+      for (std::uint32_t bin = 0; bin < geom.row_shards; ++bin) {
+        const BinRoute& rt = routes[bin];
+        for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
+          const pim::Mram& mram =
+              system_->dpu(group.GlobalDpu(bin, c)).mram();
+          for (std::size_t s = 0; s < batch; ++s) {
+            std::fill(acc.begin(), acc.end(), std::int64_t{0});
+            // Slot references are absolute (EMT at base 0, replicas and
+            // cache offsets folded in during routing).
+            for (std::uint32_t k = rt.emt_offsets[s];
+                 k < rt.emt_offsets[s + 1]; ++k) {
+              UPDLRM_RETURN_IF_ERROR(mram.Read(
+                  static_cast<std::uint64_t>(rt.emt_slots[k]) * row_bytes,
+                  buf_bytes));
+              for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+                acc[lane] += buf[lane];
+              }
+            }
+            for (std::uint32_t k = rt.cache_offsets[s];
+                 k < rt.cache_offsets[s + 1]; ++k) {
+              UPDLRM_RETURN_IF_ERROR(mram.Read(
+                  static_cast<std::uint64_t>(rt.cache_slots[k]) *
+                      row_bytes,
+                  buf_bytes));
+              for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+                acc[lane] += buf[lane];
+              }
+            }
+            // Partial sums cross the DPU->CPU wire as int32 (§3.1
+            // assumes 32-bit values); the Q15.16 range contract keeps
+            // them in range.
+            for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+              const auto wire = static_cast<std::int32_t>(acc[lane]);
+              if (wire != acc[lane]) {
+                return Status::OutOfRange(
+                    "int32 partial-sum overflow; embedding values exceed "
+                    "the fixed-point range contract");
+              }
+              pooled_acc[(s * tables + group.table_index) * dim +
+                         c * geom.nc + lane] += wire;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Stage latencies. ---
+  const double clock = system_->config().dpu.clock_hz;
+  out.stages.cpu_to_dpu =
+      system_->transfer().PushTime(push_bytes, options_.pad_transfers);
+  out.stages.dpu_lookup = system_->transfer().KernelLaunchOverhead() +
+                          CyclesToNanos(max_kernel, clock);
+  out.stages.dpu_to_cpu =
+      system_->transfer().PullTime(pull_bytes, options_.pad_transfers);
+  std::uint64_t partial_bytes = 0;
+  for (std::uint64_t b : pull_bytes) partial_bytes += b;
+  out.stages.cpu_aggregate =
+      cpu_.StreamTime(partial_bytes) + cpu_.BagOverhead(tables);
+
+  out.bottom_mlp = cpu_.MlpTime(batch * config_.BottomFlopsPerSample());
+  out.interaction_top =
+      cpu_.MlpTime(batch * config_.TopFlopsPerSample()) +
+      cpu_.StreamTime(batch * static_cast<std::uint64_t>(tables + 1) * dim *
+                      4);
+  out.total = std::max(out.bottom_mlp, out.stages.EmbeddingTotal()) +
+              out.interaction_top;
+
+  if (fn) {
+    out.pooled.resize(pooled_acc.size());
+    for (std::size_t i = 0; i < pooled_acc.size(); ++i) {
+      out.pooled[i] = FromFixedSum(pooled_acc[i]);
+    }
+    if (dense != nullptr) {
+      out.ctr.reserve(batch);
+      const std::size_t width = static_cast<std::size_t>(tables) * dim;
+      for (std::size_t s = 0; s < batch; ++s) {
+        out.ctr.push_back(model_->ForwardSample(
+            dense->Sample(range.begin + s),
+            std::span<const float>(out.pooled.data() + s * width, width)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<InferenceReport> UpDlrmEngine::RunAll(
+    const dlrm::DenseInputs* dense) {
+  InferenceReport report;
+  for (const trace::BatchRange& range :
+       trace::MakeBatches(trace_.num_samples(), options_.batch_size)) {
+    auto batch = RunBatch(range, dense);
+    if (!batch.ok()) return batch.status();
+    report.Accumulate(batch.value());
+    report.num_samples += range.size();
+  }
+  return report;
+}
+
+}  // namespace updlrm::core

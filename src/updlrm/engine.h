@@ -1,0 +1,150 @@
+// The UpDLRM inference engine (Fig. 4).
+//
+// Pre-process stage (Create): profile the trace, mine cache lists
+// (cache-aware method), choose the tile shape Nc (Eq. 1-3 optimizer
+// unless overridden), partition every EMT onto its DPU group, and place
+// the quantized table slices + cached partial sums into MRAM.
+//
+// Forward stage (RunBatch): route each batch's multi-hot indices to the
+// owning DPUs (stage 1), execute the lookup/reduce kernel on every DPU
+// (stage 2), pull back per-DPU partial sums (stage 3), aggregate them on
+// the CPU into pooled embeddings, and run the MLP stacks. The bottom MLP
+// overlaps the embedding pipeline; interaction + top MLP follow.
+//
+// Two execution modes share all control flow:
+//   * functional — MRAM holds real quantized data, kernels produce
+//     bit-exact pooled embeddings (validated against DlrmModel);
+//   * timing-only — no MRAM contents; only the per-DPU work counts that
+//     drive the calibrated timing models (full-scale benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/grace.h"
+#include "common/status.h"
+#include "dlrm/model.h"
+#include "host/cpu_model.h"
+#include "partition/allocation.h"
+#include "partition/cache_aware.h"
+#include "partition/nonuniform.h"
+#include "partition/uniform.h"
+#include "pim/system.h"
+#include "trace/trace.h"
+#include "updlrm/placement.h"
+#include "updlrm/report.h"
+
+namespace updlrm::core {
+
+struct EngineOptions {
+  partition::Method method = partition::Method::kCacheAware;
+  /// Columns per tile; 0 = pick automatically with the §3.1 optimizer.
+  std::uint32_t nc = 0;
+  /// Fraction of the mined cache lists' storage requirement to actually
+  /// provision (§3.3: 40% / 70% / 100%). Cache-aware method only.
+  double cache_capacity_fraction = 1.0;
+  std::size_t batch_size = 64;
+  /// MRAM reserved per DPU for the stage-1/stage-3 I/O buffers.
+  std::uint64_t reserved_io_bytes = 8 * kMiB;
+  /// Per-bin cache regions are provisioned at headroom * (total need /
+  /// bins) — the greedy placement is not perfectly even.
+  double cache_headroom = 1.3;
+  /// Pad ragged stage-1/3 buffers to the max size so transfers take the
+  /// parallel path (§2.2); disabling falls back to sequential transfers.
+  bool pad_transfers = true;
+  /// Extension: replicate the top-k hottest uncached rows per table into
+  /// every bin and route their lookups to the least-loaded DPU
+  /// (partition/replication.h). 0 disables.
+  std::uint32_t replicate_hot_rows = 0;
+  /// Extension: how DPUs are split across tables. The paper's setup is
+  /// an even split of identical tables; heterogeneous models benefit
+  /// from rows- or traffic-proportional groups
+  /// (partition/allocation.h).
+  partition::DpuAllocationPolicy allocation =
+      partition::DpuAllocationPolicy::kEqual;
+  cache::GraceOptions grace;
+  host::CpuModelParams cpu;
+  /// Optional pre-mined cache lists, one CacheRes per table (e.g. shared
+  /// across engine configurations to avoid re-mining the same trace).
+  /// Used by the cache-aware method only; must outlive the engine.
+  const std::vector<cache::CacheRes>* premined_cache = nullptr;
+};
+
+class UpDlrmEngine {
+ public:
+  /// `model` == nullptr selects timing-only mode (config supplies the
+  /// shapes); otherwise the system must be functional and the engine
+  /// places real data. `trace` doubles as the profiling trace
+  /// (obj_freq / cache mining) and the serving workload, like the
+  /// paper's historical-trace profiling; it must outlive the engine.
+  static Result<std::unique_ptr<UpDlrmEngine>> Create(
+      const dlrm::DlrmModel* model, const dlrm::DlrmConfig& config,
+      const trace::Trace& trace, pim::DpuSystem* system,
+      EngineOptions options);
+
+  /// Runs one batch; `dense` may be null (skips CTR computation, still
+  /// accounts MLP time).
+  Result<BatchResult> RunBatch(trace::BatchRange range,
+                               const dlrm::DenseInputs* dense);
+
+  /// Runs the whole trace in batches of options.batch_size.
+  Result<InferenceReport> RunAll(const dlrm::DenseInputs* dense);
+
+  std::uint32_t nc() const { return nc_; }
+  const std::vector<TableGroup>& groups() const { return groups_; }
+  /// Present when Nc was chosen automatically.
+  const std::optional<partition::TileOptimizerResult>& tile_optimization()
+      const {
+    return tile_result_;
+  }
+  const EngineOptions& options() const { return options_; }
+  bool functional() const { return model_ != nullptr; }
+  const trace::Trace& trace() const { return trace_; }
+
+ private:
+  UpDlrmEngine(const dlrm::DlrmModel* model, dlrm::DlrmConfig config,
+               const trace::Trace& trace, pim::DpuSystem* system,
+               EngineOptions options);
+
+  Status Setup();
+  Result<partition::PartitionPlan> BuildPlan(
+      std::uint32_t table, std::span<const std::uint64_t> freq);
+
+  // Per-(bin) routing buffers for one group, reused across batches.
+  struct BinRoute {
+    std::vector<std::uint32_t> emt_slots;    // functional only
+    std::vector<std::uint32_t> cache_slots;  // functional only
+    std::vector<std::uint32_t> emt_offsets;  // per-sample, functional only
+    std::vector<std::uint32_t> cache_offsets;
+    std::uint64_t emt_count = 0;
+    std::uint64_t cache_count = 0;
+    void Clear();
+  };
+
+  // Cost of one batch at tile width `nc` under `alloc` (auto-Nc search
+  // for heterogeneous / non-equal allocations).
+  Nanos EstimateBatchCost(std::uint32_t nc,
+                          std::span<const std::uint32_t> alloc) const;
+
+  const dlrm::DlrmModel* model_;  // null in timing-only mode
+  dlrm::DlrmConfig config_;
+  const trace::Trace& trace_;
+  pim::DpuSystem* system_;
+  EngineOptions options_;
+  host::CpuTimingModel cpu_;
+
+  std::vector<std::uint32_t> dpus_per_table_;
+  std::vector<std::uint32_t> first_dpu_;
+  std::uint32_t nc_ = 0;
+  std::optional<partition::TileOptimizerResult> tile_result_;
+  std::vector<TableGroup> groups_;
+
+  // Scratch reused across batches (one entry per group x bin).
+  std::vector<std::vector<BinRoute>> routes_;
+  std::vector<std::uint32_t> list_mask_;     // per-list scratch
+  std::vector<std::uint32_t> touched_lists_;
+};
+
+}  // namespace updlrm::core

@@ -1,0 +1,81 @@
+#include "updlrm/hetero.h"
+
+#include <algorithm>
+
+namespace updlrm::core {
+
+Result<std::unique_ptr<UpDlrmHetero>> UpDlrmHetero::Create(
+    const dlrm::DlrmConfig& config, const trace::Trace& trace,
+    pim::DpuSystem* system, HeteroOptions options) {
+  if (options.sync_overhead_ns < 0.0) {
+    return Status::InvalidArgument("sync_overhead_ns must be >= 0");
+  }
+  UPDLRM_RETURN_IF_ERROR(options.gpu.Validate());
+  auto engine = UpDlrmEngine::Create(/*model=*/nullptr, config, trace,
+                                     system, options.engine);
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<UpDlrmHetero>(new UpDlrmHetero(
+      config, std::move(options), std::move(engine).value()));
+}
+
+Result<HeteroBatchReport> UpDlrmHetero::RunBatch(trace::BatchRange range) {
+  auto dpu_batch = engine_->RunBatch(range, /*dense=*/nullptr);
+  if (!dpu_batch.ok()) return dpu_batch.status();
+  const std::size_t batch = range.size();
+  const std::uint32_t row_bytes = config_.embedding_dim * 4;
+
+  HeteroBatchReport report;
+  report.stages = dpu_batch->stages;
+
+  const std::uint32_t bottom_kernels =
+      static_cast<std::uint32_t>(config_.bottom_hidden.size() + 1);
+  const std::uint32_t top_kernels =
+      static_cast<std::uint32_t>(config_.top_hidden.size() + 1 + 1);
+  report.gpu_bottom = gpu_.MlpTime(batch * config_.BottomFlopsPerSample(),
+                                   bottom_kernels);
+  report.gpu_top =
+      gpu_.MlpTime(batch * config_.TopFlopsPerSample(), top_kernels);
+
+  const std::uint64_t dense_bytes =
+      batch * static_cast<std::uint64_t>(config_.dense_features) * 4;
+  const std::uint64_t pooled_bytes =
+      batch * static_cast<std::uint64_t>(config_.num_tables) * row_bytes;
+  const Nanos pcie_dense = gpu_.PcieTransfer(dense_bytes);
+  const Nanos pcie_pooled = gpu_.PcieTransfer(pooled_bytes);
+  const Nanos pcie_ctr = gpu_.PcieTransfer(batch * 4);
+  report.pcie = pcie_dense + pcie_pooled + pcie_ctr;
+  report.overhead = options_.sync_overhead_ns;
+
+  // The dense inputs ship while the DPUs work; the bottom MLP can then
+  // overlap the embedding pipeline. The pooled embeddings, interaction
+  // + top MLP, and CTR return are serialized behind both.
+  const Nanos embedding = report.stages.EmbeddingTotal();
+  const Nanos parallel_phase =
+      options_.overlap_bottom_mlp
+          ? std::max(embedding, pcie_dense + report.gpu_bottom)
+          : embedding + pcie_dense + report.gpu_bottom;
+  report.total = parallel_phase + pcie_pooled + report.gpu_top +
+                 pcie_ctr + report.overhead;
+  return report;
+}
+
+Result<HeteroReport> UpDlrmHetero::RunAll() {
+  HeteroReport report;
+  for (const auto& range :
+       trace::MakeBatches(engine_->trace().num_samples(),
+                          engine_->options().batch_size)) {
+    auto batch = RunBatch(range);
+    if (!batch.ok()) return batch.status();
+    report.stages += batch->stages;
+    report.gpu_bottom += batch->gpu_bottom;
+    report.gpu_top += batch->gpu_top;
+    report.pcie += batch->pcie;
+    report.overhead += batch->overhead;
+    report.total += batch->total;
+    ++report.num_batches;
+    report.num_samples += range.size();
+  }
+  return report;
+}
+
+}  // namespace updlrm::core

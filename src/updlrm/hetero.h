@@ -1,0 +1,88 @@
+// UpDLRM-G: the DPU-GPU heterogeneous system the paper names as future
+// work (§6).
+//
+// Embeddings stay on the UPMEM DPUs (the UpDLRM engine's three-stage
+// pipeline); the dense computation moves to a GPU. The raw dense inputs
+// ship to the GPU up front, so the GPU's bottom MLP overlaps the DPU
+// embedding pipeline; the pooled embeddings then cross PCIe and the
+// interaction + top MLP finish on the GPU.
+//
+// Whether this beats CPU-side MLPs is a batch-size question: at the
+// paper's batch 64 the MLP FLOPs are trivial and the PCIe/launch/sync
+// overheads dominate (the same §4.2 effect that makes DLRM-Hybrid lose
+// to DLRM-CPU); with large batches or wide MLP stacks the GPU side
+// wins. bench/ext_dpu_gpu sweeps the crossover.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "host/gpu_model.h"
+#include "updlrm/engine.h"
+
+namespace updlrm::core {
+
+struct HeteroOptions {
+  EngineOptions engine;  // DPU-side configuration
+  host::GpuModelParams gpu;
+  /// Per-batch host/device synchronization cost. Lower than the plain
+  /// hybrid's: the DPU pipeline gives the driver a long window to
+  /// schedule, and there is no CPU-side gather to serialize behind.
+  Nanos sync_overhead_ns = 150'000.0;
+  /// Overlap the GPU bottom MLP with the DPU embedding pipeline.
+  bool overlap_bottom_mlp = true;
+};
+
+struct HeteroBatchReport {
+  StageBreakdown stages;   // DPU embedding pipeline (stages 1-3 + agg)
+  Nanos gpu_bottom = 0.0;  // bottom MLP on device
+  Nanos gpu_top = 0.0;     // interaction + top MLP on device
+  Nanos pcie = 0.0;        // dense up, pooled up, CTR back
+  Nanos overhead = 0.0;    // sync
+  Nanos total = 0.0;
+};
+
+struct HeteroReport {
+  StageBreakdown stages;
+  Nanos gpu_bottom = 0.0;
+  Nanos gpu_top = 0.0;
+  Nanos pcie = 0.0;
+  Nanos overhead = 0.0;
+  Nanos total = 0.0;
+  std::size_t num_batches = 0;
+  std::size_t num_samples = 0;
+
+  Nanos AvgBatchTotal() const {
+    return num_batches == 0 ? 0.0 : total / static_cast<double>(num_batches);
+  }
+};
+
+/// Timing-only system model (the GPU side has no functional simulator);
+/// pass a timing-only DpuSystem.
+class UpDlrmHetero {
+ public:
+  static Result<std::unique_ptr<UpDlrmHetero>> Create(
+      const dlrm::DlrmConfig& config, const trace::Trace& trace,
+      pim::DpuSystem* system, HeteroOptions options);
+
+  Result<HeteroBatchReport> RunBatch(trace::BatchRange range);
+  Result<HeteroReport> RunAll();
+
+  const UpDlrmEngine& engine() const { return *engine_; }
+
+ private:
+  UpDlrmHetero(dlrm::DlrmConfig config, HeteroOptions options,
+               std::unique_ptr<UpDlrmEngine> engine)
+      : config_(std::move(config)),
+        options_(std::move(options)),
+        gpu_(options_.gpu),
+        engine_(std::move(engine)) {}
+
+  dlrm::DlrmConfig config_;
+  HeteroOptions options_;
+  host::GpuTimingModel gpu_;
+  std::unique_ptr<UpDlrmEngine> engine_;
+};
+
+}  // namespace updlrm::core

@@ -1,0 +1,31 @@
+#include "updlrm/pipelining.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace updlrm::core {
+
+PipelineEstimate EstimatePipelinedEmbedding(
+    std::span<const StageBreakdown> batches) {
+  UPDLRM_CHECK_MSG(!batches.empty(), "need at least one batch");
+  PipelineEstimate estimate;
+  for (const StageBreakdown& b : batches) {
+    estimate.serial_ns += b.EmbeddingTotal();
+    estimate.host_work_ns += b.cpu_to_dpu + b.dpu_to_cpu + b.cpu_aggregate;
+    estimate.dpu_work_ns += b.dpu_lookup;
+  }
+  // Fill: the first batch's indices must arrive before any DPU work;
+  // drain: the last batch's results leave after all DPU work.
+  const Nanos fill = batches.front().cpu_to_dpu;
+  const Nanos drain =
+      batches.back().dpu_to_cpu + batches.back().cpu_aggregate;
+  estimate.pipelined_ns =
+      std::max(estimate.host_work_ns, estimate.dpu_work_ns) + fill + drain;
+  // Overlap can never make the work slower than serial execution.
+  estimate.pipelined_ns = std::min(estimate.pipelined_ns,
+                                   estimate.serial_ns);
+  return estimate;
+}
+
+}  // namespace updlrm::core

@@ -1,0 +1,43 @@
+// Inter-batch pipelining estimate.
+//
+// The paper executes batches serially: stage 1 -> stage 2 -> stage 3
+// per batch. The two stages' resources are disjoint — stages 1/3 use
+// the host and its DIMM buses, stage 2 the DPUs — so a production
+// serving loop can push batch k+1's indices while the DPUs execute
+// batch k (double-buffered index/output regions in MRAM). This module
+// turns a sequence of per-batch stage timings into a steady-state
+// pipelined makespan:
+//
+//   makespan ≈ max(Σ host work, Σ DPU work) + fill + drain
+//
+// where host work is stage 1 + stage 3 + CPU aggregation and DPU work
+// is stage 2. It is an optimistic two-resource bound (no MRAM buffer
+// contention), intended for the what-if ablation bench/abl_pipelining.
+#pragma once
+
+#include <span>
+
+#include "common/units.h"
+#include "updlrm/report.h"
+
+namespace updlrm::core {
+
+struct PipelineEstimate {
+  Nanos serial_ns = 0.0;     // the engine's sequential embedding time
+  Nanos pipelined_ns = 0.0;  // two-resource overlap bound
+  Nanos host_work_ns = 0.0;  // total stage-1 + stage-3 + aggregation
+  Nanos dpu_work_ns = 0.0;   // total stage-2
+
+  double Speedup() const {
+    return pipelined_ns <= 0.0 ? 0.0 : serial_ns / pipelined_ns;
+  }
+  /// Which resource bounds the steady state.
+  bool HostBound() const { return host_work_ns >= dpu_work_ns; }
+};
+
+/// Estimates the pipelined embedding-layer makespan for a batch
+/// sequence. Requires at least one batch.
+PipelineEstimate EstimatePipelinedEmbedding(
+    std::span<const StageBreakdown> batches);
+
+}  // namespace updlrm::core

@@ -1,0 +1,80 @@
+// EMT placement: materializing a PartitionPlan onto a DPU group.
+//
+// Each table owns a contiguous group of DPUs (Fig. 4: "DPUs used to
+// store the same EMT collectively form a group"). Every DPU's MRAM is
+// laid out as
+//
+//   [ EMT region | cache region | stage-1 index buffer | stage-3 output ]
+//
+// DPU (bin b, column shard c) of the group stores, in its EMT region,
+// the Nc-wide column-c slices of bin b's uncached rows (one slot per
+// row, in ascending row order), and in its cache region the subset
+// partial sums of the cache lists Algorithm 1 assigned to bin b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dlrm/embedding.h"
+#include "partition/plan.h"
+#include "pim/system.h"
+
+namespace updlrm::core {
+
+/// Sentinel slot for rows that live in the cache region instead.
+inline constexpr std::uint32_t kCachedRowSlot = 0xffffffffU;
+
+struct MramLayout {
+  std::uint64_t emt_base = 0;
+  std::uint64_t emt_bytes = 0;
+  std::uint64_t replica_base = 0;  // hot-row replicas (every bin)
+  std::uint64_t replica_bytes = 0;
+  std::uint64_t cache_base = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t index_base = 0;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t output_base = 0;
+  std::uint64_t output_bytes = 0;
+};
+
+struct TableGroup {
+  std::uint32_t table_index = 0;
+  std::uint32_t first_dpu = 0;  // global id of the group's first DPU
+  partition::PartitionPlan plan;
+  MramLayout layout;
+
+  /// row -> slot within its bin's EMT region; kCachedRowSlot for rows
+  /// living in the cache or replica regions instead. Only populated
+  /// when `build_row_slots` (functional mode).
+  std::vector<std::uint32_t> row_slot;
+  /// row -> slot within the (per-bin identical) replica region, or
+  /// kCachedRowSlot. Empty when the plan has no replication.
+  std::vector<std::uint32_t> replica_slot;
+  /// list -> byte offset of its slot block within the cache region.
+  std::vector<std::uint64_t> list_offset;
+  /// Uncached rows per bin (slot counts).
+  std::vector<std::uint64_t> emt_rows_per_bin;
+  /// Cache bytes used per bin.
+  std::vector<std::uint64_t> cache_bytes_per_bin;
+
+  std::uint32_t GlobalDpu(std::uint32_t bin, std::uint32_t col_shard) const {
+    return first_dpu + plan.geom.DpuLocal(bin, col_shard);
+  }
+};
+
+/// Computes the layout and (optionally) the row->slot map, validating
+/// that all regions fit the MRAM bank.
+Result<TableGroup> BuildTableGroup(std::uint32_t table_index,
+                                   std::uint32_t first_dpu,
+                                   partition::PartitionPlan plan,
+                                   const pim::DpuSystemConfig& system_config,
+                                   std::uint64_t reserved_io_bytes,
+                                   bool build_row_slots);
+
+/// Writes quantized EMT slices and cache subset sums into the group's
+/// MRAM banks (functional mode only).
+Status PlaceTable(const dlrm::EmbeddingTable& table, const TableGroup& group,
+                  pim::DpuSystem& system);
+
+}  // namespace updlrm::core

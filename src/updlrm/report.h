@@ -1,0 +1,76 @@
+// Latency reports for UpDLRM inference.
+//
+// The paper decomposes embedding-layer time into three stages (Fig. 4):
+// stage 1 CPU->DPU index transfer, stage 2 in-DPU lookup + reduction,
+// stage 3 DPU->CPU partial-result transfer; we additionally account the
+// host-side partial-sum aggregation and the MLP stacks to report
+// end-to-end inference time (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace updlrm::core {
+
+struct StageBreakdown {
+  Nanos cpu_to_dpu = 0.0;    // stage 1
+  Nanos dpu_lookup = 0.0;    // stage 2
+  Nanos dpu_to_cpu = 0.0;    // stage 3
+  Nanos cpu_aggregate = 0.0; // host partial-sum reduction
+
+  Nanos EmbeddingTotal() const {
+    return cpu_to_dpu + dpu_lookup + dpu_to_cpu + cpu_aggregate;
+  }
+
+  StageBreakdown& operator+=(const StageBreakdown& other) {
+    cpu_to_dpu += other.cpu_to_dpu;
+    dpu_lookup += other.dpu_lookup;
+    dpu_to_cpu += other.dpu_to_cpu;
+    cpu_aggregate += other.cpu_aggregate;
+    return *this;
+  }
+};
+
+struct BatchResult {
+  StageBreakdown stages;
+  Nanos bottom_mlp = 0.0;
+  Nanos interaction_top = 0.0;  // interaction + top MLP
+  /// End-to-end batch latency; the bottom MLP overlaps the embedding
+  /// pipeline (they have no data dependency).
+  Nanos total = 0.0;
+
+  // Functional outputs (empty in timing-only mode).
+  std::vector<float> pooled;  // batch x (tables * dim), fixed-point path
+  std::vector<float> ctr;     // batch
+};
+
+struct InferenceReport {
+  StageBreakdown stages;  // summed over batches
+  Nanos bottom_mlp = 0.0;
+  Nanos interaction_top = 0.0;
+  Nanos total = 0.0;
+  std::size_t num_batches = 0;
+  std::size_t num_samples = 0;
+
+  Nanos EmbeddingTotal() const { return stages.EmbeddingTotal(); }
+  Nanos AvgBatchTotal() const {
+    return num_batches == 0 ? 0.0 : total / static_cast<double>(num_batches);
+  }
+  Nanos AvgBatchEmbedding() const {
+    return num_batches == 0
+               ? 0.0
+               : EmbeddingTotal() / static_cast<double>(num_batches);
+  }
+
+  void Accumulate(const BatchResult& batch) {
+    stages += batch.stages;
+    bottom_mlp += batch.bottom_mlp;
+    interaction_top += batch.interaction_top;
+    total += batch.total;
+    ++num_batches;
+  }
+};
+
+}  // namespace updlrm::core

@@ -1,0 +1,165 @@
+#include "baselines/systems.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace updlrm::baselines {
+namespace {
+
+struct Fixture {
+  dlrm::DlrmConfig config;
+  trace::Trace trace;
+};
+
+Fixture MakeFixture(double zipf_alpha = 1.0) {
+  Fixture f;
+  f.config.num_tables = 2;
+  f.config.rows_per_table = 2'000;
+  f.config.embedding_dim = 8;
+  f.config.dense_features = 5;
+
+  trace::DatasetSpec spec;
+  spec.name = "base";
+  spec.num_items = 2'000;
+  spec.avg_reduction = 20.0;
+  spec.zipf_alpha = zipf_alpha;
+  spec.rank_jitter = 0.2;
+  spec.clique_prob = 0.0;
+  spec.num_hot_items = 0;
+  spec.seed = 77;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 128;
+  options.num_tables = 2;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  f.trace = std::move(t).value();
+  return f;
+}
+
+TEST(Table2Test, FourSystemsListed) {
+  const auto rows = Table2();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NE(rows[0].implementation.find("DLRM-CPU"), std::string::npos);
+  EXPECT_NE(rows[3].implementation.find("UpDLRM"), std::string::npos);
+}
+
+TEST(DlrmCpuTest, EmbeddingDominatedAtHighPooling) {
+  // The motivating observation: at pooling 20+ over DRAM-resident
+  // tables, the embedding layer dominates CPU inference.
+  Fixture f = MakeFixture();
+  // Make the table working set exceed the LLC so gathers hit DRAM.
+  f.config.rows_per_table = 2'000;
+  const DlrmCpu cpu(f.config, f.trace);
+  const auto report = cpu.RunBatch({0, 64});
+  EXPECT_GT(report.embedding, 0.0);
+  EXPECT_GT(report.dense_compute, 0.0);
+  EXPECT_DOUBLE_EQ(report.total, report.embedding + report.dense_compute);
+}
+
+TEST(DlrmCpuTest, RunAllAggregates) {
+  Fixture f = MakeFixture();
+  const DlrmCpu cpu(f.config, f.trace);
+  const auto report = cpu.RunAll(64);
+  EXPECT_EQ(report.num_batches, 2u);
+  EXPECT_EQ(report.num_samples, 128u);
+  EXPECT_GT(report.AvgBatchTotal(), 0.0);
+  EXPECT_GT(report.AvgBatchEmbedding(), 0.0);
+}
+
+TEST(DlrmHybridTest, SlowerThanCpuOnlyAtSmallBatch) {
+  // §4.2: DLRM-Hybrid performs the worst — the CPU still executes every
+  // lookup, and PCIe + launch + sync overheads come on top.
+  Fixture f = MakeFixture();
+  const DlrmCpu cpu(f.config, f.trace);
+  const DlrmHybrid hybrid(f.config, f.trace);
+  EXPECT_GT(hybrid.RunBatch({0, 64}).total, cpu.RunBatch({0, 64}).total);
+}
+
+TEST(DlrmHybridTest, EmbeddingCostEqualsCpuBaseline) {
+  Fixture f = MakeFixture();
+  const DlrmCpu cpu(f.config, f.trace);
+  const DlrmHybrid hybrid(f.config, f.trace);
+  EXPECT_DOUBLE_EQ(hybrid.RunBatch({0, 64}).embedding,
+                   cpu.RunBatch({0, 64}).embedding);
+}
+
+TEST(FaeTest, HotFractionGrowsWithSkew) {
+  Fixture flat = MakeFixture(0.0);
+  Fixture skewed = MakeFixture(1.2);
+  FaeOptions options;
+  options.hot_cache_bytes = 2 * 200 * 32;  // 200 hot rows per table
+  auto fae_flat = Fae::Create(flat.config, flat.trace, options);
+  auto fae_skew = Fae::Create(skewed.config, skewed.trace, options);
+  ASSERT_TRUE(fae_flat.ok() && fae_skew.ok());
+  EXPECT_GT((*fae_skew)->HotLookupFraction(),
+            (*fae_flat)->HotLookupFraction() + 0.1);
+}
+
+TEST(FaeTest, FasterThanHybridOnSkewedTrace) {
+  Fixture f = MakeFixture(1.2);
+  const DlrmHybrid hybrid(f.config, f.trace);
+  FaeOptions options;
+  options.hot_cache_bytes = 2 * 500 * 32;
+  auto fae = Fae::Create(f.config, f.trace, options);
+  ASSERT_TRUE(fae.ok());
+  EXPECT_LT((*fae)->RunBatch({0, 64}).total,
+            hybrid.RunBatch({0, 64}).total);
+}
+
+TEST(FaeTest, CacheCapacityBoundsHotRows) {
+  Fixture f = MakeFixture(1.0);
+  FaeOptions options;
+  options.hot_cache_bytes = 2 * 100 * 32;  // 100 rows x 32 B x 2 tables
+  auto fae = Fae::Create(f.config, f.trace, options);
+  ASSERT_TRUE(fae.ok());
+  EXPECT_EQ((*fae)->hot_rows_per_table(), 100u);
+}
+
+TEST(FaeTest, FullCacheServesAlmostEverything) {
+  Fixture f = MakeFixture(1.0);
+  FaeOptions options;
+  options.hot_cache_bytes = 1ULL << 30;  // everything fits
+  auto fae = Fae::Create(f.config, f.trace, options);
+  ASSERT_TRUE(fae.ok());
+  // The per-table budget exceeds the table: every profiled row is hot.
+  EXPECT_GE((*fae)->hot_rows_per_table(), f.config.rows_per_table);
+  // The hot set comes from held-out profiling on the first half of the
+  // trace, so tail items first touched in the second half stay cold —
+  // but nearly all lookup *volume* is hot.
+  EXPECT_GT((*fae)->HotLookupFraction(), 0.8);
+  EXPECT_LT((*fae)->HotLookupFraction(), 1.0);
+}
+
+TEST(FaeTest, ColdLlcFractionIsAFraction) {
+  Fixture f = MakeFixture(1.0);
+  FaeOptions options;
+  options.hot_cache_bytes = 2 * 50 * 32;  // tiny GPU cache
+  auto fae = Fae::Create(f.config, f.trace, options);
+  ASSERT_TRUE(fae.ok());
+  // With a tiny GPU cache on a skewed trace, the host LLC still absorbs
+  // a meaningful share of the cold lookups.
+  EXPECT_GT((*fae)->cold_llc_fraction(), 0.0);
+  EXPECT_LE((*fae)->cold_llc_fraction(), 1.0);
+}
+
+TEST(FaeTest, RejectsMismatchedTrace) {
+  Fixture f = MakeFixture();
+  f.config.num_tables = 4;
+  EXPECT_FALSE(Fae::Create(f.config, f.trace).ok());
+}
+
+TEST(BaselineReportTest, AccumulateSums) {
+  BaselineReport report;
+  BaselineBatchReport batch;
+  batch.embedding = 10.0;
+  batch.total = 25.0;
+  report.Accumulate(batch);
+  report.Accumulate(batch);
+  EXPECT_DOUBLE_EQ(report.embedding, 20.0);
+  EXPECT_DOUBLE_EQ(report.total, 50.0);
+  EXPECT_EQ(report.num_batches, 2u);
+}
+
+}  // namespace
+}  // namespace updlrm::baselines

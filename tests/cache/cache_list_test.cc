@@ -1,0 +1,115 @@
+#include "cache/cache_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::cache {
+namespace {
+
+CacheRes MakeRes() {
+  CacheRes res;
+  res.lists.push_back(CacheList{{1, 2, 3}, 100.0});
+  res.lists.push_back(CacheList{{5, 9}, 40.0});
+  res.lists.push_back(CacheList{{10, 11}, 10.0});
+  return res;
+}
+
+TEST(CacheListTest, SlotsAreAllNonEmptySubsets) {
+  EXPECT_EQ((CacheList{{1, 2}, 0.0}).NumSlots(), 3u);
+  EXPECT_EQ((CacheList{{1, 2, 3}, 0.0}).NumSlots(), 7u);
+  EXPECT_EQ((CacheList{{1, 2, 3, 4}, 0.0}).NumSlots(), 15u);
+}
+
+TEST(CacheListTest, StorageBytes) {
+  // The paper's {a,b,c} example: 7 partial sums of one row slice each.
+  EXPECT_EQ((CacheList{{1, 2, 3}, 0.0}).StorageBytes(32), 7u * 32);
+}
+
+TEST(CacheListTest, ValidateRules) {
+  EXPECT_TRUE((CacheList{{1, 2}, 1.0}).Validate(10).ok());
+  EXPECT_FALSE((CacheList{{1}, 1.0}).Validate(10).ok());        // too small
+  EXPECT_FALSE((CacheList{{1, 2, 3, 4, 5}, 1.0}).Validate(10).ok());
+  EXPECT_FALSE((CacheList{{2, 1}, 1.0}).Validate(10).ok());     // unsorted
+  EXPECT_FALSE((CacheList{{1, 1}, 1.0}).Validate(10).ok());     // dup
+  EXPECT_FALSE((CacheList{{1, 10}, 1.0}).Validate(10).ok());    // range
+  EXPECT_FALSE((CacheList{{1, 2}, -1.0}).Validate(10).ok());    // benefit
+}
+
+TEST(CacheResTest, TotalsAndValidation) {
+  const CacheRes res = MakeRes();
+  EXPECT_EQ(res.TotalStorageBytes(8), 7u * 8 + 3u * 8 + 3u * 8);
+  EXPECT_DOUBLE_EQ(res.TotalBenefit(), 150.0);
+  EXPECT_TRUE(res.Validate(20).ok());
+}
+
+TEST(CacheResTest, ValidateRejectsOverlapAndBadOrder) {
+  CacheRes overlap = MakeRes();
+  overlap.lists.push_back(CacheList{{3, 7}, 5.0});  // 3 reused
+  EXPECT_FALSE(overlap.Validate(20).ok());
+
+  CacheRes unordered = MakeRes();
+  std::swap(unordered.lists[0], unordered.lists[2]);
+  EXPECT_FALSE(unordered.Validate(20).ok());
+}
+
+TEST(CacheResTest, ItemToListMapping) {
+  const CacheRes res = MakeRes();
+  const auto map = res.BuildItemToList(20);
+  EXPECT_EQ(map[1], 0);
+  EXPECT_EQ(map[3], 0);
+  EXPECT_EQ(map[5], 1);
+  EXPECT_EQ(map[11], 2);
+  EXPECT_EQ(map[0], -1);
+  EXPECT_EQ(map[19], -1);
+}
+
+TEST(CacheResTest, TrimToFullBudgetKeepsEverything) {
+  const CacheRes res = MakeRes();
+  const CacheRes trimmed = res.TrimToBudgetFraction(8, 1.0);
+  EXPECT_EQ(trimmed.lists.size(), 3u);
+}
+
+TEST(CacheResTest, TrimKeepsHighestBenefitPrefix) {
+  const CacheRes res = MakeRes();
+  // Full need: 56 + 24 + 24 = 104 bytes. 60% => 62 bytes: the 56-byte
+  // top list fits; the next (24) would exceed; probing continues but
+  // nothing else fits either... 56 + 24 = 80 > 62.
+  const CacheRes trimmed = res.TrimToBudgetBytes(8, 62);
+  ASSERT_EQ(trimmed.lists.size(), 1u);
+  EXPECT_DOUBLE_EQ(trimmed.lists[0].benefit, 100.0);
+}
+
+TEST(CacheResTest, TrimProbesSmallerLists) {
+  const CacheRes res = MakeRes();
+  // 30 bytes: the 56-byte list does not fit, but a 24-byte one does.
+  const CacheRes trimmed = res.TrimToBudgetBytes(8, 30);
+  ASSERT_EQ(trimmed.lists.size(), 1u);
+  EXPECT_DOUBLE_EQ(trimmed.lists[0].benefit, 40.0);
+}
+
+TEST(CacheResTest, TrimToZeroIsEmpty) {
+  EXPECT_TRUE(MakeRes().TrimToBudgetFraction(8, 0.0).lists.empty());
+}
+
+TEST(IntersectionMaskTest, ComputesBitmask) {
+  const std::vector<std::uint32_t> sample = {1, 3, 5, 9};
+  const std::vector<std::uint32_t> list = {3, 4, 9};
+  // items 3 (bit 0) and 9 (bit 2) present.
+  EXPECT_EQ(IntersectionMask(sample, list), 0b101u);
+}
+
+TEST(IntersectionMaskTest, EmptyIntersectionIsZero) {
+  const std::vector<std::uint32_t> sample = {1, 2};
+  const std::vector<std::uint32_t> list = {3, 4};
+  EXPECT_EQ(IntersectionMask(sample, list), 0u);
+}
+
+TEST(IntersectionMaskTest, FullIntersection) {
+  const std::vector<std::uint32_t> sample = {1, 2, 3, 4};
+  const std::vector<std::uint32_t> list = {2, 3, 4};
+  EXPECT_EQ(IntersectionMask(sample, list), 0b111u);
+}
+
+}  // namespace
+}  // namespace updlrm::cache

@@ -1,0 +1,174 @@
+#include "cache/grace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/generator.h"
+
+namespace updlrm::cache {
+namespace {
+
+trace::TableTrace TraceWithPlantedCliques(trace::DatasetSpec* out_spec,
+                                          trace::CliqueModel* out_model) {
+  trace::DatasetSpec spec;
+  spec.name = "mine";
+  spec.num_items = 5'000;
+  spec.avg_reduction = 24.0;
+  spec.zipf_alpha = 1.0;
+  spec.rank_jitter = 0.1;
+  spec.clique_prob = 0.7;
+  spec.num_hot_items = 128;
+  spec.seed = 17;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 800;
+  options.num_tables = 1;
+  trace::TraceGenerator gen(spec);
+  auto t = gen.Generate(options);
+  UPDLRM_CHECK(t.ok());
+  if (out_spec != nullptr) *out_spec = spec;
+  if (out_model != nullptr) *out_model = gen.BuildCliqueModel(0, options);
+  return std::move(t->tables[0]);
+}
+
+TEST(GraceTest, OptionsValidation) {
+  GraceOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_hot_items = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GraceOptions{};
+  options.max_list_size = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GraceOptions{};
+  options.max_list_size = kMaxCacheListSize + 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GraceOptions{};
+  options.max_lists = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(GraceTest, MinedListsAreValid) {
+  const auto table = TraceWithPlantedCliques(nullptr, nullptr);
+  GraceMiner miner;
+  auto res = miner.Mine(table, 5'000);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->lists.empty());
+  EXPECT_TRUE(res->Validate(5'000).ok());
+}
+
+TEST(GraceTest, BenefitsAreSortedAndPositive) {
+  const auto table = TraceWithPlantedCliques(nullptr, nullptr);
+  auto res = GraceMiner().Mine(table, 5'000);
+  ASSERT_TRUE(res.ok());
+  double prev = 1e18;
+  for (const auto& list : res->lists) {
+    EXPECT_GT(list.benefit, 0.0);
+    EXPECT_LE(list.benefit, prev);
+    prev = list.benefit;
+  }
+}
+
+TEST(GraceTest, RecoversPlantedCoOccurrence) {
+  // The miner should group items from the same planted clique: check
+  // that a large share of mined pairs are clique-mates.
+  trace::CliqueModel model;
+  const auto table = TraceWithPlantedCliques(nullptr, &model);
+  auto res = GraceMiner().Mine(table, 5'000);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->lists.empty());
+
+  // item -> planted clique id
+  std::vector<std::int32_t> planted(5'000, -1);
+  for (std::size_t c = 0; c < model.cliques.size(); ++c) {
+    for (std::uint32_t item : model.cliques[c]) {
+      planted[item] = static_cast<std::int32_t>(c);
+    }
+  }
+  std::size_t matched_pairs = 0;
+  std::size_t total_pairs = 0;
+  for (const auto& list : res->lists) {
+    for (std::size_t i = 0; i < list.items.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.items.size(); ++j) {
+        ++total_pairs;
+        if (planted[list.items[i]] >= 0 &&
+            planted[list.items[i]] == planted[list.items[j]]) {
+          ++matched_pairs;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total_pairs, 0u);
+  EXPECT_GT(static_cast<double>(matched_pairs) /
+                static_cast<double>(total_pairs),
+            0.6);
+}
+
+TEST(GraceTest, BenefitMatchesReplayDefinition) {
+  // Construct a tiny trace by hand: items {1,2} co-occur twice, once
+  // with only item 1 present.
+  trace::TableTrace table;
+  table.AppendSample(std::vector<std::uint32_t>{1, 2});
+  table.AppendSample(std::vector<std::uint32_t>{1, 2, 3});
+  table.AppendSample(std::vector<std::uint32_t>{1});
+  CacheRes res;
+  res.lists.push_back(CacheList{{1, 2}, 0.0});
+  const CacheRes scored = ScoreCacheLists(table, 5, res);
+  ASSERT_EQ(scored.lists.size(), 1u);
+  // Two samples intersect with both items: each saves 1 access.
+  EXPECT_DOUBLE_EQ(scored.lists[0].benefit, 2.0);
+}
+
+TEST(GraceTest, ScoreDropsZeroBenefitLists) {
+  trace::TableTrace table;
+  table.AppendSample(std::vector<std::uint32_t>{1});
+  table.AppendSample(std::vector<std::uint32_t>{2});
+  CacheRes res;
+  res.lists.push_back(CacheList{{1, 2}, 99.0});  // never co-occur
+  const CacheRes scored = ScoreCacheLists(table, 5, res);
+  EXPECT_TRUE(scored.lists.empty());
+}
+
+TEST(GraceTest, RespectsMaxListSize) {
+  GraceOptions options;
+  options.max_list_size = 2;
+  const auto table = TraceWithPlantedCliques(nullptr, nullptr);
+  auto res = GraceMiner(options).Mine(table, 5'000);
+  ASSERT_TRUE(res.ok());
+  for (const auto& list : res->lists) {
+    EXPECT_LE(list.items.size(), 2u);
+  }
+}
+
+TEST(GraceTest, RespectsMaxLists) {
+  GraceOptions options;
+  options.max_lists = 3;
+  const auto table = TraceWithPlantedCliques(nullptr, nullptr);
+  auto res = GraceMiner(options).Mine(table, 5'000);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->lists.size(), 3u);
+}
+
+TEST(GraceTest, BalancedTraceYieldsFewOrNoLists) {
+  // With uniform popularity and no planted structure, co-occurrence
+  // support stays below the threshold ("clo is quite balanced, and the
+  // cache rate is low").
+  const trace::DatasetSpec spec =
+      trace::MakeBalancedSyntheticSpec(20'000, 20.0);
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 500;
+  options.num_tables = 1;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  ASSERT_TRUE(t.ok());
+  auto res = GraceMiner().Mine(t->tables[0], 20'000);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->lists.size(), 20u);
+}
+
+TEST(GraceTest, RejectsZeroItems) {
+  trace::TableTrace table;
+  table.AppendSample(std::vector<std::uint32_t>{});
+  EXPECT_FALSE(GraceMiner().Mine(table, 0).ok());
+}
+
+}  // namespace
+}  // namespace updlrm::cache

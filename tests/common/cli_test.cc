@@ -1,0 +1,71 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm {
+namespace {
+
+Result<CommandLine> ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CommandLine::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, EqualsSyntax) {
+  auto cl = ParseArgs({"--dataset=read", "--nc=8"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetString("dataset", ""), "read");
+  EXPECT_EQ(cl->GetInt("nc", 0), 8);
+}
+
+TEST(CliTest, SpaceSyntax) {
+  auto cl = ParseArgs({"--dataset", "clo", "--alpha", "0.5"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetString("dataset", ""), "clo");
+  EXPECT_DOUBLE_EQ(cl->GetDouble("alpha", 0.0), 0.5);
+}
+
+TEST(CliTest, BareFlagIsBooleanTrue) {
+  auto cl = ParseArgs({"--verbose", "--nc=2"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_TRUE(cl->GetBool("verbose", false));
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  auto cl = ParseArgs({});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetInt("missing", 7), 7);
+  EXPECT_EQ(cl->GetString("missing", "d"), "d");
+  EXPECT_FALSE(cl->GetBool("missing", false));
+}
+
+TEST(CliTest, PositionalArguments) {
+  auto cl = ParseArgs({"pos1", "--flag=1", "pos2"});
+  ASSERT_TRUE(cl.ok());
+  ASSERT_EQ(cl->positional().size(), 2u);
+  EXPECT_EQ(cl->positional()[0], "pos1");
+  EXPECT_EQ(cl->positional()[1], "pos2");
+}
+
+TEST(CliTest, UnusedFlagsDetected) {
+  auto cl = ParseArgs({"--used=1", "--typo=2"});
+  ASSERT_TRUE(cl.ok());
+  (void)cl->GetInt("used", 0);
+  const auto unused = cl->UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliTest, BareDashDashRejected) {
+  auto cl = ParseArgs({"--"});
+  EXPECT_FALSE(cl.ok());
+}
+
+TEST(CliTest, HasMarksQueried) {
+  auto cl = ParseArgs({"--x=1"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_TRUE(cl->Has("x"));
+  EXPECT_TRUE(cl->UnusedFlags().empty());
+}
+
+}  // namespace
+}  // namespace updlrm

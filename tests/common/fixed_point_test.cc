@@ -1,0 +1,66 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace updlrm {
+namespace {
+
+TEST(FixedPointTest, RoundTripSmallValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -0.25f, 0.1f}) {
+    EXPECT_NEAR(FromFixed(ToFixed(v)), v, 1.0f / kFixedPointOne);
+  }
+}
+
+TEST(FixedPointTest, OneMapsExactly) {
+  EXPECT_EQ(ToFixed(1.0f), kFixedPointOne);
+  EXPECT_EQ(FromFixed(kFixedPointOne), 1.0f);
+}
+
+TEST(FixedPointTest, RoundsToNearest) {
+  // Half an LSB rounds away from zero.
+  const float half_lsb = 0.5f / kFixedPointOne;
+  EXPECT_EQ(ToFixed(half_lsb), 1);
+  EXPECT_EQ(ToFixed(-half_lsb), -1);
+  // A quarter LSB rounds to zero.
+  EXPECT_EQ(ToFixed(half_lsb / 2.0f), 0);
+}
+
+TEST(FixedPointTest, SumsAreExactInt64) {
+  // Summing quantized values then dequantizing equals the exact
+  // fixed-point sum regardless of order — the property the DPU pipeline
+  // relies on for bit-exact partial aggregation.
+  Rng rng(5);
+  std::vector<std::int32_t> q;
+  for (int i = 0; i < 500; ++i) {
+    q.push_back(ToFixed(static_cast<float>(rng.NextGaussian() * 0.1)));
+  }
+  std::int64_t forward = 0;
+  for (std::int32_t v : q) forward += v;
+  std::int64_t backward = 0;
+  for (auto it = q.rbegin(); it != q.rend(); ++it) backward += *it;
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(FromFixedSum(forward), FromFixedSum(backward));
+}
+
+TEST(FixedPointTest, QuantizeDequantizeVectors) {
+  const std::vector<float> v = {0.25f, -0.75f, 1.5f};
+  const auto q = QuantizeVector(v);
+  const auto d = DequantizeVector(q);
+  ASSERT_EQ(d.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FLOAT_EQ(d[i], v[i]);  // all values representable exactly
+  }
+}
+
+TEST(FixedPointTest, PooledSumHeadroom) {
+  // 512 values at the |v| < 1 contract stay far from int32 overflow.
+  const std::int64_t worst = 512LL * kFixedPointOne;
+  EXPECT_LT(worst, std::int64_t{1} << 31);
+}
+
+}  // namespace
+}  // namespace updlrm

@@ -1,0 +1,182 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace updlrm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmall) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(4.5);
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLargeChunked) {
+  // Means above the 30-per-round chunk exercise Poisson additivity.
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 5'000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(374.08);
+  EXPECT_NEAR(sum / n, 374.08, 374.08 * 0.02);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(ZipfTest, UniformWhenAlphaZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(1000, 1.05);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 1000; ++k) sum += zipf.Probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalMatchesAnalytic) {
+  const double alpha = 1.1;
+  ZipfSampler zipf(50, alpha);
+  Rng rng(42);
+  std::vector<int> counts(50, 0);
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::uint64_t k : {0ULL, 1ULL, 4ULL, 20ULL}) {
+    const double expected = zipf.Probability(k) * n;
+    EXPECT_NEAR(counts[k], expected, std::max(40.0, expected * 0.05))
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HeadDominatesForHighAlpha) {
+  ZipfSampler zipf(1'000'000, 1.2);
+  Rng rng(8);
+  int head = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 100) ++head;
+  }
+  // With alpha = 1.2 over 1M items, the top-100 ranks carry a large
+  // share of the mass.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfTest, SingleElementSupport) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, SamplesInRangeAndSkewMonotone) {
+  const double alpha = GetParam();
+  ZipfSampler zipf(10'000, alpha);
+  Rng rng(77);
+  std::uint64_t head_hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t s = zipf.Sample(rng);
+    ASSERT_LT(s, 10'000u);
+    if (s < 10) ++head_hits;
+  }
+  // The analytic head mass must match the empirical one.
+  double head_mass = 0.0;
+  for (std::uint64_t k = 0; k < 10; ++k) head_mass += zipf.Probability(k);
+  EXPECT_NEAR(static_cast<double>(head_hits) / n, head_mass,
+              std::max(0.01, head_mass * 0.15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.0, 0.35, 0.55, 0.85, 1.0, 1.05,
+                                           1.2));
+
+}  // namespace
+}  // namespace updlrm

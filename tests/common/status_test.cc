@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad nc");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad nc");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad nc");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCapacityExceeded),
+            "CAPACITY_EXCEEDED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+}
+
+TEST(StatusTest, EqualityComparesCodes) {
+  EXPECT_EQ(Status::OutOfRange("a"), Status::OutOfRange("b"));
+  EXPECT_FALSE(Status::OutOfRange("a") == Status::NotFound("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, OkStatusUpgradedToError) {
+  // Building a Result from an OK status is a bug; it must not look OK.
+  Result<int> r{Status::Ok()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+Status Fails() { return Status::CapacityExceeded("full"); }
+Status Propagates() {
+  UPDLRM_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(StatusDeathTest, CheckAborts) {
+  EXPECT_DEATH({ UPDLRM_CHECK(1 == 2); }, "UPDLRM_CHECK failed");
+}
+
+TEST(StatusDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_DEATH({ (void)r.value(); }, "Result::value");
+}
+
+}  // namespace
+}  // namespace updlrm

@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace updlrm {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasNoPadding) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"x", "y"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(TableTest, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::FmtMicros(1500.0, 1), "1.5 us");
+  EXPECT_EQ(TablePrinter::FmtMillis(2.5e6, 1), "2.5 ms");
+  EXPECT_EQ(TablePrinter::FmtSpeedup(2.345, 2), "2.35x");
+  EXPECT_EQ(TablePrinter::FmtPercent(0.3141, 1), "31.4%");
+}
+
+TEST(TableDeathTest, MismatchedRowWidthAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace updlrm

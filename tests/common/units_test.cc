@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm {
+namespace {
+
+TEST(UnitsTest, SizeConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(64 * kMiB, 67'108'864u);
+}
+
+TEST(UnitsTest, CyclesToNanosAt350MHz) {
+  // One cycle at 350 MHz is ~2.857 ns.
+  EXPECT_NEAR(CyclesToNanos(1, 350.0 * kMHz), 2.857, 0.001);
+  EXPECT_NEAR(CyclesToNanos(350'000, 350.0 * kMHz), 1.0e6, 1.0);
+}
+
+TEST(UnitsTest, NanosToCyclesRoundsUp) {
+  EXPECT_EQ(NanosToCycles(2.857, 350.0 * kMHz), 1u);
+  EXPECT_EQ(NanosToCycles(3.0, 350.0 * kMHz), 2u);
+  EXPECT_EQ(NanosToCycles(0.0, 350.0 * kMHz), 0u);
+}
+
+TEST(UnitsTest, TransferNanos) {
+  // 1 GiB at 1 GB/s is ~1.0737 s.
+  EXPECT_NEAR(TransferNanos(kGiB, 1.0e9), 1.0737e9, 1e6);
+  EXPECT_DOUBLE_EQ(TransferNanos(0, 1.0e9), 0.0);
+}
+
+TEST(UnitsTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 8), 16u);
+}
+
+TEST(UnitsTest, IsAligned) {
+  EXPECT_TRUE(IsAligned(0, 8));
+  EXPECT_TRUE(IsAligned(16, 8));
+  EXPECT_FALSE(IsAligned(12, 8));
+}
+
+TEST(UnitsTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(UnitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+}
+
+TEST(UnitsTest, NanosConversions) {
+  EXPECT_DOUBLE_EQ(NanosToMicros(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(NanosToMillis(2.5e6), 2.5);
+}
+
+}  // namespace
+}  // namespace updlrm

@@ -1,0 +1,108 @@
+#include "dlrm/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fixed_point.h"
+
+namespace updlrm::dlrm {
+namespace {
+
+TEST(EmbeddingTest, CreateRejectsEmptyShapes) {
+  EXPECT_FALSE(EmbeddingTable::Create(0, 4, 1).ok());
+  EXPECT_FALSE(EmbeddingTable::Create(4, 0, 1).ok());
+}
+
+TEST(EmbeddingTest, DeterministicInit) {
+  auto a = EmbeddingTable::Create(10, 4, 7);
+  auto b = EmbeddingTable::Create(10, 4, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    const auto ra = a->Row(r);
+    const auto rb = b->Row(r);
+    for (std::uint32_t c = 0; c < 4; ++c) EXPECT_EQ(ra[c], rb[c]);
+  }
+}
+
+TEST(EmbeddingTest, DifferentSeedsDiffer) {
+  auto a = EmbeddingTable::Create(10, 4, 7);
+  auto b = EmbeddingTable::Create(10, 4, 8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->Row(0)[0], b->Row(0)[0]);
+}
+
+TEST(EmbeddingTest, ValuesWithinFixedPointContract) {
+  // N(0, 0.1) init keeps |v| < 1 with enormous margin; spot check.
+  auto table = EmbeddingTable::Create(1000, 8, 3);
+  ASSERT_TRUE(table.ok());
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    for (float v : table->Row(r)) {
+      EXPECT_LT(std::abs(v), 1.0f);
+    }
+  }
+}
+
+TEST(EmbeddingTest, BagSumMatchesManual) {
+  auto table = EmbeddingTable::Create(8, 4, 5);
+  ASSERT_TRUE(table.ok());
+  const std::vector<std::uint32_t> indices = {1, 3, 6};
+  std::vector<float> out(4);
+  table->BagSum(indices, out);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const float expected =
+        table->Row(1)[c] + table->Row(3)[c] + table->Row(6)[c];
+    EXPECT_FLOAT_EQ(out[c], expected);
+  }
+}
+
+TEST(EmbeddingTest, BagSumEmptyIsZero) {
+  auto table = EmbeddingTable::Create(8, 4, 5);
+  ASSERT_TRUE(table.ok());
+  std::vector<float> out(4, 1.0f);
+  table->BagSum({}, out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EmbeddingTest, BagSumFixedMatchesQuantizedRows) {
+  auto table = EmbeddingTable::Create(16, 6, 11);
+  ASSERT_TRUE(table.ok());
+  const std::vector<std::uint32_t> indices = {0, 7, 15};
+  std::vector<std::int64_t> out(6);
+  table->BagSumFixed(indices, out);
+
+  std::vector<std::int32_t> q(6);
+  std::vector<std::int64_t> expected(6, 0);
+  for (std::uint32_t idx : indices) {
+    table->QuantizedRow(idx, q);
+    for (std::uint32_t c = 0; c < 6; ++c) expected[c] += q[c];
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(EmbeddingTest, FixedAndFloatBagsAgreeWithinQuantization) {
+  auto table = EmbeddingTable::Create(100, 8, 13);
+  ASSERT_TRUE(table.ok());
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i = 0; i < 100; i += 3) indices.push_back(i);
+  std::vector<float> fout(8);
+  std::vector<std::int64_t> qout(8);
+  table->BagSum(indices, fout);
+  table->BagSumFixed(indices, qout);
+  const float tol =
+      static_cast<float>(indices.size()) / kFixedPointOne + 1e-4f;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(FromFixedSum(qout[c]), fout[c], tol);
+  }
+}
+
+TEST(EmbeddingTest, ShapeAccessors) {
+  auto table = EmbeddingTable::Create(12, 32, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows(), 12u);
+  EXPECT_EQ(table->cols(), 32u);
+  EXPECT_EQ(table->shape().SizeBytes(), 12u * 32 * 4);
+}
+
+}  // namespace
+}  // namespace updlrm::dlrm

@@ -1,0 +1,62 @@
+#include "dlrm/interaction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::dlrm {
+namespace {
+
+TEST(InteractionTest, ConcatOutputDim) {
+  EXPECT_EQ(InteractionOutputDim(InteractionKind::kConcat, 8, 32),
+            9u * 32);
+}
+
+TEST(InteractionTest, DotOutputDim) {
+  // dense passthrough (dim) + C(9, 2) pairwise dots.
+  EXPECT_EQ(InteractionOutputDim(InteractionKind::kDot, 8, 32),
+            32u + 36u);
+}
+
+TEST(InteractionTest, ConcatLaysOutDenseThenPooled) {
+  const std::vector<float> dense = {1.0f, 2.0f};
+  const std::vector<float> pooled = {3.0f, 4.0f, 5.0f, 6.0f};  // 2 tables
+  std::vector<float> out(6);
+  ComputeInteraction(InteractionKind::kConcat, dense, pooled, 2, 2, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(InteractionTest, DotComputesPairwiseProducts) {
+  const std::vector<float> dense = {1.0f, 0.0f};
+  const std::vector<float> pooled = {0.0f, 1.0f, 1.0f, 1.0f};  // 2 tables
+  std::vector<float> out(2 + 3);
+  ComputeInteraction(InteractionKind::kDot, dense, pooled, 2, 2, out);
+  // passthrough
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  // dense . t0 = 0, dense . t1 = 1, t0 . t1 = 1
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 1.0f);
+  EXPECT_FLOAT_EQ(out[4], 1.0f);
+}
+
+TEST(InteractionTest, DotIsSymmetricInVectors) {
+  // Swapping two identical pooled vectors must not change the output.
+  const std::vector<float> dense = {0.5f, -0.5f};
+  const std::vector<float> pooled = {1.0f, 2.0f, 1.0f, 2.0f};
+  std::vector<float> out(5);
+  ComputeInteraction(InteractionKind::kDot, dense, pooled, 2, 2, out);
+  EXPECT_FLOAT_EQ(out[2], out[3]);  // dense.t0 == dense.t1
+}
+
+TEST(InteractionDeathTest, WrongOutputSizeAborts) {
+  const std::vector<float> dense = {1.0f, 2.0f};
+  const std::vector<float> pooled = {3.0f, 4.0f};
+  std::vector<float> out(3);  // should be 4 for concat
+  EXPECT_DEATH(ComputeInteraction(InteractionKind::kConcat, dense, pooled,
+                                  1, 2, out),
+               "UPDLRM_CHECK");
+}
+
+}  // namespace
+}  // namespace updlrm::dlrm

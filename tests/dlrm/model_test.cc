@@ -1,0 +1,156 @@
+#include "dlrm/model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.h"
+#include "trace/generator.h"
+
+namespace updlrm::dlrm {
+namespace {
+
+DlrmConfig SmallConfig() {
+  DlrmConfig config;
+  config.num_tables = 4;
+  config.rows_per_table = 500;
+  config.embedding_dim = 8;
+  config.dense_features = 5;
+  config.bottom_hidden = {16};
+  config.top_hidden = {16};
+  return config;
+}
+
+trace::Trace SmallTrace(std::uint32_t num_tables = 4) {
+  trace::DatasetSpec spec;
+  spec.name = "t";
+  spec.num_items = 500;
+  spec.avg_reduction = 10.0;
+  spec.zipf_alpha = 0.9;
+  spec.rank_jitter = 0.2;
+  spec.clique_prob = 0.4;
+  spec.num_hot_items = 64;
+  spec.seed = 5;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 64;
+  options.num_tables = num_tables;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+TEST(DlrmConfigTest, ValidatesShapes) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  DlrmConfig bad = SmallConfig();
+  bad.rows_per_table = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.embedding_dim = 7;  // odd: violates 8-byte MRAM alignment
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.num_tables = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(DlrmConfigTest, FlopCounts) {
+  const DlrmConfig c = SmallConfig();
+  EXPECT_EQ(c.BottomFlopsPerSample(), 2ull * (5 * 16 + 16 * 8));
+  const std::uint64_t inter = (4 + 1) * 8;
+  EXPECT_EQ(c.TopFlopsPerSample(), 2ull * (inter * 16 + 16 * 1));
+}
+
+TEST(DenseInputsTest, DeterministicAndShaped) {
+  const auto a = DenseInputs::Generate(10, 5, 3);
+  const auto b = DenseInputs::Generate(10, 5, 3);
+  EXPECT_EQ(a.num_samples(), 10u);
+  EXPECT_EQ(a.dim(), 5u);
+  for (std::size_t s = 0; s < 10; ++s) {
+    const auto sa = a.Sample(s);
+    const auto sb = b.Sample(s);
+    for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(DlrmModelTest, SharedTablesAliasContent) {
+  auto model = DlrmModel::Create(SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(&model->table(0), &model->table(3));
+}
+
+TEST(DlrmModelTest, UnsharedTablesDiffer) {
+  DlrmConfig config = SmallConfig();
+  config.share_table_content = false;
+  auto model = DlrmModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(&model->table(0), &model->table(1));
+  EXPECT_NE(model->table(0).Row(0)[0], model->table(1).Row(0)[0]);
+}
+
+TEST(DlrmModelTest, PooledEmbeddingsMatchBagSums) {
+  auto model = DlrmModel::Create(SmallConfig());
+  ASSERT_TRUE(model.ok());
+  const auto trace = SmallTrace();
+  std::vector<float> pooled(4 * 8);
+  model->PooledEmbeddings(trace, 0, pooled);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    std::vector<float> expected(8);
+    model->table(t).BagSum(trace.tables[t].Sample(0), expected);
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(pooled[t * 8 + c], expected[c]);
+    }
+  }
+}
+
+TEST(DlrmModelTest, FixedPooledCloseToFloat) {
+  auto model = DlrmModel::Create(SmallConfig());
+  ASSERT_TRUE(model.ok());
+  const auto trace = SmallTrace();
+  std::vector<float> f(4 * 8), q(4 * 8);
+  model->PooledEmbeddings(trace, 3, f);
+  model->PooledEmbeddingsFixed(trace, 3, q);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(q[i], f[i], 16.0f / kFixedPointOne + 1e-4f);
+  }
+}
+
+TEST(DlrmModelTest, CtrInUnitInterval) {
+  auto model = DlrmModel::Create(SmallConfig());
+  ASSERT_TRUE(model.ok());
+  const auto trace = SmallTrace();
+  const auto dense = DenseInputs::Generate(64, 5, 1);
+  const auto ctr =
+      model->ForwardBatch(dense, trace, {0, 16}, /*fixed=*/false);
+  ASSERT_EQ(ctr.size(), 16u);
+  for (float p : ctr) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST(DlrmModelTest, FixedAndFloatForwardAgreeClosely) {
+  auto model = DlrmModel::Create(SmallConfig());
+  ASSERT_TRUE(model.ok());
+  const auto trace = SmallTrace();
+  const auto dense = DenseInputs::Generate(64, 5, 1);
+  const auto f = model->ForwardBatch(dense, trace, {0, 8}, false);
+  const auto q = model->ForwardBatch(dense, trace, {0, 8}, true);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(f[i], q[i], 1e-2f);
+  }
+}
+
+TEST(DlrmModelTest, DotInteractionVariant) {
+  DlrmConfig config = SmallConfig();
+  config.interaction = InteractionKind::kDot;
+  auto model = DlrmModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  const auto trace = SmallTrace();
+  const auto dense = DenseInputs::Generate(64, 5, 1);
+  const auto ctr = model->ForwardBatch(dense, trace, {0, 4}, false);
+  ASSERT_EQ(ctr.size(), 4u);
+  for (float p : ctr) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::dlrm

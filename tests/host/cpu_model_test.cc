@@ -1,0 +1,61 @@
+#include "host/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::host {
+namespace {
+
+TEST(CpuModelTest, MlpTimeScalesLinearly) {
+  const CpuTimingModel model;
+  const Nanos one = model.MlpTime(1'000'000);
+  const Nanos ten = model.MlpTime(10'000'000);
+  EXPECT_NEAR(ten / one, 10.0, 1e-9);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(CpuModelTest, GatherSlowerFromDramThanLlc) {
+  const CpuTimingModel model;
+  const Nanos dram = model.GatherTime(10'000, 128, 1ULL << 32);
+  const Nanos llc = model.GatherTime(10'000, 128, 1ULL << 20);
+  EXPECT_GT(dram, 5.0 * llc);
+}
+
+TEST(CpuModelTest, GatherMatchesBandwidthArithmetic) {
+  CpuModelParams params;
+  params.random_gather_bytes_per_sec = 4.0e9;
+  const CpuTimingModel model(params);
+  // 125,850 lookups x 128 B at 4 GB/s ≈ 4.03 ms — the DLRM-CPU
+  // embedding cost for the GoodReads batch in EXPERIMENTS.md.
+  const Nanos t = model.GatherTime(125'850, 128, 1ULL << 33);
+  EXPECT_NEAR(t, 125'850.0 * 128.0 / 4.0, t * 0.001);
+}
+
+TEST(CpuModelTest, StreamTimeUsesStreamBandwidth) {
+  CpuModelParams params;
+  params.stream_bytes_per_sec = 60.0e9;
+  const CpuTimingModel model(params);
+  EXPECT_NEAR(model.StreamTime(60'000'000'000ULL), 1e9, 1e3);
+}
+
+TEST(CpuModelTest, BagOverheadPerCall) {
+  CpuModelParams params;
+  params.bag_call_overhead_ns = 100.0;
+  const CpuTimingModel model(params);
+  EXPECT_DOUBLE_EQ(model.BagOverhead(8), 800.0);
+}
+
+TEST(CpuModelTest, ValidationRejectsNonsense) {
+  CpuModelParams params;
+  params.threads = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = CpuModelParams{};
+  params.mlp_efficiency = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params = CpuModelParams{};
+  params.random_gather_bytes_per_sec = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  EXPECT_TRUE(CpuModelParams{}.Validate().ok());
+}
+
+}  // namespace
+}  // namespace updlrm::host

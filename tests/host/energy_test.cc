@@ -1,0 +1,96 @@
+#include "host/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::host {
+namespace {
+
+TEST(EnergyTest, ParamsValidate) {
+  EXPECT_TRUE(EnergyParams{}.Validate().ok());
+  EnergyParams bad;
+  bad.cpu_idle_watts = bad.cpu_active_watts + 1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = EnergyParams{};
+  bad.dram_watts = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(EnergyTest, CpuOnlyArithmetic) {
+  EnergyParams params;
+  params.cpu_active_watts = 100.0;
+  params.cpu_idle_watts = 20.0;
+  params.dram_watts = 50.0;
+  const EnergyModel model(params);
+  ComponentActivity a;
+  a.window_ns = 1e9;      // 1 second
+  a.cpu_busy_ns = 0.5e9;  // half busy
+  // 50 J DRAM + 100*0.5 + 20*0.5 = 110 J.
+  EXPECT_NEAR(model.BatchJoules(a), 110.0, 1e-9);
+}
+
+TEST(EnergyTest, GpuAddsOnlyWhenPresent) {
+  const EnergyModel model;
+  ComponentActivity without;
+  without.window_ns = 1e6;
+  without.cpu_busy_ns = 1e6;
+  ComponentActivity with = without;
+  with.has_gpu = true;
+  with.gpu_busy_ns = 0.0;  // even idle, the GPU draws power
+  EXPECT_GT(model.BatchJoules(with), model.BatchJoules(without));
+}
+
+TEST(EnergyTest, DpuRanksScaleLinearly) {
+  const EnergyModel model;
+  ComponentActivity one;
+  one.window_ns = 1e6;
+  one.dpu_busy_ns = 1e6;
+  one.dpu_ranks = 1;
+  ComponentActivity four = one;
+  four.dpu_ranks = 4;
+  const double base = model.BatchJoules(ComponentActivity{.window_ns = 1e6});
+  EXPECT_NEAR(model.BatchJoules(four) - base,
+              4.0 * (model.BatchJoules(one) - base), 1e-9);
+}
+
+TEST(EnergyTest, BusyClampedToWindow) {
+  const EnergyModel model;
+  ComponentActivity a;
+  a.window_ns = 1e6;
+  a.cpu_busy_ns = 5e6;  // over-reported busy time
+  ComponentActivity full;
+  full.window_ns = 1e6;
+  full.cpu_busy_ns = 1e6;
+  EXPECT_DOUBLE_EQ(model.BatchJoules(a), model.BatchJoules(full));
+}
+
+TEST(EnergyTest, PerInferenceConversion) {
+  EnergyParams params;
+  params.cpu_active_watts = 64.0;
+  params.cpu_idle_watts = 64.0;
+  params.dram_watts = 0.0;
+  const EnergyModel model(params);
+  ComponentActivity a;
+  a.window_ns = 1e9;
+  // 64 J over 64 inferences = 1 J = 1000 mJ each.
+  EXPECT_NEAR(model.MillijoulesPerInference(a, 64), 1000.0, 1e-9);
+}
+
+TEST(EnergyTest, PimIsCheaperThanGpuForMemoryBoundWork) {
+  // The §2.3 motivation in miniature: serving the same batch window,
+  // 4 busy DPU ranks cost far less than a busy GPU.
+  const EnergyModel model;
+  ComponentActivity pim;
+  pim.window_ns = 1e6;
+  pim.cpu_busy_ns = 0.2e6;
+  pim.dpu_busy_ns = 1e6;
+  pim.dpu_ranks = 4;
+  ComponentActivity gpu;
+  gpu.window_ns = 1e6;
+  gpu.cpu_busy_ns = 0.8e6;
+  gpu.has_gpu = true;
+  gpu.gpu_busy_ns = 0.6e6;
+  EXPECT_LT(model.BatchJoules(pim), model.BatchJoules(gpu));
+}
+
+}  // namespace
+}  // namespace updlrm::host

@@ -1,0 +1,57 @@
+#include "host/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::host {
+namespace {
+
+TEST(GpuModelTest, MlpTimeIncludesLaunchCosts) {
+  GpuModelParams params;
+  params.kernel_launch_ns = 1000.0;
+  const GpuTimingModel model(params);
+  const Nanos zero_kernels = model.MlpTime(1'000'000, 0);
+  const Nanos seven_kernels = model.MlpTime(1'000'000, 7);
+  EXPECT_NEAR(seven_kernels - zero_kernels, 7000.0, 1e-6);
+}
+
+TEST(GpuModelTest, SmallBatchMlpIsLaunchDominated) {
+  // The hybrid's pathology: at batch 64 the MLP FLOPs are trivial next
+  // to launch + sync overheads.
+  const GpuTimingModel model;
+  const std::uint64_t batch_flops = 64ULL * 100'000;  // generous
+  const Nanos compute_only = model.MlpTime(batch_flops, 0);
+  EXPECT_LT(compute_only, model.BatchSyncOverhead() * 0.1);
+}
+
+TEST(GpuModelTest, PcieTransferHasFixedAndLinearParts) {
+  GpuModelParams params;
+  params.pcie_call_overhead_ns = 25'000.0;
+  params.pcie_bytes_per_sec = 12.0e9;
+  const GpuTimingModel model(params);
+  EXPECT_NEAR(model.PcieTransfer(0), 25'000.0, 1e-9);
+  EXPECT_NEAR(model.PcieTransfer(12'000'000), 25'000.0 + 1'000'000.0, 1.0);
+}
+
+TEST(GpuModelTest, DeviceGatherFasterThanHostGather) {
+  const GpuTimingModel gpu;
+  // 10k lookups of 128 B: device memory gathers at ~120 GB/s.
+  const Nanos t = gpu.GatherTime(10'000, 128);
+  EXPECT_LT(t, 20'000.0);  // well under 20 us
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(GpuModelTest, ValidationRejectsNonsense) {
+  GpuModelParams params;
+  params.mlp_efficiency = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = GpuModelParams{};
+  params.pcie_bytes_per_sec = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = GpuModelParams{};
+  params.batch_sync_overhead_ns = -5.0;
+  EXPECT_FALSE(params.Validate().ok());
+  EXPECT_TRUE(GpuModelParams{}.Validate().ok());
+}
+
+}  // namespace
+}  // namespace updlrm::host

@@ -1,0 +1,229 @@
+// Cross-module integration tests: the full pre-process + inference
+// pipeline against the paper's qualitative claims, at test scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/systems.h"
+#include "partition/metrics.h"
+#include "trace/generator.h"
+#include "trace/profiler.h"
+#include "updlrm/engine.h"
+
+namespace updlrm {
+namespace {
+
+struct World {
+  dlrm::DlrmConfig config;
+  trace::Trace trace;
+  std::unique_ptr<pim::DpuSystem> system;
+};
+
+World MakeWorld(double zipf_alpha, double clique_prob,
+                double avg_red = 24.0) {
+  World w;
+  w.config.num_tables = 4;
+  w.config.rows_per_table = 4'000;
+  w.config.embedding_dim = 16;
+  w.config.dense_features = 8;
+
+  trace::DatasetSpec spec;
+  spec.name = "it";
+  spec.num_items = 4'000;
+  spec.avg_reduction = avg_red;
+  spec.zipf_alpha = zipf_alpha;
+  spec.rank_jitter = 0.1;
+  spec.clique_prob = clique_prob;
+  spec.num_hot_items = 256;
+  spec.seed = 1234;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 256;
+  options.num_tables = 4;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  w.trace = std::move(t).value();
+
+  pim::DpuSystemConfig sys;
+  sys.num_dpus = 32;  // 8 per table
+  sys.dpus_per_rank = 32;
+  sys.dpu.mram_bytes = 2 * kMiB;
+  sys.functional = false;
+  auto system = pim::DpuSystem::Create(sys);
+  UPDLRM_CHECK(system.ok());
+  w.system = std::move(system).value();
+  return w;
+}
+
+core::EngineOptions Options(partition::Method method) {
+  core::EngineOptions options;
+  options.method = method;
+  options.batch_size = 64;
+  options.reserved_io_bytes = 256 * kKiB;
+  options.grace.num_hot_items = 256;
+  return options;
+}
+
+Nanos EmbeddingTime(World& w, partition::Method method) {
+  auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
+                                           w.system.get(), Options(method));
+  UPDLRM_CHECK(engine.ok());
+  auto report = (*engine)->RunAll(nullptr);
+  UPDLRM_CHECK(report.ok());
+  return report->EmbeddingTotal();
+}
+
+TEST(IntegrationTest, PartitioningHierarchyOnSkewedCoOccurringTrace) {
+  // On a hot, co-occurrence-heavy trace the paper's ordering holds:
+  // cache-aware <= non-uniform <= uniform embedding time.
+  World w = MakeWorld(1.1, 0.65);
+  const Nanos u = EmbeddingTime(w, partition::Method::kUniform);
+  w.system->ResetStats();
+  const Nanos nu = EmbeddingTime(w, partition::Method::kNonUniform);
+  w.system->ResetStats();
+  const Nanos ca = EmbeddingTime(w, partition::Method::kCacheAware);
+  EXPECT_LE(nu, u * 1.001);
+  EXPECT_LT(ca, nu);
+}
+
+TEST(IntegrationTest, MethodsTieOnBalancedTrace) {
+  // The "clo" observation: balanced access + low cache rate makes the
+  // three methods perform almost the same.
+  World w = MakeWorld(0.0, 0.0);
+  const Nanos u = EmbeddingTime(w, partition::Method::kUniform);
+  w.system->ResetStats();
+  const Nanos nu = EmbeddingTime(w, partition::Method::kNonUniform);
+  w.system->ResetStats();
+  const Nanos ca = EmbeddingTime(w, partition::Method::kCacheAware);
+  EXPECT_NEAR(nu / u, 1.0, 0.05);
+  EXPECT_NEAR(ca / u, 1.0, 0.05);
+}
+
+TEST(IntegrationTest, UpdlrmBeatsBaselinesOnHotWorkload) {
+  // Fig. 8's ordering: UpDLRM < FAE < CPU < Hybrid on total inference
+  // time. The ordering is a property of the DRAM-gather regime, so this
+  // test runs at a scale where tables exceed the LLC and batches carry
+  // hundreds of lookups — the paper's operating point — unlike the
+  // other tests' toy worlds (where a CPU with an LLC-resident table
+  // rightly wins).
+  // Tables must dwarf the LLC for the DRAM-gather regime to hold (at
+  // 100k rows the LLC covers >10% of a table and the CPU wins, rightly).
+  World w;
+  w.config.num_tables = 8;
+  w.config.rows_per_table = 1'000'000;
+  w.config.embedding_dim = 32;
+  w.config.dense_features = 13;
+
+  trace::DatasetSpec spec;
+  spec.name = "fig8";
+  spec.num_items = 1'000'000;
+  spec.avg_reduction = 245.8;
+  spec.zipf_alpha = 1.05;
+  spec.rank_jitter = 0.12;
+  spec.clique_prob = 0.6;
+  spec.num_hot_items = 2048;
+  spec.seed = 88;
+  // Enough samples for a stable frequency histogram — the LLC-share and
+  // hot-set models degrade into oracles on very sparse traces.
+  trace::TraceGeneratorOptions topt;
+  topt.num_samples = 1'024;
+  topt.num_tables = 8;
+  auto t = trace::TraceGenerator(spec).Generate(topt);
+  ASSERT_TRUE(t.ok());
+  w.trace = std::move(t).value();
+
+  pim::DpuSystemConfig sys;  // Table 2: two UPMEM modules, 256 DPUs
+  sys.num_dpus = 256;
+  sys.dpus_per_rank = 64;
+  sys.functional = false;
+  auto system = pim::DpuSystem::Create(sys);
+  ASSERT_TRUE(system.ok());
+  w.system = std::move(system).value();
+
+  core::EngineOptions options = Options(partition::Method::kCacheAware);
+  options.grace.num_hot_items = 2048;
+  auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
+                                           w.system.get(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto up = (*engine)->RunAll(nullptr);
+  ASSERT_TRUE(up.ok());
+
+  const baselines::DlrmCpu cpu(w.config, w.trace);
+  const baselines::DlrmHybrid hybrid(w.config, w.trace);
+  baselines::FaeOptions fae_options;
+  // FAE's GPU cache must exceed the host LLC's hot-row coverage to add
+  // value; provision half the rows (at real scale an 11 GB GPU holds
+  // far more hot rows than a 22 MB LLC).
+  fae_options.hot_cache_bytes = 8ULL * 50'000 * 32 * 4;
+  auto fae = baselines::Fae::Create(w.config, w.trace, fae_options);
+  ASSERT_TRUE(fae.ok());
+
+  const Nanos t_up = up->total;
+  const Nanos t_cpu = cpu.RunAll(64).total;
+  const Nanos t_hybrid = hybrid.RunAll(64).total;
+  const Nanos t_fae = (*fae)->RunAll(64).total;
+
+  EXPECT_LT(t_up, t_fae);
+  EXPECT_LT(t_fae, t_cpu);
+  EXPECT_LT(t_cpu, t_hybrid);
+}
+
+TEST(IntegrationTest, HigherReductionGrowsUpdlrmAdvantage) {
+  // Fig. 8: speedup over DLRM-CPU grows with average reduction.
+  World low = MakeWorld(1.0, 0.4, 12.0);
+  World high = MakeWorld(1.0, 0.4, 48.0);
+
+  auto speedup = [&](World& w) {
+    auto engine = core::UpDlrmEngine::Create(
+        nullptr, w.config, w.trace, w.system.get(),
+        Options(partition::Method::kCacheAware));
+    UPDLRM_CHECK(engine.ok());
+    auto up = (*engine)->RunAll(nullptr);
+    UPDLRM_CHECK(up.ok());
+    const baselines::DlrmCpu cpu(w.config, w.trace);
+    return cpu.RunAll(64).total / up->total;
+  };
+  EXPECT_GT(speedup(high), speedup(low));
+}
+
+TEST(IntegrationTest, CacheReducesTotalMramTraffic) {
+  // Fig. 6's traffic claim: CA's replayed read count is well below the
+  // uncached count on a co-occurrence-heavy trace.
+  World w = MakeWorld(1.1, 0.7);
+  auto engine = core::UpDlrmEngine::Create(
+      nullptr, w.config, w.trace, w.system.get(),
+      Options(partition::Method::kCacheAware));
+  ASSERT_TRUE(engine.ok());
+  const auto& group = (*engine)->groups()[0];
+  const partition::LoadReport report =
+      partition::ReplayLoads(w.trace.tables[0], group.plan);
+  EXPECT_GT(report.TrafficReduction(), 0.15);
+  // And the cache-aware placement keeps the post-cache loads balanced.
+  EXPECT_LT(report.cv, 0.35);
+}
+
+TEST(IntegrationTest, StageSharesShiftWithNc) {
+  // §4.3: growing Nc shrinks the stage-1 share and grows the stage-3
+  // share of embedding time.
+  World w = MakeWorld(1.05, 0.5);
+  auto run = [&](std::uint32_t nc) {
+    core::EngineOptions options = Options(partition::Method::kCacheAware);
+    options.nc = nc;
+    auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
+                                             w.system.get(), options);
+    UPDLRM_CHECK(engine.ok());
+    auto report = (*engine)->RunAll(nullptr);
+    UPDLRM_CHECK(report.ok());
+    return report->stages;
+  };
+  const auto s2 = run(2);
+  const auto s8 = run(8);
+  const double share1_nc2 = s2.cpu_to_dpu / s2.EmbeddingTotal();
+  const double share1_nc8 = s8.cpu_to_dpu / s8.EmbeddingTotal();
+  const double share3_nc2 = s2.dpu_to_cpu / s2.EmbeddingTotal();
+  const double share3_nc8 = s8.dpu_to_cpu / s8.EmbeddingTotal();
+  EXPECT_LT(share1_nc8, share1_nc2);
+  EXPECT_GT(share3_nc8, share3_nc2);
+}
+
+}  // namespace
+}  // namespace updlrm

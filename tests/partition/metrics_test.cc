@@ -1,0 +1,128 @@
+#include "partition/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "partition/cache_aware.h"
+#include "partition/nonuniform.h"
+#include "partition/uniform.h"
+#include "trace/generator.h"
+#include "trace/profiler.h"
+
+namespace updlrm::partition {
+namespace {
+
+GroupGeometry Geom(std::uint64_t rows, std::uint32_t bins) {
+  auto geom = GroupGeometry::Make(dlrm::TableShape{rows, 8}, bins, 8);
+  UPDLRM_CHECK(geom.ok());
+  return *geom;
+}
+
+trace::TableTrace HandTrace() {
+  trace::TableTrace t;
+  t.AppendSample(std::vector<std::uint32_t>{0, 1, 5});
+  t.AppendSample(std::vector<std::uint32_t>{0, 1});
+  t.AppendSample(std::vector<std::uint32_t>{7});
+  return t;
+}
+
+TEST(MetricsTest, UncachedReplayCountsEmtReads) {
+  const auto trace = HandTrace();
+  auto plan = UniformPartition(Geom(8, 4));  // 2 rows per bin
+  ASSERT_TRUE(plan.ok());
+  const LoadReport report = ReplayLoads(trace, *plan);
+  // rows 0,1 -> bin 0 (3+2... row0 twice, row1 twice => 4 reads),
+  // row 5 -> bin 2, row 7 -> bin 3.
+  EXPECT_EQ(report.emt_reads[0], 4u);
+  EXPECT_EQ(report.emt_reads[1], 0u);
+  EXPECT_EQ(report.emt_reads[2], 1u);
+  EXPECT_EQ(report.emt_reads[3], 1u);
+  EXPECT_EQ(report.sum_reads, 6u);
+  EXPECT_EQ(report.uncached_reads, 6u);
+  EXPECT_DOUBLE_EQ(report.TrafficReduction(), 0.0);
+}
+
+TEST(MetricsTest, CachedReplayCollapsesIntersections) {
+  const auto trace = HandTrace();
+  std::vector<std::uint64_t> freq = trace::ItemFrequencies(trace, 8);
+  cache::CacheRes res;
+  res.lists.push_back(cache::CacheList{{0, 1}, 2.0});
+  CacheAwareOptions options;
+  options.capacity = BinCapacity{1 * kMiB, 4 * kKiB};
+  auto result = CacheAwarePartition(Geom(8, 4), freq, res, options);
+  ASSERT_TRUE(result.ok());
+  const LoadReport report = ReplayLoads(trace, result->plan);
+  // Samples 0 and 1 each collapse {0,1} into one cache read.
+  const std::uint64_t total_cache = std::accumulate(
+      report.cache_reads.begin(), report.cache_reads.end(), 0ull);
+  EXPECT_EQ(total_cache, 2u);
+  EXPECT_EQ(report.sum_reads, 4u);  // 2 cache + row5 + row7
+  EXPECT_EQ(report.uncached_reads, 6u);
+  EXPECT_NEAR(report.TrafficReduction(), 1.0 - 4.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, SingleItemIntersectionStillOneRead) {
+  trace::TableTrace t;
+  t.AppendSample(std::vector<std::uint32_t>{0});  // only half the list
+  std::vector<std::uint64_t> freq = trace::ItemFrequencies(t, 8);
+  cache::CacheRes res;
+  res.lists.push_back(cache::CacheList{{0, 1}, 0.5});
+  CacheAwareOptions options;
+  options.capacity = BinCapacity{1 * kMiB, 4 * kKiB};
+  auto result = CacheAwarePartition(Geom(8, 4), freq, res, options);
+  ASSERT_TRUE(result.ok());
+  const LoadReport report = ReplayLoads(t, result->plan);
+  EXPECT_EQ(report.sum_reads, 1u);
+  const std::uint64_t total_cache = std::accumulate(
+      report.cache_reads.begin(), report.cache_reads.end(), 0ull);
+  EXPECT_EQ(total_cache, 1u);  // served from the cache region
+}
+
+TEST(MetricsTest, NonUniformBeatsUniformOnSkewedTrace) {
+  // The Fig. 6 story, miniature: skewed trace, NU balances per-bin reads.
+  trace::DatasetSpec spec;
+  spec.name = "skew";
+  spec.num_items = 2'000;
+  spec.avg_reduction = 16.0;
+  spec.zipf_alpha = 1.1;
+  spec.rank_jitter = 0.05;
+  spec.clique_prob = 0.0;
+  spec.num_hot_items = 0;
+  spec.seed = 21;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 400;
+  options.num_tables = 1;
+  auto trace = trace::TraceGenerator(spec).Generate(options);
+  ASSERT_TRUE(trace.ok());
+  const auto& table = trace->tables[0];
+  const auto freq = trace::ItemFrequencies(table, spec.num_items);
+
+  const GroupGeometry geom = Geom(spec.num_items, 8);
+  auto u = UniformPartition(geom);
+  auto nu = NonUniformPartition(geom, freq);
+  ASSERT_TRUE(u.ok() && nu.ok());
+  const LoadReport u_report = ReplayLoads(table, *u);
+  const LoadReport nu_report = ReplayLoads(table, *nu);
+  EXPECT_EQ(u_report.sum_reads, nu_report.sum_reads);  // no caching
+  EXPECT_LT(nu_report.imbalance, u_report.imbalance);
+  EXPECT_LT(nu_report.cv, 0.2);
+}
+
+TEST(MetricsTest, TotalsAreConsistent) {
+  const auto trace = HandTrace();
+  auto plan = UniformPartition(Geom(8, 4));
+  ASSERT_TRUE(plan.ok());
+  const LoadReport report = ReplayLoads(trace, *plan);
+  std::uint64_t sum = 0;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(report.total_reads[b],
+              report.emt_reads[b] + report.cache_reads[b]);
+    sum += report.total_reads[b];
+  }
+  EXPECT_EQ(sum, report.sum_reads);
+}
+
+}  // namespace
+}  // namespace updlrm::partition

@@ -1,0 +1,117 @@
+#include "partition/uniform.h"
+
+#include <gtest/gtest.h>
+
+#include "pim/system.h"
+
+namespace updlrm::partition {
+namespace {
+
+std::unique_ptr<pim::DpuSystem> MakeSystem() {
+  pim::DpuSystemConfig config;
+  config.num_dpus = 256;
+  config.dpus_per_rank = 64;
+  config.functional = false;
+  auto system = pim::DpuSystem::Create(config);
+  UPDLRM_CHECK(system.ok());
+  return std::move(system).value();
+}
+
+TEST(UniformTest, ContiguousEqualBlocks) {
+  auto geom = GroupGeometry::Make(dlrm::TableShape{100, 8}, 8, 4);
+  ASSERT_TRUE(geom.ok());
+  auto plan = UniformPartition(*geom);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, Method::kUniform);
+  // 4 bins (8 DPUs / 2 col shards), 25 rows each, contiguous.
+  EXPECT_EQ(plan->row_bin[0], 0u);
+  EXPECT_EQ(plan->row_bin[24], 0u);
+  EXPECT_EQ(plan->row_bin[25], 1u);
+  EXPECT_EQ(plan->row_bin[99], 3u);
+}
+
+TEST(UniformTest, LastBinAbsorbsShortTail) {
+  auto geom = GroupGeometry::Make(dlrm::TableShape{10, 8}, 8, 4);
+  ASSERT_TRUE(geom.ok());
+  // 4 bins, ceil(10/4) = 3 rows per bin; last bin gets 1.
+  auto plan = UniformPartition(*geom);
+  ASSERT_TRUE(plan.ok());
+  auto rows = plan->EmtRowsPerBin();
+  EXPECT_EQ(rows[0], 3u);
+  EXPECT_EQ(rows[3], 1u);
+}
+
+TEST(TileOptimizerTest, PicksAFeasibleCandidate) {
+  auto system = MakeSystem();
+  auto result = OptimizeTileShape(dlrm::TableShape{2'360'650, 32}, 32, 64,
+                                  245.8, *system);
+  ASSERT_TRUE(result.ok());
+  // Feasible candidates are 2, 4, 8 (6 does not divide 32).
+  ASSERT_EQ(result->candidates.size(), 3u);
+  EXPECT_EQ(result->candidates[0].nc, 2u);
+  EXPECT_EQ(result->candidates[1].nc, 4u);
+  EXPECT_EQ(result->candidates[2].nc, 8u);
+  EXPECT_TRUE(result->best.nc == 2 || result->best.nc == 4 ||
+              result->best.nc == 8);
+}
+
+TEST(TileOptimizerTest, BestMinimizesTotal) {
+  auto system = MakeSystem();
+  auto result = OptimizeTileShape(dlrm::TableShape{2'360'650, 32}, 32, 64,
+                                  245.8, *system);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cand : result->candidates) {
+    EXPECT_LE(result->best.total_ns, cand.total_ns);
+  }
+}
+
+TEST(TileOptimizerTest, TradeoffDirectionsMatchSection31) {
+  // §3.1 / §4.3: larger Nc lowers CPU->DPU (fewer lookups per DPU) and
+  // raises DPU->CPU (wider partial results).
+  auto system = MakeSystem();
+  auto result = OptimizeTileShape(dlrm::TableShape{2'360'650, 32}, 32, 64,
+                                  245.8, *system);
+  ASSERT_TRUE(result.ok());
+  const auto& c = result->candidates;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i].stage1_ns, c[i - 1].stage1_ns);
+    EXPECT_GE(c[i].stage3_ns, c[i - 1].stage3_ns);
+  }
+}
+
+TEST(TileOptimizerTest, EqTwoRejectsOversizedTiles) {
+  auto system = MakeSystem();
+  // A single DPU for a table whose tile would exceed 64 MB / 4 B values:
+  // rows * nc must violate Eq. (2) for every candidate.
+  auto result = OptimizeTileShape(dlrm::TableShape{20'000'000, 32}, 4, 64,
+                                  50.0, *system);
+  // 20M rows / (4/16 col shards)... every Nc makes Nr*Nc > 16.7M values.
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TileOptimizerTest, RejectsBadArguments) {
+  auto system = MakeSystem();
+  EXPECT_FALSE(OptimizeTileShape(dlrm::TableShape{100, 32}, 32, 0, 50.0,
+                                 *system)
+                   .ok());
+  EXPECT_FALSE(OptimizeTileShape(dlrm::TableShape{100, 32}, 32, 64, 0.0,
+                                 *system)
+                   .ok());
+}
+
+TEST(TileOptimizerTest, StageEstimatesArePositive) {
+  auto system = MakeSystem();
+  auto result = OptimizeTileShape(dlrm::TableShape{1'000'000, 32}, 32, 64,
+                                  100.0, *system);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cand : result->candidates) {
+    EXPECT_GT(cand.stage1_ns, 0.0);
+    EXPECT_GT(cand.stage2_ns, 0.0);
+    EXPECT_GT(cand.stage3_ns, 0.0);
+    EXPECT_DOUBLE_EQ(cand.total_ns,
+                     cand.stage1_ns + cand.stage2_ns + cand.stage3_ns);
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::partition

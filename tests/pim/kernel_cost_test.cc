@@ -1,0 +1,120 @@
+#include "pim/kernel_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::pim {
+namespace {
+
+EmbeddingKernelCostModel DefaultModel(std::uint32_t tasklets = 14) {
+  DpuConfig dpu;
+  dpu.num_tasklets = tasklets;
+  return EmbeddingKernelCostModel(EmbeddingKernelCostParams{}, dpu,
+                                  MramTimingModel{});
+}
+
+TEST(KernelCostTest, EmptyWorkIsFree) {
+  const auto model = DefaultModel();
+  EXPECT_EQ(model.KernelCycles(EmbeddingKernelWork{}), 0u);
+}
+
+TEST(KernelCostTest, BootCostIncluded) {
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork w{
+      .num_lookups = 1, .num_cache_reads = 0, .num_samples = 1,
+      .row_bytes = 8};
+  EXPECT_GT(model.KernelCycles(w), model.params().boot_cycles);
+}
+
+TEST(KernelCostTest, LinearInLookupsWhenIssueBound) {
+  // Fig. 11's 8 B series: lookup time grows ~linearly with the number
+  // of lookups (i.e. with average reduction).
+  const auto model = DefaultModel();
+  auto cycles = [&](std::uint64_t lookups) {
+    return model.KernelCycles(EmbeddingKernelWork{
+        .num_lookups = lookups, .num_cache_reads = 0, .num_samples = 64,
+        .row_bytes = 8});
+  };
+  const double base = static_cast<double>(cycles(1600));
+  const double six_x = static_cast<double>(cycles(9600));
+  const double fixed = static_cast<double>(model.params().boot_cycles);
+  EXPECT_NEAR((six_x - fixed) / (base - fixed), 6.0, 0.5);
+}
+
+TEST(KernelCostTest, CacheReadsCostLikeLookups) {
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork lookups{
+      .num_lookups = 1000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  const EmbeddingKernelWork cached{
+      .num_lookups = 0, .num_cache_reads = 1000, .num_samples = 64,
+      .row_bytes = 32};
+  EXPECT_EQ(model.KernelCycles(lookups), model.KernelCycles(cached));
+}
+
+TEST(KernelCostTest, CachingFewerReadsIsCheaper) {
+  // The whole point of partial-sum caching: fewer MRAM reads, less time.
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork uncached{
+      .num_lookups = 2000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  const EmbeddingKernelWork cached{
+      .num_lookups = 800, .num_cache_reads = 400, .num_samples = 64,
+      .row_bytes = 32};
+  EXPECT_LT(model.KernelCycles(cached), model.KernelCycles(uncached));
+}
+
+TEST(KernelCostTest, WiderRowsCostMorePerRead) {
+  const auto model = DefaultModel();
+  auto per_read = [&](std::uint32_t row_bytes) {
+    const EmbeddingKernelWork w{
+        .num_lookups = 10'000, .num_cache_reads = 0, .num_samples = 64,
+        .row_bytes = row_bytes};
+    return static_cast<double>(model.KernelCycles(w)) / 10'000.0;
+  };
+  EXPECT_LT(per_read(8), per_read(32));
+  EXPECT_LT(per_read(32), per_read(128));
+}
+
+TEST(KernelCostTest, FewerWiderReadsBeatManyNarrowOnes) {
+  // §4.4: growing the lookup size from 8 B to 32 B cuts lookup time
+  // because the same payload needs 4x fewer reads at ~equal latency.
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork narrow{
+      .num_lookups = 4000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 8};
+  const EmbeddingKernelWork wide{
+      .num_lookups = 1000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  EXPECT_LT(model.KernelCycles(wide), model.KernelCycles(narrow));
+}
+
+TEST(KernelCostTest, MoreTaskletsNeverSlower) {
+  const EmbeddingKernelWork w{
+      .num_lookups = 5000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  Cycles prev = ~0ULL;
+  for (std::uint32_t t : {1u, 2u, 4u, 8u, 11u, 14u, 24u}) {
+    const Cycles c = DefaultModel(t).KernelCycles(w);
+    EXPECT_LE(c, prev) << t;
+    prev = c;
+  }
+}
+
+TEST(KernelCostTest, WramFitValidation) {
+  const auto model = DefaultModel();
+  EXPECT_TRUE(model.ValidateWramFit(8).ok());
+  EXPECT_TRUE(model.ValidateWramFit(128).ok());
+  // An absurd row width blows the 64 KB WRAM across 14 tasklets.
+  EXPECT_EQ(model.ValidateWramFit(16'384).code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(KernelCostTest, ParamsValidation) {
+  EmbeddingKernelCostParams params;
+  params.index_chunk = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  EXPECT_TRUE(EmbeddingKernelCostParams{}.Validate().ok());
+}
+
+}  // namespace
+}  // namespace updlrm::pim

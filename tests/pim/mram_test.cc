@@ -1,0 +1,78 @@
+#include "pim/mram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::pim {
+namespace {
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t start = 1) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(start + i);
+  }
+  return v;
+}
+
+TEST(MramTest, WriteReadRoundTrip) {
+  Mram mram(1024);
+  const auto data = Pattern(16);
+  ASSERT_TRUE(mram.Write(64, data).ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(mram.Read(64, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MramTest, LazyAllocationTracksHighWatermark) {
+  Mram mram(64 * 1024 * 1024);
+  EXPECT_EQ(mram.high_watermark(), 0u);
+  ASSERT_TRUE(mram.Write(1024, Pattern(8)).ok());
+  EXPECT_EQ(mram.high_watermark(), 1032u);
+  EXPECT_EQ(mram.capacity(), 64u * 1024 * 1024);
+}
+
+TEST(MramTest, ReadBeyondWatermarkYieldsZeros) {
+  Mram mram(1024);
+  ASSERT_TRUE(mram.Write(0, Pattern(8)).ok());
+  std::vector<std::uint8_t> out(8, 0xff);
+  ASSERT_TRUE(mram.Read(512, out).ok());
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0u);
+}
+
+TEST(MramTest, PartialOverlapReadsWrittenPrefix) {
+  Mram mram(1024);
+  ASSERT_TRUE(mram.Write(0, Pattern(8)).ok());
+  std::vector<std::uint8_t> out(16, 0xff);
+  ASSERT_TRUE(mram.Read(0, out).ok());
+  EXPECT_EQ(out[7], 8u);
+  EXPECT_EQ(out[8], 0u);  // past the watermark
+}
+
+TEST(MramTest, MisalignedOffsetRejected) {
+  Mram mram(1024);
+  EXPECT_FALSE(mram.Write(4, Pattern(8)).ok());
+  std::vector<std::uint8_t> out(8);
+  EXPECT_FALSE(mram.Read(4, out).ok());
+}
+
+TEST(MramTest, CapacityEnforced) {
+  Mram mram(64);
+  EXPECT_TRUE(mram.Write(56, Pattern(8)).ok());
+  const Status s = mram.Write(64, Pattern(8));
+  EXPECT_EQ(s.code(), StatusCode::kCapacityExceeded);
+  std::vector<std::uint8_t> out(16);
+  EXPECT_EQ(mram.Read(56, out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MramTest, OverwriteReplacesBytes) {
+  Mram mram(128);
+  ASSERT_TRUE(mram.Write(0, Pattern(8, 1)).ok());
+  ASSERT_TRUE(mram.Write(0, Pattern(8, 100)).ok());
+  std::vector<std::uint8_t> out(8);
+  ASSERT_TRUE(mram.Read(0, out).ok());
+  EXPECT_EQ(out[0], 100u);
+}
+
+}  // namespace
+}  // namespace updlrm::pim

@@ -1,0 +1,88 @@
+#include "pim/mram_timing.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::pim {
+namespace {
+
+TEST(MramTimingTest, FlatUpTo32Bytes) {
+  // Fig. 3: latency is nearly constant between 8 B and 32 B.
+  const MramTimingModel model;
+  EXPECT_EQ(model.AccessLatency(8), model.AccessLatency(16));
+  EXPECT_EQ(model.AccessLatency(16), model.AccessLatency(32));
+}
+
+TEST(MramTimingTest, GrowsBeyond32Bytes) {
+  const MramTimingModel model;
+  EXPECT_GT(model.AccessLatency(64), model.AccessLatency(32));
+  EXPECT_GT(model.AccessLatency(128), model.AccessLatency(64));
+  EXPECT_GT(model.AccessLatency(2048), model.AccessLatency(1024));
+}
+
+TEST(MramTimingTest, MonotoneNonDecreasingInSize) {
+  const MramTimingModel model;
+  Cycles prev = 0;
+  for (std::uint32_t bytes = 8; bytes <= 2048; bytes += 8) {
+    const Cycles lat = model.AccessLatency(bytes);
+    EXPECT_GE(lat, prev) << "at " << bytes;
+    prev = lat;
+  }
+}
+
+TEST(MramTimingTest, NearLinearForLargeAccesses) {
+  // Beyond the knee, doubling the size should roughly double the
+  // size-dependent latency component.
+  const MramTimingModel model;
+  const double base = static_cast<double>(model.AccessLatency(32));
+  const double l512 = static_cast<double>(model.AccessLatency(512)) - base;
+  const double l1024 = static_cast<double>(model.AccessLatency(1024)) - base;
+  EXPECT_NEAR(l1024 / l512, 2.0, 0.1);
+}
+
+TEST(MramTimingTest, StreamingBandwidthNearUpmemSpec) {
+  // §2.2: max MRAM-WRAM bandwidth per DPU is ~800 MB/s; the default
+  // calibration should land in that neighborhood for 2 KB reads.
+  const MramTimingModel model;
+  const double bw = model.StreamingBandwidth(2048, 350.0e6);
+  EXPECT_GT(bw, 600.0e6);
+  EXPECT_LT(bw, 1000.0e6);
+}
+
+TEST(MramTimingTest, SmallAccessesWasteBandwidth) {
+  // The Fig. 3 insight: per-byte cost is far worse at 8 B than at 2 KB.
+  const MramTimingModel model;
+  EXPECT_LT(model.StreamingBandwidth(8, 350.0e6),
+            0.2 * model.StreamingBandwidth(2048, 350.0e6));
+}
+
+TEST(MramTimingTest, ValidatesAlignment) {
+  const MramTimingModel model;
+  EXPECT_TRUE(model.ValidateAccess(0, 8).ok());
+  EXPECT_TRUE(model.ValidateAccess(64, 2048).ok());
+  EXPECT_FALSE(model.ValidateAccess(4, 8).ok());    // misaligned offset
+  EXPECT_FALSE(model.ValidateAccess(0, 12).ok());   // misaligned size
+  EXPECT_FALSE(model.ValidateAccess(0, 0).ok());    // empty
+  EXPECT_FALSE(model.ValidateAccess(0, 2056).ok()); // beyond 2 KB max
+}
+
+TEST(MramTimingTest, EngineOccupancyScalesWithSize) {
+  const MramTimingModel model;
+  EXPECT_GT(model.EngineOccupancy(2048), model.EngineOccupancy(8));
+}
+
+TEST(MramTimingParamsTest, ValidationCatchesBadParams) {
+  MramTimingParams params;
+  params.alignment = 12;
+  EXPECT_FALSE(params.Validate().ok());
+
+  params = MramTimingParams{};
+  params.max_access_bytes = 0;
+  EXPECT_FALSE(params.Validate().ok());
+
+  params = MramTimingParams{};
+  params.cycles_per_byte = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+}  // namespace
+}  // namespace updlrm::pim

@@ -1,0 +1,123 @@
+#include "pim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace updlrm::pim {
+namespace {
+
+DpuConfig ConfigWithTasklets(std::uint32_t t) {
+  DpuConfig config;
+  config.num_tasklets = t;
+  return config;
+}
+
+TEST(PipelineTest, EmptyWorkloadIsFree) {
+  const PipelineModel model(ConfigWithTasklets(14));
+  EXPECT_EQ(model.Makespan(KernelWorkload{}), 0u);
+}
+
+TEST(PipelineTest, SingleTaskletIsRevolverBound) {
+  // One tasklet can issue only every revolver_depth (11) cycles, so the
+  // scaled issue bound dominates even the serialized DMA latency.
+  const PipelineModel model(ConfigWithTasklets(1));
+  const KernelWorkload w{.num_items = 100,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  EXPECT_EQ(model.Makespan(w), 100u * 50 * 11);
+}
+
+TEST(PipelineTest, FourteenTaskletsMaskMramLatency) {
+  // §4.4: with 14 tasklets the pipeline masks the MRAM read latency;
+  // the makespan approaches the pure instruction-issue bound.
+  const PipelineModel model(ConfigWithTasklets(14));
+  const KernelWorkload w{.num_items = 1400,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  EXPECT_EQ(model.Makespan(w), 1400u * 50);
+}
+
+TEST(PipelineTest, MakespanMonotoneInTaskletCount) {
+  const KernelWorkload w{.num_items = 1000,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  Cycles prev = ~0ULL;
+  for (std::uint32_t t = 1; t <= 24; ++t) {
+    const Cycles span = PipelineModel(ConfigWithTasklets(t)).Makespan(w);
+    EXPECT_LE(span, prev) << t << " tasklets";
+    prev = span;
+  }
+}
+
+TEST(PipelineTest, SaturatesNearElevenTasklets) {
+  // The revolver depth is 11: beyond ~11 tasklets the gain flattens.
+  const KernelWorkload w{.num_items = 1100,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  const Cycles at11 = PipelineModel(ConfigWithTasklets(11)).Makespan(w);
+  const Cycles at14 = PipelineModel(ConfigWithTasklets(14)).Makespan(w);
+  const Cycles at24 = PipelineModel(ConfigWithTasklets(24)).Makespan(w);
+  EXPECT_EQ(at14, at24);
+  EXPECT_LE(at14, at11);
+  EXPECT_GE(static_cast<double>(at14), 0.8 * static_cast<double>(at11));
+}
+
+TEST(PipelineTest, DmaEngineBoundDominatesForHugeTransfers) {
+  // When per-item occupancy exceeds compute, the single DMA engine is
+  // the bottleneck regardless of tasklets.
+  const PipelineModel model(ConfigWithTasklets(24));
+  const KernelWorkload w{.num_items = 100,
+                         .instr_cycles_per_item = 10,
+                         .dma_latency_per_item = 900,
+                         .dma_occupancy_per_item = 840};
+  EXPECT_EQ(model.Makespan(w), 100u * 840);
+}
+
+TEST(PipelineTest, FewTaskletsScaleIssueBound) {
+  // With T < revolver depth, utilization caps at T/11.
+  const PipelineModel model(ConfigWithTasklets(2));
+  const KernelWorkload w{.num_items = 220,
+                         .instr_cycles_per_item = 10,
+                         .dma_latency_per_item = 0,
+                         .dma_occupancy_per_item = 0};
+  // issue bound: 220 * 10 * (11/2) = 12100; latency bound: 110 * 10.
+  EXPECT_EQ(model.Makespan(w), 12'100u);
+}
+
+TEST(PipelineTest, PhasesAccumulate) {
+  const PipelineModel model(ConfigWithTasklets(14));
+  const KernelWorkload a{.num_items = 100,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  const KernelWorkload b{.num_items = 64,
+                         .instr_cycles_per_item = 32,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  const std::array<KernelWorkload, 2> phases = {a, b};
+  EXPECT_EQ(model.Makespan(phases),
+            model.Makespan(a) + model.Makespan(b));
+}
+
+class PipelineScaling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineScaling, LinearInItemsWhenIssueBound) {
+  const PipelineModel model(ConfigWithTasklets(14));
+  const std::uint64_t n = GetParam();
+  const KernelWorkload w{.num_items = n,
+                         .instr_cycles_per_item = 50,
+                         .dma_latency_per_item = 84,
+                         .dma_occupancy_per_item = 24};
+  EXPECT_EQ(model.Makespan(w), n * 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(ItemCounts, PipelineScaling,
+                         ::testing::Values(140, 1'400, 14'000, 140'000));
+
+}  // namespace
+}  // namespace updlrm::pim

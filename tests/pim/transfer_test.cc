@@ -1,0 +1,104 @@
+#include "pim/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::pim {
+namespace {
+
+HostTransferParams FastParams() {
+  HostTransferParams p;
+  p.push_bytes_per_sec_per_rank = 1.0e9;
+  p.pull_bytes_per_sec_per_rank = 0.5e9;
+  p.serial_bytes_per_sec = 0.1e9;
+  p.transfer_launch_ns = 1000.0;
+  p.kernel_launch_ns = 2000.0;
+  return p;
+}
+
+TEST(TransferTest, EqualBuffersTakeParallelPath) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  EXPECT_EQ(model.num_ranks(), 2u);
+  const std::vector<std::uint64_t> bytes(128, 1000);
+  // Each rank streams 64 * 1000 B at 1 GB/s => 64 us + 1 us launch.
+  EXPECT_NEAR(model.PushTime(bytes, false), 1000.0 + 64'000.0, 1.0);
+}
+
+TEST(TransferTest, RaggedPaddedToMax) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  std::vector<std::uint64_t> bytes(128, 100);
+  bytes[3] = 1000;
+  // Padded: every DPU costs the 1000-byte max.
+  EXPECT_NEAR(model.PushTime(bytes, true), 1000.0 + 64'000.0, 1.0);
+}
+
+TEST(TransferTest, RaggedWithoutPaddingIsSequential) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  std::vector<std::uint64_t> bytes(128, 100);
+  bytes[3] = 1000;
+  const std::uint64_t total = 127 * 100 + 1000;
+  EXPECT_NEAR(model.PushTime(bytes, false),
+              1000.0 + static_cast<double>(total) / 0.1, 1.0);
+}
+
+TEST(TransferTest, SequentialSlowerThanPadded) {
+  // The engine pads precisely because the sequential path is punitive.
+  const HostTransferModel model(FastParams(), 128, 64);
+  std::vector<std::uint64_t> bytes(128, 900);
+  bytes[5] = 1000;
+  EXPECT_LT(model.PushTime(bytes, true), model.PushTime(bytes, false));
+}
+
+TEST(TransferTest, PullUsesPullBandwidth) {
+  const HostTransferModel model(FastParams(), 64, 64);
+  const std::vector<std::uint64_t> bytes(64, 1000);
+  EXPECT_NEAR(model.PullTime(bytes, false), 1000.0 + 128'000.0, 1.0);
+}
+
+TEST(TransferTest, ZeroBytesIsFree) {
+  const HostTransferModel model(FastParams(), 64, 64);
+  const std::vector<std::uint64_t> bytes(64, 0);
+  EXPECT_DOUBLE_EQ(model.PushTime(bytes, true), 0.0);
+  EXPECT_DOUBLE_EQ(model.PullTime(bytes, true), 0.0);
+}
+
+TEST(TransferTest, BroadcastScalesWithRankPopulation) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  // 64 copies of 1000 B per rank at 1 GB/s.
+  EXPECT_NEAR(model.BroadcastTime(1000), 1000.0 + 64'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.BroadcastTime(0), 0.0);
+}
+
+TEST(TransferTest, PartialLastRank) {
+  // 96 DPUs over 64-DPU ranks: rank 0 full, rank 1 half; the full rank
+  // bounds the parallel transfer.
+  const HostTransferModel model(FastParams(), 96, 64);
+  EXPECT_EQ(model.num_ranks(), 2u);
+  const std::vector<std::uint64_t> bytes(96, 1000);
+  EXPECT_NEAR(model.PushTime(bytes, false), 1000.0 + 64'000.0, 1.0);
+}
+
+TEST(TransferTest, KernelLaunchOverheadExposed) {
+  const HostTransferModel model(FastParams(), 64, 64);
+  EXPECT_DOUBLE_EQ(model.KernelLaunchOverhead(), 2000.0);
+}
+
+TEST(TransferTest, ParamValidation) {
+  HostTransferParams p = FastParams();
+  p.serial_bytes_per_sec = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = FastParams();
+  p.transfer_launch_ns = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  EXPECT_TRUE(FastParams().Validate().ok());
+}
+
+TEST(TransferDeathTest, WrongVectorSizeAborts) {
+  const HostTransferModel model(FastParams(), 64, 64);
+  const std::vector<std::uint64_t> bytes(63, 100);
+  EXPECT_DEATH((void)model.PushTime(bytes, true), "every DPU");
+}
+
+}  // namespace
+}  // namespace updlrm::pim

@@ -1,0 +1,107 @@
+#include "trace/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::trace {
+namespace {
+
+TEST(DatasetTest, TableOneHasSixWorkloadsInPaperOrder) {
+  const auto workloads = Table1Workloads();
+  ASSERT_EQ(workloads.size(), 6u);
+  EXPECT_EQ(workloads[0].name, "clo");
+  EXPECT_EQ(workloads[1].name, "home");
+  EXPECT_EQ(workloads[2].name, "meta1");
+  EXPECT_EQ(workloads[3].name, "meta2");
+  EXPECT_EQ(workloads[4].name, "read");
+  EXPECT_EQ(workloads[5].name, "read2");
+}
+
+TEST(DatasetTest, TableOnePublishedStatistics) {
+  const auto workloads = Table1Workloads();
+  // #Items and Avg.Reduction exactly as published in Table 1.
+  EXPECT_EQ(workloads[0].num_items, 2'685'059u);
+  EXPECT_DOUBLE_EQ(workloads[0].avg_reduction, 52.91);
+  EXPECT_EQ(workloads[1].num_items, 1'301'225u);
+  EXPECT_DOUBLE_EQ(workloads[1].avg_reduction, 67.56);
+  EXPECT_EQ(workloads[2].num_items, 5'783'210u);
+  EXPECT_DOUBLE_EQ(workloads[2].avg_reduction, 107.2);
+  EXPECT_EQ(workloads[3].num_items, 5'999'981u);
+  EXPECT_DOUBLE_EQ(workloads[3].avg_reduction, 188.6);
+  EXPECT_EQ(workloads[4].num_items, 2'360'650u);
+  EXPECT_DOUBLE_EQ(workloads[4].avg_reduction, 245.8);
+  EXPECT_EQ(workloads[5].num_items, 2'360'650u);
+  EXPECT_DOUBLE_EQ(workloads[5].avg_reduction, 374.08);
+}
+
+TEST(DatasetTest, HotnessCategoriesMatchTableOne) {
+  const auto w = Table1Workloads();
+  EXPECT_EQ(w[0].hotness, Hotness::kLow);
+  EXPECT_EQ(w[1].hotness, Hotness::kLow);
+  EXPECT_EQ(w[2].hotness, Hotness::kMedium);
+  EXPECT_EQ(w[3].hotness, Hotness::kMedium);
+  EXPECT_EQ(w[4].hotness, Hotness::kHigh);
+  EXPECT_EQ(w[5].hotness, Hotness::kHigh);
+}
+
+TEST(DatasetTest, AllBuiltInSpecsValidate) {
+  for (const auto& spec : Table1Workloads()) {
+    EXPECT_TRUE(spec.Validate().ok()) << spec.name;
+  }
+  for (const auto& spec : AccessPatternDatasets()) {
+    EXPECT_TRUE(spec.Validate().ok()) << spec.name;
+  }
+}
+
+TEST(DatasetTest, AccessPatternDatasetsArePresent) {
+  const auto datasets = AccessPatternDatasets();
+  ASSERT_EQ(datasets.size(), 3u);
+  EXPECT_EQ(datasets[0].name, "goodreads");
+  EXPECT_EQ(datasets[1].name, "movie");
+  EXPECT_EQ(datasets[2].name, "twitch");
+}
+
+TEST(DatasetTest, FindDatasetByName) {
+  auto read2 = FindDataset("read2");
+  ASSERT_TRUE(read2.ok());
+  EXPECT_DOUBLE_EQ(read2->avg_reduction, 374.08);
+  auto movie = FindDataset("movie");
+  ASSERT_TRUE(movie.ok());
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(DatasetTest, ValidationRejectsBadSpecs) {
+  DatasetSpec spec = Table1Workloads()[0];
+  spec.num_items = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = Table1Workloads()[0];
+  spec.avg_reduction = 0.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = Table1Workloads()[0];
+  spec.rank_jitter = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = Table1Workloads()[0];
+  spec.clique_prob = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(DatasetTest, BalancedSyntheticSpec) {
+  const DatasetSpec spec = MakeBalancedSyntheticSpec(100'000, 150.0);
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_DOUBLE_EQ(spec.zipf_alpha, 0.0);
+  EXPECT_DOUBLE_EQ(spec.clique_prob, 0.0);
+  EXPECT_EQ(spec.hotness, Hotness::kMedium);
+  EXPECT_EQ(MakeBalancedSyntheticSpec(1000, 50.0).hotness, Hotness::kLow);
+  EXPECT_EQ(MakeBalancedSyntheticSpec(1000, 300.0).hotness, Hotness::kHigh);
+}
+
+TEST(DatasetTest, HotnessNames) {
+  EXPECT_EQ(HotnessName(Hotness::kLow), "Low Hot");
+  EXPECT_EQ(HotnessName(Hotness::kMedium), "Medium Hot");
+  EXPECT_EQ(HotnessName(Hotness::kHigh), "High Hot");
+}
+
+}  // namespace
+}  // namespace updlrm::trace

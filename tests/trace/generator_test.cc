@@ -1,0 +1,274 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/profiler.h"
+
+namespace updlrm::trace {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec spec;
+  spec.name = "small";
+  spec.full_name = "small test dataset";
+  spec.num_items = 10'000;
+  spec.avg_reduction = 20.0;
+  spec.zipf_alpha = 1.0;
+  spec.rank_jitter = 0.1;
+  spec.clique_prob = 0.5;
+  spec.num_hot_items = 256;
+  spec.seed = 99;
+  return spec;
+}
+
+TraceGeneratorOptions SmallOptions() {
+  TraceGeneratorOptions options;
+  options.num_samples = 600;
+  options.num_tables = 2;
+  return options;
+}
+
+TEST(GeneratorTest, ProducesValidTrace) {
+  TraceGenerator gen(SmallSpec());
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->Validate().ok());
+  EXPECT_EQ(trace->num_samples(), 600u);
+  EXPECT_EQ(trace->num_tables(), 2u);
+  EXPECT_EQ(trace->num_items, 10'000u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  TraceGenerator gen(SmallSpec());
+  auto a = gen.Generate(SmallOptions());
+  auto b = gen.Generate(SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    ASSERT_EQ(a->tables[t].num_lookups(), b->tables[t].num_lookups());
+    EXPECT_TRUE(std::equal(a->tables[t].indices().begin(),
+                           a->tables[t].indices().end(),
+                           b->tables[t].indices().begin()));
+  }
+}
+
+TEST(GeneratorTest, SeedOverrideChangesTrace) {
+  TraceGenerator gen(SmallSpec());
+  auto a = gen.Generate(SmallOptions());
+  TraceGeneratorOptions other = SmallOptions();
+  other.seed_override = 12345;
+  auto b = gen.Generate(other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->tables[0].num_lookups(), b->tables[0].num_lookups());
+}
+
+TEST(GeneratorTest, TablesAreIndependent) {
+  TraceGenerator gen(SmallSpec());
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(std::equal(trace->tables[0].indices().begin(),
+                          trace->tables[0].indices().end(),
+                          trace->tables[1].indices().begin(),
+                          trace->tables[1].indices().end()));
+}
+
+TEST(GeneratorTest, AvgReductionNearTarget) {
+  TraceGenerator gen(SmallSpec());
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  const double measured = trace->tables[0].MeasuredAvgReduction();
+  EXPECT_NEAR(measured, 20.0, 20.0 * 0.25);
+}
+
+TEST(GeneratorTest, SamplesAreSortedUnique) {
+  TraceGenerator gen(SmallSpec());
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  for (std::size_t s = 0; s < 50; ++s) {
+    const auto sample = trace->tables[0].Sample(s);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()),
+              sample.end());
+  }
+}
+
+TEST(GeneratorTest, SkewedSpecProducesSkewedFrequencies) {
+  DatasetSpec spec = SmallSpec();
+  spec.zipf_alpha = 1.1;
+  spec.rank_jitter = 0.05;
+  TraceGenerator gen(spec);
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  const auto freq = ItemFrequencies(trace->tables[0], spec.num_items);
+  const auto blocks = RowBlockCounts(freq, 8);
+  const auto skew = AnalyzeSkew(blocks);
+  EXPECT_GT(skew.imbalance, 2.0);
+}
+
+TEST(GeneratorTest, BalancedSyntheticIsFlat) {
+  const DatasetSpec spec = MakeBalancedSyntheticSpec(10'000, 30.0);
+  TraceGenerator gen(spec);
+  TraceGeneratorOptions options;
+  options.num_samples = 2'000;
+  options.num_tables = 1;
+  auto trace = gen.Generate(options);
+  ASSERT_TRUE(trace.ok());
+  const auto freq = ItemFrequencies(trace->tables[0], spec.num_items);
+  const auto blocks = RowBlockCounts(freq, 8);
+  const auto skew = AnalyzeSkew(blocks);
+  EXPECT_LT(skew.imbalance, 1.1);
+  EXPECT_LT(skew.max_min_ratio, 1.2);
+}
+
+TEST(GeneratorTest, CliqueModelDeterministicAndDisjoint) {
+  TraceGenerator gen(SmallSpec());
+  const CliqueModel a = gen.BuildCliqueModel(0, SmallOptions());
+  const CliqueModel b = gen.BuildCliqueModel(0, SmallOptions());
+  ASSERT_EQ(a.cliques.size(), b.cliques.size());
+  ASSERT_FALSE(a.cliques.empty());
+  std::vector<std::uint32_t> all;
+  for (std::size_t i = 0; i < a.cliques.size(); ++i) {
+    EXPECT_EQ(a.cliques[i], b.cliques[i]);
+    EXPECT_GE(a.cliques[i].size(), 2u);
+    EXPECT_LE(a.cliques[i].size(), 4u);
+    all.insert(all.end(), a.cliques[i].begin(), a.cliques[i].end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(GeneratorTest, CliquesActuallyCoOccur) {
+  // Planted cliques must appear together far more often than chance:
+  // count samples containing every member of some clique.
+  DatasetSpec spec = SmallSpec();
+  spec.clique_prob = 0.7;
+  TraceGenerator gen(spec);
+  auto trace = gen.Generate(SmallOptions());
+  ASSERT_TRUE(trace.ok());
+  const CliqueModel model = gen.BuildCliqueModel(0, SmallOptions());
+  ASSERT_FALSE(model.cliques.empty());
+  const auto& clique = model.cliques.front();  // hottest clique
+  std::size_t together = 0;
+  for (std::size_t s = 0; s < trace->num_samples(); ++s) {
+    const auto sample = trace->tables[0].Sample(s);
+    bool all = true;
+    for (std::uint32_t item : clique) {
+      if (!std::binary_search(sample.begin(), sample.end(), item)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++together;
+  }
+  EXPECT_GT(together, trace->num_samples() / 20);
+}
+
+TEST(GeneratorTest, DriftShiftsSecondHalfPopularity) {
+  DatasetSpec spec = SmallSpec();
+  spec.zipf_alpha = 1.1;
+  spec.rank_jitter = 0.05;
+  spec.clique_prob = 0.0;
+  TraceGenerator gen(spec);
+  TraceGeneratorOptions options = SmallOptions();
+  options.num_samples = 1'000;
+  options.popularity_drift = 1.0;
+  auto trace = gen.Generate(options);
+  ASSERT_TRUE(trace.ok());
+
+  // Frequency histograms of the two halves.
+  auto half_freq = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::uint64_t> freq(spec.num_items, 0);
+    for (std::size_t s = begin; s < end; ++s) {
+      for (std::uint32_t idx : trace->tables[0].Sample(s)) ++freq[idx];
+    }
+    return freq;
+  };
+  const auto first = half_freq(0, 500);
+  const auto second = half_freq(500, 1'000);
+
+  // The top-100 item sets of the two halves should barely overlap at
+  // full drift.
+  const auto top_first = ItemsByFrequency(first);
+  const auto top_second = ItemsByFrequency(second);
+  std::size_t overlap = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      if (top_first[i] == top_second[j]) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(overlap, 35u);
+}
+
+TEST(GeneratorTest, ZeroDriftIsStationary) {
+  DatasetSpec spec = SmallSpec();
+  TraceGenerator gen(spec);
+  TraceGeneratorOptions with = SmallOptions();
+  with.popularity_drift = 0.0;
+  TraceGeneratorOptions without = SmallOptions();
+  auto a = gen.Generate(with);
+  auto b = gen.Generate(without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(std::equal(a->tables[0].indices().begin(),
+                         a->tables[0].indices().end(),
+                         b->tables[0].indices().begin(),
+                         b->tables[0].indices().end()));
+}
+
+TEST(GeneratorTest, DriftRejectsOutOfRange) {
+  TraceGenerator gen(SmallSpec());
+  TraceGeneratorOptions options = SmallOptions();
+  options.popularity_drift = 1.5;
+  EXPECT_FALSE(gen.Generate(options).ok());
+  options.popularity_drift = -0.1;
+  EXPECT_FALSE(gen.Generate(options).ok());
+}
+
+TEST(GeneratorTest, DriftKeepsTraceValid) {
+  TraceGenerator gen(SmallSpec());
+  TraceGeneratorOptions options = SmallOptions();
+  options.popularity_drift = 0.5;
+  auto trace = gen.Generate(options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->Validate().ok());
+  EXPECT_NEAR(trace->tables[0].MeasuredAvgReduction(), 20.0, 20.0 * 0.25);
+}
+
+TEST(GeneratorTest, RejectsInvalidOptions) {
+  TraceGenerator gen(SmallSpec());
+  TraceGeneratorOptions options;
+  options.num_samples = 0;
+  EXPECT_FALSE(gen.Generate(options).ok());
+  options.num_samples = 10;
+  options.num_tables = 0;
+  EXPECT_FALSE(gen.Generate(options).ok());
+}
+
+TEST(GeneratorTest, RejectsInvalidSpec) {
+  DatasetSpec spec = SmallSpec();
+  spec.avg_reduction = 0.0;
+  TraceGenerator gen(spec);
+  EXPECT_FALSE(gen.Generate(SmallOptions()).ok());
+}
+
+TEST(GeneratorTest, TinySupportClampsReduction) {
+  DatasetSpec spec = SmallSpec();
+  spec.num_items = 8;  // fewer items than avg_reduction
+  spec.num_hot_items = 4;
+  TraceGenerator gen(spec);
+  TraceGeneratorOptions options;
+  options.num_samples = 50;
+  options.num_tables = 1;
+  auto trace = gen.Generate(options);
+  ASSERT_TRUE(trace.ok());
+  for (std::size_t s = 0; s < trace->num_samples(); ++s) {
+    EXPECT_LE(trace->tables[0].Sample(s).size(), 8u);
+    EXPECT_GE(trace->tables[0].Sample(s).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::trace

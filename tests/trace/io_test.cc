@@ -1,0 +1,140 @@
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/generator.h"
+
+namespace updlrm::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const auto* dir = std::getenv("TMPDIR");
+    std::string path = (dir != nullptr ? std::string(dir) : "/tmp");
+    path += "/updlrm_io_test_" + name + "_" +
+            std::to_string(::getpid());
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+Trace SmallTrace() {
+  DatasetSpec spec;
+  spec.name = "io";
+  spec.num_items = 2'000;
+  spec.avg_reduction = 12.0;
+  spec.zipf_alpha = 0.9;
+  spec.rank_jitter = 0.2;
+  spec.clique_prob = 0.3;
+  spec.num_hot_items = 64;
+  spec.seed = 77;
+  TraceGeneratorOptions options;
+  options.num_samples = 50;
+  options.num_tables = 3;
+  auto t = TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  const Trace original = SmallTrace();
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveTrace(original, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_items, original.num_items);
+  ASSERT_EQ(loaded->num_tables(), original.num_tables());
+  for (std::uint32_t t = 0; t < original.num_tables(); ++t) {
+    ASSERT_EQ(loaded->tables[t].num_samples(),
+              original.tables[t].num_samples());
+    for (std::size_t s = 0; s < original.tables[t].num_samples(); ++s) {
+      const auto a = original.tables[t].Sample(s);
+      const auto b = loaded->tables[t].Sample(s);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST_F(TraceIoTest, HeterogeneousRoundTrip) {
+  DatasetSpec a;
+  a.name = "a";
+  a.num_items = 500;
+  a.avg_reduction = 8.0;
+  a.zipf_alpha = 0.8;
+  a.seed = 3;
+  DatasetSpec b = a;
+  b.name = "b";
+  b.num_items = 2'000;
+  b.seed = 4;
+  const DatasetSpec specs[] = {a, b};
+  TraceGeneratorOptions options;
+  options.num_samples = 40;
+  auto original = GenerateHeterogeneousTrace(specs, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("hetero");
+  ASSERT_TRUE(SaveTrace(*original, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->items_per_table.size(), 2u);
+  EXPECT_EQ(loaded->ItemsInTable(0), 500u);
+  EXPECT_EQ(loaded->ItemsInTable(1), 2'000u);
+  EXPECT_TRUE(loaded->Validate().ok());
+}
+
+TEST_F(TraceIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadTrace(TempPath("does_not_exist"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceIoTest, RejectsNonTraceFile) {
+  const std::string path = TempPath("garbage");
+  std::ofstream(path) << "this is not a trace";
+  auto loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedFile) {
+  const Trace original = SmallTrace();
+  const std::string full = TempPath("full");
+  ASSERT_TRUE(SaveTrace(original, full).ok());
+
+  // Copy a truncated prefix.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string truncated = TempPath("truncated");
+  std::ofstream(truncated, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+
+  EXPECT_FALSE(LoadTrace(truncated).ok());
+}
+
+TEST_F(TraceIoTest, RejectsInvalidTraceOnSave) {
+  Trace empty;  // no tables
+  EXPECT_FALSE(SaveTrace(empty, TempPath("invalid")).ok());
+}
+
+TEST_F(TraceIoTest, RejectsUnwritablePath) {
+  const Trace original = SmallTrace();
+  EXPECT_FALSE(
+      SaveTrace(original, "/nonexistent_dir_xyz/trace.bin").ok());
+}
+
+}  // namespace
+}  // namespace updlrm::trace

@@ -1,0 +1,101 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::trace {
+namespace {
+
+TEST(TableTraceTest, AppendAndRead) {
+  TableTrace t;
+  const std::vector<std::uint32_t> s0 = {1, 5, 9};
+  const std::vector<std::uint32_t> s1 = {2};
+  t.AppendSample(s0);
+  t.AppendSample(s1);
+  EXPECT_EQ(t.num_samples(), 2u);
+  EXPECT_EQ(t.num_lookups(), 4u);
+  ASSERT_EQ(t.Sample(0).size(), 3u);
+  EXPECT_EQ(t.Sample(0)[1], 5u);
+  ASSERT_EQ(t.Sample(1).size(), 1u);
+  EXPECT_EQ(t.Sample(1)[0], 2u);
+}
+
+TEST(TableTraceTest, EmptySampleAllowed) {
+  TableTrace t;
+  t.AppendSample({});
+  EXPECT_EQ(t.num_samples(), 1u);
+  EXPECT_TRUE(t.Sample(0).empty());
+}
+
+TEST(TableTraceTest, MeasuredAvgReduction) {
+  TableTrace t;
+  t.AppendSample(std::vector<std::uint32_t>{1, 2, 3});
+  t.AppendSample(std::vector<std::uint32_t>{4});
+  EXPECT_DOUBLE_EQ(t.MeasuredAvgReduction(), 2.0);
+}
+
+TEST(TableTraceDeathTest, UnsortedSampleRejected) {
+  TableTrace t;
+  EXPECT_DEATH(t.AppendSample(std::vector<std::uint32_t>{5, 1}), "sorted");
+}
+
+TEST(TableTraceDeathTest, DuplicateIndicesRejected) {
+  TableTrace t;
+  EXPECT_DEATH(t.AppendSample(std::vector<std::uint32_t>{1, 1}), "unique");
+}
+
+TEST(TraceTest, ValidateAcceptsConsistentTrace) {
+  Trace trace;
+  trace.num_items = 10;
+  trace.tables.resize(2);
+  trace.tables[0].AppendSample(std::vector<std::uint32_t>{0, 9});
+  trace.tables[1].AppendSample(std::vector<std::uint32_t>{3});
+  EXPECT_TRUE(trace.Validate().ok());
+  EXPECT_EQ(trace.num_samples(), 1u);
+  EXPECT_EQ(trace.num_tables(), 2u);
+}
+
+TEST(TraceTest, ValidateRejectsMismatchedSampleCounts) {
+  Trace trace;
+  trace.num_items = 10;
+  trace.tables.resize(2);
+  trace.tables[0].AppendSample(std::vector<std::uint32_t>{0});
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+TEST(TraceTest, ValidateRejectsOutOfRangeIndex) {
+  Trace trace;
+  trace.num_items = 5;
+  trace.tables.resize(1);
+  trace.tables[0].AppendSample(std::vector<std::uint32_t>{5});
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+TEST(TraceTest, ValidateRejectsEmptyTrace) {
+  Trace trace;
+  trace.num_items = 5;
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+TEST(BatchTest, EvenSplit) {
+  const auto batches = MakeBatches(128, 64);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].begin, 0u);
+  EXPECT_EQ(batches[0].end, 64u);
+  EXPECT_EQ(batches[1].begin, 64u);
+  EXPECT_EQ(batches[1].end, 128u);
+}
+
+TEST(BatchTest, ShortTail) {
+  const auto batches = MakeBatches(100, 64);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1].size(), 36u);
+}
+
+TEST(BatchTest, EmptyInput) {
+  EXPECT_TRUE(MakeBatches(0, 64).empty());
+}
+
+}  // namespace
+}  // namespace updlrm::trace

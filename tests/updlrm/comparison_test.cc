@@ -1,0 +1,99 @@
+#include "updlrm/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace updlrm::core {
+namespace {
+
+struct Fixture {
+  dlrm::DlrmConfig config;
+  trace::Trace trace;
+  ComparisonOptions options;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.config.num_tables = 2;
+  f.config.rows_per_table = 2'000;
+  f.config.embedding_dim = 8;
+  f.config.dense_features = 5;
+
+  trace::DatasetSpec spec;
+  spec.name = "cmp";
+  spec.num_items = 2'000;
+  spec.avg_reduction = 16.0;
+  spec.zipf_alpha = 1.0;
+  spec.rank_jitter = 0.15;
+  spec.clique_prob = 0.4;
+  spec.num_hot_items = 128;
+  spec.seed = 13;
+  trace::TraceGeneratorOptions toptions;
+  toptions.num_samples = 128;
+  toptions.num_tables = 2;
+  auto t = trace::TraceGenerator(spec).Generate(toptions);
+  UPDLRM_CHECK(t.ok());
+  f.trace = std::move(t).value();
+
+  f.options.batch_size = 32;
+  f.options.engine.method = partition::Method::kCacheAware;
+  f.options.engine.nc = 4;
+  f.options.engine.reserved_io_bytes = 128 * kKiB;
+  f.options.engine.grace.num_hot_items = 128;
+  f.options.system.num_dpus = 8;
+  f.options.system.dpus_per_rank = 8;
+  f.options.system.dpu.mram_bytes = 1 * kMiB;
+  return f;
+}
+
+TEST(ComparisonTest, RunsAllFourSystems) {
+  Fixture f = MakeFixture();
+  auto result = CompareSystems(f.config, f.trace, f.options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->dlrm_cpu.num_batches, 4u);  // 128 / 32
+  EXPECT_EQ(result->updlrm.num_batches, 4u);
+  EXPECT_GT(result->dlrm_cpu.AvgBatchTotal(), 0.0);
+  EXPECT_GT(result->dlrm_hybrid.AvgBatchTotal(), 0.0);
+  EXPECT_GT(result->fae.AvgBatchTotal(), 0.0);
+  EXPECT_GT(result->updlrm.AvgBatchTotal(), 0.0);
+  EXPECT_EQ(result->nc, 4u);
+  EXPECT_GE(result->fae_hot_fraction, 0.0);
+  EXPECT_LE(result->fae_hot_fraction, 1.0);
+}
+
+TEST(ComparisonTest, SpeedupHelpersAreConsistent) {
+  Fixture f = MakeFixture();
+  auto result = CompareSystems(f.config, f.trace, f.options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->UpdlrmSpeedupVsCpu(),
+              result->dlrm_cpu.AvgBatchTotal() /
+                  result->updlrm.AvgBatchTotal(),
+              1e-12);
+  // Hybrid can never beat CPU under this model (same gather + extra
+  // overheads), so the hybrid speedup is always the larger one.
+  EXPECT_GT(result->UpdlrmSpeedupVsHybrid(),
+            result->UpdlrmSpeedupVsCpu());
+}
+
+TEST(ComparisonTest, ForcesTimingOnlySystem) {
+  Fixture f = MakeFixture();
+  f.options.system.functional = true;  // must be overridden internally
+  auto result = CompareSystems(f.config, f.trace, f.options);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(ComparisonTest, PropagatesEngineErrors) {
+  Fixture f = MakeFixture();
+  f.options.system.num_dpus = 7;  // not divisible by 2 tables
+  EXPECT_FALSE(CompareSystems(f.config, f.trace, f.options).ok());
+}
+
+TEST(ComparisonTest, RejectsZeroBatch) {
+  Fixture f = MakeFixture();
+  f.options.batch_size = 0;
+  EXPECT_FALSE(CompareSystems(f.config, f.trace, f.options).ok());
+}
+
+}  // namespace
+}  // namespace updlrm::core

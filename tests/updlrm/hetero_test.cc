@@ -1,0 +1,171 @@
+#include "updlrm/hetero.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/generator.h"
+
+namespace updlrm::core {
+namespace {
+
+struct Fixture {
+  dlrm::DlrmConfig config;
+  trace::Trace trace;
+  std::unique_ptr<pim::DpuSystem> system;
+};
+
+Fixture MakeFixture(std::vector<std::uint32_t> bottom = {16},
+                    std::vector<std::uint32_t> top = {16}) {
+  Fixture f;
+  f.config.num_tables = 2;
+  f.config.rows_per_table = 600;
+  f.config.embedding_dim = 8;
+  f.config.dense_features = 5;
+  f.config.bottom_hidden = std::move(bottom);
+  f.config.top_hidden = std::move(top);
+
+  trace::DatasetSpec spec;
+  spec.name = "het";
+  spec.num_items = 600;
+  spec.avg_reduction = 12.0;
+  spec.zipf_alpha = 0.9;
+  spec.rank_jitter = 0.2;
+  spec.clique_prob = 0.3;
+  spec.num_hot_items = 64;
+  spec.seed = 9;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 96;
+  options.num_tables = 2;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  f.trace = std::move(t).value();
+
+  pim::DpuSystemConfig sys;
+  sys.num_dpus = 8;
+  sys.dpus_per_rank = 8;
+  sys.dpu.mram_bytes = 1 * kMiB;
+  sys.functional = false;
+  auto system = pim::DpuSystem::Create(sys);
+  UPDLRM_CHECK(system.ok());
+  f.system = std::move(system).value();
+  return f;
+}
+
+HeteroOptions SmallOptions() {
+  HeteroOptions options;
+  options.engine.method = partition::Method::kNonUniform;
+  options.engine.nc = 4;
+  options.engine.batch_size = 16;
+  options.engine.reserved_io_bytes = 128 * kKiB;
+  return options;
+}
+
+TEST(HeteroTest, RunsAndReportsComponents) {
+  Fixture f = MakeFixture();
+  auto hetero = UpDlrmHetero::Create(f.config, f.trace, f.system.get(),
+                                     SmallOptions());
+  ASSERT_TRUE(hetero.ok()) << hetero.status().ToString();
+  auto batch = (*hetero)->RunBatch({0, 16});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_GT(batch->stages.EmbeddingTotal(), 0.0);
+  EXPECT_GT(batch->gpu_bottom, 0.0);
+  EXPECT_GT(batch->gpu_top, 0.0);
+  EXPECT_GT(batch->pcie, 0.0);
+  EXPECT_GT(batch->total, batch->stages.EmbeddingTotal());
+}
+
+TEST(HeteroTest, EmbeddingPipelineMatchesPlainEngine) {
+  Fixture f1 = MakeFixture();
+  Fixture f2 = MakeFixture();
+  HeteroOptions options = SmallOptions();
+  auto hetero = UpDlrmHetero::Create(f1.config, f1.trace, f1.system.get(),
+                                     options);
+  auto plain = UpDlrmEngine::Create(nullptr, f2.config, f2.trace,
+                                    f2.system.get(), options.engine);
+  ASSERT_TRUE(hetero.ok() && plain.ok());
+  auto hb = (*hetero)->RunBatch({0, 16});
+  auto pb = (*plain)->RunBatch({0, 16}, nullptr);
+  ASSERT_TRUE(hb.ok() && pb.ok());
+  EXPECT_DOUBLE_EQ(hb->stages.cpu_to_dpu, pb->stages.cpu_to_dpu);
+  EXPECT_DOUBLE_EQ(hb->stages.dpu_lookup, pb->stages.dpu_lookup);
+  EXPECT_DOUBLE_EQ(hb->stages.dpu_to_cpu, pb->stages.dpu_to_cpu);
+}
+
+TEST(HeteroTest, OverlapHidesBottomMlp) {
+  Fixture f1 = MakeFixture();
+  Fixture f2 = MakeFixture();
+  HeteroOptions overlap = SmallOptions();
+  overlap.overlap_bottom_mlp = true;
+  HeteroOptions serial = SmallOptions();
+  serial.overlap_bottom_mlp = false;
+  auto a = UpDlrmHetero::Create(f1.config, f1.trace, f1.system.get(),
+                                overlap);
+  auto b = UpDlrmHetero::Create(f2.config, f2.trace, f2.system.get(),
+                                serial);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ra = (*a)->RunBatch({0, 16});
+  auto rb = (*b)->RunBatch({0, 16});
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_LT(ra->total, rb->total);
+}
+
+TEST(HeteroTest, RunAllAggregates) {
+  Fixture f = MakeFixture();
+  auto hetero = UpDlrmHetero::Create(f.config, f.trace, f.system.get(),
+                                     SmallOptions());
+  ASSERT_TRUE(hetero.ok());
+  auto report = (*hetero)->RunAll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_batches, 6u);  // 96 / 16
+  EXPECT_EQ(report->num_samples, 96u);
+  EXPECT_GT(report->AvgBatchTotal(), 0.0);
+}
+
+TEST(HeteroTest, GpuPaysOffOnlyForHeavyDenseStacks) {
+  // The crossover the paper's future work hinges on: with tiny MLPs the
+  // PCIe + sync overheads make the heterogeneous system slower than
+  // CPU-side MLPs; with wide stacks the GPU wins.
+  auto total_for = [](std::vector<std::uint32_t> bottom,
+                      std::vector<std::uint32_t> top, bool gpu) {
+    Fixture f = MakeFixture(std::move(bottom), std::move(top));
+    if (gpu) {
+      auto hetero = UpDlrmHetero::Create(f.config, f.trace,
+                                         f.system.get(), SmallOptions());
+      UPDLRM_CHECK(hetero.ok());
+      auto r = (*hetero)->RunBatch({0, 16});
+      UPDLRM_CHECK(r.ok());
+      return r->total;
+    }
+    auto engine = UpDlrmEngine::Create(nullptr, f.config, f.trace,
+                                       f.system.get(),
+                                       SmallOptions().engine);
+    UPDLRM_CHECK(engine.ok());
+    auto r = (*engine)->RunBatch({0, 16}, nullptr);
+    UPDLRM_CHECK(r.ok());
+    return r->total;
+  };
+
+  // Tiny stacks: CPU-side MLPs win.
+  EXPECT_LT(total_for({16}, {16}, false), total_for({16}, {16}, true));
+  // Very wide stacks: the GPU side wins despite the overheads.
+  const std::vector<std::uint32_t> wide = {4096, 4096, 4096};
+  EXPECT_GT(total_for(wide, wide, false), total_for(wide, wide, true));
+}
+
+TEST(HeteroTest, RejectsBadOptions) {
+  Fixture f = MakeFixture();
+  HeteroOptions options = SmallOptions();
+  options.sync_overhead_ns = -1.0;
+  EXPECT_FALSE(
+      UpDlrmHetero::Create(f.config, f.trace, f.system.get(), options)
+          .ok());
+  options = SmallOptions();
+  options.gpu.mlp_efficiency = 0.0;
+  EXPECT_FALSE(
+      UpDlrmHetero::Create(f.config, f.trace, f.system.get(), options)
+          .ok());
+}
+
+}  // namespace
+}  // namespace updlrm::core

@@ -1,0 +1,73 @@
+#include "updlrm/pipelining.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace updlrm::core {
+namespace {
+
+StageBreakdown Batch(Nanos s1, Nanos s2, Nanos s3, Nanos agg = 0.0) {
+  StageBreakdown b;
+  b.cpu_to_dpu = s1;
+  b.dpu_lookup = s2;
+  b.dpu_to_cpu = s3;
+  b.cpu_aggregate = agg;
+  return b;
+}
+
+TEST(PipeliningTest, SingleBatchGainsNothing) {
+  const std::vector<StageBreakdown> batches = {Batch(10, 50, 10)};
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_DOUBLE_EQ(e.serial_ns, 70.0);
+  // fill(10) + max(20, 50) + drain(10) = 70 == serial.
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 70.0);
+  EXPECT_DOUBLE_EQ(e.Speedup(), 1.0);
+}
+
+TEST(PipeliningTest, DpuBoundSteadyState) {
+  // Host work per batch 20, DPU work 80: the DPUs bound the pipeline.
+  std::vector<StageBreakdown> batches(10, Batch(10, 80, 10));
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_DOUBLE_EQ(e.serial_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(e.dpu_work_ns, 800.0);
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 800.0 + 10.0 + 10.0);
+  EXPECT_FALSE(e.HostBound());
+  EXPECT_NEAR(e.Speedup(), 1000.0 / 820.0, 1e-12);
+}
+
+TEST(PipeliningTest, HostBoundSteadyState) {
+  std::vector<StageBreakdown> batches(10, Batch(40, 20, 40, 10));
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_TRUE(e.HostBound());
+  EXPECT_DOUBLE_EQ(e.host_work_ns, 900.0);
+  // fill 40 + 900 + drain (40 + 10) = 990 < serial 1100.
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 990.0);
+}
+
+TEST(PipeliningTest, NeverSlowerThanSerial) {
+  // Pathological single-stage batches: the bound must clamp to serial.
+  std::vector<StageBreakdown> batches(3, Batch(100, 0, 100, 50));
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_LE(e.pipelined_ns, e.serial_ns);
+}
+
+TEST(PipeliningTest, HeterogeneousBatches) {
+  std::vector<StageBreakdown> batches = {Batch(10, 100, 5),
+                                         Batch(30, 10, 5),
+                                         Batch(20, 60, 15, 5)};
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_DOUBLE_EQ(e.dpu_work_ns, 170.0);
+  EXPECT_DOUBLE_EQ(e.host_work_ns, 10 + 5 + 30 + 5 + 20 + 15 + 5);
+  // fill = 10 (first batch s1), drain = 15 + 5 (last batch s3 + agg).
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 170.0 + 10.0 + 20.0);
+  EXPECT_GT(e.Speedup(), 1.0);
+}
+
+TEST(PipeliningDeathTest, EmptyInputAborts) {
+  const std::vector<StageBreakdown> empty;
+  EXPECT_DEATH((void)EstimatePipelinedEmbedding(empty), "at least one");
+}
+
+}  // namespace
+}  // namespace updlrm::core
