@@ -1,6 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace updlrm::bench {
 
@@ -15,10 +20,22 @@ BenchScale ParseScale(int argc, const char* const* argv) {
         cl->GetInt("samples", static_cast<std::int64_t>(scale.num_samples)));
     scale.batch_size = static_cast<std::size_t>(
         cl->GetInt("batch", static_cast<std::int64_t>(scale.batch_size)));
+    scale.threads =
+        static_cast<std::uint32_t>(cl->GetInt("threads", 0));
   }
-  std::printf("# setup: %zu sampled inferences, batch size %zu "
-              "(paper: 12800 / 64; pass --full for paper scale)\n\n",
-              scale.num_samples, scale.batch_size);
+  if (scale.threads > 0) {
+    // Cap the process-wide pool so num_threads = 0 regions also honor
+    // the flag. Must happen before anything touches the default pool.
+    ThreadPool::SetDefaultThreads(scale.threads);
+  }
+  const unsigned effective =
+      scale.threads > 0 ? scale.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  std::printf("# setup: %zu sampled inferences, batch size %zu, "
+              "%u host thread(s) "
+              "(paper: 12800 / 64; pass --full for paper scale, "
+              "--threads=N for host parallelism)\n\n",
+              scale.num_samples, scale.batch_size, effective);
   return scale;
 }
 
@@ -33,6 +50,7 @@ Workload PrepareWorkload(const trace::DatasetSpec& spec,
   trace::TraceGeneratorOptions options;
   options.num_samples = scale.num_samples;
   options.num_tables = 8;
+  options.num_threads = scale.threads;
   auto trace = trace::TraceGenerator(spec).Generate(options);
   UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
   w.trace = std::move(trace).value();
@@ -54,24 +72,87 @@ core::EngineOptions PaperEngineOptions(partition::Method method,
   options.method = method;
   options.nc = nc;
   options.batch_size = scale.batch_size;
+  options.num_threads = scale.threads;
+  options.grace.num_threads = scale.threads;
   return options;
 }
 
-std::vector<cache::CacheRes> MineCaches(const Workload& workload) {
-  std::vector<cache::CacheRes> caches;
-  caches.reserve(workload.config.num_tables);
-  cache::GraceMiner miner;
-  for (std::uint32_t t = 0; t < workload.config.num_tables; ++t) {
-    auto res = miner.Mine(workload.trace.tables[t],
-                          workload.config.rows_per_table);
-    UPDLRM_CHECK_MSG(res.ok(), res.status().ToString());
-    caches.push_back(std::move(res).value());
+std::vector<cache::CacheRes> MineCaches(const Workload& workload,
+                                        std::uint32_t num_threads) {
+  // Per-table mining is independent; each task fills its own slot, so
+  // the mined lists are identical at any thread count.
+  const std::uint32_t tables = workload.config.num_tables;
+  std::vector<cache::CacheRes> caches(tables);
+  std::vector<Status> statuses(tables);
+  ParallelFor(
+      tables,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          cache::GraceMiner miner;
+          auto res = miner.Mine(workload.trace.tables[t],
+                                workload.config.rows_per_table);
+          if (!res.ok()) {
+            statuses[t] = res.status();
+            continue;
+          }
+          caches[t] = std::move(res).value();
+        }
+      },
+      num_threads);
+  for (const Status& status : statuses) {
+    UPDLRM_CHECK_MSG(status.ok(), status.ToString());
   }
   return caches;
 }
 
 baselines::FaeOptions PaperFaeOptions() {
   return baselines::FaeOptions{};  // 64 MB hot cache (see systems.h)
+}
+
+HostTimer::HostTimer(std::string name, const BenchScale& scale)
+    : name_(std::move(name)),
+      threads_(scale.threads),
+      start_(std::chrono::steady_clock::now()) {}
+
+HostTimer::~HostTimer() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  const unsigned effective =
+      threads_ > 0 ? threads_
+                   : std::max(1u, std::thread::hardware_concurrency());
+
+  // Merge into BENCH_host.json: keep every line that belongs to another
+  // bench, replace (or append) our own. The file is our own output
+  // format — one entry per line — so a line parser is sufficient.
+  const char* path = "BENCH_host.json";
+  std::vector<std::string> entries;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string me = "\"" + name_ + "\":";
+    while (std::getline(in, line)) {
+      const auto key = line.find('"');
+      if (key == std::string::npos) continue;  // braces / blank lines
+      if (line.compare(key, me.size(), me) == 0) continue;  // replaced
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      entries.push_back(line);
+    }
+  }
+  std::ostringstream mine;
+  mine << "  \"" << name_ << "\": {\"wall_seconds\": " << seconds
+       << ", \"threads\": " << effective << "}";
+  entries.push_back(mine.str());
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i] << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  std::printf("\n# host wall clock: %.3f s at %u thread(s) -> %s\n",
+              seconds, effective, path);
 }
 
 }  // namespace updlrm::bench

@@ -9,10 +9,19 @@
 // the whole suite completes in minutes on one core; per-batch results
 // are unchanged because all timing models are per-batch. Pass --full
 // for the paper's 12,800 samples, or --samples=N explicitly.
+//
+// --threads=N sets the host worker pool width (0 = all hardware
+// threads, 1 = serial). Threads change wall-clock time only: every
+// simulated latency and functional result is thread-count invariant
+// (DESIGN.md §"Host execution backend"). Each bench self-times its
+// wall clock via HostTimer and merges the measurement into
+// BENCH_host.json, so speedup from --threads is directly observable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/systems.h"
@@ -29,9 +38,12 @@ namespace updlrm::bench {
 struct BenchScale {
   std::size_t num_samples = 640;
   std::size_t batch_size = 64;
+  /// Host pool width (0 = hardware concurrency, 1 = serial).
+  std::uint32_t threads = 0;
 };
 
-/// Parses --samples / --full / --batch from argv; prints a scale banner.
+/// Parses --samples / --full / --batch / --threads from argv; sizes the
+/// process-wide default pool and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {
@@ -54,10 +66,32 @@ core::EngineOptions PaperEngineOptions(partition::Method method,
                                        const BenchScale& scale);
 
 /// Mines GRACE cache lists once per table so multiple engine
-/// configurations can share them.
-std::vector<cache::CacheRes> MineCaches(const Workload& workload);
+/// configurations can share them. Tables mine in parallel
+/// (`num_threads`: 0 = default pool, 1 = serial); results are
+/// thread-count invariant.
+std::vector<cache::CacheRes> MineCaches(const Workload& workload,
+                                        std::uint32_t num_threads = 0);
 
 /// FAE GPU hot-cache provisioning used in comparisons.
 baselines::FaeOptions PaperFaeOptions();
+
+/// RAII wall-clock self-timer. On destruction, merges
+///   "<name>": {"wall_seconds": <elapsed>, "threads": <width>}
+/// into BENCH_host.json in the working directory (one entry per bench;
+/// re-runs overwrite their own entry). This is the only place host
+/// wall time is recorded — simulated results never depend on it.
+class HostTimer {
+ public:
+  HostTimer(std::string name, const BenchScale& scale);
+  ~HostTimer();
+
+  HostTimer(const HostTimer&) = delete;
+  HostTimer& operator=(const HostTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::uint32_t threads_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace updlrm::bench

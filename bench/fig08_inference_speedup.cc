@@ -7,9 +7,11 @@
 // (the GPU stalls on CPU-side lookups plus PCIe/sync overheads).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "updlrm/comparison.h"
 
 int main(int argc, char** argv) {
@@ -26,31 +28,47 @@ int main(int argc, char** argv) {
 
   std::printf("\n== Figure 8: inference speedup over DLRM-CPU ==\n\n");
   const bench::BenchScale scale = bench::ParseScale(argc, argv);
+  const bench::HostTimer timer("fig08_inference_speedup", scale);
+
+  // One task per dataset, each producing its comparison into its own
+  // slot; rows and the min/max summary fold serially in dataset order,
+  // so the printed figure is identical at any thread count.
+  const auto specs = trace::Table1Workloads();
+  std::vector<core::SystemComparison> comparisons(specs.size());
+  ParallelFor(
+      specs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t ds = begin; ds < end; ++ds) {
+          const bench::Workload w =
+              bench::PrepareWorkload(specs[ds], scale);
+          core::ComparisonOptions options;
+          options.batch_size = scale.batch_size;
+          options.engine = bench::PaperEngineOptions(
+              partition::Method::kCacheAware, 0, scale);
+          options.fae = bench::PaperFaeOptions();
+          options.system.functional = false;  // Table 2, timing-only
+          options.num_threads = scale.threads;
+          auto cmp = core::CompareSystems(w.config, w.trace, options);
+          UPDLRM_CHECK_MSG(cmp.ok(), cmp.status().ToString());
+          comparisons[ds] = std::move(cmp).value();
+        }
+      },
+      scale.threads);
 
   TablePrinter out({"workload", "DLRM-CPU (ms/batch)", "Hybrid speedup",
                     "FAE speedup", "UpDLRM speedup", "UpDLRM/Hybrid",
                     "UpDLRM/FAE", "Nc*"});
   double min_cpu = 1e18, max_cpu = 0, min_hy = 1e18, max_hy = 0,
          min_fae = 1e18, max_fae = 0;
-  for (const auto& spec : trace::Table1Workloads()) {
-    const bench::Workload w = bench::PrepareWorkload(spec, scale);
+  for (std::size_t ds = 0; ds < specs.size(); ++ds) {
+    const core::SystemComparison& cmp = comparisons[ds];
+    const double t_cpu = cmp.dlrm_cpu.AvgBatchTotal();
+    const double t_hybrid = cmp.dlrm_hybrid.AvgBatchTotal();
+    const double t_fae = cmp.fae.AvgBatchTotal();
 
-    core::ComparisonOptions options;
-    options.batch_size = scale.batch_size;
-    options.engine = bench::PaperEngineOptions(
-        partition::Method::kCacheAware, 0, scale);
-    options.fae = bench::PaperFaeOptions();
-    options.system.functional = false;  // Table 2 system, timing-only
-    auto cmp = core::CompareSystems(w.config, w.trace, options);
-    UPDLRM_CHECK_MSG(cmp.ok(), cmp.status().ToString());
-
-    const double t_cpu = cmp->dlrm_cpu.AvgBatchTotal();
-    const double t_hybrid = cmp->dlrm_hybrid.AvgBatchTotal();
-    const double t_fae = cmp->fae.AvgBatchTotal();
-
-    const double s_cpu = cmp->UpdlrmSpeedupVsCpu();
-    const double s_hybrid = cmp->UpdlrmSpeedupVsHybrid();
-    const double s_fae = cmp->UpdlrmSpeedupVsFae();
+    const double s_cpu = cmp.UpdlrmSpeedupVsCpu();
+    const double s_hybrid = cmp.UpdlrmSpeedupVsHybrid();
+    const double s_fae = cmp.UpdlrmSpeedupVsFae();
     min_cpu = std::min(min_cpu, s_cpu);
     max_cpu = std::max(max_cpu, s_cpu);
     min_hy = std::min(min_hy, s_hybrid);
@@ -58,13 +76,13 @@ int main(int argc, char** argv) {
     min_fae = std::min(min_fae, s_fae);
     max_fae = std::max(max_fae, s_fae);
 
-    out.AddRow({spec.name, TablePrinter::Fmt(t_cpu / 1e6, 2),
+    out.AddRow({specs[ds].name, TablePrinter::Fmt(t_cpu / 1e6, 2),
                 TablePrinter::FmtSpeedup(t_cpu / t_hybrid),
                 TablePrinter::FmtSpeedup(t_cpu / t_fae),
                 TablePrinter::FmtSpeedup(s_cpu),
                 TablePrinter::FmtSpeedup(s_hybrid),
                 TablePrinter::FmtSpeedup(s_fae),
-                std::to_string(cmp->nc)});
+                std::to_string(cmp.nc)});
   }
   out.Print(std::cout);
   std::printf(

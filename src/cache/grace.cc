@@ -1,9 +1,11 @@
 #include "cache/grace.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "trace/profiler.h"
 
 namespace updlrm::cache {
@@ -20,6 +22,20 @@ constexpr std::size_t kMaxHotPerSample = 96;
 std::uint64_t PairKey(std::uint32_t a, std::uint32_t b) {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// Samples are counted in parallel shards; a per-sample seed keeps the
+// (rare) hot-item subsampling independent of both shard boundaries and
+// thread count.
+std::uint64_t SubsampleSeed(std::size_t sample) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ sample;
+  return SplitMix64(state);
+}
+
+// Shard grain for the counting / scoring replays: big enough that the
+// per-shard hash maps amortize, small enough to load-balance.
+std::size_t ReplayGrain(std::size_t num_samples) {
+  return std::max<std::size_t>(64, num_samples / 256);
 }
 
 }  // namespace
@@ -60,25 +76,38 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
     ++hot_count;
   }
 
-  // Pairwise co-occurrence graph over hot items.
+  // Pairwise co-occurrence graph over hot items, counted in parallel
+  // sample shards. Each shard fills a private map; shard maps merge
+  // into the global one by summing counts — integer addition is
+  // commutative, so the merged counts (and everything derived from
+  // them) do not depend on shard boundaries or merge order.
   std::unordered_map<std::uint64_t, std::uint64_t> pair_counts;
-  std::vector<std::uint32_t> hot_in_sample;
-  Rng subsample_rng(0x9e3779b97f4a7c15ULL);  // deterministic mining
-  for (std::size_t s = 0; s < table.num_samples(); ++s) {
-    hot_in_sample.clear();
-    for (std::uint32_t idx : table.Sample(s)) {
-      if (is_hot[idx]) hot_in_sample.push_back(idx);
-    }
-    if (hot_in_sample.size() > kMaxHotPerSample) {
-      subsample_rng.Shuffle(hot_in_sample);
-      hot_in_sample.resize(kMaxHotPerSample);
-    }
-    for (std::size_t i = 0; i < hot_in_sample.size(); ++i) {
-      for (std::size_t j = i + 1; j < hot_in_sample.size(); ++j) {
-        ++pair_counts[PairKey(hot_in_sample[i], hot_in_sample[j])];
-      }
-    }
-  }
+  std::mutex merge_mu;
+  ParallelFor(
+      table.num_samples(),
+      [&](std::size_t begin, std::size_t end) {
+        std::unordered_map<std::uint64_t, std::uint64_t> local;
+        std::vector<std::uint32_t> hot_in_sample;
+        for (std::size_t s = begin; s < end; ++s) {
+          hot_in_sample.clear();
+          for (std::uint32_t idx : table.Sample(s)) {
+            if (is_hot[idx]) hot_in_sample.push_back(idx);
+          }
+          if (hot_in_sample.size() > kMaxHotPerSample) {
+            Rng subsample_rng(SubsampleSeed(s));
+            subsample_rng.Shuffle(hot_in_sample);
+            hot_in_sample.resize(kMaxHotPerSample);
+          }
+          for (std::size_t i = 0; i < hot_in_sample.size(); ++i) {
+            for (std::size_t j = i + 1; j < hot_in_sample.size(); ++j) {
+              ++local[PairKey(hot_in_sample[i], hot_in_sample[j])];
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (const auto& [key, count] : local) pair_counts[key] += count;
+      },
+      options_.num_threads, ReplayGrain(table.num_samples()));
 
   // Heaviest edges first.
   struct Edge {
@@ -129,7 +158,7 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
     res.lists.push_back(CacheList{std::move(group), 0.0});
   }
 
-  res = ScoreCacheLists(table, num_items, res);
+  res = ScoreCacheLists(table, num_items, res, options_.num_threads);
   if (res.lists.size() > options_.max_lists) {
     res.lists.resize(options_.max_lists);
   }
@@ -138,7 +167,8 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
 }
 
 CacheRes ScoreCacheLists(const trace::TableTrace& table,
-                         std::uint64_t num_items, const CacheRes& res) {
+                         std::uint64_t num_items, const CacheRes& res,
+                         std::uint32_t num_threads) {
   CacheRes scored = res;
   for (auto& list : scored.lists) list.benefit = 0.0;
   if (scored.lists.empty()) return scored;
@@ -146,20 +176,42 @@ CacheRes ScoreCacheLists(const trace::TableTrace& table,
   const std::vector<std::int32_t> item_to_list =
       scored.BuildItemToList(num_items);
 
-  std::vector<std::uint32_t> hits(scored.lists.size(), 0);
-  std::vector<std::uint32_t> touched;
-  for (std::size_t s = 0; s < table.num_samples(); ++s) {
-    touched.clear();
-    for (std::uint32_t idx : table.Sample(s)) {
-      const std::int32_t l = item_to_list[idx];
-      if (l < 0) continue;
-      if (hits[l]++ == 0) touched.push_back(static_cast<std::uint32_t>(l));
-    }
-    for (std::uint32_t l : touched) {
-      // An intersection of c >= 2 items collapses into one cached read.
-      if (hits[l] >= 2) scored.lists[l].benefit += hits[l] - 1;
-      hits[l] = 0;
-    }
+  // Parallel replay: per-shard integer benefit counters merged by
+  // addition (order-insensitive), then assigned to the double-valued
+  // benefit field once. Benefits stay exact integers well below 2^53,
+  // so the result is bit-identical at every thread count.
+  std::vector<std::uint64_t> benefit(scored.lists.size(), 0);
+  std::mutex merge_mu;
+  ParallelFor(
+      table.num_samples(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint64_t> local(scored.lists.size(), 0);
+        std::vector<std::uint32_t> hits(scored.lists.size(), 0);
+        std::vector<std::uint32_t> touched;
+        for (std::size_t s = begin; s < end; ++s) {
+          touched.clear();
+          for (std::uint32_t idx : table.Sample(s)) {
+            const std::int32_t l = item_to_list[idx];
+            if (l < 0) continue;
+            if (hits[l]++ == 0) {
+              touched.push_back(static_cast<std::uint32_t>(l));
+            }
+          }
+          for (std::uint32_t l : touched) {
+            // An intersection of c >= 2 items collapses into one
+            // cached read.
+            if (hits[l] >= 2) local[l] += hits[l] - 1;
+            hits[l] = 0;
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (std::size_t l = 0; l < local.size(); ++l) {
+          benefit[l] += local[l];
+        }
+      },
+      num_threads, ReplayGrain(table.num_samples()));
+  for (std::size_t l = 0; l < benefit.size(); ++l) {
+    scored.lists[l].benefit = static_cast<double>(benefit[l]);
   }
 
   std::stable_sort(scored.lists.begin(), scored.lists.end(),

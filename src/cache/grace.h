@@ -30,6 +30,11 @@ struct GraceOptions {
   std::size_t max_lists = 8192;
   // Maximum items per list; capped at kMaxCacheListSize.
   std::size_t max_list_size = kMaxCacheListSize;
+  // Host threads for the per-shard pair counting and the scoring
+  // replay (0 = default pool, 1 = serial). Mined results are
+  // thread-count invariant: shards merge by commutative integer sums
+  // and ties break on item ids.
+  std::uint32_t num_threads = 0;
 
   Status Validate() const;
 };
@@ -53,7 +58,12 @@ class GraceMiner {
 /// Replays `table` and recomputes the benefit of each list in `res`
 /// (avoided accesses). Used to score externally supplied or trimmed
 /// cache lists; returns a copy with updated, re-sorted benefits.
+/// Sample shards are replayed in parallel (`num_threads`: 0 = default
+/// pool, 1 = serial); per-list benefits are exact integer counts, so
+/// the shard merge is order-insensitive and the result thread-count
+/// invariant.
 CacheRes ScoreCacheLists(const trace::TableTrace& table,
-                         std::uint64_t num_items, const CacheRes& res);
+                         std::uint64_t num_items, const CacheRes& res,
+                         std::uint32_t num_threads = 0);
 
 }  // namespace updlrm::cache

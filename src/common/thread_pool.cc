@@ -1,0 +1,189 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace updlrm {
+
+namespace {
+
+std::atomic<unsigned> g_default_threads{0};
+std::atomic<bool> g_default_created{false};
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = threads;
+  queues_.resize(std::max(1u, threads - 1));
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // single-threaded pool: run inline
+    return;
+  }
+  const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                     static_cast<unsigned>(queues_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[q].push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask(unsigned home) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Own deque first (LIFO: newest task, warm caches) ...
+    if (!queues_[home].empty()) {
+      task = std::move(queues_[home].back());
+      queues_[home].pop_back();
+    } else {
+      // ... then steal the oldest task from a sibling (FIFO).
+      for (std::size_t off = 1; off < queues_.size() && !task; ++off) {
+        auto& victim = queues_[(home + off) % queues_.size()];
+        if (!victim.empty()) {
+          task = std::move(victim.front());
+          victim.pop_front();
+        }
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(unsigned worker_index) {
+  for (;;) {
+    if (TryRunOneTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, worker_index] {
+      if (stopping_) return true;
+      for (const auto& q : queues_) {
+        if (!q.empty()) return true;
+      }
+      return false;
+    });
+    if (stopping_) return;
+  }
+}
+
+struct ThreadPool::ParallelForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> done{0};  // indices fully processed
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mu;
+};
+
+void ThreadPool::RunChunks(ParallelForState& state) {
+  for (;;) {
+    const std::size_t begin =
+        state.next.fetch_add(state.grain, std::memory_order_relaxed);
+    if (begin >= state.n) return;
+    const std::size_t end = std::min(state.n, begin + state.grain);
+    try {
+      (*state.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.error_mu);
+      if (!state.error) state.error = std::current_exception();
+    }
+    const std::size_t done =
+        state.done.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (done >= state.n) {
+      std::lock_guard<std::mutex> lock(state.done_mu);
+      state.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    unsigned max_workers) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  unsigned width = max_workers == 0 ? num_threads_
+                                    : std::min(max_workers, num_threads_);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  width = static_cast<unsigned>(
+      std::min<std::size_t>(width, chunks));
+  if (width <= 1 || workers_.empty()) {
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      body(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->grain = grain;
+  state->body = &body;
+  // One helper per extra thread; busy workers simply never pick theirs
+  // up and the caller (or a stealing sibling) drains the range instead.
+  for (unsigned i = 0; i + 1 < width; ++i) {
+    Submit([this, state] { RunChunks(*state); });
+  }
+  RunChunks(*state);
+  if (state->done.load(std::memory_order_acquire) < n) {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  // `body` dangles once we return; helpers that wake late see
+  // next >= n and never touch it.
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(g_default_threads.load(std::memory_order_acquire));
+  g_default_created.store(true, std::memory_order_release);
+  return pool;
+}
+
+unsigned ThreadPool::SetDefaultThreads(unsigned threads) {
+  if (!g_default_created.load(std::memory_order_acquire)) {
+    g_default_threads.store(threads, std::memory_order_release);
+  }
+  return Default().size();
+}
+
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 unsigned num_threads, std::size_t grain) {
+  if (num_threads == 1) {
+    for (std::size_t begin = 0; begin < n; begin += std::max<std::size_t>(
+                                              grain, 1)) {
+      body(begin, std::min(n, begin + std::max<std::size_t>(grain, 1)));
+    }
+    return;
+  }
+  ThreadPool::Default().ParallelFor(n, grain, body, num_threads);
+}
+
+}  // namespace updlrm

@@ -1,0 +1,91 @@
+// Work-stealing thread pool for the host execution backend.
+//
+// Every host-side fan-out in the library (engine setup, stage-2 batch
+// simulation, GRACE mining, trace generation, the comparison harness)
+// runs through this pool. The pool provides *wall-clock* parallelism
+// only: callers are responsible for the determinism contract — a
+// parallel region must write to disjoint output slots, and any
+// reduction must happen after the region in a fixed order, so that the
+// same inputs produce the same bytes and the same simulated times at
+// every thread count (see DESIGN.md §"Host execution backend").
+//
+// Structure: N-1 worker threads, each owning a deque of tasks. Submit()
+// pushes to the deques round-robin; idle workers pop their own deque
+// LIFO and steal FIFO from siblings. ParallelFor() splits an index
+// range over the pool via an atomic cursor; the calling thread always
+// participates, so nested parallel regions (an engine fanning out from
+// inside a comparison task) cannot deadlock — a caller that finds no
+// idle worker simply executes every chunk itself.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace updlrm {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `threads` threads total: the
+  /// calling thread plus `threads - 1` background workers. `threads`
+  /// == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (background workers + the caller).
+  unsigned size() const { return num_threads_; }
+
+  /// Enqueues a fire-and-forget task on a worker deque.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(begin, end) over chunks of [0, n). Blocks until every
+  /// index has been processed. The caller executes chunks alongside the
+  /// workers. `max_workers` caps the number of threads used for this
+  /// call (0 = the full pool, 1 = inline on the caller). Chunk
+  /// boundaries depend only on `n` and `grain`, never on thread count.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   unsigned max_workers = 0);
+
+  /// The process-wide pool, created on first use. Sized by
+  /// SetDefaultThreads() if called before first use, otherwise by
+  /// hardware_concurrency().
+  static ThreadPool& Default();
+
+  /// Overrides the Default() pool size. Only effective before the first
+  /// Default() call; later calls are ignored (the pool is never
+  /// resized). Returns the size Default() will have / has.
+  static unsigned SetDefaultThreads(unsigned threads);
+
+ private:
+  struct ParallelForState;
+
+  void WorkerLoop(unsigned worker_index);
+  bool TryRunOneTask(unsigned home);
+  void RunChunks(ParallelForState& state);
+
+  unsigned num_threads_ = 1;  // workers + caller
+  std::vector<std::thread> workers_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<unsigned> next_queue_{0};
+  bool stopping_ = false;
+};
+
+/// ParallelFor on the process-wide default pool. `num_threads` is the
+/// per-call cap with the EngineOptions convention: 0 = full pool,
+/// 1 = serial inline, N = at most N threads.
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 unsigned num_threads = 0, std::size_t grain = 1);
+
+}  // namespace updlrm

@@ -10,8 +10,18 @@
 //
 // It exists to validate the analytic model: tests assert the simulated
 // makespan stays within a tight band above the analytic lower bound
-// across tasklet counts, access sizes and work mixes. It is not used on
-// the timing fast path (it is orders of magnitude slower).
+// across tasklet counts, access sizes and work mixes.
+//
+// Two engines produce cycle-identical results:
+//   * kPeriodic (default): event-driven execution that detects the
+//     steady state of a homogeneous phase — every phase here issues the
+//     same instruction/DMA budget per item — and advances whole periods
+//     analytically instead of cycle by cycle. Orders of magnitude
+//     faster on large phases.
+//   * kExactCycle: the reference simulator, advancing one cycle per
+//     loop iteration with O(tasklets) scans. Kept behind this flag for
+//     validation; the property tests assert both engines report
+//     identical cycles and counters on randomized phases.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +42,30 @@ struct KernelSimResult {
   double issue_utilization = 0.0;
 };
 
+/// Which phase-execution engine to run (see file comment).
+enum class PhaseEngine {
+  kPeriodic,
+  kExactCycle,
+};
+
+/// One homogeneous kernel phase: `num_items` work items, each costing
+/// `instr_per_item` issue slots and (optionally) one DMA transfer with
+/// the given latency (tasklet blocks) and engine occupancy (DMA engine
+/// serializes).
+struct KernelPhase {
+  std::uint64_t num_items = 0;
+  Cycles instr_per_item = 0;
+  Cycles dma_latency = 0;
+  Cycles dma_occupancy = 0;
+};
+
+/// Executes one phase to completion on `tasklets` tasklets and returns
+/// its makespan; `instructions` / `dmas` accumulate issued counts.
+/// Exposed for the engine-equivalence property tests.
+Cycles SimulatePhase(const KernelPhase& phase, std::uint32_t tasklets,
+                     std::uint32_t revolver_depth, PhaseEngine engine,
+                     std::uint64_t* instructions, std::uint64_t* dmas);
+
 /// Executes the three-phase embedding kernel (index streaming, row
 /// reads + accumulation, per-sample output) with the same per-item
 /// instruction budgets as EmbeddingKernelCostModel. Work items are
@@ -40,6 +74,7 @@ struct KernelSimResult {
 KernelSimResult SimulateEmbeddingKernel(
     const DpuConfig& dpu, const MramTimingModel& mram,
     const EmbeddingKernelCostParams& params,
-    const EmbeddingKernelWork& work);
+    const EmbeddingKernelWork& work,
+    PhaseEngine engine = PhaseEngine::kPeriodic);
 
 }  // namespace updlrm::pim

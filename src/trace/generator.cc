@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace updlrm::trace {
 
 namespace {
@@ -83,21 +85,40 @@ Result<Trace> GenerateHeterogeneousTrace(
   if (specs.empty()) {
     return Status::InvalidArgument("need at least one DatasetSpec");
   }
+  // Each spec already owns an independent seed stream, so tables
+  // generate in parallel and land in their own slot; results are
+  // identical at any thread count.
+  std::vector<Status> statuses(specs.size());
+  std::vector<Trace> per_spec(specs.size());
+  ParallelFor(
+      specs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          TraceGeneratorOptions per_table = options;
+          per_table.num_tables = 1;
+          // Independent per-table seed streams even when specs share a
+          // seed.
+          std::uint64_t seed =
+              (options.seed_override != 0 ? options.seed_override
+                                          : specs[t].seed) ^
+              (0xd1b54a32d192ed03ULL * (t + 1));
+          per_table.seed_override = SplitMix64(seed);
+          if (per_table.seed_override == 0) per_table.seed_override = 1;
+          auto one = TraceGenerator(specs[t]).Generate(per_table);
+          if (!one.ok()) {
+            statuses[t] = one.status();
+            continue;
+          }
+          per_spec[t] = std::move(one).value();
+        }
+      },
+      options.num_threads);
+
   Trace trace;
   trace.items_per_table.reserve(specs.size());
   for (std::size_t t = 0; t < specs.size(); ++t) {
-    TraceGeneratorOptions per_table = options;
-    per_table.num_tables = 1;
-    // Independent per-table seed streams even when specs share a seed.
-    std::uint64_t seed =
-        (options.seed_override != 0 ? options.seed_override
-                                    : specs[t].seed) ^
-        (0xd1b54a32d192ed03ULL * (t + 1));
-    per_table.seed_override = SplitMix64(seed);
-    if (per_table.seed_override == 0) per_table.seed_override = 1;
-    auto one = TraceGenerator(specs[t]).Generate(per_table);
-    if (!one.ok()) return one.status();
-    trace.tables.push_back(std::move(one->tables[0]));
+    UPDLRM_RETURN_IF_ERROR(statuses[t]);
+    trace.tables.push_back(std::move(per_spec[t].tables[0]));
     trace.items_per_table.push_back(specs[t].num_items);
   }
   trace.num_items = 0;
@@ -127,7 +148,14 @@ Result<Trace> TraceGenerator::Generate(
   trace.num_items = n;
   trace.tables.resize(options.num_tables);
 
-  for (std::uint32_t t = 0; t < options.num_tables; ++t) {
+  // Tables draw from independent per-table seed streams (DeriveSeed),
+  // so they generate in parallel into disjoint slots with a
+  // thread-count-invariant result.
+  ParallelFor(
+      options.num_tables,
+      [&](std::size_t table_begin, std::size_t table_end) {
+  for (std::uint32_t t = static_cast<std::uint32_t>(table_begin);
+       t < table_end; ++t) {
     Rng perm_rng(DeriveSeed(base_seed, t, kPurposePerm));
     const std::vector<std::uint32_t> rank_to_id = BuildRankToId(perm_rng);
     const CliqueModel cliques = BuildCliqueModel(t, options);
@@ -195,6 +223,8 @@ Result<Trace> TraceGenerator::Generate(
       trace.tables[t].AppendSample(items);
     }
   }
+      },
+      options.num_threads);
   UPDLRM_RETURN_IF_ERROR(trace.Validate());
   return trace;
 }

@@ -35,6 +35,11 @@ struct TraceGeneratorOptions {
   // profile-once/serve-later systems face (the paper partitions from a
   // historical trace); 0 = stationary popularity.
   double popularity_drift = 0.0;
+
+  // Host threads for per-table generation (0 = default pool,
+  // 1 = serial). Tables already draw from independent per-table seed
+  // streams, so the generated trace is identical at any thread count.
+  std::uint32_t num_threads = 0;
 };
 
 /// The planted co-occurrence structure: cliques of item ids (ground truth

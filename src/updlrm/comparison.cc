@@ -1,5 +1,7 @@
 #include "updlrm/comparison.h"
 
+#include "common/thread_pool.h"
+
 namespace updlrm::core {
 
 Result<SystemComparison> CompareSystems(const dlrm::DlrmConfig& config,
@@ -10,33 +12,73 @@ Result<SystemComparison> CompareSystems(const dlrm::DlrmConfig& config,
   }
   SystemComparison result;
 
-  const baselines::DlrmCpu cpu(config, trace, options.cpu);
-  result.dlrm_cpu = cpu.RunAll(options.batch_size);
-
-  const baselines::DlrmHybrid hybrid(config, trace, options.cpu,
-                                     options.gpu);
-  result.dlrm_hybrid = hybrid.RunAll(options.batch_size);
-
-  auto fae = baselines::Fae::Create(config, trace, options.fae,
-                                    options.cpu, options.gpu);
-  if (!fae.ok()) return fae.status();
-  result.fae = (*fae)->RunAll(options.batch_size);
-  result.fae_hot_fraction = (*fae)->HotLookupFraction();
-
-  pim::DpuSystemConfig system_config = options.system;
-  system_config.functional = false;
-  auto system = pim::DpuSystem::Create(system_config);
-  if (!system.ok()) return system.status();
-
-  EngineOptions engine_options = options.engine;
-  engine_options.batch_size = options.batch_size;
-  auto engine = UpDlrmEngine::Create(nullptr, config, trace,
-                                     system->get(), engine_options);
-  if (!engine.ok()) return engine.status();
-  auto report = (*engine)->RunAll(nullptr);
-  if (!report.ok()) return report.status();
-  result.updlrm = std::move(report).value();
-  result.nc = (*engine)->nc();
+  // The four systems are independent simulations over the same
+  // (read-only) trace; evaluate them as parallel tasks. Each task
+  // writes only its own report slot, and errors are surfaced in the
+  // fixed system order below, so the comparison is thread-count
+  // invariant. UpDLRM runs last in task order but fans out internally
+  // via the same pool (nested regions are deadlock-free).
+  Status statuses[4];
+  ParallelFor(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t task = begin; task < end; ++task) {
+          switch (task) {
+            case 0: {
+              const baselines::DlrmCpu cpu(config, trace, options.cpu);
+              result.dlrm_cpu = cpu.RunAll(options.batch_size);
+              break;
+            }
+            case 1: {
+              const baselines::DlrmHybrid hybrid(config, trace,
+                                                 options.cpu, options.gpu);
+              result.dlrm_hybrid = hybrid.RunAll(options.batch_size);
+              break;
+            }
+            case 2: {
+              auto fae = baselines::Fae::Create(config, trace, options.fae,
+                                                options.cpu, options.gpu);
+              if (!fae.ok()) {
+                statuses[task] = fae.status();
+                break;
+              }
+              result.fae = (*fae)->RunAll(options.batch_size);
+              result.fae_hot_fraction = (*fae)->HotLookupFraction();
+              break;
+            }
+            case 3: {
+              pim::DpuSystemConfig system_config = options.system;
+              system_config.functional = false;
+              auto system = pim::DpuSystem::Create(system_config);
+              if (!system.ok()) {
+                statuses[task] = system.status();
+                break;
+              }
+              EngineOptions engine_options = options.engine;
+              engine_options.batch_size = options.batch_size;
+              engine_options.num_threads = options.num_threads;
+              auto engine = UpDlrmEngine::Create(
+                  nullptr, config, trace, system->get(), engine_options);
+              if (!engine.ok()) {
+                statuses[task] = engine.status();
+                break;
+              }
+              auto report = (*engine)->RunAll(nullptr);
+              if (!report.ok()) {
+                statuses[task] = report.status();
+                break;
+              }
+              result.updlrm = std::move(report).value();
+              result.nc = (*engine)->nc();
+              break;
+            }
+          }
+        }
+      },
+      options.num_threads);
+  for (const Status& status : statuses) {
+    UPDLRM_RETURN_IF_ERROR(status);
+  }
   return result;
 }
 

@@ -29,6 +29,10 @@ struct ComparisonOptions {
   /// The PIM system; functional is forced off (comparisons are
   /// timing-only).
   pim::DpuSystemConfig system;
+  /// Host threads: the four systems evaluate as parallel tasks and the
+  /// UpDLRM engine inherits the width (0 = default pool, 1 = serial).
+  /// Reports are thread-count invariant.
+  std::uint32_t num_threads = 0;
 };
 
 struct SystemComparison {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/fixed_point.h"
+#include "common/thread_pool.h"
 #include "partition/replication.h"
 #include "trace/profiler.h"
 
@@ -159,31 +160,63 @@ Status UpDlrmEngine::Setup() {
     return Status::CapacityExceeded("allocation exceeds the DPU count");
   }
 
+  // Per-table preparation (profiling, partitioning, mining, MRAM
+  // placement) is independent across tables: each table's group owns a
+  // disjoint DPU range, so placement writes never alias. Errors are
+  // reported in table order regardless of completion order.
+  struct BuiltGroup {
+    Status status;
+    TableGroup group;
+  };
+  std::vector<BuiltGroup> built(config_.num_tables);
+  ParallelFor(
+      config_.num_tables,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto t = static_cast<std::uint32_t>(i);
+          const std::vector<std::uint64_t> freq = trace::ItemFrequencies(
+              trace_.tables[t], config_.RowsInTable(t));
+          auto plan = BuildPlan(t, freq);
+          if (!plan.ok()) {
+            built[i].status = plan.status();
+            continue;
+          }
+          auto group = BuildTableGroup(
+              t, first_dpu_[t], std::move(plan).value(), system_->config(),
+              options_.reserved_io_bytes,
+              /*build_row_slots=*/model_ != nullptr);
+          if (!group.ok()) {
+            built[i].status = group.status();
+            continue;
+          }
+          built[i].group = std::move(group).value();
+          if (model_ != nullptr) {
+            built[i].status =
+                PlaceTable(model_->table(t), built[i].group, *system_);
+          }
+        }
+      },
+      options_.num_threads);
+
   groups_.clear();
-  for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
-    const std::vector<std::uint64_t> freq =
-        trace::ItemFrequencies(trace_.tables[t], config_.RowsInTable(t));
-    auto plan = BuildPlan(t, freq);
-    if (!plan.ok()) return plan.status();
-    auto group = BuildTableGroup(t, first_dpu_[t],
-                                 std::move(plan).value(), system_->config(),
-                                 options_.reserved_io_bytes,
-                                 /*build_row_slots=*/model_ != nullptr);
-    if (!group.ok()) return group.status();
-    groups_.push_back(std::move(group).value());
-    if (model_ != nullptr) {
-      UPDLRM_RETURN_IF_ERROR(
-          PlaceTable(model_->table(t), groups_.back(), *system_));
-    }
+  groups_.reserve(built.size());
+  for (BuiltGroup& b : built) {
+    UPDLRM_RETURN_IF_ERROR(b.status);
+    groups_.push_back(std::move(b.group));
   }
 
-  routes_.resize(groups_.size());
-  std::size_t max_lists = 0;
+  scratch_.resize(groups_.size());
+  bin_task_start_.assign(groups_.size() + 1, 0);
+  fn_task_start_.assign(groups_.size() + 1, 0);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    routes_[g].assign(groups_[g].plan.geom.row_shards, BinRoute{});
-    max_lists = std::max(max_lists, groups_[g].plan.cache.lists.size());
+    const auto& geom = groups_[g].plan.geom;
+    scratch_[g].routes.assign(geom.row_shards, BinRoute{});
+    scratch_[g].list_mask.assign(groups_[g].plan.cache.lists.size(), 0);
+    bin_task_start_[g + 1] = bin_task_start_[g] + geom.row_shards;
+    fn_task_start_[g + 1] =
+        fn_task_start_[g] +
+        static_cast<std::size_t>(geom.row_shards) * geom.col_shards;
   }
-  list_mask_.assign(max_lists, 0);
   return Status::Ok();
 }
 
@@ -222,7 +255,7 @@ Nanos UpDlrmEngine::EstimateBatchCost(
 }
 
 Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
-    std::uint32_t table, std::span<const std::uint64_t> freq) {
+    std::uint32_t table, std::span<const std::uint64_t> freq) const {
   auto geom_or = partition::GroupGeometry::Make(
       config_.table_shape(table), dpus_per_table_[table], nc_);
   if (!geom_or.ok()) return geom_or.status();
@@ -300,6 +333,96 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
   return plan;
 }
 
+void UpDlrmEngine::RouteGroup(std::size_t g, trace::BatchRange range) {
+  const bool fn = functional();
+  const TableGroup& group = groups_[g];
+  const auto& geom = group.plan.geom;
+  const std::uint32_t row_bytes = geom.row_bytes();
+  const auto& ttrace = trace_.tables[group.table_index];
+  const bool has_cache = group.plan.has_cache();
+  GroupScratch& scratch = scratch_[g];
+  auto& routes = scratch.routes;
+  for (auto& rt : routes) {
+    rt.Clear();
+    if (fn) {
+      rt.emt_offsets.push_back(0);
+      rt.cache_offsets.push_back(0);
+    }
+  }
+
+  // Routing: decide, per index, which bin serves it and whether a
+  // cached subset sum covers it (one read per touched list, §3.3).
+  // Slot references are absolute (offset / row_bytes), so EMT, replica
+  // and cache reads share one addressing scheme.
+  const bool has_replicas = !group.replica_slot.empty();
+  const std::uint64_t replica_ref_base =
+      group.layout.replica_base / row_bytes;
+  const std::uint64_t cache_ref_base = group.layout.cache_base / row_bytes;
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    scratch.touched_lists.clear();
+    for (std::uint32_t idx : ttrace.Sample(s)) {
+      if (has_replicas && group.replica_slot[idx] != kCachedRowSlot) {
+        // Adaptive routing: replicated rows exist in every bin; send
+        // the lookup to the currently least-loaded one.
+        std::uint32_t best = 0;
+        std::uint64_t best_load = ~0ULL;
+        for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
+          const std::uint64_t load =
+              routes[b].emt_count + routes[b].cache_count;
+          if (load < best_load) {
+            best_load = load;
+            best = b;
+          }
+        }
+        BinRoute& rt = routes[best];
+        ++rt.emt_count;
+        if (fn) {
+          rt.emt_slots.push_back(static_cast<std::uint32_t>(
+              replica_ref_base + group.replica_slot[idx]));
+        }
+        continue;
+      }
+      const std::int32_t l = has_cache ? group.plan.item_list[idx] : -1;
+      if (l >= 0) {
+        if (scratch.list_mask[l] == 0) {
+          scratch.touched_lists.push_back(static_cast<std::uint32_t>(l));
+        }
+        const auto& items = group.plan.cache.lists[l].items;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (items[i] == idx) {
+            scratch.list_mask[l] |= 1U << i;
+            break;
+          }
+        }
+      } else {
+        const std::uint32_t bin = group.plan.row_bin[idx];
+        BinRoute& rt = routes[bin];
+        ++rt.emt_count;
+        if (fn) rt.emt_slots.push_back(group.row_slot[idx]);
+      }
+    }
+    for (std::uint32_t l : scratch.touched_lists) {
+      const std::uint32_t mask = scratch.list_mask[l];
+      scratch.list_mask[l] = 0;
+      const auto bin = static_cast<std::uint32_t>(group.plan.list_bin[l]);
+      BinRoute& rt = routes[bin];
+      ++rt.cache_count;
+      if (fn) {
+        rt.cache_slots.push_back(static_cast<std::uint32_t>(
+            cache_ref_base + group.list_offset[l] / row_bytes + mask - 1));
+      }
+    }
+    if (fn) {
+      for (auto& rt : routes) {
+        rt.emt_offsets.push_back(
+            static_cast<std::uint32_t>(rt.emt_slots.size()));
+        rt.cache_offsets.push_back(
+            static_cast<std::uint32_t>(rt.cache_slots.size()));
+      }
+    }
+  }
+}
+
 Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
                                            const dlrm::DenseInputs* dense) {
   if (range.size() == 0 || range.end > trace_.num_samples()) {
@@ -309,191 +432,183 @@ Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
   const bool fn = functional();
   const std::uint32_t dim = config_.embedding_dim;
   const std::uint32_t tables = config_.num_tables;
+  const unsigned threads = options_.num_threads;
 
   BatchResult out;
   std::vector<std::uint64_t> push_bytes(system_->num_dpus(), 0);
   std::vector<std::uint64_t> pull_bytes(system_->num_dpus(), 0);
-  Cycles max_kernel = 0;
 
+  // --- Stage 1: routing, one task per group (disjoint scratch). ---
+  ParallelFor(
+      groups_.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t g = begin; g < end; ++g) RouteGroup(g, range);
+      },
+      threads);
+
+  // --- Stage 2: per-(group, bin) kernel cost and per-DPU statistics.
+  // Each task owns bin (g, bin) and writes only that bin's DPU column
+  // (disjoint DPU ids); its kernel cycles land in bin_cycles[task].
+  // The reduction below folds them in fixed task order, so both the
+  // simulated latency (max across DPUs, as on real hardware) and any
+  // error report are thread-count invariant. ---
+  const std::size_t num_bin_tasks = bin_task_start_.back();
+  std::vector<Cycles> bin_cycles(num_bin_tasks, 0);
+  std::vector<Status> bin_status(num_bin_tasks);
+  ParallelFor(
+      num_bin_tasks,
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t g = 0;
+        for (std::size_t task = begin; task < end; ++task) {
+          while (task >= bin_task_start_[g + 1]) ++g;
+          const TableGroup& group = groups_[g];
+          const auto& geom = group.plan.geom;
+          const std::uint32_t row_bytes = geom.row_bytes();
+          const auto bin =
+              static_cast<std::uint32_t>(task - bin_task_start_[g]);
+          const BinRoute& rt = scratch_[g].routes[bin];
+          const pim::EmbeddingKernelWork work{
+              .num_lookups = rt.emt_count,
+              .num_cache_reads = rt.cache_count,
+              .num_samples = batch,
+              .row_bytes = row_bytes,
+          };
+          const Cycles cycles = system_->kernel_cost().KernelCycles(work);
+          bin_cycles[task] = cycles;
+
+          const std::uint64_t idx_bytes =
+              (rt.emt_count + rt.cache_count + 2 * (batch + 1)) * 4;
+          if (idx_bytes > group.layout.index_bytes) {
+            bin_status[task] = Status::CapacityExceeded(
+                "stage-1 index buffer overflow (" +
+                std::to_string(idx_bytes) +
+                " bytes); increase EngineOptions::reserved_io_bytes");
+            continue;
+          }
+          const std::uint64_t out_bytes = batch * row_bytes;
+          UPDLRM_CHECK(out_bytes <= group.layout.output_bytes);
+
+          for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
+            const std::uint32_t id = group.GlobalDpu(bin, c);
+            push_bytes[id] = idx_bytes;
+            pull_bytes[id] = out_bytes;
+            pim::DpuStats& st = system_->dpu(id).stats();
+            st.kernel_cycles += cycles;
+            st.lookups += rt.emt_count;
+            st.cache_reads += rt.cache_count;
+            st.samples += batch;
+            st.mram_bytes_read +=
+                (rt.emt_count + rt.cache_count) * row_bytes + idx_bytes;
+          }
+        }
+      },
+      threads);
+  Cycles max_kernel = 0;
+  for (std::size_t task = 0; task < num_bin_tasks; ++task) {
+    UPDLRM_RETURN_IF_ERROR(bin_status[task]);
+    max_kernel = std::max(max_kernel, bin_cycles[task]);
+  }
+
+  // --- Functional kernel execution: real MRAM reads, bit-exact int32
+  // partial sums per (bin, column shard, sample). One task per
+  // (group, bin, col) DPU; each writes its wire values (the int32
+  // partial sums that cross the DPU->CPU bus) into its own slice of
+  // `wires`, and the host-side aggregation below adds the slices in
+  // fixed (group, bin, col) order — the determinism contract's merge
+  // step. int64 addition of int32 terms is exact, so pooled embeddings
+  // are bit-identical to the serial order at any thread count. ---
   std::vector<std::int64_t> pooled_acc;
   if (fn) {
     pooled_acc.assign(batch * static_cast<std::size_t>(tables) * dim, 0);
-  }
-
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    const TableGroup& group = groups_[g];
-    const auto& geom = group.plan.geom;
-    const std::uint32_t row_bytes = geom.row_bytes();
-    const auto& ttrace = trace_.tables[group.table_index];
-    const bool has_cache = group.plan.has_cache();
-    auto& routes = routes_[g];
-    for (auto& rt : routes) {
-      rt.Clear();
-      if (fn) {
-        rt.emt_offsets.push_back(0);
-        rt.cache_offsets.push_back(0);
-      }
-    }
-
-    // --- Routing: decide, per index, which bin serves it and whether a
-    // cached subset sum covers it (one read per touched list, §3.3).
-    // Slot references are absolute (offset / row_bytes), so EMT, replica
-    // and cache reads share one addressing scheme. ---
-    const bool has_replicas = !group.replica_slot.empty();
-    const std::uint64_t replica_ref_base =
-        group.layout.replica_base / row_bytes;
-    const std::uint64_t cache_ref_base =
-        group.layout.cache_base / row_bytes;
-    for (std::size_t s = range.begin; s < range.end; ++s) {
-      touched_lists_.clear();
-      for (std::uint32_t idx : ttrace.Sample(s)) {
-        if (has_replicas && group.replica_slot[idx] != kCachedRowSlot) {
-          // Adaptive routing: replicated rows exist in every bin; send
-          // the lookup to the currently least-loaded one.
-          std::uint32_t best = 0;
-          std::uint64_t best_load = ~0ULL;
-          for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
-            const std::uint64_t load =
-                routes[b].emt_count + routes[b].cache_count;
-            if (load < best_load) {
-              best_load = load;
-              best = b;
-            }
-          }
-          BinRoute& rt = routes[best];
-          ++rt.emt_count;
-          if (fn) {
-            rt.emt_slots.push_back(static_cast<std::uint32_t>(
-                replica_ref_base + group.replica_slot[idx]));
-          }
-          continue;
-        }
-        const std::int32_t l = has_cache ? group.plan.item_list[idx] : -1;
-        if (l >= 0) {
-          if (list_mask_[l] == 0) {
-            touched_lists_.push_back(static_cast<std::uint32_t>(l));
-          }
-          const auto& items = group.plan.cache.lists[l].items;
-          for (std::size_t i = 0; i < items.size(); ++i) {
-            if (items[i] == idx) {
-              list_mask_[l] |= 1U << i;
-              break;
-            }
-          }
-        } else {
-          const std::uint32_t bin = group.plan.row_bin[idx];
-          BinRoute& rt = routes[bin];
-          ++rt.emt_count;
-          if (fn) rt.emt_slots.push_back(group.row_slot[idx]);
-        }
-      }
-      for (std::uint32_t l : touched_lists_) {
-        const std::uint32_t mask = list_mask_[l];
-        list_mask_[l] = 0;
-        const auto bin = static_cast<std::uint32_t>(group.plan.list_bin[l]);
-        BinRoute& rt = routes[bin];
-        ++rt.cache_count;
-        if (fn) {
-          rt.cache_slots.push_back(static_cast<std::uint32_t>(
-              cache_ref_base + group.list_offset[l] / row_bytes + mask -
-              1));
-        }
-      }
-      if (fn) {
-        for (auto& rt : routes) {
-          rt.emt_offsets.push_back(
-              static_cast<std::uint32_t>(rt.emt_slots.size()));
-          rt.cache_offsets.push_back(
-              static_cast<std::uint32_t>(rt.cache_slots.size()));
-        }
-      }
-    }
-
-    // --- Stage-2 cost and per-DPU statistics. ---
-    for (std::uint32_t bin = 0; bin < geom.row_shards; ++bin) {
-      const BinRoute& rt = routes[bin];
-      const pim::EmbeddingKernelWork work{
-          .num_lookups = rt.emt_count,
-          .num_cache_reads = rt.cache_count,
-          .num_samples = batch,
-          .row_bytes = row_bytes,
-      };
-      const Cycles cycles = system_->kernel_cost().KernelCycles(work);
-      max_kernel = std::max(max_kernel, cycles);
-
-      const std::uint64_t idx_bytes =
-          (rt.emt_count + rt.cache_count + 2 * (batch + 1)) * 4;
-      if (idx_bytes > group.layout.index_bytes) {
-        return Status::CapacityExceeded(
-            "stage-1 index buffer overflow (" + std::to_string(idx_bytes) +
-            " bytes); increase EngineOptions::reserved_io_bytes");
-      }
-      const std::uint64_t out_bytes = batch * row_bytes;
-      UPDLRM_CHECK(out_bytes <= group.layout.output_bytes);
-
-      for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
-        const std::uint32_t id = group.GlobalDpu(bin, c);
-        push_bytes[id] = idx_bytes;
-        pull_bytes[id] = out_bytes;
-        pim::DpuStats& st = system_->dpu(id).stats();
-        st.kernel_cycles += cycles;
-        st.lookups += rt.emt_count;
-        st.cache_reads += rt.cache_count;
-        st.samples += batch;
-        st.mram_bytes_read +=
-            (rt.emt_count + rt.cache_count) * row_bytes + idx_bytes;
-      }
-    }
-
-    // --- Functional kernel execution: real MRAM reads, bit-exact
-    // int32 partial sums per (bin, column shard, sample). ---
-    if (fn) {
-      std::vector<std::int32_t> buf(geom.nc);
-      auto buf_bytes = std::span<std::uint8_t>(
-          reinterpret_cast<std::uint8_t*>(buf.data()), row_bytes);
-      std::vector<std::int64_t> acc(geom.nc);
-      for (std::uint32_t bin = 0; bin < geom.row_shards; ++bin) {
-        const BinRoute& rt = routes[bin];
-        for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
-          const pim::Mram& mram =
-              system_->dpu(group.GlobalDpu(bin, c)).mram();
-          for (std::size_t s = 0; s < batch; ++s) {
-            std::fill(acc.begin(), acc.end(), std::int64_t{0});
-            // Slot references are absolute (EMT at base 0, replicas and
-            // cache offsets folded in during routing).
-            for (std::uint32_t k = rt.emt_offsets[s];
-                 k < rt.emt_offsets[s + 1]; ++k) {
-              UPDLRM_RETURN_IF_ERROR(mram.Read(
-                  static_cast<std::uint64_t>(rt.emt_slots[k]) * row_bytes,
-                  buf_bytes));
+    const std::size_t num_fn_tasks = fn_task_start_.back();
+    const std::size_t wires_per_task = batch * nc_;
+    std::vector<std::int32_t> wires(num_fn_tasks * wires_per_task, 0);
+    std::vector<Status> fn_status(num_fn_tasks);
+    ParallelFor(
+        num_fn_tasks,
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<std::int64_t> acc(nc_);
+          std::vector<std::int32_t> buf(nc_);
+          std::size_t g = 0;
+          for (std::size_t task = begin; task < end; ++task) {
+            while (task >= fn_task_start_[g + 1]) ++g;
+            const TableGroup& group = groups_[g];
+            const auto& geom = group.plan.geom;
+            const std::uint32_t row_bytes = geom.row_bytes();
+            auto buf_bytes = std::span<std::uint8_t>(
+                reinterpret_cast<std::uint8_t*>(buf.data()), row_bytes);
+            const std::size_t local = task - fn_task_start_[g];
+            const auto bin =
+                static_cast<std::uint32_t>(local / geom.col_shards);
+            const auto c =
+                static_cast<std::uint32_t>(local % geom.col_shards);
+            const BinRoute& rt = scratch_[g].routes[bin];
+            const pim::Mram& mram =
+                system_->dpu(group.GlobalDpu(bin, c)).mram();
+            std::int32_t* task_wires =
+                wires.data() + task * wires_per_task;
+            Status status;
+            for (std::size_t s = 0; s < batch && status.ok(); ++s) {
+              std::fill(acc.begin(), acc.end(), std::int64_t{0});
+              // Slot references are absolute (EMT at base 0, replicas
+              // and cache offsets folded in during routing).
+              for (std::uint32_t k = rt.emt_offsets[s];
+                   k < rt.emt_offsets[s + 1] && status.ok(); ++k) {
+                status = mram.Read(
+                    static_cast<std::uint64_t>(rt.emt_slots[k]) *
+                        row_bytes,
+                    buf_bytes);
+                for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+                  acc[lane] += buf[lane];
+                }
+              }
+              for (std::uint32_t k = rt.cache_offsets[s];
+                   k < rt.cache_offsets[s + 1] && status.ok(); ++k) {
+                status = mram.Read(
+                    static_cast<std::uint64_t>(rt.cache_slots[k]) *
+                        row_bytes,
+                    buf_bytes);
+                for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+                  acc[lane] += buf[lane];
+                }
+              }
+              if (!status.ok()) break;
+              // Partial sums cross the DPU->CPU wire as int32 (§3.1
+              // assumes 32-bit values); the Q15.16 range contract
+              // keeps them in range.
               for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-                acc[lane] += buf[lane];
+                const auto wire = static_cast<std::int32_t>(acc[lane]);
+                if (wire != acc[lane]) {
+                  status = Status::OutOfRange(
+                      "int32 partial-sum overflow; embedding values "
+                      "exceed the fixed-point range contract");
+                  break;
+                }
+                task_wires[s * nc_ + lane] = wire;
               }
             }
-            for (std::uint32_t k = rt.cache_offsets[s];
-                 k < rt.cache_offsets[s + 1]; ++k) {
-              UPDLRM_RETURN_IF_ERROR(mram.Read(
-                  static_cast<std::uint64_t>(rt.cache_slots[k]) *
-                      row_bytes,
-                  buf_bytes));
-              for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-                acc[lane] += buf[lane];
-              }
-            }
-            // Partial sums cross the DPU->CPU wire as int32 (§3.1
-            // assumes 32-bit values); the Q15.16 range contract keeps
-            // them in range.
-            for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-              const auto wire = static_cast<std::int32_t>(acc[lane]);
-              if (wire != acc[lane]) {
-                return Status::OutOfRange(
-                    "int32 partial-sum overflow; embedding values exceed "
-                    "the fixed-point range contract");
-              }
-              pooled_acc[(s * tables + group.table_index) * dim +
-                         c * geom.nc + lane] += wire;
-            }
+            fn_status[task] = std::move(status);
           }
+        },
+        threads);
+
+    // Fixed-order merge: task (g, bin, col) ascending, samples
+    // ascending within each task.
+    std::size_t g = 0;
+    for (std::size_t task = 0; task < num_fn_tasks; ++task) {
+      UPDLRM_RETURN_IF_ERROR(fn_status[task]);
+      while (task >= fn_task_start_[g + 1]) ++g;
+      const TableGroup& group = groups_[g];
+      const auto& geom = group.plan.geom;
+      const auto c = static_cast<std::uint32_t>(
+          (task - fn_task_start_[g]) % geom.col_shards);
+      const std::int32_t* task_wires = wires.data() + task * wires_per_task;
+      for (std::size_t s = 0; s < batch; ++s) {
+        std::int64_t* dst = pooled_acc.data() +
+                            (s * tables + group.table_index) * dim +
+                            static_cast<std::size_t>(c) * geom.nc;
+        for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
+          dst[lane] += task_wires[s * nc_ + lane];
         }
       }
     }

@@ -70,6 +70,11 @@ struct EngineOptions {
   /// across engine configurations to avoid re-mining the same trace).
   /// Used by the cache-aware method only; must outlive the engine.
   const std::vector<cache::CacheRes>* premined_cache = nullptr;
+  /// Host worker threads for setup and per-batch fan-out (wall-clock
+  /// only; functional outputs and simulated times are thread-count
+  /// invariant, see DESIGN.md §"Host execution backend"). 0 = the
+  /// process-wide default pool width, 1 = serial.
+  std::uint32_t num_threads = 0;
 };
 
 class UpDlrmEngine {
@@ -110,7 +115,7 @@ class UpDlrmEngine {
 
   Status Setup();
   Result<partition::PartitionPlan> BuildPlan(
-      std::uint32_t table, std::span<const std::uint64_t> freq);
+      std::uint32_t table, std::span<const std::uint64_t> freq) const;
 
   // Per-(bin) routing buffers for one group, reused across batches.
   struct BinRoute {
@@ -122,6 +127,19 @@ class UpDlrmEngine {
     std::uint64_t cache_count = 0;
     void Clear();
   };
+
+  // Routing scratch for one group, reused across batches. Each group
+  // owns its scratch so routing fans out group-per-task with no shared
+  // mutable state.
+  struct GroupScratch {
+    std::vector<BinRoute> routes;
+    std::vector<std::uint32_t> list_mask;
+    std::vector<std::uint32_t> touched_lists;
+  };
+
+  // Stage 1 for one group: route the batch's indices to bins (and, in
+  // functional mode, to absolute MRAM slots).
+  void RouteGroup(std::size_t g, trace::BatchRange range);
 
   // Cost of one batch at tile width `nc` under `alloc` (auto-Nc search
   // for heterogeneous / non-equal allocations).
@@ -141,10 +159,12 @@ class UpDlrmEngine {
   std::optional<partition::TileOptimizerResult> tile_result_;
   std::vector<TableGroup> groups_;
 
-  // Scratch reused across batches (one entry per group x bin).
-  std::vector<std::vector<BinRoute>> routes_;
-  std::vector<std::uint32_t> list_mask_;     // per-list scratch
-  std::vector<std::uint32_t> touched_lists_;
+  // Scratch reused across batches (one entry per group).
+  std::vector<GroupScratch> scratch_;
+  // Flattened fan-out offsets: task id ranges for the per-(group, bin)
+  // stage-2 tasks and the per-(group, bin, col) functional tasks.
+  std::vector<std::size_t> bin_task_start_;  // size groups + 1
+  std::vector<std::size_t> fn_task_start_;   // size groups + 1
 };
 
 }  // namespace updlrm::core

@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace updlrm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t sum = 0;  // no synchronization: must run on this thread
+  pool.ParallelFor(100, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, MaxWorkersOneIsSerial) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  pool.ParallelFor(
+      50, 1,
+      [&](std::size_t begin, std::size_t) {
+        order.push_back(static_cast<int>(begin));  // unsynchronized
+      },
+      /*max_workers=*/1);
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 1, [&](std::size_t, std::size_t) {
+    pool.ParallelFor(8, 1, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<int>(end - begin),
+                      std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Drain by keeping the pool alive until all tasks ran.
+    while (ran.load(std::memory_order_relaxed) < 32) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, FreeParallelForSerialWidthMatchesPool) {
+  // Results written to disjoint slots must be identical at any width.
+  auto run = [](unsigned num_threads) {
+    std::vector<std::uint64_t> out(512);
+    ParallelFor(
+        out.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            out[i] = i * 2654435761u;
+          }
+        },
+        num_threads);
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(0));
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(16));
+}
+
+}  // namespace
+}  // namespace updlrm

@@ -1,0 +1,105 @@
+// Property tests for the periodic phase engine: on randomized phases it
+// must reproduce the reference cycle-by-cycle simulator bit for bit —
+// same makespan, same instruction count, same DMA count.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pim/dpu_config.h"
+#include "pim/kernel_sim.h"
+#include "pim/mram_timing.h"
+
+namespace updlrm::pim {
+namespace {
+
+struct PhaseRun {
+  Cycles makespan = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dmas = 0;
+};
+
+PhaseRun RunOnce(const KernelPhase& phase, std::uint32_t tasklets,
+             std::uint32_t revolver_depth, PhaseEngine engine) {
+  PhaseRun run;
+  run.makespan = SimulatePhase(phase, tasklets, revolver_depth, engine,
+                               &run.instructions, &run.dmas);
+  return run;
+}
+
+void ExpectEnginesAgree(const KernelPhase& phase, std::uint32_t tasklets,
+                        std::uint32_t revolver_depth) {
+  const PhaseRun exact =
+      RunOnce(phase, tasklets, revolver_depth, PhaseEngine::kExactCycle);
+  const PhaseRun fast =
+      RunOnce(phase, tasklets, revolver_depth, PhaseEngine::kPeriodic);
+  EXPECT_EQ(exact.makespan, fast.makespan)
+      << "items=" << phase.num_items << " instr=" << phase.instr_per_item
+      << " lat=" << phase.dma_latency << " occ=" << phase.dma_occupancy
+      << " tasklets=" << tasklets << " revolver=" << revolver_depth;
+  EXPECT_EQ(exact.instructions, fast.instructions);
+  EXPECT_EQ(exact.dmas, fast.dmas);
+}
+
+TEST(KernelSimFastTest, RandomizedPhasesMatchExactEngine) {
+  Rng rng(0x5eedULL);
+  for (int trial = 0; trial < 400; ++trial) {
+    KernelPhase phase;
+    phase.num_items = rng.NextBounded(600);
+    phase.instr_per_item = 1 + rng.NextBounded(80);
+    if (rng.NextBounded(4) != 0) {  // 3/4 of phases carry a DMA
+      phase.dma_latency = rng.NextBounded(150);
+      phase.dma_occupancy = rng.NextBounded(100);
+    }
+    const auto tasklets =
+        static_cast<std::uint32_t>(1 + rng.NextBounded(24));
+    const auto revolver =
+        static_cast<std::uint32_t>(1 + rng.NextBounded(14));
+    ExpectEnginesAgree(phase, tasklets, revolver);
+  }
+}
+
+TEST(KernelSimFastTest, EdgeShapesMatchExactEngine) {
+  // Shapes where the steady state is degenerate: single tasklet, more
+  // tasklets than items, occupancy-bound engine tails, zero-latency
+  // DMAs, instruction-bound phases with no DMA at all.
+  ExpectEnginesAgree({1, 1, 0, 0}, 1, 11);
+  ExpectEnginesAgree({3, 5, 77, 64}, 16, 11);
+  ExpectEnginesAgree({1000, 1, 1, 1}, 1, 1);
+  ExpectEnginesAgree({500, 2, 0, 90}, 8, 11);   // occupancy only
+  ExpectEnginesAgree({500, 2, 90, 0}, 8, 11);   // latency only
+  ExpectEnginesAgree({2048, 60, 0, 0}, 12, 11); // pure compute
+  ExpectEnginesAgree({257, 16, 48, 32}, 24, 14);
+}
+
+TEST(KernelSimFastTest, LargePhaseCountsAreExact) {
+  // The jump path scales the counters analytically; they must still
+  // land on items * instr_per_item and one DMA per item.
+  KernelPhase phase{100'000, 72, 48, 32};
+  const PhaseRun fast = RunOnce(phase, 16, 11, PhaseEngine::kPeriodic);
+  EXPECT_EQ(fast.instructions, 100'000u * 72u);
+  EXPECT_EQ(fast.dmas, 100'000u);
+  EXPECT_GE(fast.makespan, 100'000u * 72u / 16u);
+}
+
+TEST(KernelSimFastTest, FullKernelMatchesExactEngine) {
+  const DpuConfig dpu;
+  const MramTimingModel mram;
+  EmbeddingKernelCostParams params;
+  EmbeddingKernelWork work;
+  work.num_lookups = 1200;
+  work.num_cache_reads = 300;
+  work.num_samples = 64;
+  work.row_bytes = 128;
+  const KernelSimResult fast = SimulateEmbeddingKernel(
+      dpu, mram, params, work, PhaseEngine::kPeriodic);
+  const KernelSimResult exact = SimulateEmbeddingKernel(
+      dpu, mram, params, work, PhaseEngine::kExactCycle);
+  EXPECT_EQ(fast.makespan, exact.makespan);
+  EXPECT_EQ(fast.instructions_issued, exact.instructions_issued);
+  EXPECT_EQ(fast.dma_transfers, exact.dma_transfers);
+  EXPECT_DOUBLE_EQ(fast.issue_utilization, exact.issue_utilization);
+}
+
+}  // namespace
+}  // namespace updlrm::pim

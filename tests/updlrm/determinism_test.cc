@@ -1,0 +1,239 @@
+// The determinism contract of the host execution backend (DESIGN.md
+// §"Host execution backend"): thread count changes wall-clock time
+// only. Functional outputs, simulated latencies, mined cache lists and
+// generated traces must be bit-exact at any width. These tests run the
+// same configuration at 1, 2 and 4 threads on a real multi-worker pool
+// and compare bytes; they carry the `tsan` ctest label so a
+// -DUPDLRM_SANITIZE=thread build exercises the pool under TSan.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/grace.h"
+#include "common/thread_pool.h"
+#include "trace/generator.h"
+#include "updlrm/comparison.h"
+#include "updlrm/engine.h"
+
+namespace updlrm::core {
+namespace {
+
+// Force a real 4-worker default pool before anything touches
+// ThreadPool::Default() (the CI host may report 1 hardware thread,
+// which would make num_threads = 0 silently serial).
+const bool g_pool_sized = [] {
+  ThreadPool::SetDefaultThreads(4);
+  return true;
+}();
+
+struct Fixture {
+  dlrm::DlrmConfig config;
+  std::unique_ptr<dlrm::DlrmModel> model;
+  trace::Trace trace;
+  std::unique_ptr<pim::DpuSystem> system;
+  dlrm::DenseInputs dense = dlrm::DenseInputs::Generate(0, 1, 0);
+};
+
+Fixture MakeFixture(bool functional, std::uint64_t seed = 31) {
+  Fixture f;
+  f.config.num_tables = 2;
+  f.config.rows_per_table = 600;
+  f.config.embedding_dim = 8;
+  f.config.dense_features = 5;
+  f.config.bottom_hidden = {16};
+  f.config.top_hidden = {16};
+  f.config.seed = seed;
+  if (functional) {
+    auto model = dlrm::DlrmModel::Create(f.config);
+    UPDLRM_CHECK(model.ok());
+    f.model = std::make_unique<dlrm::DlrmModel>(std::move(model).value());
+  }
+
+  trace::DatasetSpec spec;
+  spec.name = "det";
+  spec.num_items = 600;
+  spec.avg_reduction = 12.0;
+  spec.zipf_alpha = 1.0;
+  spec.rank_jitter = 0.1;
+  spec.clique_prob = 0.6;
+  spec.num_hot_items = 96;
+  spec.seed = seed;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 96;
+  options.num_tables = 2;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  f.trace = std::move(t).value();
+
+  pim::DpuSystemConfig sys;
+  sys.num_dpus = 8;
+  sys.dpus_per_rank = 8;
+  sys.dpu.mram_bytes = 1 * kMiB;
+  sys.functional = functional;
+  auto system = pim::DpuSystem::Create(sys);
+  UPDLRM_CHECK(system.ok());
+  f.system = std::move(system).value();
+
+  f.dense = dlrm::DenseInputs::Generate(96, 5, seed + 1);
+  return f;
+}
+
+struct EngineRun {
+  std::vector<float> pooled;
+  std::vector<float> ctr;
+  InferenceReport report;
+};
+
+EngineRun RunEngineAt(std::uint32_t threads) {
+  Fixture f = MakeFixture(/*functional=*/true);
+  EngineOptions options;
+  options.method = partition::Method::kCacheAware;
+  options.nc = 4;
+  options.batch_size = 16;
+  options.reserved_io_bytes = 128 * kKiB;
+  options.grace.num_hot_items = 96;
+  options.num_threads = threads;
+  auto engine = UpDlrmEngine::Create(f.model.get(), f.config, f.trace,
+                                     f.system.get(), options);
+  UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+
+  EngineRun run;
+  auto batch = (*engine)->RunBatch({0, 16}, &f.dense);
+  UPDLRM_CHECK(batch.ok());
+  run.pooled = std::move(batch->pooled);
+  run.ctr = std::move(batch->ctr);
+  auto report = (*engine)->RunAll(&f.dense);
+  UPDLRM_CHECK(report.ok());
+  run.report = std::move(report).value();
+  return run;
+}
+
+void ExpectSameReport(const InferenceReport& a, const InferenceReport& b) {
+  EXPECT_EQ(a.stages.cpu_to_dpu, b.stages.cpu_to_dpu);
+  EXPECT_EQ(a.stages.dpu_lookup, b.stages.dpu_lookup);
+  EXPECT_EQ(a.stages.dpu_to_cpu, b.stages.dpu_to_cpu);
+  EXPECT_EQ(a.stages.cpu_aggregate, b.stages.cpu_aggregate);
+  EXPECT_EQ(a.bottom_mlp, b.bottom_mlp);
+  EXPECT_EQ(a.interaction_top, b.interaction_top);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.num_batches, b.num_batches);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+}
+
+TEST(DeterminismTest, EngineBitExactAcrossThreadCounts) {
+  const EngineRun serial = RunEngineAt(1);
+  ASSERT_FALSE(serial.pooled.empty());
+  for (std::uint32_t threads : {2u, 4u, 0u}) {
+    const EngineRun run = RunEngineAt(threads);
+    ASSERT_EQ(run.pooled.size(), serial.pooled.size()) << threads;
+    for (std::size_t i = 0; i < serial.pooled.size(); ++i) {
+      ASSERT_EQ(run.pooled[i], serial.pooled[i])
+          << "lane " << i << " at " << threads << " threads";
+    }
+    ASSERT_EQ(run.ctr, serial.ctr) << threads << " threads";
+    ExpectSameReport(run.report, serial.report);
+  }
+}
+
+TEST(DeterminismTest, GraceMiningThreadCountInvariant) {
+  const Fixture f = MakeFixture(/*functional=*/false);
+  cache::GraceOptions options;
+  options.num_hot_items = 96;
+  options.min_pair_count = 2;
+
+  options.num_threads = 1;
+  auto serial = cache::GraceMiner(options).Mine(f.trace.tables[0], 600);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_FALSE(serial->lists.empty());
+  for (std::uint32_t threads : {2u, 4u}) {
+    options.num_threads = threads;
+    auto mined = cache::GraceMiner(options).Mine(f.trace.tables[0], 600);
+    ASSERT_TRUE(mined.ok());
+    ASSERT_EQ(mined->lists.size(), serial->lists.size()) << threads;
+    for (std::size_t i = 0; i < serial->lists.size(); ++i) {
+      EXPECT_EQ(mined->lists[i].items, serial->lists[i].items)
+          << "list " << i << " at " << threads << " threads";
+      EXPECT_EQ(mined->lists[i].benefit, serial->lists[i].benefit)
+          << "list " << i << " at " << threads << " threads";
+    }
+    const cache::CacheRes rescored_serial =
+        cache::ScoreCacheLists(f.trace.tables[0], 600, *serial, 1);
+    const cache::CacheRes rescored =
+        cache::ScoreCacheLists(f.trace.tables[0], 600, *serial, threads);
+    ASSERT_EQ(rescored.lists.size(), rescored_serial.lists.size());
+    for (std::size_t i = 0; i < rescored_serial.lists.size(); ++i) {
+      EXPECT_EQ(rescored.lists[i].items, rescored_serial.lists[i].items);
+      EXPECT_EQ(rescored.lists[i].benefit,
+                rescored_serial.lists[i].benefit);
+    }
+  }
+}
+
+TEST(DeterminismTest, TraceGenerationThreadCountInvariant) {
+  trace::DatasetSpec spec;
+  spec.name = "det";
+  spec.num_items = 2000;
+  spec.avg_reduction = 20.0;
+  spec.zipf_alpha = 1.05;
+  spec.rank_jitter = 0.2;
+  spec.clique_prob = 0.4;
+  spec.num_hot_items = 256;
+  spec.seed = 77;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = 256;
+  options.num_tables = 6;
+  options.popularity_drift = 0.3;
+
+  options.num_threads = 1;
+  auto serial = trace::TraceGenerator(spec).Generate(options);
+  ASSERT_TRUE(serial.ok());
+  for (std::uint32_t threads : {4u, 0u}) {
+    options.num_threads = threads;
+    auto parallel = trace::TraceGenerator(spec).Generate(options);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->tables.size(), serial->tables.size());
+    for (std::size_t t = 0; t < serial->tables.size(); ++t) {
+      ASSERT_TRUE(std::ranges::equal(parallel->tables[t].indices(),
+                                     serial->tables[t].indices()))
+          << "table " << t << " at " << threads << " threads";
+      ASSERT_TRUE(std::ranges::equal(parallel->tables[t].offsets(),
+                                     serial->tables[t].offsets()))
+          << "table " << t << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(DeterminismTest, ComparisonThreadCountInvariant) {
+  auto run = [](std::uint32_t threads) {
+    const Fixture f = MakeFixture(/*functional=*/false);
+    ComparisonOptions options;
+    options.batch_size = 16;
+    options.engine.nc = 4;
+    options.engine.reserved_io_bytes = 128 * kKiB;
+    options.engine.grace.num_hot_items = 96;
+    options.system.num_dpus = 8;
+    options.system.dpus_per_rank = 8;
+    options.system.dpu.mram_bytes = 1 * kMiB;
+    options.num_threads = threads;
+    auto comparison = CompareSystems(f.config, f.trace, options);
+    UPDLRM_CHECK_MSG(comparison.ok(),
+                     comparison.status().ToString().c_str());
+    return std::move(comparison).value();
+  };
+  const SystemComparison serial = run(1);
+  const SystemComparison parallel = run(0);
+  EXPECT_EQ(parallel.dlrm_cpu.AvgBatchTotal(),
+            serial.dlrm_cpu.AvgBatchTotal());
+  EXPECT_EQ(parallel.dlrm_hybrid.AvgBatchTotal(),
+            serial.dlrm_hybrid.AvgBatchTotal());
+  EXPECT_EQ(parallel.fae.AvgBatchTotal(), serial.fae.AvgBatchTotal());
+  EXPECT_EQ(parallel.fae_hot_fraction, serial.fae_hot_fraction);
+  ExpectSameReport(parallel.updlrm, serial.updlrm);
+  EXPECT_EQ(parallel.nc, serial.nc);
+}
+
+}  // namespace
+}  // namespace updlrm::core
