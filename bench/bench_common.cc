@@ -22,6 +22,8 @@ BenchScale ParseScale(int argc, const char* const* argv) {
         cl->GetInt("batch", static_cast<std::int64_t>(scale.batch_size)));
     scale.threads =
         static_cast<std::uint32_t>(cl->GetInt("threads", 0));
+    scale.seed = static_cast<std::uint64_t>(cl->GetInt("seed", 0));
+    scale.arrival = cl->GetString("arrival", scale.arrival);
   }
   if (scale.threads > 0) {
     // Cap the process-wide pool so num_threads = 0 regions also honor
@@ -51,6 +53,7 @@ Workload PrepareWorkload(const trace::DatasetSpec& spec,
   options.num_samples = scale.num_samples;
   options.num_tables = 8;
   options.num_threads = scale.threads;
+  options.seed_override = scale.seed;  // 0 keeps the spec's base seed
   auto trace = trace::TraceGenerator(spec).Generate(options);
   UPDLRM_CHECK_MSG(trace.ok(), trace.status().ToString());
   w.trace = std::move(trace).value();

@@ -40,10 +40,16 @@ struct BenchScale {
   std::size_t batch_size = 64;
   /// Host pool width (0 = hardware concurrency, 1 = serial).
   std::uint32_t threads = 0;
+  /// Trace seed override (0 = each dataset spec's own base seed).
+  std::uint64_t seed = 0;
+  /// Arrival process for serving benches ("poisson" | "uniform" |
+  /// "bursty"); ignored by the offline benches.
+  std::string arrival = "poisson";
 };
 
-/// Parses --samples / --full / --batch / --threads from argv; sizes the
-/// process-wide default pool and prints a scale banner.
+/// Parses --samples / --full / --batch / --threads / --seed / --arrival
+/// from argv; sizes the process-wide default pool and prints a scale
+/// banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {

@@ -1,0 +1,134 @@
+// Online serving: tail latency and sustainable throughput per
+// partitioning method under an open-loop arrival stream.
+//
+// The offline benches replay the trace back-to-back; this one drives
+// the engine through the serving subsystem (request queue -> dynamic
+// batcher -> double-buffered pipelined executor) at swept offered
+// loads. Per method the bench first calibrates the pipeline's capacity
+// (batch_size / bottleneck-resource time per batch), then sweeps
+// offered load at {0.5, 0.8, 1.0, 1.2}x capacity and reports the
+// latency distribution, shed count and whether a 3x-batch-time p99 SLO
+// holds; the highest load that holds it is the max sustainable QPS.
+//
+// Emits BENCH_serve.json (one row per method x offered rate). All
+// results are simulated time: bit-exact at any --threads width.
+// Flags: --arrival=poisson|uniform|bursty, --seed=N (trace seed
+// override), plus the usual --samples/--batch/--threads.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace updlrm;
+  std::printf(
+      "== Online serving: tail latency and sustainable QPS per "
+      "partitioning method ==\n\n");
+  const bench::BenchScale scale = bench::ParseScale(argc, argv);
+
+  auto arrival = serve::ParseArrivalProcess(scale.arrival);
+  UPDLRM_CHECK_MSG(arrival.ok(), arrival.status().ToString());
+
+  const auto& spec = trace::Table1Workloads()[0];  // clo
+  const bench::Workload w = bench::PrepareWorkload(spec, scale);
+  const double load_factors[] = {0.5, 0.8, 1.0, 1.2, 1.5, 2.0};
+
+  TablePrinter out({"method", "load", "offered qps", "p50 (us)",
+                    "p99 (us)", "shed", "slo met"});
+  std::ostringstream rows;
+  std::ostringstream sustainable;
+  bool first_row = true;
+  // One workload-level p99 SLO for every method, so sustainable-QPS
+  // numbers are comparable: 3x the uniform baseline's average serial
+  // batch embedding time (uniform runs first below).
+  Nanos slo_ns = 0.0;
+
+  for (const partition::Method method :
+       {partition::Method::kUniform, partition::Method::kNonUniform,
+        partition::Method::kCacheAware}) {
+    auto system = bench::MakePaperSystem();
+    auto engine = core::UpDlrmEngine::Create(
+        nullptr, w.config, w.trace, system.get(),
+        bench::PaperEngineOptions(method, 0, scale));
+    UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
+
+    // Calibrate: one offline pass gives the per-batch stage profile.
+    auto profile = (*engine)->RunAll(nullptr);
+    UPDLRM_CHECK_MSG(profile.ok(), profile.status().ToString());
+    const double nb = static_cast<double>(profile->num_batches);
+    const Nanos host_per_batch = (profile->stages.cpu_to_dpu +
+                                  profile->stages.dpu_to_cpu +
+                                  profile->stages.cpu_aggregate) /
+                                 nb;
+    const Nanos dpu_per_batch = profile->stages.dpu_lookup / nb;
+    const Nanos batch_total =
+        profile->stages.EmbeddingTotal() / nb;
+    // Pipelined capacity: the slower resource turns over one batch per
+    // max(host, dpu) ns in steady state.
+    const double capacity_qps =
+        static_cast<double>(scale.batch_size) /
+        (std::max(host_per_batch, dpu_per_batch) / kNanosPerSecond);
+    if (slo_ns == 0.0) slo_ns = 3.0 * batch_total;
+
+    std::vector<serve::RatePoint> points;
+    for (const double load : load_factors) {
+      const double qps = load * capacity_qps;
+      serve::ArrivalOptions arrivals;
+      arrivals.process = *arrival;
+      arrivals.qps = qps;
+      arrivals.seed = scale.seed + 1;  // deterministic, thread-free
+      auto requests = serve::GenerateRequests(w.trace, 0, arrivals);
+      UPDLRM_CHECK_MSG(requests.ok(), requests.status().ToString());
+
+      serve::ServeOptions options;
+      options.batcher.max_batch_size = scale.batch_size;
+      options.batcher.max_queue_delay_ns = batch_total;
+      options.batcher.queue_capacity = 4 * scale.batch_size;
+      options.batcher.policy = serve::AdmissionPolicy::kShed;
+      auto result =
+          serve::RunServeSimulation(**engine, *requests, options);
+      UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
+
+      const serve::SloReport report = result->MakeSloReport(qps, slo_ns);
+      points.push_back(
+          serve::RatePoint{qps, report.p99_ns, report.shed});
+      out.AddRow({std::string(partition::MethodShortName(method)),
+                  TablePrinter::Fmt(load, 1),
+                  TablePrinter::Fmt(qps, 0),
+                  TablePrinter::Fmt(NanosToMicros(report.p50_ns), 1),
+                  TablePrinter::Fmt(NanosToMicros(report.p99_ns), 1),
+                  std::to_string(report.shed),
+                  report.slo_met ? "yes" : "NO"});
+      if (!first_row) rows << ",\n";
+      first_row = false;
+      const std::string json = report.ToJson();
+      rows << "    {\"method\": \""
+           << partition::MethodShortName(method)
+           << "\", \"load\": " << load << ", " << json.substr(1);
+    }
+    if (sustainable.tellp() > 0) sustainable << ", ";
+    sustainable << "\"" << partition::MethodShortName(method)
+                << "\": " << serve::MaxSustainableQps(points, slo_ns);
+  }
+  out.Print(std::cout);
+
+  std::ofstream json("BENCH_serve.json", std::ios::trunc);
+  json << "{\n  \"workload\": \"" << spec.name
+       << "\",\n  \"arrival\": \"" << scale.arrival
+       << "\",\n  \"batch_size\": " << scale.batch_size
+       << ",\n  \"slo_us\": " << NanosToMicros(slo_ns)
+       << ",\n  \"rows\": [\n"
+       << rows.str() << "\n  ],\n  \"max_sustainable_qps\": {"
+       << sustainable.str() << "}\n}\n";
+  std::printf(
+      "\nSLO = 3x the uniform baseline's average serial batch "
+      "embedding time (one SLO for all methods); max sustainable QPS "
+      "= highest swept load with p99 <= SLO and nothing shed -> "
+      "BENCH_serve.json\n");
+  return 0;
+}

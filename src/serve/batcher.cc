@@ -1,0 +1,65 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace updlrm::serve {
+
+DynamicBatcher::DynamicBatcher(BatcherOptions options)
+    : options_(options) {
+  UPDLRM_CHECK(options_.max_batch_size >= 1);
+  UPDLRM_CHECK(options_.max_queue_delay_ns >= 0.0);
+}
+
+Admission DynamicBatcher::Offer(const Request& request, Nanos now) {
+  const bool bounded = options_.queue_capacity > 0;
+  if (bounded && queue_.size() >= options_.queue_capacity) {
+    if (options_.policy == AdmissionPolicy::kShed) {
+      ++shed_;
+      return Admission::kShed;
+    }
+    blocked_.push_back(request);
+    return Admission::kBlocked;
+  }
+  queue_.push_back(QueuedRequest{request, now});
+  max_depth_ = std::max(max_depth_, queue_.size());
+  return Admission::kQueued;
+}
+
+bool DynamicBatcher::ReadyToCut(Nanos now) const {
+  if (queue_.empty()) return false;
+  if (queue_.size() >= options_.max_batch_size) return true;
+  return now >= queue_.front().admit_ns + options_.max_queue_delay_ns;
+}
+
+Nanos DynamicBatcher::NextDeadline() const {
+  if (queue_.empty()) return kNever;
+  return queue_.front().admit_ns + options_.max_queue_delay_ns;
+}
+
+std::vector<QueuedRequest> DynamicBatcher::Cut(Nanos now) {
+  UPDLRM_CHECK_MSG(!queue_.empty(), "Cut on an empty queue");
+  const std::size_t n = std::min(queue_.size(), options_.max_batch_size);
+  std::vector<QueuedRequest> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  // Backpressure release: parked arrivals take the freed slots in
+  // arrival order. Their batching deadline restarts at the admission
+  // instant — the time spent parked is the backpressure penalty and
+  // shows up in end-to-end latency (measured from arrival), not in the
+  // batcher timeout.
+  while (!blocked_.empty() &&
+         (options_.queue_capacity == 0 ||
+          queue_.size() < options_.queue_capacity)) {
+    queue_.push_back(QueuedRequest{blocked_.front(), now});
+    blocked_.pop_front();
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  return batch;
+}
+
+}  // namespace updlrm::serve

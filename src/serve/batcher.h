@@ -1,0 +1,92 @@
+// Dynamic request batching with admission control.
+//
+// The batcher coalesces queued requests into engine batches under two
+// classic knobs: a batch is ready to cut when it reaches
+// `max_batch_size`, or when its oldest request has waited
+// `max_queue_delay_ns` (whichever first). A bounded queue provides the
+// backpressure knob: arrivals beyond `queue_capacity` are either shed
+// (dropped and counted) or blocked (parked outside the queue and
+// admitted in order as cuts free space).
+//
+// The batcher is a pure simulated-time state machine — the serving
+// simulator drives it with `Offer` (arrivals, in time order) and `Cut`
+// (when the pipelined executor can accept a batch). Tie-breaking
+// contract: an arrival timestamped exactly at the oldest request's
+// deadline is offered *before* the deadline cut is taken, so it joins
+// that batch (tests/serve/batcher_test.cc pins this boundary).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+#include "serve/workload.h"
+
+namespace updlrm::serve {
+
+enum class AdmissionPolicy {
+  kShed,   // queue full -> drop the arrival, count it
+  kBlock,  // queue full -> park the arrival; admit when space frees
+};
+
+struct BatcherOptions {
+  std::size_t max_batch_size = 64;
+  /// Longest time a request may head the queue before a cut is due.
+  Nanos max_queue_delay_ns = 1.0e6;  // 1 ms
+  /// Bounded-queue backpressure; 0 = unbounded (no shedding/blocking).
+  std::size_t queue_capacity = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kShed;
+};
+
+/// A request admitted to the queue. `admit_ns` is when it entered the
+/// bounded queue (== arrival for unblocked requests); the batching
+/// deadline counts from admission, end-to-end latency from arrival.
+struct QueuedRequest {
+  Request request;
+  Nanos admit_ns = 0.0;
+};
+
+enum class Admission { kQueued, kShed, kBlocked };
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatcherOptions options);
+
+  /// Offers an arrival at time `now` (must be non-decreasing across
+  /// calls, and >= the request's arrival time).
+  Admission Offer(const Request& request, Nanos now);
+
+  /// True when a batch is due: the queue holds a full batch, or the
+  /// oldest queued request's deadline has passed (>=, see header).
+  bool ReadyToCut(Nanos now) const;
+
+  /// The earliest future instant ReadyToCut would turn true without
+  /// further arrivals: the oldest request's deadline, or +inf when the
+  /// queue is empty (already-full queues report the deadline too; the
+  /// caller cuts as soon as the executor admits either way).
+  Nanos NextDeadline() const;
+
+  /// Pops up to max_batch_size requests (FIFO) at time `now`, then
+  /// admits parked (blocked) arrivals into the freed space in arrival
+  /// order with admit_ns = now. Requires a non-empty queue.
+  std::vector<QueuedRequest> Cut(Nanos now);
+
+  bool Idle() const { return queue_.empty() && blocked_.empty(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t blocked_depth() const { return blocked_.size(); }
+  std::uint64_t shed_count() const { return shed_; }
+  std::size_t max_queue_depth() const { return max_depth_; }
+
+  static constexpr Nanos kNever = std::numeric_limits<double>::infinity();
+
+ private:
+  BatcherOptions options_;
+  std::deque<QueuedRequest> queue_;
+  std::deque<Request> blocked_;
+  std::uint64_t shed_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace updlrm::serve

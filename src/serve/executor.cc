@@ -1,0 +1,83 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace updlrm::serve {
+
+PipelinedExecutor::PipelinedExecutor(std::uint32_t depth) : depth_(depth) {
+  UPDLRM_CHECK_MSG(depth >= 1, "executor needs at least one buffer pair");
+}
+
+Nanos PipelinedExecutor::NextAdmitTime() const {
+  if (batches_.size() < depth_) return last_cut_;
+  // The next batch reuses the buffer pair of batch (n - depth), which
+  // is free once that batch's stage 2 consumed the indices.
+  return std::max(last_cut_, batches_[batches_.size() - depth_].s2_end_ns);
+}
+
+void PipelinedExecutor::AdvanceHost(Nanos until) {
+  while (next_s3_ < batches_.size()) {
+    ExecutedBatch& b = batches_[next_s3_];
+    const Nanos start = std::max(host_free_, b.s2_end_ns);
+    if (start >= until) break;
+    const Nanos dur = b.stages.dpu_to_cpu + b.stages.cpu_aggregate;
+    b.s3_start_ns = start;
+    b.s3_end_ns = start + dur;
+    host_free_ = b.s3_end_ns;
+    host_busy_ += dur;
+    ++next_s3_;
+  }
+}
+
+std::size_t PipelinedExecutor::Submit(const core::StageBreakdown& stages,
+                                      Nanos cut_ns) {
+  UPDLRM_CHECK_MSG(!drained_, "Submit after Drain");
+  UPDLRM_CHECK_MSG(cut_ns >= NextAdmitTime() - 1e-9,
+                   "batch cut before its buffer pair was free");
+  // Let the host work up to the cut instant; stage-3 tasks that would
+  // begin at or after it yield to the new stage-1 push (stage-1
+  // priority on ties keeps the DPUs fed).
+  AdvanceHost(cut_ns);
+
+  ExecutedBatch b;
+  b.stages = stages;
+  b.submit_ns = cut_ns;
+  b.s1_start_ns = std::max(cut_ns, host_free_);
+  b.s1_end_ns = b.s1_start_ns + stages.cpu_to_dpu;
+  host_free_ = b.s1_end_ns;
+  host_busy_ += stages.cpu_to_dpu;
+  b.s2_start_ns = std::max(b.s1_end_ns, dpu_free_);
+  b.s2_end_ns = b.s2_start_ns + stages.dpu_lookup;
+  dpu_free_ = b.s2_end_ns;
+  dpu_busy_ += stages.dpu_lookup;
+  last_cut_ = cut_ns;
+  batches_.push_back(b);
+  return batches_.size() - 1;
+}
+
+void PipelinedExecutor::Drain() {
+  AdvanceHost(std::numeric_limits<double>::infinity());
+  drained_ = true;
+}
+
+Nanos PipelinedExecutor::MakespanNs() const {
+  UPDLRM_CHECK_MSG(drained_, "MakespanNs before Drain");
+  // Stage-3 tasks run in batch order on the serial host, so the last
+  // batch completes last.
+  return batches_.empty() ? 0.0 : batches_.back().s3_end_ns;
+}
+
+PipelinedExecutor ExecutePipelined(
+    std::span<const core::StageBreakdown> batches, std::uint32_t depth) {
+  PipelinedExecutor executor(depth);
+  for (const core::StageBreakdown& b : batches) {
+    executor.Submit(b, executor.NextAdmitTime());
+  }
+  executor.Drain();
+  return executor;
+}
+
+}  // namespace updlrm::serve

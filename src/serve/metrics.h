@@ -1,0 +1,112 @@
+// Tail-latency metrics for the serving subsystem.
+//
+// Serving quality is a distribution, not a mean: SLOs bind the p99, and
+// capacity planning asks for the highest load whose tail still meets
+// it. This module provides the fixed-bucket latency histogram the
+// simulator fills per request, per-stage utilization, a queue-depth
+// time series, and the SLO report benches emit as JSON. Buckets are
+// fixed (log-spaced, 1 µs .. 10 s at 10 buckets/decade) so histograms
+// merge and compare across runs without renormalization, and every
+// statistic is a pure function of simulated inputs — bit-exact at any
+// host thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace updlrm::serve {
+
+/// Log-spaced fixed-bucket histogram over [1 µs, 10 s), with underflow
+/// and overflow buckets. Percentiles interpolate linearly inside a
+/// bucket (log-bucket resolution: <= ~26% relative error, the usual
+/// fixed-histogram trade) and clamp to the exactly-tracked min/max.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 10;
+  static constexpr int kDecades = 7;
+  static constexpr double kMinNs = 1.0e3;  // 1 µs
+  /// underflow + kDecades * kBucketsPerDecade + overflow
+  static constexpr int kNumBuckets = 2 + kDecades * kBucketsPerDecade;
+
+  void Add(Nanos latency_ns);
+
+  std::uint64_t count() const { return count_; }
+  Nanos sum_ns() const { return sum_; }
+  Nanos min_ns() const { return count_ == 0 ? 0.0 : min_; }
+  Nanos max_ns() const { return count_ == 0 ? 0.0 : max_; }
+  Nanos MeanNs() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Interpolated percentile, p in [0, 100]. 0 with no samples.
+  Nanos PercentileNs(double p) const;
+
+  std::span<const std::uint64_t> buckets() const { return buckets_; }
+
+  /// [lower, upper) bounds of bucket i; the underflow bucket is
+  /// [0, kMinNs), the overflow bucket [10 s, +inf).
+  static Nanos BucketLowerNs(int i);
+  static Nanos BucketUpperNs(int i);
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  Nanos sum_ = 0.0;
+  Nanos min_ = 0.0;
+  Nanos max_ = 0.0;
+};
+
+/// Busy fractions of the two pipeline resources over the run.
+struct StageUtilization {
+  Nanos host_busy_ns = 0.0;  // stage 1 + stage 3 + CPU aggregation
+  Nanos dpu_busy_ns = 0.0;   // stage 2
+  Nanos makespan_ns = 0.0;
+
+  double HostUtilization() const {
+    return makespan_ns <= 0.0 ? 0.0 : host_busy_ns / makespan_ns;
+  }
+  double DpuUtilization() const {
+    return makespan_ns <= 0.0 ? 0.0 : dpu_busy_ns / makespan_ns;
+  }
+};
+
+/// Queue depth observed at a batch-cut instant (post-cut depth).
+struct QueueDepthSample {
+  Nanos t_ns = 0.0;
+  std::size_t depth = 0;
+};
+
+/// The serving scorecard for one (configuration, offered load) point.
+struct SloReport {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // completed / makespan
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  Nanos p50_ns = 0.0;
+  Nanos p95_ns = 0.0;
+  Nanos p99_ns = 0.0;
+  Nanos mean_ns = 0.0;
+  Nanos max_ns = 0.0;
+  Nanos slo_ns = 0.0;  // the p99 SLO this point was judged against
+  bool slo_met = false;  // p99 <= slo and nothing shed
+
+  /// One JSON object (no trailing newline), stable key order.
+  std::string ToJson() const;
+};
+
+/// A swept load point for capacity planning.
+struct RatePoint {
+  double offered_qps = 0.0;
+  Nanos p99_ns = 0.0;
+  std::uint64_t shed = 0;
+};
+
+/// Max sustainable QPS under a p99 SLO: the highest offered rate whose
+/// p99 meets `slo_ns` with nothing shed; 0 if no swept point qualifies.
+double MaxSustainableQps(std::span<const RatePoint> points, Nanos slo_ns);
+
+}  // namespace updlrm::serve

@@ -1,0 +1,114 @@
+#include "serve/server.h"
+
+#include <algorithm>
+
+namespace updlrm::serve {
+
+SloReport ServeResult::MakeSloReport(double offered_qps,
+                                     Nanos slo_ns) const {
+  SloReport report;
+  report.offered_qps = offered_qps;
+  report.completed = completed;
+  report.shed = shed;
+  report.achieved_qps =
+      makespan_ns <= 0.0 ? 0.0
+                         : static_cast<double>(completed) /
+                               (makespan_ns / kNanosPerSecond);
+  report.p50_ns = latency.PercentileNs(50.0);
+  report.p95_ns = latency.PercentileNs(95.0);
+  report.p99_ns = latency.PercentileNs(99.0);
+  report.mean_ns = latency.MeanNs();
+  report.max_ns = latency.max_ns();
+  report.slo_ns = slo_ns;
+  report.slo_met = shed == 0 && report.p99_ns <= slo_ns;
+  return report;
+}
+
+Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
+                                       std::span<const Request> requests,
+                                       const ServeOptions& options) {
+  DynamicBatcher batcher(options.batcher);
+  PipelinedExecutor executor(options.pipeline_depth);
+  ServeResult result;
+  result.offered = requests.size();
+
+  // Per cut batch: the requests it carries, for latency attribution.
+  std::vector<std::vector<QueuedRequest>> batch_requests;
+  std::vector<std::size_t> samples;  // sample-id scratch per cut
+
+  // The discrete-event scan. State changes happen at three kinds of
+  // instants — arrivals, batcher deadlines, and executor buffer frees —
+  // and all three sequences are non-decreasing, so one forward pass
+  // over time suffices. Tie order at equal timestamps: arrivals are
+  // offered before a deadline cut is taken (a request arriving exactly
+  // at max_queue_delay joins the closing batch), and a cut happens as
+  // soon as both the batcher is due and the executor admits.
+  std::size_t next = 0;  // next unprocessed arrival
+  while (next < requests.size() || !batcher.Idle()) {
+    // Earliest instant the executor could accept a cut.
+    Nanos t = executor.NextAdmitTime();
+    // Offer everything that has already arrived by then.
+    while (next < requests.size() && requests[next].arrival_ns <= t) {
+      batcher.Offer(requests[next], requests[next].arrival_ns);
+      ++next;
+    }
+    // Walk forward until the batcher is due.
+    while (!batcher.ReadyToCut(t)) {
+      const Nanos next_arrival = next < requests.size()
+                                     ? requests[next].arrival_ns
+                                     : DynamicBatcher::kNever;
+      const Nanos deadline = batcher.NextDeadline();
+      const Nanos event = std::min(next_arrival, deadline);
+      if (event == DynamicBatcher::kNever) break;  // drained
+      t = std::max(t, event);
+      while (next < requests.size() && requests[next].arrival_ns <= t) {
+        batcher.Offer(requests[next], requests[next].arrival_ns);
+        ++next;
+      }
+    }
+    if (!batcher.ReadyToCut(t)) break;  // nothing left to serve
+
+    std::vector<QueuedRequest> cut = batcher.Cut(t);
+    samples.clear();
+    samples.reserve(cut.size());
+    for (const QueuedRequest& q : cut) samples.push_back(q.request.sample);
+    auto batch = engine.RunSamples(samples, nullptr);
+    if (!batch.ok()) return batch.status();
+
+    executor.Submit(batch->stages, t);
+    result.batch_stages.push_back(batch->stages);
+    batch_requests.push_back(std::move(cut));
+    result.queue_depth.push_back(QueueDepthSample{t, batcher.queue_depth()});
+  }
+
+  executor.Drain();
+  result.makespan_ns = executor.MakespanNs();
+  result.schedule = executor.batches();
+  result.num_batches = batch_requests.size();
+  result.shed = batcher.shed_count();
+  result.max_queue_depth = batcher.max_queue_depth();
+  result.utilization = StageUtilization{executor.host_busy_ns(),
+                                        executor.dpu_busy_ns(),
+                                        result.makespan_ns};
+
+  std::uint64_t served = 0;
+  for (std::size_t b = 0; b < batch_requests.size(); ++b) {
+    const Nanos done = result.schedule[b].s3_end_ns;
+    for (const QueuedRequest& q : batch_requests[b]) {
+      const Nanos latency = done - q.request.arrival_ns;
+      result.latency.Add(latency);
+      result.request_latency_ns.push_back(latency);
+      ++served;
+    }
+  }
+  result.completed = served;
+  if (result.num_batches > 0) {
+    result.avg_batch_size = static_cast<double>(served) /
+                            static_cast<double>(result.num_batches);
+  }
+  UPDLRM_CHECK_MSG(result.completed + result.shed == result.offered,
+                   "serving accounting mismatch");
+  return result;
+}
+
+}  // namespace updlrm::serve

@@ -1,0 +1,69 @@
+// The online serving simulator: request queue -> dynamic batcher ->
+// double-buffered pipelined executor -> tail-latency metrics.
+//
+// Drives one engine through an open-loop request stream in simulated
+// time. Arrivals enter the bounded request queue (shed-or-block
+// admission control); the dynamic batcher cuts a batch whenever the
+// executor has a free buffer pair AND the batch is due (full, or the
+// oldest request hit max_queue_delay); the executor overlaps batch
+// k+1's stage-1 push with batch k's DPU occupancy. A request's latency
+// is its batch's stage-3 completion minus its arrival.
+//
+// The whole loop runs in *simulated* time — a single logical
+// discrete-event scan over (arrival, deadline, buffer-free) instants.
+// Host threads only accelerate the engine's per-batch computation of
+// StageBreakdown values, which are thread-count invariant, so every
+// ServeResult field is bit-exact across --threads (the determinism
+// suite pins this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/batcher.h"
+#include "serve/executor.h"
+#include "serve/metrics.h"
+#include "serve/workload.h"
+#include "updlrm/engine.h"
+
+namespace updlrm::serve {
+
+struct ServeOptions {
+  BatcherOptions batcher;
+  /// MRAM buffer pairs for the pipelined executor (2 = double-buffered).
+  std::uint32_t pipeline_depth = 2;
+};
+
+struct ServeResult {
+  LatencyHistogram latency;
+  /// Completion latency per completed request, in completion order.
+  std::vector<Nanos> request_latency_ns;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  Nanos makespan_ns = 0.0;  // last batch completion (sim starts at 0)
+  StageUtilization utilization;
+  std::vector<QueueDepthSample> queue_depth;  // post-cut depths
+  std::size_t max_queue_depth = 0;
+  std::size_t num_batches = 0;
+  double avg_batch_size = 0.0;
+  /// The executed per-batch schedule (for pipelining analysis).
+  std::vector<ExecutedBatch> schedule;
+  /// Per-batch stage timings, in cut order (feed to
+  /// core::EstimatePipelinedEmbedding to compare bound vs executed).
+  std::vector<core::StageBreakdown> batch_stages;
+
+  SloReport MakeSloReport(double offered_qps, Nanos slo_ns) const;
+};
+
+/// Simulates serving `requests` (time-ordered, as produced by
+/// GenerateRequests) on `engine`. The engine's batch_size option is
+/// ignored; the batcher's max_batch_size governs. Fails if a request
+/// references a sample outside the engine's trace.
+Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
+                                       std::span<const Request> requests,
+                                       const ServeOptions& options);
+
+}  // namespace updlrm::serve

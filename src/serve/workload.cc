@@ -1,0 +1,126 @@
+#include "serve/workload.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace updlrm::serve {
+
+std::string_view ArrivalProcessName(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+Result<ArrivalProcess> ParseArrivalProcess(std::string_view name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "uniform") return ArrivalProcess::kUniform;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  return Status::InvalidArgument("unknown arrival process '" +
+                                 std::string(name) +
+                                 "' (poisson | uniform | bursty)");
+}
+
+namespace {
+
+/// Exponential inter-arrival gap at `rate_per_ns`. 1 - u is in (0, 1],
+/// so the log is finite.
+Nanos ExponentialGap(Rng& rng, double rate_per_ns) {
+  return -std::log(1.0 - rng.NextDouble()) / rate_per_ns;
+}
+
+}  // namespace
+
+Result<std::vector<Request>> GenerateRequests(
+    const trace::Trace& trace, std::size_t count,
+    const ArrivalOptions& options) {
+  if (count == 0) count = trace.num_samples();
+  if (count > trace.num_samples()) {
+    return Status::InvalidArgument(
+        "request count exceeds the trace's samples (" +
+        std::to_string(count) + " > " +
+        std::to_string(trace.num_samples()) + ")");
+  }
+  if (!(options.qps > 0.0)) {
+    return Status::InvalidArgument("qps must be > 0");
+  }
+  const double rate = options.qps / kNanosPerSecond;  // requests per ns
+  const Nanos mean_gap = 1.0 / rate;
+
+  double peak_rate = 0.0, trough_rate = 0.0;
+  Nanos period = 0.0, peak_len = 0.0;
+  if (options.process == ArrivalProcess::kBursty) {
+    if (options.burst_factor <= 1.0 || options.burst_fraction <= 0.0 ||
+        options.burst_fraction >= 1.0 ||
+        options.burst_factor * options.burst_fraction >= 1.0) {
+      return Status::InvalidArgument(
+          "bursty arrivals need burst_factor > 1, 0 < burst_fraction < 1 "
+          "and burst_factor * burst_fraction < 1");
+    }
+    period = options.burst_period_ns > 0.0 ? options.burst_period_ns
+                                           : 32.0 * mean_gap;
+    peak_len = options.burst_fraction * period;
+    peak_rate = rate * options.burst_factor;
+    // Trough rate balancing the long-run mean back to `rate`.
+    trough_rate = rate *
+                  (1.0 - options.burst_factor * options.burst_fraction) /
+                  (1.0 - options.burst_fraction);
+  }
+
+  Rng rng(options.seed ^ 0x5e54111e5ULL);
+  std::vector<Request> requests;
+  requests.reserve(count);
+  Nanos t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (options.process) {
+      case ArrivalProcess::kUniform:
+        t = static_cast<double>(i + 1) * mean_gap;
+        break;
+      case ArrivalProcess::kPoisson:
+        t += ExponentialGap(rng, rate);
+        break;
+      case ArrivalProcess::kBursty: {
+        // Non-homogeneous Poisson inversion over the piecewise-constant
+        // peak/trough rate: draw the total hazard, then consume it
+        // phase by phase. Splitting at phase boundaries matters — a
+        // single trough-rate draw would routinely overshoot an entire
+        // peak phase and bias the long-run mean far below qps.
+        double hazard = -std::log(1.0 - rng.NextDouble());
+        while (true) {
+          const Nanos cycle_start = std::floor(t / period) * period;
+          const Nanos peak_end = cycle_start + peak_len;
+          const bool in_peak = t < peak_end;
+          const double r = in_peak ? peak_rate : trough_rate;
+          const Nanos boundary =
+              in_peak ? peak_end : cycle_start + period;
+          if (hazard <= r * (boundary - t)) {
+            t += hazard / r;
+            break;
+          }
+          hazard -= r * (boundary - t);
+          // Jump to the absolute boundary time rather than adding the
+          // remaining gap: for large t the gap can be below one ulp and
+          // `t += gap` would stop advancing, livelocking the loop. The
+          // nextafter nudge keeps progress when rounding already put t
+          // on (or past) the boundary.
+          t = boundary > t
+                  ? boundary
+                  : std::nextafter(
+                        t, std::numeric_limits<double>::infinity());
+        }
+        break;
+      }
+    }
+    requests.push_back(Request{i, i, t});
+  }
+  return requests;
+}
+
+}  // namespace updlrm::serve

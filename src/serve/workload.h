@@ -1,0 +1,65 @@
+// Open-loop load generation for the serving subsystem.
+//
+// A serving experiment replays the trace's multi-hot samples as
+// *requests* with arrival timestamps drawn from a seeded arrival
+// process. Open-loop means arrivals never wait for the system — the
+// generator fixes the full timeline up front, so overload manifests as
+// queueing (and shedding), exactly like production traffic. Everything
+// is deterministic given (options.seed, options.qps): the same request
+// stream reproduces bit-for-bit at any host thread count.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace updlrm::serve {
+
+/// One inference request: a single trace sample (its multi-hot lookups
+/// across all tables) arriving at a simulated-time instant.
+struct Request {
+  std::uint64_t id = 0;       // dense, 0-based, in arrival order
+  std::size_t sample = 0;     // trace sample id (== id here)
+  Nanos arrival_ns = 0.0;     // open-loop arrival timestamp
+};
+
+enum class ArrivalProcess {
+  kPoisson,  // exponential inter-arrival gaps at rate qps
+  kUniform,  // exact 1/qps spacing (closed-form, no RNG)
+  kBursty,   // on/off modulated Poisson: peak/trough rate windows
+};
+
+std::string_view ArrivalProcessName(ArrivalProcess p);
+
+/// Parses "poisson" / "uniform" / "bursty" (the --arrival flag values).
+Result<ArrivalProcess> ParseArrivalProcess(std::string_view name);
+
+struct ArrivalOptions {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean offered load, requests per second. Must be > 0.
+  double qps = 10'000.0;
+  std::uint64_t seed = 1;
+
+  // Bursty process shape: windows of length `burst_period_ns` alternate
+  // between a peak phase (the first `burst_fraction` of the window, at
+  // qps * burst_factor) and a trough phase whose rate is chosen so the
+  // long-run mean stays at `qps`. burst_factor * burst_fraction must be
+  // < 1 so the trough rate stays positive.
+  double burst_factor = 4.0;
+  double burst_fraction = 0.2;
+  /// 0 = auto: 32 mean inter-arrival gaps per window.
+  Nanos burst_period_ns = 0.0;
+};
+
+/// Generates `count` requests (default / 0 = one per trace sample).
+/// Request i replays trace sample i, so `count` must be at most
+/// trace.num_samples(). Arrival timestamps are strictly ordered.
+Result<std::vector<Request>> GenerateRequests(const trace::Trace& trace,
+                                              std::size_t count,
+                                              const ArrivalOptions& options);
+
+}  // namespace updlrm::serve

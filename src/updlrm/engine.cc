@@ -333,7 +333,8 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
   return plan;
 }
 
-void UpDlrmEngine::RouteGroup(std::size_t g, trace::BatchRange range) {
+void UpDlrmEngine::RouteGroup(std::size_t g,
+                              std::span<const std::size_t> samples) {
   const bool fn = functional();
   const TableGroup& group = groups_[g];
   const auto& geom = group.plan.geom;
@@ -358,7 +359,7 @@ void UpDlrmEngine::RouteGroup(std::size_t g, trace::BatchRange range) {
   const std::uint64_t replica_ref_base =
       group.layout.replica_base / row_bytes;
   const std::uint64_t cache_ref_base = group.layout.cache_base / row_bytes;
-  for (std::size_t s = range.begin; s < range.end; ++s) {
+  for (const std::size_t s : samples) {
     scratch.touched_lists.clear();
     for (std::uint32_t idx : ttrace.Sample(s)) {
       if (has_replicas && group.replica_slot[idx] != kCachedRowSlot) {
@@ -428,7 +429,25 @@ Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
   if (range.size() == 0 || range.end > trace_.num_samples()) {
     return Status::InvalidArgument("invalid batch range");
   }
-  const std::size_t batch = range.size();
+  range_samples_.resize(range.size());
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    range_samples_[i] = range.begin + i;
+  }
+  return RunSamples(range_samples_, dense);
+}
+
+Result<BatchResult> UpDlrmEngine::RunSamples(
+    std::span<const std::size_t> samples, const dlrm::DenseInputs* dense) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("empty sample batch");
+  }
+  for (const std::size_t s : samples) {
+    if (s >= trace_.num_samples()) {
+      return Status::InvalidArgument("sample id " + std::to_string(s) +
+                                     " outside the trace");
+    }
+  }
+  const std::size_t batch = samples.size();
   const bool fn = functional();
   const std::uint32_t dim = config_.embedding_dim;
   const std::uint32_t tables = config_.num_tables;
@@ -442,7 +461,7 @@ Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
   ParallelFor(
       groups_.size(),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t g = begin; g < end; ++g) RouteGroup(g, range);
+        for (std::size_t g = begin; g < end; ++g) RouteGroup(g, samples);
       },
       threads);
 
@@ -645,7 +664,7 @@ Result<BatchResult> UpDlrmEngine::RunBatch(trace::BatchRange range,
       const std::size_t width = static_cast<std::size_t>(tables) * dim;
       for (std::size_t s = 0; s < batch; ++s) {
         out.ctr.push_back(model_->ForwardSample(
-            dense->Sample(range.begin + s),
+            dense->Sample(samples[s]),
             std::span<const float>(out.pooled.data() + s * width, width)));
       }
     }

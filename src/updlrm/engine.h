@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/grace.h"
@@ -94,6 +95,14 @@ class UpDlrmEngine {
   Result<BatchResult> RunBatch(trace::BatchRange range,
                                const dlrm::DenseInputs* dense);
 
+  /// Runs one batch over an explicit (not necessarily contiguous) list
+  /// of trace sample ids — the serving layer's dynamic batcher coalesces
+  /// whatever requests are queued, and admission control can punch holes
+  /// into the arrival order. Sample ids index both the trace and
+  /// `dense`. Equivalent to RunBatch for a contiguous ascending list.
+  Result<BatchResult> RunSamples(std::span<const std::size_t> samples,
+                                 const dlrm::DenseInputs* dense);
+
   /// Runs the whole trace in batches of options.batch_size.
   Result<InferenceReport> RunAll(const dlrm::DenseInputs* dense);
 
@@ -139,7 +148,7 @@ class UpDlrmEngine {
 
   // Stage 1 for one group: route the batch's indices to bins (and, in
   // functional mode, to absolute MRAM slots).
-  void RouteGroup(std::size_t g, trace::BatchRange range);
+  void RouteGroup(std::size_t g, std::span<const std::size_t> samples);
 
   // Cost of one batch at tile width `nc` under `alloc` (auto-Nc search
   // for heterogeneous / non-equal allocations).
@@ -161,6 +170,8 @@ class UpDlrmEngine {
 
   // Scratch reused across batches (one entry per group).
   std::vector<GroupScratch> scratch_;
+  // Sample-id scratch for the RunBatch(range) -> RunSamples adapter.
+  std::vector<std::size_t> range_samples_;
   // Flattened fan-out offsets: task id ranges for the per-(group, bin)
   // stage-2 tasks and the per-(group, bin, col) functional tasks.
   std::vector<std::size_t> bin_task_start_;  // size groups + 1

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 
-#include "common/status.h"
-
 namespace updlrm::core {
 
 PipelineEstimate EstimatePipelinedEmbedding(
     std::span<const StageBreakdown> batches) {
-  UPDLRM_CHECK_MSG(!batches.empty(), "need at least one batch");
   PipelineEstimate estimate;
+  if (batches.empty()) return estimate;  // nothing executed, zero bound
   for (const StageBreakdown& b : batches) {
     estimate.serial_ns += b.EmbeddingTotal();
     estimate.host_work_ns += b.cpu_to_dpu + b.dpu_to_cpu + b.cpu_aggregate;

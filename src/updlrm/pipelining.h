@@ -36,7 +36,8 @@ struct PipelineEstimate {
 };
 
 /// Estimates the pipelined embedding-layer makespan for a batch
-/// sequence. Requires at least one batch.
+/// sequence. An empty span yields a zeroed estimate (a serving loop
+/// that has executed no batches has no makespan to bound).
 PipelineEstimate EstimatePipelinedEmbedding(
     std::span<const StageBreakdown> batches);
 

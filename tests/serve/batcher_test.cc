@@ -1,0 +1,122 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::serve {
+namespace {
+
+Request Req(std::uint64_t id, Nanos arrival) {
+  return Request{id, static_cast<std::size_t>(id), arrival};
+}
+
+TEST(BatcherTest, CutsWhenFull) {
+  BatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_queue_delay_ns = 1e9;  // effectively never
+  DynamicBatcher batcher(options);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batcher.Offer(Req(i, 10.0 * i), 10.0 * i),
+              Admission::kQueued);
+    EXPECT_FALSE(batcher.ReadyToCut(10.0 * i));
+  }
+  EXPECT_EQ(batcher.Offer(Req(3, 30.0), 30.0), Admission::kQueued);
+  EXPECT_TRUE(batcher.ReadyToCut(30.0));
+  const auto batch = batcher.Cut(30.0);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[i].request.id, i);
+  }
+  EXPECT_TRUE(batcher.Idle());
+}
+
+TEST(BatcherTest, CutsAtTimeoutWithPartialBatch) {
+  BatcherOptions options;
+  options.max_batch_size = 64;
+  options.max_queue_delay_ns = 100.0;
+  DynamicBatcher batcher(options);
+  batcher.Offer(Req(0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(batcher.NextDeadline(), 105.0);
+  EXPECT_FALSE(batcher.ReadyToCut(104.9));
+  EXPECT_TRUE(batcher.ReadyToCut(105.0));  // >= at the boundary
+  const auto batch = batcher.Cut(105.0);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(BatcherTest, ArrivalExactlyAtDeadlineJoinsTheClosingBatch) {
+  // The boundary contract: the simulator offers arrivals timestamped
+  // at the deadline before taking the deadline cut, so a request
+  // arriving exactly at max_queue_delay rides along.
+  BatcherOptions options;
+  options.max_batch_size = 64;
+  options.max_queue_delay_ns = 100.0;
+  DynamicBatcher batcher(options);
+  batcher.Offer(Req(0, 0.0), 0.0);
+  batcher.Offer(Req(1, 100.0), 100.0);  // exactly at the deadline
+  EXPECT_TRUE(batcher.ReadyToCut(100.0));
+  const auto batch = batcher.Cut(100.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].request.id, 1u);
+  EXPECT_DOUBLE_EQ(batch[1].admit_ns, 100.0);
+}
+
+TEST(BatcherTest, ShedPolicyCountsOverflow) {
+  BatcherOptions options;
+  options.max_batch_size = 8;
+  options.queue_capacity = 2;
+  options.policy = AdmissionPolicy::kShed;
+  DynamicBatcher batcher(options);
+  EXPECT_EQ(batcher.Offer(Req(0, 0.0), 0.0), Admission::kQueued);
+  EXPECT_EQ(batcher.Offer(Req(1, 1.0), 1.0), Admission::kQueued);
+  EXPECT_EQ(batcher.Offer(Req(2, 2.0), 2.0), Admission::kShed);
+  EXPECT_EQ(batcher.Offer(Req(3, 3.0), 3.0), Admission::kShed);
+  EXPECT_EQ(batcher.shed_count(), 2u);
+  EXPECT_EQ(batcher.queue_depth(), 2u);
+  // Space frees after a cut; later arrivals are admitted again.
+  batcher.Cut(10.0);
+  EXPECT_EQ(batcher.Offer(Req(4, 11.0), 11.0), Admission::kQueued);
+  EXPECT_EQ(batcher.shed_count(), 2u);
+}
+
+TEST(BatcherTest, BlockPolicyParksAndPromotesInOrder) {
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  options.queue_capacity = 2;
+  options.max_queue_delay_ns = 50.0;
+  options.policy = AdmissionPolicy::kBlock;
+  DynamicBatcher batcher(options);
+  batcher.Offer(Req(0, 0.0), 0.0);
+  batcher.Offer(Req(1, 1.0), 1.0);
+  EXPECT_EQ(batcher.Offer(Req(2, 2.0), 2.0), Admission::kBlocked);
+  EXPECT_EQ(batcher.Offer(Req(3, 3.0), 3.0), Admission::kBlocked);
+  EXPECT_EQ(batcher.shed_count(), 0u);
+  EXPECT_EQ(batcher.blocked_depth(), 2u);
+
+  const auto batch = batcher.Cut(20.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, 0u);
+  // Both parked requests promoted into the freed space, admit = now:
+  // their batching deadline restarts at admission.
+  EXPECT_EQ(batcher.blocked_depth(), 0u);
+  EXPECT_EQ(batcher.queue_depth(), 2u);
+  EXPECT_DOUBLE_EQ(batcher.NextDeadline(), 70.0);
+  const auto second = batcher.Cut(70.0);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].request.id, 2u);
+  EXPECT_EQ(second[0].request.arrival_ns, 2.0);  // latency keeps arrival
+  EXPECT_DOUBLE_EQ(second[0].admit_ns, 20.0);
+}
+
+TEST(BatcherTest, TracksMaxDepth) {
+  BatcherOptions options;
+  options.max_batch_size = 100;
+  DynamicBatcher batcher(options);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    batcher.Offer(Req(i, static_cast<double>(i)), static_cast<double>(i));
+  }
+  batcher.Cut(10.0);
+  EXPECT_EQ(batcher.max_queue_depth(), 7u);
+  EXPECT_TRUE(batcher.Idle());
+}
+
+}  // namespace
+}  // namespace updlrm::serve

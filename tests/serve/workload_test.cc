@@ -1,0 +1,144 @@
+#include "serve/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace updlrm::serve {
+namespace {
+
+trace::Trace MakeTrace(std::size_t samples = 256) {
+  trace::DatasetSpec spec;
+  spec.name = "serve";
+  spec.num_items = 500;
+  spec.avg_reduction = 8.0;
+  spec.num_hot_items = 64;
+  spec.seed = 9;
+  trace::TraceGeneratorOptions options;
+  options.num_samples = samples;
+  options.num_tables = 2;
+  auto t = trace::TraceGenerator(spec).Generate(options);
+  UPDLRM_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+TEST(WorkloadTest, UniformArrivalsAreExactlySpaced) {
+  const trace::Trace trace = MakeTrace();
+  ArrivalOptions options;
+  options.process = ArrivalProcess::kUniform;
+  options.qps = 1.0e6;  // 1 request per microsecond
+  auto requests = GenerateRequests(trace, 10, options);
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests->size(), 10u);
+  for (std::size_t i = 0; i < requests->size(); ++i) {
+    EXPECT_EQ((*requests)[i].id, i);
+    EXPECT_EQ((*requests)[i].sample, i);
+    EXPECT_DOUBLE_EQ((*requests)[i].arrival_ns,
+                     static_cast<double>(i + 1) * 1e3);
+  }
+}
+
+TEST(WorkloadTest, PoissonMeanRateMatchesQps) {
+  const trace::Trace trace = MakeTrace();
+  ArrivalOptions options;
+  options.qps = 50'000.0;
+  options.seed = 3;
+  auto requests = GenerateRequests(trace, 0, options);  // all 256 samples
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests->size(), trace.num_samples());
+  // Arrivals strictly increase.
+  for (std::size_t i = 1; i < requests->size(); ++i) {
+    EXPECT_GT((*requests)[i].arrival_ns, (*requests)[i - 1].arrival_ns);
+  }
+  // Empirical rate within 25% of the target at n = 256.
+  const double span_s =
+      requests->back().arrival_ns / kNanosPerSecond;
+  const double rate = static_cast<double>(requests->size()) / span_s;
+  EXPECT_NEAR(rate, options.qps, 0.25 * options.qps);
+}
+
+TEST(WorkloadTest, SeededStreamsAreDeterministic) {
+  const trace::Trace trace = MakeTrace();
+  ArrivalOptions options;
+  options.qps = 20'000.0;
+  options.seed = 11;
+  auto a = GenerateRequests(trace, 64, options);
+  auto b = GenerateRequests(trace, 64, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].arrival_ns, (*b)[i].arrival_ns) << i;
+  }
+  options.seed = 12;
+  auto c = GenerateRequests(trace, 64, options);
+  ASSERT_TRUE(c.ok());
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    any_differ |= (*a)[i].arrival_ns != (*c)[i].arrival_ns;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(WorkloadTest, BurstyAlternatesFastAndSlowPhases) {
+  const trace::Trace trace = MakeTrace();
+  ArrivalOptions options;
+  options.process = ArrivalProcess::kBursty;
+  options.qps = 100'000.0;
+  options.burst_factor = 8.0;
+  options.burst_fraction = 0.1;
+  options.seed = 5;
+  auto requests = GenerateRequests(trace, 0, options);
+  ASSERT_TRUE(requests.ok());
+  // The long-run mean stays near qps while the gap distribution is
+  // far more dispersed than Poisson: compare the coefficient of
+  // variation of inter-arrival gaps (Poisson would give ~1).
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < requests->size(); ++i) {
+    gaps.push_back((*requests)[i].arrival_ns -
+                   (*requests)[i - 1].arrival_ns);
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double cov = std::sqrt(var) / mean;
+  EXPECT_GT(cov, 1.3);  // overdispersed vs Poisson's ~1.0
+  const double rate =
+      static_cast<double>(requests->size()) /
+      (requests->back().arrival_ns / kNanosPerSecond);
+  EXPECT_NEAR(rate, options.qps, 0.35 * options.qps);
+}
+
+TEST(WorkloadTest, ValidatesInputs) {
+  const trace::Trace trace = MakeTrace(8);
+  ArrivalOptions options;
+  EXPECT_FALSE(GenerateRequests(trace, 9, options).ok());  // > samples
+  options.qps = 0.0;
+  EXPECT_FALSE(GenerateRequests(trace, 4, options).ok());
+  options.qps = 1000.0;
+  options.process = ArrivalProcess::kBursty;
+  options.burst_factor = 0.5;  // must exceed 1
+  EXPECT_FALSE(GenerateRequests(trace, 4, options).ok());
+  options.burst_factor = 4.0;
+  options.burst_fraction = 0.5;  // factor * fraction >= 1
+  EXPECT_FALSE(GenerateRequests(trace, 4, options).ok());
+}
+
+TEST(WorkloadTest, ParseArrivalProcessRoundTrips) {
+  for (ArrivalProcess p : {ArrivalProcess::kPoisson,
+                           ArrivalProcess::kUniform,
+                           ArrivalProcess::kBursty}) {
+    auto parsed = ParseArrivalProcess(ArrivalProcessName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseArrivalProcess("storm").ok());
+}
+
+}  // namespace
+}  // namespace updlrm::serve

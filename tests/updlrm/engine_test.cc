@@ -314,6 +314,71 @@ TEST(EngineTest, RejectsBadOptions) {
                    .ok());
 }
 
+TEST(EngineTest, RunSamplesMatchesRunBatchOnContiguousRange) {
+  // RunBatch is specified as the contiguous special case of RunSamples;
+  // the serving batcher relies on that equivalence.
+  Fixture f1 = MakeFixture();
+  Fixture f2 = MakeFixture();
+  auto e1 = UpDlrmEngine::Create(
+      f1.model.get(), f1.config, f1.trace, f1.system.get(),
+      SmallEngineOptions(partition::Method::kCacheAware, 4));
+  auto e2 = UpDlrmEngine::Create(
+      f2.model.get(), f2.config, f2.trace, f2.system.get(),
+      SmallEngineOptions(partition::Method::kCacheAware, 4));
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  auto by_range = (*e1)->RunBatch({16, 32}, &f1.dense);
+  std::vector<std::size_t> samples(16);
+  for (std::size_t i = 0; i < 16; ++i) samples[i] = 16 + i;
+  auto by_list = (*e2)->RunSamples(samples, &f2.dense);
+  ASSERT_TRUE(by_range.ok() && by_list.ok());
+  ASSERT_EQ(by_list->pooled.size(), by_range->pooled.size());
+  for (std::size_t i = 0; i < by_range->pooled.size(); ++i) {
+    ASSERT_EQ(by_list->pooled[i], by_range->pooled[i]) << i;
+  }
+  ASSERT_EQ(by_list->ctr.size(), by_range->ctr.size());
+  for (std::size_t i = 0; i < by_range->ctr.size(); ++i) {
+    EXPECT_EQ(by_list->ctr[i], by_range->ctr[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(by_list->stages.cpu_to_dpu, by_range->stages.cpu_to_dpu);
+  EXPECT_DOUBLE_EQ(by_list->stages.dpu_lookup, by_range->stages.dpu_lookup);
+  EXPECT_DOUBLE_EQ(by_list->stages.dpu_to_cpu, by_range->stages.dpu_to_cpu);
+  EXPECT_DOUBLE_EQ(by_list->stages.cpu_aggregate,
+                   by_range->stages.cpu_aggregate);
+}
+
+TEST(EngineTest, RunSamplesHandlesNonContiguousLists) {
+  // A shed-gap batch: samples {3, 7, 40, 41, 90} must pool exactly the
+  // per-sample reference rows, in list order.
+  Fixture f = MakeFixture();
+  auto engine = UpDlrmEngine::Create(
+      f.model.get(), f.config, f.trace, f.system.get(),
+      SmallEngineOptions(partition::Method::kNonUniform, 4));
+  ASSERT_TRUE(engine.ok());
+  const std::vector<std::size_t> samples = {3, 7, 40, 41, 90};
+  auto batch = (*engine)->RunSamples(samples, nullptr);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->pooled.size(), samples.size() * 2 * 8);
+  std::vector<float> expected(2 * 8);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    f.model->PooledEmbeddingsFixed(f.trace, samples[s], expected);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(batch->pooled[s * 16 + i], expected[i])
+          << "slot " << s << " lane " << i;
+    }
+  }
+}
+
+TEST(EngineTest, RunSamplesRejectsBadLists) {
+  Fixture f = MakeFixture();
+  auto engine = UpDlrmEngine::Create(
+      f.model.get(), f.config, f.trace, f.system.get(),
+      SmallEngineOptions(partition::Method::kUniform, 4));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->RunSamples({}, nullptr).ok());
+  const std::vector<std::size_t> out_of_range = {0, 96};
+  EXPECT_FALSE((*engine)->RunSamples(out_of_range, nullptr).ok());
+}
+
 TEST(EngineTest, ReplicationKeepsPooledEmbeddingsBitExact) {
   // Replicated rows come from the replica region of an adaptively
   // chosen DPU — the functional result must not change.

@@ -64,9 +64,37 @@ TEST(PipeliningTest, HeterogeneousBatches) {
   EXPECT_GT(e.Speedup(), 1.0);
 }
 
-TEST(PipeliningDeathTest, EmptyInputAborts) {
+TEST(PipeliningTest, EmptyInputYieldsZeroedEstimate) {
+  // Serving loops can reach the estimator before any batch executed;
+  // that must be a zeroed estimate, not an abort.
   const std::vector<StageBreakdown> empty;
-  EXPECT_DEATH((void)EstimatePipelinedEmbedding(empty), "at least one");
+  const auto e = EstimatePipelinedEmbedding(empty);
+  EXPECT_DOUBLE_EQ(e.serial_ns, 0.0);
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 0.0);
+  EXPECT_DOUBLE_EQ(e.host_work_ns, 0.0);
+  EXPECT_DOUBLE_EQ(e.dpu_work_ns, 0.0);
+  EXPECT_DOUBLE_EQ(e.Speedup(), 0.0);
+}
+
+TEST(PipeliningTest, OneBatchFillAndDrainDpuBound) {
+  // A single DPU-bound batch is pure fill + work + drain: the bound
+  // equals serial exactly, with no clamping involved.
+  const std::vector<StageBreakdown> batches = {Batch(10, 100, 5, 3)};
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_DOUBLE_EQ(e.serial_ns, 118.0);
+  // fill(10) + dpu(100) + drain(5 + 3) = 118 == serial.
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 118.0);
+  EXPECT_FALSE(e.HostBound());
+}
+
+TEST(PipeliningTest, OneBatchHostBoundClampsToSerial) {
+  // Host-bound single batch: max(host, dpu) + fill + drain would
+  // double-count the fill/drain transfers, so the serial clamp engages.
+  const std::vector<StageBreakdown> batches = {Batch(40, 5, 40, 10)};
+  const auto e = EstimatePipelinedEmbedding(batches);
+  EXPECT_DOUBLE_EQ(e.serial_ns, 95.0);
+  EXPECT_DOUBLE_EQ(e.pipelined_ns, 95.0);
+  EXPECT_TRUE(e.HostBound());
 }
 
 }  // namespace
