@@ -45,11 +45,17 @@ struct BenchScale {
   /// Arrival process for serving benches ("poisson" | "uniform" |
   /// "bursty"); ignored by the offline benches.
   std::string arrival = "poisson";
+  /// Embedding hot-path levers (EngineOptions::{dedup, wram_cache_rows,
+  /// coalesce_transfers}); all default off so bench output matches the
+  /// paper baseline unless explicitly enabled.
+  bool dedup = false;
+  std::uint32_t wram = 0;
+  bool coalesce = false;
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
-/// from argv; sizes the process-wide default pool and prints a scale
-/// banner.
+/// / --dedup / --wram=N / --coalesce from argv; sizes the process-wide
+/// default pool and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {

@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "pim/stats_summary.h"
 
 int main(int argc, char** argv) {
   using namespace updlrm;
@@ -27,8 +28,12 @@ int main(int argc, char** argv) {
                                        partition::Method::kNonUniform,
                                        partition::Method::kCacheAware};
 
+  // The dedup/WRAM counter columns reconcile the stage shares with the
+  // Eq. 1-3 terms: both are 0% with the hot-path levers off; pass
+  // --dedup / --wram=N to see how the levers shift the breakdown.
   TablePrinter out({"method", "Nc", "stage1 CPU->DPU", "stage2 lookup",
-                    "stage3 DPU->CPU", "total (ms/batch)"});
+                    "stage3 DPU->CPU", "total (ms/batch)", "wram hit%",
+                    "dedup saved%"});
   double ca_lookup_share_min = 1.0, ca_lookup_share_max = 0.0;
   double other_lookup_share_min = 1.0, other_lookup_share_max = 0.0;
   for (partition::Method method : methods) {
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
         other_lookup_share_min = std::min(other_lookup_share_min, s2);
         other_lookup_share_max = std::max(other_lookup_share_max, s2);
       }
+      const pim::DpuStatsSummary stats = pim::SummarizeStats(*system);
       out.AddRow({std::string(partition::MethodShortName(method)),
                   std::to_string(nc), TablePrinter::FmtPercent(s1, 0),
                   TablePrinter::FmtPercent(s2, 0),
@@ -65,7 +71,9 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(
                       stages_total / 1e6 /
                           static_cast<double>(report->num_batches),
-                      3)});
+                      3),
+                  TablePrinter::FmtPercent(stats.wram_hit_share, 1),
+                  TablePrinter::FmtPercent(stats.dedup_saved_share, 1)});
     }
   }
   out.Print(std::cout);

@@ -13,10 +13,15 @@ namespace updlrm::pim {
 /// and balance analysis.
 struct DpuStats {
   Cycles kernel_cycles = 0;
-  std::uint64_t lookups = 0;       // EMT row-slice reads
-  std::uint64_t cache_reads = 0;   // cached partial-sum reads
+  std::uint64_t lookups = 0;       // EMT row-slice reads (MRAM)
+  std::uint64_t cache_reads = 0;   // cached partial-sum reads (MRAM)
   std::uint64_t samples = 0;       // partial sums produced
   std::uint64_t mram_bytes_read = 0;
+  // Embedding hot-path levers (EngineOptions::{dedup, wram_cache_rows}).
+  std::uint64_t wram_hits = 0;         // rows served from pinned WRAM
+  std::uint64_t gather_refs = 0;       // dedup gather-map replays
+  std::uint64_t dedup_saved_reads = 0; // MRAM row reads dedup removed
+  std::uint64_t index_bytes_pushed = 0;  // wire bytes of index payload
 
   void Reset() { *this = DpuStats{}; }
 };

@@ -1,5 +1,6 @@
 #include "pim/kernel_cost.h"
 
+#include <algorithm>
 #include <array>
 
 namespace updlrm::pim {
@@ -24,7 +25,9 @@ EmbeddingKernelCostModel::EmbeddingKernelCostModel(
 
 Cycles EmbeddingKernelCostModel::KernelCycles(
     const EmbeddingKernelWork& work) const {
-  if (work.num_lookups + work.num_cache_reads + work.num_samples == 0) {
+  if (work.num_lookups + work.num_cache_reads + work.num_samples +
+          work.num_wram_hits + work.num_gather_refs ==
+      0) {
     return 0;
   }
   UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
@@ -32,11 +35,16 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   const Cycles instr_per_read =
       params_.instr_per_lookup_base + params_.instr_per_element * elements;
 
-  // Phase 1: stream index lists MRAM->WRAM in chunks.
-  const std::uint64_t total_reads = work.num_lookups + work.num_cache_reads;
+  // Phase 1: stream index lists MRAM->WRAM in chunks. Every MRAM/WRAM
+  // row reference is one 4-byte index word; gather refs are 16-bit, two
+  // per word. With the levers off this is exactly the historical
+  // lookups+cache count.
+  const std::uint64_t mram_reads = work.num_lookups + work.num_cache_reads;
+  const std::uint64_t index_words =
+      mram_reads + work.num_wram_hits + CeilDiv(work.num_gather_refs, 2);
   const std::uint32_t chunk_bytes = params_.index_chunk * 4;
   KernelWorkload index_stream{
-      .num_items = CeilDiv(total_reads, params_.index_chunk),
+      .num_items = CeilDiv(index_words, params_.index_chunk),
       .instr_cycles_per_item = 16,
       .dma_latency_per_item = mram_timing_.AccessLatency(chunk_bytes),
       .dma_occupancy_per_item = mram_timing_.EngineOccupancy(chunk_bytes),
@@ -46,10 +54,31 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   // cache reads have identical cost structure (same size, same region
   // type), so they share one workload entry.
   KernelWorkload reads{
-      .num_items = total_reads,
+      .num_items = mram_reads,
       .instr_cycles_per_item = instr_per_read,
       .dma_latency_per_item = mram_timing_.AccessLatency(work.row_bytes),
       .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
+  };
+
+  // Phase 2b: WRAM hot-row hits. Same accumulation arithmetic as phase
+  // 2 but the row is already pinned in WRAM — no DMA is issued, so the
+  // item never touches the MRAM latency curve or the DMA engine.
+  KernelWorkload wram_hits{
+      .num_items = work.num_wram_hits,
+      .instr_cycles_per_item = params_.instr_per_wram_hit_base +
+                               params_.instr_per_element * elements,
+      .dma_latency_per_item = 0,
+      .dma_occupancy_per_item = 0,
+  };
+
+  // Phase 2c: gather replay. Each deduplicated reference re-accumulates
+  // an already-materialized partial row from WRAM into its sample slot.
+  KernelWorkload gather{
+      .num_items = work.num_gather_refs,
+      .instr_cycles_per_item = params_.instr_per_gather_base +
+                               params_.instr_per_element * elements,
+      .dma_latency_per_item = 0,
+      .dma_occupancy_per_item = 0,
   };
 
   // Phase 3: per-sample bookkeeping and output write-back.
@@ -60,25 +89,41 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
       .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
   };
 
-  const std::array<KernelWorkload, 3> phases = {index_stream, reads,
-                                                outputs};
+  // Zero-item phases contribute zero cycles, so with the levers off the
+  // makespan is bit-identical to the historical three-phase kernel.
+  const std::array<KernelWorkload, 5> phases = {index_stream, reads,
+                                                wram_hits, gather, outputs};
   return params_.boot_cycles + pipeline_.Makespan(phases);
 }
 
 Status EmbeddingKernelCostModel::ValidateWramFit(
-    std::uint32_t row_bytes) const {
+    std::uint32_t row_bytes, std::uint64_t pinned_bytes) const {
   // Per tasklet: double-buffered row slice, one index chunk, one staged
-  // output row, and ~256 B of stack/locals.
+  // output row, and ~256 B of stack/locals. The pinned hot-row cache is
+  // a DPU-wide region carved out once, shared read-only by all
+  // tasklets.
   const std::uint64_t per_tasklet = 2ULL * row_bytes +
                                     params_.index_chunk * 4ULL + row_bytes +
                                     256;
-  const std::uint64_t total = per_tasklet * dpu_.num_tasklets;
+  const std::uint64_t total = per_tasklet * dpu_.num_tasklets + pinned_bytes;
   if (total > dpu_.wram_bytes) {
     return Status::CapacityExceeded(
         "WRAM overflow: " + std::to_string(total) + " bytes needed, " +
         std::to_string(dpu_.wram_bytes) + " available");
   }
   return Status::Ok();
+}
+
+std::uint32_t EmbeddingKernelCostModel::MaxWramCacheRows(
+    std::uint32_t row_bytes) const {
+  const std::uint64_t per_tasklet = 2ULL * row_bytes +
+                                    params_.index_chunk * 4ULL + row_bytes +
+                                    256;
+  const std::uint64_t working = per_tasklet * dpu_.num_tasklets;
+  if (working >= dpu_.wram_bytes || row_bytes == 0) return 0;
+  const std::uint64_t free_bytes = dpu_.wram_bytes - working;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(free_bytes / row_bytes, 0xffffffffULL));
 }
 
 }  // namespace updlrm::pim

@@ -31,6 +31,14 @@ struct EmbeddingKernelCostParams {
   // Per-sample bookkeeping: offset-list scan, partial-sum init, output
   // staging.
   Cycles instr_per_sample = 32;
+  // Per WRAM-cache hit fixed budget: index load, tag compare, WRAM
+  // address computation. No DMA setup — the row is already resident, so
+  // a hit bypasses the MRAM latency curve entirely (see DESIGN.md
+  // §"Embedding hot path").
+  Cycles instr_per_wram_hit_base = 12;
+  // Per gather-map reference: 16-bit ref load, WRAM partial-sum read,
+  // accumulate into the sample slot. Pure WRAM traffic, no DMA.
+  Cycles instr_per_gather_base = 8;
   // Tasklet boot, barrier and drain per kernel launch on one DPU.
   Cycles boot_cycles = 8'000;
   // Index-streaming chunk: indices copied MRAM->WRAM per DMA.
@@ -39,12 +47,21 @@ struct EmbeddingKernelCostParams {
   Status Validate() const;
 };
 
-/// Work one DPU performs for one batch.
+/// Work one DPU performs for one batch. With the dedup/WRAM levers off,
+/// only the first four fields are nonzero and the cost reduces exactly
+/// to the historical three-phase kernel.
 struct EmbeddingKernelWork {
-  std::uint64_t num_lookups = 0;      // EMT row-slice reads
-  std::uint64_t num_cache_reads = 0;  // cached partial-sum reads
+  std::uint64_t num_lookups = 0;      // EMT row-slice reads (MRAM)
+  std::uint64_t num_cache_reads = 0;  // cached partial-sum reads (MRAM)
   std::uint64_t num_samples = 0;      // partial sums produced
   std::uint32_t row_bytes = 0;        // Nc * 4
+  // Rows served from the pinned WRAM hot-row tier: accumulation only,
+  // no MRAM DMA (EngineOptions::wram_cache_rows).
+  std::uint64_t num_wram_hits = 0;
+  // Gather-map replays for deduplicated references: each original
+  // reference beyond the first copy of a row becomes one WRAM-resident
+  // 16-bit gather ref (EngineOptions::dedup).
+  std::uint64_t num_gather_refs = 0;
 };
 
 class EmbeddingKernelCostModel {
@@ -57,8 +74,15 @@ class EmbeddingKernelCostModel {
   Cycles KernelCycles(const EmbeddingKernelWork& work) const;
 
   /// Checks that per-tasklet WRAM buffers (double-buffered row slice,
-  /// index chunk, sample staging) fit the 64 KB WRAM.
-  Status ValidateWramFit(std::uint32_t row_bytes) const;
+  /// index chunk, sample staging) fit the 64 KB WRAM. `pinned_bytes` is
+  /// the DPU-wide hot-row cache footprint (shared across tasklets)
+  /// carved out before the per-tasklet buffers.
+  Status ValidateWramFit(std::uint32_t row_bytes,
+                         std::uint64_t pinned_bytes = 0) const;
+
+  /// Largest hot-row cache (in rows) that still leaves the per-tasklet
+  /// working buffers intact. 0 when even one row would overflow WRAM.
+  std::uint32_t MaxWramCacheRows(std::uint32_t row_bytes) const;
 
   const EmbeddingKernelCostParams& params() const { return params_; }
   const MramTimingModel& mram_timing() const { return mram_timing_; }

@@ -300,21 +300,34 @@ KernelSimResult SimulateEmbeddingKernel(
     const EmbeddingKernelWork& work, PhaseEngine engine) {
   UPDLRM_CHECK_MSG(dpu.Validate().ok(), "invalid DpuConfig");
   KernelSimResult result;
-  if (work.num_lookups + work.num_cache_reads + work.num_samples == 0) {
+  if (work.num_lookups + work.num_cache_reads + work.num_samples +
+          work.num_wram_hits + work.num_gather_refs ==
+      0) {
     return result;
   }
   UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
   const std::uint32_t elements = work.row_bytes / 4;
-  const std::uint64_t total_reads = work.num_lookups + work.num_cache_reads;
+  const std::uint64_t mram_reads = work.num_lookups + work.num_cache_reads;
+  const std::uint64_t index_words =
+      mram_reads + work.num_wram_hits + CeilDiv(work.num_gather_refs, 2);
   const std::uint32_t chunk_bytes = params.index_chunk * 4;
 
-  const KernelPhase phases[3] = {
-      {CeilDiv(total_reads, params.index_chunk), 16,
+  // Mirrors EmbeddingKernelCostModel::KernelCycles phase for phase; the
+  // WRAM-hit and gather phases issue no DMAs (rows/refs are WRAM
+  // resident) and vanish when their item counts are zero.
+  const KernelPhase phases[5] = {
+      {CeilDiv(index_words, params.index_chunk), 16,
        mram.AccessLatency(chunk_bytes), mram.EngineOccupancy(chunk_bytes)},
-      {total_reads,
+      {mram_reads,
        params.instr_per_lookup_base + params.instr_per_element * elements,
        mram.AccessLatency(work.row_bytes),
        mram.EngineOccupancy(work.row_bytes)},
+      {work.num_wram_hits,
+       params.instr_per_wram_hit_base + params.instr_per_element * elements,
+       0, 0},
+      {work.num_gather_refs,
+       params.instr_per_gather_base + params.instr_per_element * elements,
+       0, 0},
       {work.num_samples, params.instr_per_sample,
        mram.AccessLatency(work.row_bytes),
        mram.EngineOccupancy(work.row_bytes)},

@@ -15,6 +15,10 @@ DpuStatsSummary SummarizeStats(const DpuSystem& system) {
     summary.total_lookups += stats.lookups;
     summary.total_cache_reads += stats.cache_reads;
     summary.total_mram_bytes_read += stats.mram_bytes_read;
+    summary.total_wram_hits += stats.wram_hits;
+    summary.total_gather_refs += stats.gather_refs;
+    summary.total_dedup_saved_reads += stats.dedup_saved_reads;
+    summary.total_index_bytes_pushed += stats.index_bytes_pushed;
     summary.max_kernel_cycles =
         std::max(summary.max_kernel_cycles, stats.kernel_cycles);
     cycles.push_back(static_cast<double>(stats.kernel_cycles));
@@ -30,6 +34,18 @@ DpuStatsSummary SummarizeStats(const DpuSystem& system) {
       reads == 0 ? 0.0
                  : static_cast<double>(summary.total_cache_reads) /
                        static_cast<double>(reads);
+  const std::uint64_t row_refs = reads + summary.total_wram_hits;
+  summary.wram_hit_share =
+      row_refs == 0 ? 0.0
+                    : static_cast<double>(summary.total_wram_hits) /
+                          static_cast<double>(row_refs);
+  const std::uint64_t pre_dedup_refs =
+      row_refs + summary.total_dedup_saved_reads;
+  summary.dedup_saved_share =
+      pre_dedup_refs == 0
+          ? 0.0
+          : static_cast<double>(summary.total_dedup_saved_reads) /
+                static_cast<double>(pre_dedup_refs);
   return summary;
 }
 

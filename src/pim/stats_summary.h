@@ -16,6 +16,10 @@ struct DpuStatsSummary {
   std::uint64_t total_lookups = 0;
   std::uint64_t total_cache_reads = 0;
   std::uint64_t total_mram_bytes_read = 0;
+  std::uint64_t total_wram_hits = 0;
+  std::uint64_t total_gather_refs = 0;
+  std::uint64_t total_dedup_saved_reads = 0;
+  std::uint64_t total_index_bytes_pushed = 0;
   Cycles max_kernel_cycles = 0;
   Cycles mean_kernel_cycles = 0;
 
@@ -26,6 +30,12 @@ struct DpuStatsSummary {
   double cycle_cv = 0.0;
   /// Share of lookups served from cached partial sums.
   double cache_read_share = 0.0;
+  /// Share of row references served from the pinned WRAM tier (of all
+  /// row references: MRAM reads + WRAM hits).
+  double wram_hit_share = 0.0;
+  /// Share of original row references the dedup planner collapsed into
+  /// gather replays (saved MRAM reads / pre-dedup references).
+  double dedup_saved_share = 0.0;
 };
 
 DpuStatsSummary SummarizeStats(const DpuSystem& system);

@@ -31,15 +31,19 @@ HostTransferModel::HostTransferModel(HostTransferParams params,
 Nanos HostTransferModel::TransferTime(
     std::span<const std::uint64_t> bytes_per_dpu, bool pad_to_max,
     double rank_bw) const {
+  if (bytes_per_dpu.empty()) return 0.0;
   UPDLRM_CHECK_MSG(bytes_per_dpu.size() == num_dpus_,
                    "bytes_per_dpu must cover every DPU");
   const std::uint64_t max_bytes =
       *std::max_element(bytes_per_dpu.begin(), bytes_per_dpu.end());
   if (max_bytes == 0) return 0.0;
 
+  // A zero-byte DPU transfers nothing: it is absent from the transfer
+  // matrix and must not force the ragged (sequential) path when every
+  // participating buffer is the same size.
   const bool all_equal =
       std::all_of(bytes_per_dpu.begin(), bytes_per_dpu.end(),
-                  [&](std::uint64_t b) { return b == max_bytes; });
+                  [&](std::uint64_t b) { return b == 0 || b == max_bytes; });
 
   if (all_equal || pad_to_max) {
     // Parallel path: every rank streams its (padded) buffer matrix
@@ -64,6 +68,109 @@ Nanos HostTransferModel::TransferTime(
       bytes_per_dpu.begin(), bytes_per_dpu.end(), std::uint64_t{0});
   return params_.transfer_launch_ns +
          TransferNanos(total, params_.serial_bytes_per_sec);
+}
+
+std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
+    std::span<const std::uint64_t> bytes_per_dpu, std::uint32_t lo,
+    std::uint32_t hi, double rank_bw) const {
+  std::uint64_t call_max = 0;
+  for (std::uint32_t d = lo; d < hi; ++d) {
+    call_max = std::max(call_max, bytes_per_dpu[d]);
+  }
+  if (call_max == 0) return {0.0, 0};
+  // Each rank streams its participating (nonzero) buffers, padded to the
+  // call-wide max, concurrently with the other ranks; the fullest rank
+  // bounds the call.
+  std::uint64_t worst_rank_bytes = 0;
+  std::uint64_t streamed = 0;
+  const std::uint32_t first_rank = lo / dpus_per_rank_;
+  const std::uint32_t last_rank = (hi - 1) / dpus_per_rank_;
+  for (std::uint32_t r = first_rank; r <= last_rank; ++r) {
+    const std::uint32_t rlo = std::max(lo, r * dpus_per_rank_);
+    const std::uint32_t rhi = std::min(hi, (r + 1) * dpus_per_rank_);
+    std::uint64_t pop = 0;
+    for (std::uint32_t d = rlo; d < rhi; ++d) {
+      if (bytes_per_dpu[d] != 0) ++pop;
+    }
+    const std::uint64_t rank_bytes = pop * call_max;
+    worst_rank_bytes = std::max(worst_rank_bytes, rank_bytes);
+    streamed += rank_bytes;
+  }
+  return {TransferNanos(worst_rank_bytes, rank_bw), streamed};
+}
+
+TransferPlan HostTransferModel::PlanTransfer(
+    std::span<const std::uint64_t> bytes_per_dpu,
+    std::span<const std::uint32_t> group_start, double rank_bw) const {
+  TransferPlan plan;
+  if (bytes_per_dpu.empty()) return plan;
+  UPDLRM_CHECK_MSG(bytes_per_dpu.size() == num_dpus_,
+                   "bytes_per_dpu must cover every DPU");
+  UPDLRM_CHECK_MSG(group_start.size() >= 2, "need at least one group");
+  UPDLRM_CHECK_MSG(group_start.front() == 0 &&
+                       group_start.back() == bytes_per_dpu.size(),
+                   "group_start must cover [0, num_dpus]");
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : bytes_per_dpu) total += b;
+  if (total == 0) return plan;  // nothing moves: no launch, zero cost
+
+  // Candidate 1: one coalesced call padded to the call-wide nonzero max.
+  const auto [coal_stream, coal_bytes] =
+      PaddedStream(bytes_per_dpu, 0, num_dpus_, rank_bw);
+  const Nanos coal_time = params_.transfer_launch_ns + coal_stream;
+
+  // Candidate 2: one call per nonzero group, each padded only to its own
+  // max. Groups are issued back to back (the SDK serializes calls).
+  Nanos group_time = 0.0;
+  std::uint64_t group_bytes = 0;
+  std::uint32_t group_launches = 0;
+  for (std::size_t g = 0; g + 1 < group_start.size(); ++g) {
+    const auto [t, b] = PaddedStream(bytes_per_dpu, group_start[g],
+                                     group_start[g + 1], rank_bw);
+    if (b == 0) continue;
+    group_time += params_.transfer_launch_ns + t;
+    group_bytes += b;
+    ++group_launches;
+  }
+
+  // Candidate 3: one ragged call, buffers copied serially (no padding).
+  const Nanos seq_time = params_.transfer_launch_ns +
+                         TransferNanos(total, params_.serial_bytes_per_sec);
+
+  // Deterministic choice: strict improvement required to leave the
+  // coalesced path, so ties resolve coalesced > per-group > sequential.
+  plan.path = TransferPlan::Path::kCoalescedPadded;
+  plan.time = coal_time;
+  plan.streamed_bytes = coal_bytes;
+  plan.launches = 1;
+  if (group_time < plan.time) {
+    plan.path = TransferPlan::Path::kPerGroupPadded;
+    plan.time = group_time;
+    plan.streamed_bytes = group_bytes;
+    plan.launches = group_launches;
+  }
+  if (seq_time < plan.time) {
+    plan.path = TransferPlan::Path::kSequential;
+    plan.time = seq_time;
+    plan.streamed_bytes = total;
+    plan.launches = 1;
+  }
+  return plan;
+}
+
+TransferPlan HostTransferModel::PlanPush(
+    std::span<const std::uint64_t> bytes_per_dpu,
+    std::span<const std::uint32_t> group_start) const {
+  return PlanTransfer(bytes_per_dpu, group_start,
+                      params_.push_bytes_per_sec_per_rank);
+}
+
+TransferPlan HostTransferModel::PlanPull(
+    std::span<const std::uint64_t> bytes_per_dpu,
+    std::span<const std::uint32_t> group_start) const {
+  return PlanTransfer(bytes_per_dpu, group_start,
+                      params_.pull_bytes_per_sec_per_rank);
 }
 
 Nanos HostTransferModel::PushTime(

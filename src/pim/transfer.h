@@ -12,10 +12,29 @@
 //
 // Ranks transfer concurrently; within a rank the padded buffer matrix is
 // streamed at the rank's aggregate bandwidth.
+// A batch additionally has a *coalesced transfer plan* (PlanTransfer):
+// instead of pricing one SDK call padded to the global maximum, the plan
+// compares three legal execution strategies for the same per-DPU byte
+// vector and group (per-table) boundaries, and picks the cheapest:
+//
+//   coalesced padded:  one launch; each rank streams a matrix padded to
+//                      the call-wide max over *participating* (nonzero)
+//                      buffers — zero-byte DPUs are simply absent from
+//                      the transfer matrix;
+//   per-group padded:  one launch per group (table); each group's matrix
+//                      pads only to that group's max, so heterogeneous
+//                      tables stop paying for the largest table's rows;
+//   sequential:        one launch; ragged buffers copied one DPU at a
+//                      time at the serial bandwidth.
+//
+// The classic PushTime/PullTime entry points are kept bit-compatible
+// with their historical behavior (global-max padding including zero
+// slots) so existing callers and golden results are unchanged.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -38,6 +57,21 @@ struct HostTransferParams {
   Status Validate() const;
 };
 
+/// Result of the coalesced transfer planner (see file comment).
+struct TransferPlan {
+  enum class Path {
+    kCoalescedPadded,  // one call, padded to the call-wide nonzero max
+    kPerGroupPadded,   // one call per group, padded to the group max
+    kSequential,       // one call, ragged buffers copied serially
+  };
+  Path path = Path::kCoalescedPadded;
+  Nanos time = 0.0;
+  /// Bytes actually streamed under the chosen path (padding included).
+  std::uint64_t streamed_bytes = 0;
+  /// SDK calls (launch overheads) the chosen path pays.
+  std::uint32_t launches = 0;
+};
+
 class HostTransferModel {
  public:
   HostTransferModel(HostTransferParams params, std::uint32_t num_dpus,
@@ -46,13 +80,29 @@ class HostTransferModel {
   /// Time to push per-DPU buffers (bytes_per_dpu[i] to DPU i). When
   /// `pad_to_max` the buffers are padded to the per-call maximum and
   /// streamed on the parallel path; otherwise ragged buffers fall back
-  /// to the sequential path (equal buffers always go parallel).
+  /// to the sequential path (equal buffers always go parallel; a
+  /// zero-byte DPU transfers nothing and never forces the sequential
+  /// path). An empty span or all-zero vector costs exactly zero — no
+  /// launch is issued for a transfer that moves no bytes.
   Nanos PushTime(std::span<const std::uint64_t> bytes_per_dpu,
                  bool pad_to_max) const;
 
   /// Same for DPU->CPU retrieval.
   Nanos PullTime(std::span<const std::uint64_t> bytes_per_dpu,
                  bool pad_to_max) const;
+
+  /// Coalesced transfer plan for one batch's push side: picks the
+  /// cheapest of {coalesced padded, per-group padded, sequential} for
+  /// the given buffers. `group_start` lists the first DPU of each
+  /// contiguous group (ascending, size = groups + 1, last entry ==
+  /// bytes_per_dpu.size()); pass {0, num_dpus} for a single group.
+  /// Zero-byte DPUs never pad, launch, or force raggedness.
+  TransferPlan PlanPush(std::span<const std::uint64_t> bytes_per_dpu,
+                        std::span<const std::uint32_t> group_start) const;
+
+  /// Same for the pull side.
+  TransferPlan PlanPull(std::span<const std::uint64_t> bytes_per_dpu,
+                        std::span<const std::uint32_t> group_start) const;
 
   /// Broadcast of one buffer to all DPUs (always parallel).
   Nanos BroadcastTime(std::uint64_t bytes) const;
@@ -66,6 +116,15 @@ class HostTransferModel {
  private:
   Nanos TransferTime(std::span<const std::uint64_t> bytes_per_dpu,
                      bool pad_to_max, double rank_bw) const;
+  TransferPlan PlanTransfer(std::span<const std::uint64_t> bytes_per_dpu,
+                            std::span<const std::uint32_t> group_start,
+                            double rank_bw) const;
+  // Padded stream time of one call covering [lo, hi): every nonzero
+  // buffer is padded to the call max; ranks stream concurrently.
+  // Returns {bound_ns (no launch), streamed_bytes}.
+  std::pair<Nanos, std::uint64_t> PaddedStream(
+      std::span<const std::uint64_t> bytes_per_dpu, std::uint32_t lo,
+      std::uint32_t hi, double rank_bw) const;
 
   HostTransferParams params_;
   std::uint32_t num_dpus_;

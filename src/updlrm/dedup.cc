@@ -1,0 +1,39 @@
+#include "updlrm/dedup.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace updlrm::core {
+
+DedupPlan PlanDedup(std::span<DedupKey> keys) {
+  DedupPlan plan;
+  plan.refs = keys.size();
+  if (keys.empty()) return plan;
+
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0 && keys[i] == keys[i - 1]) continue;
+    switch (DedupKeyStream(keys[i])) {
+      case DedupStream::kRow:
+        ++plan.unique_rows;
+        break;
+      case DedupStream::kWram:
+        ++plan.unique_wram;
+        break;
+      case DedupStream::kCache:
+        ++plan.unique_cache;
+        break;
+    }
+  }
+
+  const std::uint64_t raw_bytes = plan.refs * 4;
+  const std::uint64_t dedup_bytes =
+      AlignUp(plan.UniqueTotal() * 4 + plan.refs * 2, 8) + 8;
+  plan.applied = plan.UniqueTotal() < plan.refs &&
+                 plan.UniqueTotal() <= 0xffff && dedup_bytes <= raw_bytes;
+  plan.index_list_bytes = plan.applied ? dedup_bytes : raw_bytes;
+  return plan;
+}
+
+}  // namespace updlrm::core

@@ -1,0 +1,84 @@
+// Batch-level index deduplication planner.
+//
+// Real batches are dominated by repeated hot rows *across* samples (the
+// trace enforces uniqueness only within a sample), so the per-(table,
+// DPU-bin) request buffer the engine routes in stage 1 usually names
+// the same row many times. The planner collapses each bin's buffer into
+// a unique-index list plus a per-reference 16-bit gather map: the DPU
+// reads each unique row once (MRAM or WRAM tier) and replays the gather
+// map to accumulate every original reference into its sample slot.
+// Integer accumulation is exactly commutative/associative, so the
+// pooled outputs are bit-identical to the raw replay — dedup is a pure
+// traffic/time optimization.
+//
+// Wire format per deduplicated bin:
+//
+//   [ u32 unique_count | u32 ref_count |        (8-byte header)
+//     u32 unique_index[unique_count]   |
+//     u16 gather_ref[ref_count] ]               (padded to 8 bytes)
+//
+// versus the raw format's 4 bytes per reference. The planner applies
+// dedup to a bin only when the deduplicated wire payload is no larger
+// than the raw one — so stage 1 never regresses — which also implies
+// strictly fewer MRAM row reads in stage 2 whenever it fires. Gather
+// refs are 16-bit, so a bin with more than 65535 unique indices is
+// never deduplicated (unreachable at paper-scale batch sizes).
+//
+// Determinism: the plan is a pure function of the bin's multiset of
+// reference keys; the engine builds the key list in routing order
+// (serial per group) and plans per (group, bin) task with results
+// written to disjoint slots, so the outcome is thread-count invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace updlrm::core {
+
+/// Which tier a routed reference reads from. Tags the key's top bits so
+/// equal values in different tiers never collapse together.
+enum class DedupStream : std::uint64_t {
+  kRow = 0,    // EMT / replica row slice (MRAM)
+  kWram = 1,   // pinned WRAM hot-row tier
+  kCache = 2,  // cached subset partial sum (MRAM cache region)
+};
+
+/// Stream-tagged reference key. Two references are duplicates iff their
+/// keys are equal (same tier, same row / replica / (list, mask) slot).
+using DedupKey = std::uint64_t;
+
+inline DedupKey MakeDedupKey(DedupStream stream, std::uint64_t value) {
+  return (static_cast<std::uint64_t>(stream) << 62) | value;
+}
+
+inline DedupStream DedupKeyStream(DedupKey key) {
+  return static_cast<DedupStream>(key >> 62);
+}
+
+/// Outcome of planning one (table, DPU-bin) request buffer.
+struct DedupPlan {
+  /// True when the bin is shipped deduplicated (byte-win rule met).
+  bool applied = false;
+  std::uint64_t refs = 0;          // original references in the buffer
+  std::uint64_t unique_rows = 0;   // distinct kRow keys
+  std::uint64_t unique_wram = 0;   // distinct kWram keys
+  std::uint64_t unique_cache = 0;  // distinct kCache keys
+  /// Wire bytes of the chosen index-list encoding (raw or dedup;
+  /// excludes the per-sample offset arrays the engine appends).
+  std::uint64_t index_list_bytes = 0;
+
+  std::uint64_t UniqueTotal() const {
+    return unique_rows + unique_wram + unique_cache;
+  }
+  /// Row reads (any tier) the dedup removed; 0 when not applied.
+  std::uint64_t SavedReads() const {
+    return applied ? refs - UniqueTotal() : 0;
+  }
+};
+
+/// Plans one bin's buffer. Sorts `keys` in place (the engine rebuilds
+/// them every batch; routing order is not needed afterwards). An empty
+/// span yields an empty, not-applied plan.
+DedupPlan PlanDedup(std::span<DedupKey> keys);
+
+}  // namespace updlrm::core

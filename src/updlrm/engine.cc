@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "partition/replication.h"
 #include "trace/profiler.h"
+#include "updlrm/dedup.h"
 
 namespace updlrm::core {
 
@@ -17,6 +18,8 @@ void UpDlrmEngine::BinRoute::Clear() {
   cache_offsets.clear();
   emt_count = 0;
   cache_count = 0;
+  wram_count = 0;
+  dedup_keys.clear();
 }
 
 UpDlrmEngine::UpDlrmEngine(const dlrm::DlrmModel* model,
@@ -190,6 +193,11 @@ Status UpDlrmEngine::Setup() {
             continue;
           }
           built[i].group = std::move(group).value();
+          if (options_.wram_cache_rows > 0) {
+            BuildWramCache(
+                built[i].group, freq,
+                EffectiveWramRows(built[i].group.plan.geom.row_bytes()));
+          }
           if (model_ != nullptr) {
             built[i].status =
                 PlaceTable(model_->table(t), built[i].group, *system_);
@@ -217,7 +225,18 @@ Status UpDlrmEngine::Setup() {
         fn_task_start_[g] +
         static_cast<std::size_t>(geom.row_shards) * geom.col_shards;
   }
+
+  // Table boundaries for the coalesced transfer planner; DPUs past the
+  // last group carry zero bytes and never pad or launch.
+  transfer_group_start_.assign(first_dpu_.begin(), first_dpu_.end());
+  transfer_group_start_.push_back(system_->num_dpus());
   return Status::Ok();
+}
+
+std::uint32_t UpDlrmEngine::EffectiveWramRows(
+    std::uint32_t row_bytes) const {
+  return std::min(options_.wram_cache_rows,
+                  system_->kernel_cost().MaxWramCacheRows(row_bytes));
 }
 
 Nanos UpDlrmEngine::EstimateBatchCost(
@@ -260,8 +279,10 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
       config_.table_shape(table), dpus_per_table_[table], nc_);
   if (!geom_or.ok()) return geom_or.status();
   const partition::GroupGeometry& geom = geom_or.value();
-  UPDLRM_RETURN_IF_ERROR(
-      system_->kernel_cost().ValidateWramFit(geom.row_bytes()));
+  UPDLRM_RETURN_IF_ERROR(system_->kernel_cost().ValidateWramFit(
+      geom.row_bytes(),
+      static_cast<std::uint64_t>(EffectiveWramRows(geom.row_bytes())) *
+          geom.row_bytes()));
 
   const std::uint64_t mram = system_->config().dpu.mram_bytes;
   if (options_.reserved_io_bytes >= mram) {
@@ -356,6 +377,8 @@ void UpDlrmEngine::RouteGroup(std::size_t g,
   // Slot references are absolute (offset / row_bytes), so EMT, replica
   // and cache reads share one addressing scheme.
   const bool has_replicas = !group.replica_slot.empty();
+  const bool has_wram = !group.wram_cached.empty();
+  const bool dedup = options_.dedup;
   const std::uint64_t replica_ref_base =
       group.layout.replica_base / row_bytes;
   const std::uint64_t cache_ref_base = group.layout.cache_base / row_bytes;
@@ -368,8 +391,9 @@ void UpDlrmEngine::RouteGroup(std::size_t g,
         std::uint32_t best = 0;
         std::uint64_t best_load = ~0ULL;
         for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
-          const std::uint64_t load =
-              routes[b].emt_count + routes[b].cache_count;
+          const std::uint64_t load = routes[b].emt_count +
+                                     routes[b].wram_count +
+                                     routes[b].cache_count;
           if (load < best_load) {
             best_load = load;
             best = b;
@@ -377,6 +401,9 @@ void UpDlrmEngine::RouteGroup(std::size_t g,
         }
         BinRoute& rt = routes[best];
         ++rt.emt_count;
+        if (dedup) {
+          rt.dedup_keys.push_back(MakeDedupKey(DedupStream::kRow, idx));
+        }
         if (fn) {
           rt.emt_slots.push_back(static_cast<std::uint32_t>(
               replica_ref_base + group.replica_slot[idx]));
@@ -398,7 +425,20 @@ void UpDlrmEngine::RouteGroup(std::size_t g,
       } else {
         const std::uint32_t bin = group.plan.row_bin[idx];
         BinRoute& rt = routes[bin];
-        ++rt.emt_count;
+        // WRAM-pinned rows are still read from MRAM slots by the
+        // functional path (WRAM holds a copy); only the timing
+        // accounting splits off, so the lever cannot change outputs.
+        if (has_wram && group.wram_cached[idx]) {
+          ++rt.wram_count;
+          if (dedup) {
+            rt.dedup_keys.push_back(MakeDedupKey(DedupStream::kWram, idx));
+          }
+        } else {
+          ++rt.emt_count;
+          if (dedup) {
+            rt.dedup_keys.push_back(MakeDedupKey(DedupStream::kRow, idx));
+          }
+        }
         if (fn) rt.emt_slots.push_back(group.row_slot[idx]);
       }
     }
@@ -408,6 +448,11 @@ void UpDlrmEngine::RouteGroup(std::size_t g,
       const auto bin = static_cast<std::uint32_t>(group.plan.list_bin[l]);
       BinRoute& rt = routes[bin];
       ++rt.cache_count;
+      if (dedup) {
+        rt.dedup_keys.push_back(MakeDedupKey(
+            DedupStream::kCache,
+            (static_cast<std::uint64_t>(l) << 32) | mask));
+      }
       if (fn) {
         rt.cache_slots.push_back(static_cast<std::uint32_t>(
             cache_ref_base + group.list_offset[l] / row_bytes + mask - 1));
@@ -485,18 +530,50 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
           const std::uint32_t row_bytes = geom.row_bytes();
           const auto bin =
               static_cast<std::uint32_t>(task - bin_task_start_[g]);
-          const BinRoute& rt = scratch_[g].routes[bin];
-          const pim::EmbeddingKernelWork work{
+          BinRoute& rt = scratch_[g].routes[bin];
+
+          // Dedup plan for this bin's request buffer: ship unique
+          // indices + a 16-bit gather map when that shrinks the wire
+          // payload AND the kernel cycles (see updlrm/dedup.h). The
+          // second check matters when the WRAM tier already serves the
+          // duplicated rows: replaying r gather refs can cost more
+          // issue slots than the r - u WRAM hits it replaces, even
+          // though the wire payload shrinks. Without dedup the raw
+          // reference counts flow through unchanged.
+          pim::EmbeddingKernelWork work{
               .num_lookups = rt.emt_count,
               .num_cache_reads = rt.cache_count,
               .num_samples = batch,
               .row_bytes = row_bytes,
+              .num_wram_hits = rt.wram_count,
+              .num_gather_refs = 0,
           };
-          const Cycles cycles = system_->kernel_cost().KernelCycles(work);
+          std::uint64_t list_bytes =
+              (rt.emt_count + rt.wram_count + rt.cache_count) * 4;
+          std::uint64_t saved_reads = 0;
+          Cycles cycles = system_->kernel_cost().KernelCycles(work);
+          if (options_.dedup) {
+            const DedupPlan plan = PlanDedup(rt.dedup_keys);
+            if (plan.applied) {
+              pim::EmbeddingKernelWork deduped = work;
+              deduped.num_lookups = plan.unique_rows;
+              deduped.num_cache_reads = plan.unique_cache;
+              deduped.num_wram_hits = plan.unique_wram;
+              deduped.num_gather_refs = plan.refs;
+              const Cycles dedup_cycles =
+                  system_->kernel_cost().KernelCycles(deduped);
+              if (dedup_cycles <= cycles) {
+                work = deduped;
+                cycles = dedup_cycles;
+                list_bytes = plan.index_list_bytes;
+                saved_reads = plan.SavedReads();
+              }
+            }
+          }
           bin_cycles[task] = cycles;
 
           const std::uint64_t idx_bytes =
-              (rt.emt_count + rt.cache_count + 2 * (batch + 1)) * 4;
+              list_bytes + 2 * (batch + 1) * 4;
           if (idx_bytes > group.layout.index_bytes) {
             bin_status[task] = Status::CapacityExceeded(
                 "stage-1 index buffer overflow (" +
@@ -513,11 +590,16 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
             pull_bytes[id] = out_bytes;
             pim::DpuStats& st = system_->dpu(id).stats();
             st.kernel_cycles += cycles;
-            st.lookups += rt.emt_count;
-            st.cache_reads += rt.cache_count;
+            st.lookups += work.num_lookups;
+            st.cache_reads += work.num_cache_reads;
             st.samples += batch;
+            st.wram_hits += work.num_wram_hits;
+            st.gather_refs += work.num_gather_refs;
+            st.dedup_saved_reads += saved_reads;
+            st.index_bytes_pushed += idx_bytes;
             st.mram_bytes_read +=
-                (rt.emt_count + rt.cache_count) * row_bytes + idx_bytes;
+                (work.num_lookups + work.num_cache_reads) * row_bytes +
+                idx_bytes;
           }
         }
       },
@@ -635,12 +717,22 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
 
   // --- Stage latencies. ---
   const double clock = system_->config().dpu.clock_hz;
-  out.stages.cpu_to_dpu =
-      system_->transfer().PushTime(push_bytes, options_.pad_transfers);
+  if (options_.coalesce_transfers) {
+    // Coalesced plan: the padded-vs-ragged choice is re-derived from
+    // the actual (deduped) buffer sizes, and a single call can cover
+    // every table's buffers, amortizing the launch overhead.
+    out.stages.cpu_to_dpu =
+        system_->transfer().PlanPush(push_bytes, transfer_group_start_).time;
+    out.stages.dpu_to_cpu =
+        system_->transfer().PlanPull(pull_bytes, transfer_group_start_).time;
+  } else {
+    out.stages.cpu_to_dpu =
+        system_->transfer().PushTime(push_bytes, options_.pad_transfers);
+    out.stages.dpu_to_cpu =
+        system_->transfer().PullTime(pull_bytes, options_.pad_transfers);
+  }
   out.stages.dpu_lookup = system_->transfer().KernelLaunchOverhead() +
                           CyclesToNanos(max_kernel, clock);
-  out.stages.dpu_to_cpu =
-      system_->transfer().PullTime(pull_bytes, options_.pad_transfers);
   std::uint64_t partial_bytes = 0;
   for (std::uint64_t b : pull_bytes) partial_bytes += b;
   out.stages.cpu_aggregate =

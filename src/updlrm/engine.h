@@ -59,6 +59,24 @@ struct EngineOptions {
   /// every bin and route their lookups to the least-loaded DPU
   /// (partition/replication.h). 0 disables.
   std::uint32_t replicate_hot_rows = 0;
+  /// Embedding hot-path levers (DESIGN.md §"Embedding hot path"). All
+  /// default off; each lever off leaves results bit-identical to the
+  /// pre-lever engine.
+  ///
+  /// Collapse each (table, DPU-bin) request buffer into a unique-index
+  /// list + 16-bit gather map when that shrinks the wire payload;
+  /// stage-2 reads each unique row once and replays the gather.
+  bool dedup = false;
+  /// Pin the top-K hottest EMT-resident rows of every bin into the
+  /// DPU's WRAM at setup; lookups hitting them skip the MRAM DMA.
+  /// Clamped to the WRAM space left over by the kernel's working
+  /// buffers. 0 disables.
+  std::uint32_t wram_cache_rows = 0;
+  /// Replace the per-call padded/ragged choice with the coalesced
+  /// transfer planner: one batch's push (and pull) picks the cheapest
+  /// of {one coalesced padded call, one padded call per table,
+  /// sequential ragged} from the actual (deduped) buffer sizes.
+  bool coalesce_transfers = false;
   /// Extension: how DPUs are split across tables. The paper's setup is
   /// an even split of identical tables; heterogeneous models benefit
   /// from rows- or traffic-proportional groups
@@ -126,6 +144,10 @@ class UpDlrmEngine {
   Result<partition::PartitionPlan> BuildPlan(
       std::uint32_t table, std::span<const std::uint64_t> freq) const;
 
+  // options_.wram_cache_rows clamped to the WRAM left over by the
+  // kernel's per-tasklet working buffers at this row width.
+  std::uint32_t EffectiveWramRows(std::uint32_t row_bytes) const;
+
   // Per-(bin) routing buffers for one group, reused across batches.
   struct BinRoute {
     std::vector<std::uint32_t> emt_slots;    // functional only
@@ -134,6 +156,12 @@ class UpDlrmEngine {
     std::vector<std::uint32_t> cache_offsets;
     std::uint64_t emt_count = 0;
     std::uint64_t cache_count = 0;
+    /// References served by the bin's pinned WRAM tier (timing split of
+    /// what was historically emt_count; functional slots are unchanged).
+    std::uint64_t wram_count = 0;
+    /// Stream-tagged reference keys in routing order, filled only when
+    /// options_.dedup — the planner's input in both execution modes.
+    std::vector<std::uint64_t> dedup_keys;
     void Clear();
   };
 
@@ -176,6 +204,9 @@ class UpDlrmEngine {
   // stage-2 tasks and the per-(group, bin, col) functional tasks.
   std::vector<std::size_t> bin_task_start_;  // size groups + 1
   std::vector<std::size_t> fn_task_start_;   // size groups + 1
+  // Group (table) boundaries in global DPU ids for the coalesced
+  // transfer planner: {first_dpu_[t]..., num_dpus}.
+  std::vector<std::uint32_t> transfer_group_start_;
 };
 
 }  // namespace updlrm::core

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -57,6 +58,11 @@ struct TableGroup {
   std::vector<std::uint64_t> emt_rows_per_bin;
   /// Cache bytes used per bin.
   std::vector<std::uint64_t> cache_bytes_per_bin;
+  /// row -> 1 if the row is pinned in its bin's WRAM hot-row tier
+  /// (EngineOptions::wram_cache_rows). Empty when the tier is off.
+  std::vector<std::uint8_t> wram_cached;
+  /// Rows pinned per bin (size row_shards; empty when the tier is off).
+  std::vector<std::uint32_t> wram_rows_per_bin;
 
   std::uint32_t GlobalDpu(std::uint32_t bin, std::uint32_t col_shard) const {
     return first_dpu + plan.geom.DpuLocal(bin, col_shard);
@@ -71,6 +77,15 @@ Result<TableGroup> BuildTableGroup(std::uint32_t table_index,
                                    const pim::DpuSystemConfig& system_config,
                                    std::uint64_t reserved_io_bytes,
                                    bool build_row_slots);
+
+/// Pins each bin's top-`rows_per_dpu` hottest EMT-resident rows (never
+/// cache-list members or replicas — those live in other tiers) into the
+/// bin's WRAM hot-row cache. Selection is deterministic: frequency
+/// descending, row id ascending; zero-frequency rows are never pinned.
+/// Populates `wram_cached` / `wram_rows_per_bin`; a no-op when
+/// `rows_per_dpu` is 0.
+void BuildWramCache(TableGroup& group, std::span<const std::uint64_t> freq,
+                    std::uint32_t rows_per_dpu);
 
 /// Writes quantized EMT slices and cache subset sums into the group's
 /// MRAM banks (functional mode only).

@@ -100,6 +100,59 @@ TEST(KernelCostTest, MoreTaskletsNeverSlower) {
   }
 }
 
+TEST(KernelCostTest, WramHitsCheaperThanMramReads) {
+  // The entire value of the pinned WRAM tier: a hit accumulates out of
+  // WRAM with no MRAM DMA, so it must undercut the MRAM latency curve.
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork from_mram{
+      .num_lookups = 2000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  const EmbeddingKernelWork from_wram{
+      .num_lookups = 0, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32, .num_wram_hits = 2000};
+  EXPECT_LT(model.KernelCycles(from_wram), model.KernelCycles(from_mram));
+}
+
+TEST(KernelCostTest, WramHitsAndGatherRefsAddCycles) {
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork base{
+      .num_lookups = 1000, .num_cache_reads = 0, .num_samples = 64,
+      .row_bytes = 32};
+  EmbeddingKernelWork with_wram = base;
+  with_wram.num_wram_hits = 500;
+  EmbeddingKernelWork with_gather = base;
+  with_gather.num_gather_refs = 500;
+  EXPECT_GT(model.KernelCycles(with_wram), model.KernelCycles(base));
+  EXPECT_GT(model.KernelCycles(with_gather), model.KernelCycles(base));
+}
+
+TEST(KernelCostTest, HotPathOnlyWorkStillPaysBoot) {
+  // Work made purely of WRAM hits (no MRAM reads at all) is real work.
+  const auto model = DefaultModel();
+  const EmbeddingKernelWork w{
+      .num_lookups = 0, .num_cache_reads = 0, .num_samples = 8,
+      .row_bytes = 32, .num_wram_hits = 100};
+  EXPECT_GT(model.KernelCycles(w), model.params().boot_cycles);
+}
+
+TEST(KernelCostTest, MaxWramCacheRowsShrinksWithRowWidth) {
+  const auto model = DefaultModel();
+  const std::uint32_t narrow = model.MaxWramCacheRows(8);
+  const std::uint32_t wide = model.MaxWramCacheRows(128);
+  EXPECT_GT(narrow, 0u);
+  EXPECT_GT(narrow, wide);
+  // A fit at the reported capacity must validate; one row over the
+  // budget must not.
+  EXPECT_TRUE(
+      model.ValidateWramFit(128, static_cast<std::uint64_t>(wide) * 128)
+          .ok());
+  EXPECT_EQ(model
+                .ValidateWramFit(
+                    128, (static_cast<std::uint64_t>(wide) + 512) * 128)
+                .code(),
+            StatusCode::kCapacityExceeded);
+}
+
 TEST(KernelCostTest, WramFitValidation) {
   const auto model = DefaultModel();
   EXPECT_TRUE(model.ValidateWramFit(8).ok());

@@ -63,6 +63,38 @@ TEST(TransferTest, ZeroBytesIsFree) {
   EXPECT_DOUBLE_EQ(model.PullTime(bytes, true), 0.0);
 }
 
+TEST(TransferTest, EmptySpanIsFreeNoLaunch) {
+  // A transfer that moves no bytes must not even pay the launch cost.
+  const HostTransferModel model(FastParams(), 64, 64);
+  const std::vector<std::uint64_t> empty;
+  EXPECT_DOUBLE_EQ(model.PushTime(empty, true), 0.0);
+  EXPECT_DOUBLE_EQ(model.PushTime(empty, false), 0.0);
+  EXPECT_DOUBLE_EQ(model.PullTime(empty, true), 0.0);
+  EXPECT_DOUBLE_EQ(model.PullTime(empty, false), 0.0);
+}
+
+TEST(TransferTest, AllZeroUnpaddedIsFreeNoLaunch) {
+  const HostTransferModel model(FastParams(), 64, 64);
+  const std::vector<std::uint64_t> bytes(64, 0);
+  EXPECT_DOUBLE_EQ(model.PushTime(bytes, false), 0.0);
+  EXPECT_DOUBLE_EQ(model.PullTime(bytes, false), 0.0);
+}
+
+TEST(TransferTest, ZeroByteDpuDoesNotForceSequentialPath) {
+  // §2.2's equal-buffer rule applies to buffers that exist: a DPU with
+  // nothing to transfer is absent from the matrix, so the remaining
+  // equal buffers still go parallel without padding.
+  const HostTransferModel model(FastParams(), 128, 64);
+  std::vector<std::uint64_t> bytes(128, 1000);
+  bytes[7] = 0;
+  EXPECT_NEAR(model.PushTime(bytes, false), 1000.0 + 64'000.0, 1.0);
+  // Genuinely ragged nonzero buffers still fall back to sequential.
+  bytes[7] = 500;
+  const std::uint64_t total = 127 * 1000 + 500;
+  EXPECT_NEAR(model.PushTime(bytes, false),
+              1000.0 + static_cast<double>(total) / 0.1, 1.0);
+}
+
 TEST(TransferTest, BroadcastScalesWithRankPopulation) {
   const HostTransferModel model(FastParams(), 128, 64);
   // 64 copies of 1000 B per rank at 1 GB/s.
@@ -92,6 +124,74 @@ TEST(TransferTest, ParamValidation) {
   p.transfer_launch_ns = -1.0;
   EXPECT_FALSE(p.Validate().ok());
   EXPECT_TRUE(FastParams().Validate().ok());
+}
+
+TEST(TransferPlanTest, EmptyOrZeroInputNeverLaunches) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  const std::vector<std::uint32_t> one_group = {0, 128};
+  const std::vector<std::uint64_t> zeros(128, 0);
+  const TransferPlan plan = model.PlanPush(zeros, one_group);
+  EXPECT_DOUBLE_EQ(plan.time, 0.0);
+  EXPECT_EQ(plan.launches, 0u);
+  EXPECT_EQ(plan.streamed_bytes, 0u);
+}
+
+TEST(TransferPlanTest, EqualBuffersMatchClassicPaddedCall) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  const std::vector<std::uint32_t> one_group = {0, 128};
+  const std::vector<std::uint64_t> bytes(128, 1000);
+  const TransferPlan plan = model.PlanPush(bytes, one_group);
+  EXPECT_EQ(plan.path, TransferPlan::Path::kCoalescedPadded);
+  EXPECT_EQ(plan.launches, 1u);
+  EXPECT_NEAR(plan.time, model.PushTime(bytes, true), 1.0);
+}
+
+TEST(TransferPlanTest, ZeroByteDpusNeverPad) {
+  // Half the DPUs carry nothing; the classic padded call pads them
+  // anyway, the planner's matrix simply omits them.
+  const HostTransferModel model(FastParams(), 128, 64);
+  const std::vector<std::uint32_t> one_group = {0, 128};
+  std::vector<std::uint64_t> bytes(128, 0);
+  for (std::uint32_t d = 0; d < 64; d += 2) bytes[d] = 1000;
+  const TransferPlan plan = model.PlanPush(bytes, one_group);
+  EXPECT_EQ(plan.path, TransferPlan::Path::kCoalescedPadded);
+  // Rank 0 streams 32 participating buffers, not 64 padded ones.
+  EXPECT_NEAR(plan.time, 1000.0 + 32'000.0, 1.0);
+  EXPECT_LE(plan.time, model.PushTime(bytes, true));
+}
+
+TEST(TransferPlanTest, HeterogeneousGroupsPreferPerGroupPadding) {
+  // Both groups share one rank and group 0's buffers are 100x group
+  // 1's: one call padded to the call-wide max streams 128 * 100'000 B,
+  // while two per-group calls pay an extra launch but pad group 1 only
+  // to its own 1000-byte max. (Across *different* ranks the distinction
+  // vanishes — ranks stream concurrently, so the big group bounds the
+  // call either way.)
+  const HostTransferModel model(FastParams(), 128, 128);
+  const std::vector<std::uint32_t> groups = {0, 64, 128};
+  std::vector<std::uint64_t> bytes(128, 1000);
+  for (std::uint32_t d = 0; d < 64; ++d) bytes[d] = 100'000;
+  const TransferPlan plan = model.PlanPush(bytes, groups);
+  EXPECT_EQ(plan.path, TransferPlan::Path::kPerGroupPadded);
+  EXPECT_EQ(plan.launches, 2u);
+  const TransferPlan single =
+      model.PlanPush(bytes, std::vector<std::uint32_t>{0, 128});
+  EXPECT_LT(plan.time, single.time);
+}
+
+TEST(TransferPlanTest, NeverWorseThanClassicPaths) {
+  const HostTransferModel model(FastParams(), 128, 64);
+  const std::vector<std::uint32_t> one_group = {0, 128};
+  std::vector<std::uint64_t> bytes(128);
+  for (std::uint32_t d = 0; d < 128; ++d) {
+    bytes[d] = (d * 2654435761u) % 5000;  // deterministic ragged mix
+  }
+  const TransferPlan plan = model.PlanPush(bytes, one_group);
+  EXPECT_LE(plan.time, model.PushTime(bytes, true) + 1e-9);
+  EXPECT_LE(plan.time, model.PushTime(bytes, false) + 1e-9);
+  const TransferPlan pull = model.PlanPull(bytes, one_group);
+  EXPECT_LE(pull.time, model.PullTime(bytes, true) + 1e-9);
+  EXPECT_LE(pull.time, model.PullTime(bytes, false) + 1e-9);
 }
 
 TEST(TransferDeathTest, WrongVectorSizeAborts) {

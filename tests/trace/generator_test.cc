@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/rng.h"
 #include "trace/profiler.h"
 
 namespace updlrm::trace {
@@ -119,6 +121,89 @@ TEST(GeneratorTest, BalancedSyntheticIsFlat) {
   const auto skew = AnalyzeSkew(blocks);
   EXPECT_LT(skew.imbalance, 1.1);
   EXPECT_LT(skew.max_min_ratio, 1.2);
+}
+
+TEST(GeneratorTest, DuplicateRateMatchesZipfSkew) {
+  // The dedup planner's payoff rides on cross-sample duplication, so
+  // the generator must reproduce the duplication a Zipf(α) stream
+  // implies. With cliques and jitter off, a sample of m distinct items
+  // behaves like independent Zipf draws repeated until m distinct
+  // values appear (duplicates within a sample are redrawn). Solve
+  // Σ_r (1 − (1 − p_r)^D) = m for the effective per-sample draw count
+  // D, then the expected distinct-item count over S samples is
+  // Σ_r (1 − (1 − p_r)^(S·D)).
+  for (double alpha : {0.8, 1.0, 1.2}) {
+    DatasetSpec spec = SmallSpec();
+    spec.num_items = 2'000;
+    spec.avg_reduction = 10.0;
+    spec.zipf_alpha = alpha;
+    spec.rank_jitter = 0.0;
+    spec.clique_prob = 0.0;
+    TraceGenerator gen(spec);
+    TraceGeneratorOptions options;
+    options.num_samples = 400;
+    options.num_tables = 1;
+    auto trace = gen.Generate(options);
+    ASSERT_TRUE(trace.ok());
+
+    const auto freq = ItemFrequencies(trace->tables[0], spec.num_items);
+    const double refs =
+        static_cast<double>(trace->tables[0].num_lookups());
+    const double measured_unique = static_cast<double>(
+        std::count_if(freq.begin(), freq.end(),
+                      [](std::uint64_t f) { return f > 0; }));
+
+    const ZipfSampler zipf(spec.num_items, alpha);
+    const auto expected_distinct = [&](double draws) {
+      double sum = 0.0;
+      for (std::uint64_t r = 0; r < spec.num_items; ++r) {
+        sum += 1.0 - std::pow(1.0 - zipf.Probability(r), draws);
+      }
+      return sum;
+    };
+    // Effective independent draws per sample: binary search D so that
+    // E[distinct after D draws] equals the mean sample size.
+    const double mean_m = refs / static_cast<double>(options.num_samples);
+    double lo = mean_m, hi = 64.0 * mean_m;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (expected_distinct(mid) < mean_m ? lo : hi) = mid;
+    }
+    const double expected_unique =
+        expected_distinct(0.5 * (lo + hi) *
+                          static_cast<double>(options.num_samples));
+    EXPECT_NEAR(measured_unique, expected_unique, expected_unique * 0.15)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(GeneratorTest, DuplicateRateGrowsWithSkew) {
+  // More skew concentrates references on fewer rows: the cross-sample
+  // duplicate share 1 - unique/refs must rise monotonically with α.
+  double prev_dup_rate = -1.0;
+  for (double alpha : {0.4, 0.9, 1.4}) {
+    DatasetSpec spec = SmallSpec();
+    spec.num_items = 2'000;
+    spec.avg_reduction = 10.0;
+    spec.zipf_alpha = alpha;
+    spec.rank_jitter = 0.0;
+    spec.clique_prob = 0.0;
+    TraceGenerator gen(spec);
+    TraceGeneratorOptions options;
+    options.num_samples = 400;
+    options.num_tables = 1;
+    auto trace = gen.Generate(options);
+    ASSERT_TRUE(trace.ok());
+    const auto freq = ItemFrequencies(trace->tables[0], spec.num_items);
+    const double refs =
+        static_cast<double>(trace->tables[0].num_lookups());
+    const double unique = static_cast<double>(
+        std::count_if(freq.begin(), freq.end(),
+                      [](std::uint64_t f) { return f > 0; }));
+    const double dup_rate = 1.0 - unique / refs;
+    EXPECT_GT(dup_rate, prev_dup_rate) << "alpha " << alpha;
+    prev_dup_rate = dup_rate;
+  }
 }
 
 TEST(GeneratorTest, CliqueModelDeterministicAndDisjoint) {

@@ -87,7 +87,7 @@ struct EngineRun {
   InferenceReport report;
 };
 
-EngineRun RunEngineAt(std::uint32_t threads) {
+EngineRun RunEngineAt(std::uint32_t threads, bool hot_path = false) {
   Fixture f = MakeFixture(/*functional=*/true);
   EngineOptions options;
   options.method = partition::Method::kCacheAware;
@@ -96,6 +96,13 @@ EngineRun RunEngineAt(std::uint32_t threads) {
   options.reserved_io_bytes = 128 * kKiB;
   options.grace.num_hot_items = 96;
   options.num_threads = threads;
+  if (hot_path) {
+    // All three embedding hot-path levers at once: dedup planning,
+    // the WRAM hot-row tier, and coalesced transfer planning.
+    options.dedup = true;
+    options.wram_cache_rows = 64;
+    options.coalesce_transfers = true;
+  }
   auto engine = UpDlrmEngine::Create(f.model.get(), f.config, f.trace,
                                      f.system.get(), options);
   UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
@@ -128,6 +135,24 @@ TEST(DeterminismTest, EngineBitExactAcrossThreadCounts) {
   ASSERT_FALSE(serial.pooled.empty());
   for (std::uint32_t threads : {2u, 4u, 0u}) {
     const EngineRun run = RunEngineAt(threads);
+    ASSERT_EQ(run.pooled.size(), serial.pooled.size()) << threads;
+    for (std::size_t i = 0; i < serial.pooled.size(); ++i) {
+      ASSERT_EQ(run.pooled[i], serial.pooled[i])
+          << "lane " << i << " at " << threads << " threads";
+    }
+    ASSERT_EQ(run.ctr, serial.ctr) << threads << " threads";
+    ExpectSameReport(run.report, serial.report);
+  }
+}
+
+TEST(DeterminismTest, HotPathLeversBitExactAcrossThreadCounts) {
+  // The dedup gather maps, WRAM pin sets and coalesced transfer plans
+  // are all built per (group, bin) task into disjoint slots — enabling
+  // every lever must not break the bit-exactness contract.
+  const EngineRun serial = RunEngineAt(1, /*hot_path=*/true);
+  ASSERT_FALSE(serial.pooled.empty());
+  for (std::uint32_t threads : {2u, 4u, 0u}) {
+    const EngineRun run = RunEngineAt(threads, /*hot_path=*/true);
     ASSERT_EQ(run.pooled.size(), serial.pooled.size()) << threads;
     for (std::size_t i = 0; i < serial.pooled.size(); ++i) {
       ASSERT_EQ(run.pooled[i], serial.pooled[i])
