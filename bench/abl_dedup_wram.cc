@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
         UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
         auto report = (*engine)->RunAll(nullptr);
         UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
+        bench::AssertChecksClean(
+            **engine, std::string(spec.name) + "/" +
+                          std::string(partition::MethodShortName(method)) +
+                          "/" + cfg.name);
         us_per_batch.push_back(report->EmbeddingTotal() /
                                static_cast<double>(report->num_batches));
         if (cfg.dedup && cfg.wram && cfg.coalesce) {

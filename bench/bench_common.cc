@@ -27,6 +27,7 @@ BenchScale ParseScale(int argc, const char* const* argv) {
     scale.dedup = cl->GetBool("dedup", false);
     scale.wram = static_cast<std::uint32_t>(cl->GetInt("wram", 0));
     scale.coalesce = cl->GetBool("coalesce", false);
+    scale.check = cl->GetBool("check", false);
   }
   if (scale.threads > 0) {
     // Cap the process-wide pool so num_threads = 0 regions also honor
@@ -83,7 +84,23 @@ core::EngineOptions PaperEngineOptions(partition::Method method,
   options.dedup = scale.dedup;
   options.wram_cache_rows = scale.wram;
   options.coalesce_transfers = scale.coalesce;
+  options.check_mode = scale.check;
   return options;
+}
+
+void AssertChecksClean(const core::UpDlrmEngine& engine,
+                       const std::string& label) {
+  const check::CheckReport* report = engine.check_report();
+  if (report == nullptr) return;  // checks off: nothing to gate on
+  if (report->clean()) {
+    std::printf("# check[%s]: clean (0 violations)\n", label.c_str());
+    return;
+  }
+  std::printf("# check[%s]: %s", label.c_str(),
+              report->ToString().c_str());
+  UPDLRM_CHECK_MSG(false, "hardware-contract checker reported " +
+                              std::to_string(report->total()) +
+                              " violation(s) in " + label);
 }
 
 std::vector<cache::CacheRes> MineCaches(const Workload& workload,

@@ -51,11 +51,16 @@ struct BenchScale {
   bool dedup = false;
   std::uint32_t wram = 0;
   bool coalesce = false;
+  /// Hardware-contract checker (EngineOptions::check_mode): shadow
+  /// MRAM/DMA validation, plan audits and the model/sim cross-audit on
+  /// every engine the bench creates. The bench aborts with the
+  /// violation report if any rule fires (see AssertChecksClean).
+  bool check = false;
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
-/// / --dedup / --wram=N / --coalesce from argv; sizes the process-wide
-/// default pool and prints a scale banner.
+/// / --dedup / --wram=N / --coalesce / --check from argv; sizes the
+/// process-wide default pool and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {
@@ -86,6 +91,13 @@ std::vector<cache::CacheRes> MineCaches(const Workload& workload,
 
 /// FAE GPU hot-cache provisioning used in comparisons.
 baselines::FaeOptions PaperFaeOptions();
+
+/// Check-mode gate: a no-op when the engine runs without
+/// EngineOptions::check_mode; otherwise prints the violation report
+/// (prefixed with `label`) and aborts the bench on any violation, so a
+/// --check bench run doubles as a zero-violation assertion in CI.
+void AssertChecksClean(const core::UpDlrmEngine& engine,
+                       const std::string& label);
 
 /// RAII wall-clock self-timer. On destruction, merges
 ///   "<name>": {"wall_seconds": <elapsed>, "threads": <width>}

@@ -62,6 +62,11 @@ int main(int argc, char** argv) {
               UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
               auto report = (*engine)->RunAll(nullptr);
               UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
+              bench::AssertChecksClean(
+                  **engine,
+                  spec.name + "/" +
+                      std::string(partition::MethodShortName(method)) +
+                      "/nc" + std::to_string(nc));
               const double speedup =
                   t_cpu_emb / report->AvgBatchEmbedding();
               if (speedup > best_speedup) {

@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
       UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
       auto report = (*engine)->RunAll(nullptr);
       UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
+      bench::AssertChecksClean(
+          **engine, std::string(partition::MethodShortName(method)) +
+                        "/nc" + std::to_string(nc));
 
       // Stage shares over the three transfer/lookup stages, as in the
       // paper's stacked bars.
@@ -63,7 +66,8 @@ int main(int argc, char** argv) {
         other_lookup_share_min = std::min(other_lookup_share_min, s2);
         other_lookup_share_max = std::max(other_lookup_share_max, s2);
       }
-      const pim::DpuStatsSummary stats = pim::SummarizeStats(*system);
+      pim::DpuStatsSummary stats = pim::SummarizeStats(*system);
+      stats.check_violations = (*engine)->check_violations();
       out.AddRow({std::string(partition::MethodShortName(method)),
                   std::to_string(nc), TablePrinter::FmtPercent(s1, 0),
                   TablePrinter::FmtPercent(s2, 0),

@@ -111,6 +111,10 @@ int main(int argc, char** argv) {
            << partition::MethodShortName(method)
            << "\", \"load\": " << load << ", " << json.substr(1);
     }
+    // The serve executor drove every load sweep through this engine's
+    // RunSamples, so one gate covers the whole method.
+    bench::AssertChecksClean(
+        **engine, std::string(partition::MethodShortName(method)));
     if (sustainable.tellp() > 0) sustainable << ", ";
     sustainable << "\"" << partition::MethodShortName(method)
                 << "\": " << serve::MaxSustainableQps(points, slo_ns);

@@ -1,0 +1,45 @@
+#include "check/checker.h"
+
+#include <algorithm>
+
+namespace updlrm::check {
+
+Checker::Checker(const pim::DpuSystemConfig& config,
+                 ModelAuditTolerance tolerance)
+    : access_(config.num_dpus,
+              AccessLimits{.bank_bytes = config.dpu.mram_bytes,
+                           .alignment = config.mram_timing.alignment,
+                           .max_dma_bytes = config.mram_timing.max_access_bytes},
+              &report_),
+      model_audit_(config.dpu, config.kernel_cost, config.mram_timing,
+                   tolerance, &report_) {
+  observers_.reserve(config.num_dpus);
+  for (std::uint32_t d = 0; d < config.num_dpus; ++d) {
+    observers_.push_back(std::make_unique<DpuObserver>(&access_, d));
+  }
+}
+
+void Checker::Attach(pim::DpuSystem& system) {
+  const std::uint32_t n =
+      std::min(system.num_dpus(), access_.num_dpus());
+  for (std::uint32_t d = 0; d < n; ++d) {
+    system.dpu(d).mram().set_observer(observers_[d].get());
+  }
+}
+
+void Checker::Detach(pim::DpuSystem& system) {
+  const std::uint32_t n =
+      std::min(system.num_dpus(), access_.num_dpus());
+  for (std::uint32_t d = 0; d < n; ++d) {
+    pim::Mram& mram = system.dpu(d).mram();
+    if (mram.observer() == observers_[d].get()) {
+      mram.set_observer(nullptr);
+    }
+  }
+}
+
+pim::MramObserver* Checker::observer(std::uint32_t dpu) {
+  return dpu < observers_.size() ? observers_[dpu].get() : nullptr;
+}
+
+}  // namespace updlrm::check

@@ -1,0 +1,76 @@
+// Check-mode orchestrator: one object owning the report and the three
+// auditors, wired to a DpuSystem.
+//
+// The engine creates a Checker when EngineOptions::check_mode is on,
+// attaches it (installing one MramObserver per DPU bank so every
+// functional MRAM access flows into the AccessValidator's shadow
+// state), registers each group's MRAM regions after placement, and
+// feeds the per-launch kernel work to the model/sim cross-audit. With
+// check_mode off no Checker exists and the only residue on the hot
+// path is Mram's null-observer branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/access_validator.h"
+#include "check/model_audit.h"
+#include "check/plan_audit.h"
+#include "check/report.h"
+#include "pim/system.h"
+
+namespace updlrm::check {
+
+class Checker {
+ public:
+  /// Builds the auditors for `config`'s bank geometry, kernel params
+  /// and timing models. Does not touch any system yet.
+  explicit Checker(const pim::DpuSystemConfig& config,
+                   ModelAuditTolerance tolerance = {});
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  /// Installs this checker's per-DPU observers on every bank of
+  /// `system`. The checker must outlive the attachment; call Detach
+  /// (the engine does, in its destructor) before destroying it.
+  void Attach(pim::DpuSystem& system);
+
+  /// Removes this checker's observers (only its own: a bank observed by
+  /// someone else is left alone).
+  void Detach(pim::DpuSystem& system);
+
+  CheckReport& report() { return report_; }
+  const CheckReport& report() const { return report_; }
+  AccessValidator& access() { return access_; }
+  ModelAudit& model_audit() { return model_audit_; }
+
+  /// Per-DPU observer adapter (bank callbacks carry no DPU id), exposed
+  /// for tests; null for out-of-range ids.
+  pim::MramObserver* observer(std::uint32_t dpu);
+
+ private:
+  class DpuObserver final : public pim::MramObserver {
+   public:
+    DpuObserver(AccessValidator* validator, std::uint32_t dpu)
+        : validator_(validator), dpu_(dpu) {}
+    void OnWrite(std::uint64_t offset, std::uint64_t bytes) override {
+      validator_->OnWrite(dpu_, offset, bytes);
+    }
+    void OnRead(std::uint64_t offset, std::uint64_t bytes) override {
+      validator_->OnRead(dpu_, offset, bytes);
+    }
+
+   private:
+    AccessValidator* validator_;
+    std::uint32_t dpu_;
+  };
+
+  CheckReport report_;
+  AccessValidator access_;
+  ModelAudit model_audit_;
+  std::vector<std::unique_ptr<DpuObserver>> observers_;
+};
+
+}  // namespace updlrm::check

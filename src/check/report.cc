@@ -1,0 +1,103 @@
+#include "check/report.h"
+
+#include <sstream>
+
+namespace updlrm::check {
+
+std::string_view RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kDmaAlignment:
+      return "dma-alignment";
+    case Rule::kDmaSize:
+      return "dma-size";
+    case Rule::kBankBounds:
+      return "bank-bounds";
+    case Rule::kUninitRead:
+      return "uninit-read";
+    case Rule::kRegionOverlap:
+      return "region-overlap";
+    case Rule::kPlanCoverage:
+      return "plan-coverage";
+    case Rule::kPlanCapacity:
+      return "plan-capacity";
+    case Rule::kCacheColocation:
+      return "cache-colocation";
+    case Rule::kTileShape:
+      return "tile-shape";
+    case Rule::kGatherBounds:
+      return "gather-bounds";
+    case Rule::kWramCapacity:
+      return "wram-capacity";
+    case Rule::kTransferPlan:
+      return "transfer-plan";
+    case Rule::kModelSimDivergence:
+      return "model-sim-divergence";
+    case Rule::kNumRules:
+      break;
+  }
+  return "unknown";
+}
+
+void CheckReport::AddViolation(Rule rule, std::string context) {
+  const auto i = static_cast<std::size_t>(rule);
+  const std::uint64_t prior =
+      counts_[i].fetch_add(1, std::memory_order_relaxed);
+  if (prior == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_[i].empty()) first_[i] = std::move(context);
+  }
+}
+
+std::uint64_t CheckReport::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::string CheckReport::first_offender(Rule rule) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_[static_cast<std::size_t>(rule)];
+}
+
+std::string CheckReport::ToString() const {
+  if (clean()) return "check: all checks passed (0 violations)\n";
+  std::ostringstream out;
+  out << "check: " << total() << " violation(s)\n";
+  for (std::size_t i = 0; i < kNumCheckRules; ++i) {
+    const auto rule = static_cast<Rule>(i);
+    const std::uint64_t n = count(rule);
+    if (n == 0) continue;
+    out << "  [" << RuleName(rule) << "] x" << n << ": "
+        << first_offender(rule) << "\n";
+  }
+  return out.str();
+}
+
+std::string CheckReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"total\": " << total() << ", \"rules\": {";
+  bool first_rule = true;
+  for (std::size_t i = 0; i < kNumCheckRules; ++i) {
+    const auto rule = static_cast<Rule>(i);
+    const std::uint64_t n = count(rule);
+    if (n == 0) continue;
+    if (!first_rule) out << ", ";
+    first_rule = false;
+    std::string offender = first_offender(rule);
+    for (char& c : offender) {
+      if (c == '"') c = '\'';
+    }
+    out << "\"" << RuleName(rule) << "\": {\"count\": " << n
+        << ", \"first\": \"" << offender << "\"}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void CheckReport::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& f : first_) f.clear();
+}
+
+}  // namespace updlrm::check

@@ -9,6 +9,22 @@
 
 namespace updlrm::pim {
 
+/// Every cumulative uint64 counter of DpuStats, in declaration order.
+/// Single source of truth for aggregation: SummarizeStats sums each
+/// entry into a `total_<name>` field and stats_summary_test walks the
+/// same list, so a counter added here is aggregated (and tested)
+/// automatically — and a counter added to the struct but not here trips
+/// the layout static_assert in stats_summary.cc.
+#define UPDLRM_DPU_COUNTER_FIELDS(X) \
+  X(lookups)                         \
+  X(cache_reads)                     \
+  X(samples)                         \
+  X(mram_bytes_read)                 \
+  X(wram_hits)                       \
+  X(gather_refs)                     \
+  X(dedup_saved_reads)               \
+  X(index_bytes_pushed)
+
 /// Cumulative per-DPU counters, reported by the benches for utilization
 /// and balance analysis.
 struct DpuStats {

@@ -23,17 +23,13 @@ EmbeddingKernelCostModel::EmbeddingKernelCostModel(
                    "invalid EmbeddingKernelCostParams");
 }
 
-Cycles EmbeddingKernelCostModel::KernelCycles(
-    const EmbeddingKernelWork& work) const {
-  if (work.num_lookups + work.num_cache_reads + work.num_samples +
-          work.num_wram_hits + work.num_gather_refs ==
-      0) {
-    return 0;
-  }
+std::array<KernelWorkload, kEmbeddingKernelNumPhases> EmbeddingKernelPhases(
+    const EmbeddingKernelCostParams& params, const MramTimingModel& mram,
+    const EmbeddingKernelWork& work) {
   UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
   const std::uint32_t elements = work.row_bytes / 4;
   const Cycles instr_per_read =
-      params_.instr_per_lookup_base + params_.instr_per_element * elements;
+      params.instr_per_lookup_base + params.instr_per_element * elements;
 
   // Phase 1: stream index lists MRAM->WRAM in chunks. Every MRAM/WRAM
   // row reference is one 4-byte index word; gather refs are 16-bit, two
@@ -42,12 +38,12 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   const std::uint64_t mram_reads = work.num_lookups + work.num_cache_reads;
   const std::uint64_t index_words =
       mram_reads + work.num_wram_hits + CeilDiv(work.num_gather_refs, 2);
-  const std::uint32_t chunk_bytes = params_.index_chunk * 4;
+  const std::uint32_t chunk_bytes = params.index_chunk * 4;
   KernelWorkload index_stream{
-      .num_items = CeilDiv(index_words, params_.index_chunk),
+      .num_items = CeilDiv(index_words, params.index_chunk),
       .instr_cycles_per_item = 16,
-      .dma_latency_per_item = mram_timing_.AccessLatency(chunk_bytes),
-      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(chunk_bytes),
+      .dma_latency_per_item = mram.AccessLatency(chunk_bytes),
+      .dma_occupancy_per_item = mram.EngineOccupancy(chunk_bytes),
   };
 
   // Phase 2: row-slice / cached-partial-sum reads + accumulation. EMT and
@@ -56,8 +52,8 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   KernelWorkload reads{
       .num_items = mram_reads,
       .instr_cycles_per_item = instr_per_read,
-      .dma_latency_per_item = mram_timing_.AccessLatency(work.row_bytes),
-      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
+      .dma_latency_per_item = mram.AccessLatency(work.row_bytes),
+      .dma_occupancy_per_item = mram.EngineOccupancy(work.row_bytes),
   };
 
   // Phase 2b: WRAM hot-row hits. Same accumulation arithmetic as phase
@@ -65,8 +61,8 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   // item never touches the MRAM latency curve or the DMA engine.
   KernelWorkload wram_hits{
       .num_items = work.num_wram_hits,
-      .instr_cycles_per_item = params_.instr_per_wram_hit_base +
-                               params_.instr_per_element * elements,
+      .instr_cycles_per_item = params.instr_per_wram_hit_base +
+                               params.instr_per_element * elements,
       .dma_latency_per_item = 0,
       .dma_occupancy_per_item = 0,
   };
@@ -75,8 +71,8 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   // an already-materialized partial row from WRAM into its sample slot.
   KernelWorkload gather{
       .num_items = work.num_gather_refs,
-      .instr_cycles_per_item = params_.instr_per_gather_base +
-                               params_.instr_per_element * elements,
+      .instr_cycles_per_item = params.instr_per_gather_base +
+                               params.instr_per_element * elements,
       .dma_latency_per_item = 0,
       .dma_occupancy_per_item = 0,
   };
@@ -84,15 +80,24 @@ Cycles EmbeddingKernelCostModel::KernelCycles(
   // Phase 3: per-sample bookkeeping and output write-back.
   KernelWorkload outputs{
       .num_items = work.num_samples,
-      .instr_cycles_per_item = params_.instr_per_sample,
-      .dma_latency_per_item = mram_timing_.AccessLatency(work.row_bytes),
-      .dma_occupancy_per_item = mram_timing_.EngineOccupancy(work.row_bytes),
+      .instr_cycles_per_item = params.instr_per_sample,
+      .dma_latency_per_item = mram.AccessLatency(work.row_bytes),
+      .dma_occupancy_per_item = mram.EngineOccupancy(work.row_bytes),
   };
 
+  return {index_stream, reads, wram_hits, gather, outputs};
+}
+
+Cycles EmbeddingKernelCostModel::KernelCycles(
+    const EmbeddingKernelWork& work) const {
+  if (work.num_lookups + work.num_cache_reads + work.num_samples +
+          work.num_wram_hits + work.num_gather_refs ==
+      0) {
+    return 0;
+  }
   // Zero-item phases contribute zero cycles, so with the levers off the
   // makespan is bit-identical to the historical three-phase kernel.
-  const std::array<KernelWorkload, 5> phases = {index_stream, reads,
-                                                wram_hits, gather, outputs};
+  const auto phases = EmbeddingKernelPhases(params_, mram_timing_, work);
   return params_.boot_cycles + pipeline_.Makespan(phases);
 }
 

@@ -12,6 +12,8 @@
 // (see common/fixed_point.h).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/status.h"
@@ -63,6 +65,23 @@ struct EmbeddingKernelWork {
   // 16-bit gather ref (EngineOptions::dedup).
   std::uint64_t num_gather_refs = 0;
 };
+
+/// Phases of the embedding kernel, in execution order: index streaming,
+/// MRAM row/cache reads, WRAM hot-row hits, gather replay, per-sample
+/// output write-back.
+inline constexpr std::size_t kEmbeddingKernelNumPhases = 5;
+
+/// Builds the per-phase work items / instruction budgets / DMA costs of
+/// one kernel launch. Single source of truth shared by the analytic
+/// cost model (EmbeddingKernelCostModel), the cycle simulator
+/// (SimulateEmbeddingKernel) and the check-mode model/sim cross-audit,
+/// so the three cannot drift structurally: the *physics* (closed-form
+/// bounds vs executed cycles) stay independent, the phase list does
+/// not. `work` must have row_bytes > 0 and a multiple of 8 whenever any
+/// item count is nonzero.
+std::array<KernelWorkload, kEmbeddingKernelNumPhases> EmbeddingKernelPhases(
+    const EmbeddingKernelCostParams& params, const MramTimingModel& mram,
+    const EmbeddingKernelWork& work);
 
 class EmbeddingKernelCostModel {
  public:

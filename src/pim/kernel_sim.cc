@@ -305,36 +305,13 @@ KernelSimResult SimulateEmbeddingKernel(
       0) {
     return result;
   }
-  UPDLRM_CHECK(work.row_bytes > 0 && work.row_bytes % 8 == 0);
-  const std::uint32_t elements = work.row_bytes / 4;
-  const std::uint64_t mram_reads = work.num_lookups + work.num_cache_reads;
-  const std::uint64_t index_words =
-      mram_reads + work.num_wram_hits + CeilDiv(work.num_gather_refs, 2);
-  const std::uint32_t chunk_bytes = params.index_chunk * 4;
-
-  // Mirrors EmbeddingKernelCostModel::KernelCycles phase for phase; the
-  // WRAM-hit and gather phases issue no DMAs (rows/refs are WRAM
-  // resident) and vanish when their item counts are zero.
-  const KernelPhase phases[5] = {
-      {CeilDiv(index_words, params.index_chunk), 16,
-       mram.AccessLatency(chunk_bytes), mram.EngineOccupancy(chunk_bytes)},
-      {mram_reads,
-       params.instr_per_lookup_base + params.instr_per_element * elements,
-       mram.AccessLatency(work.row_bytes),
-       mram.EngineOccupancy(work.row_bytes)},
-      {work.num_wram_hits,
-       params.instr_per_wram_hit_base + params.instr_per_element * elements,
-       0, 0},
-      {work.num_gather_refs,
-       params.instr_per_gather_base + params.instr_per_element * elements,
-       0, 0},
-      {work.num_samples, params.instr_per_sample,
-       mram.AccessLatency(work.row_bytes),
-       mram.EngineOccupancy(work.row_bytes)},
-  };
-
+  // The phase list comes from the same builder the analytic model
+  // prices (EmbeddingKernelPhases), so model and simulator execute the
+  // identical kernel structure; only the physics differ.
   Cycles makespan = params.boot_cycles;
-  for (const KernelPhase& phase : phases) {
+  for (const KernelWorkload& w : EmbeddingKernelPhases(params, mram, work)) {
+    const KernelPhase phase{w.num_items, w.instr_cycles_per_item,
+                            w.dma_latency_per_item, w.dma_occupancy_per_item};
     makespan += SimulatePhase(phase, dpu.num_tasklets, dpu.revolver_depth,
                               engine, &result.instructions_issued,
                               &result.dma_transfers);

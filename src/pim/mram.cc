@@ -16,6 +16,10 @@ Status Mram::Write(std::uint64_t offset,
         std::to_string(offset) + " exceeds capacity " +
         std::to_string(capacity_));
   }
+  if (observer_ != nullptr) observer_->OnWrite(offset, data.size());
+  // A zero-length write is a valid no-op; memcpy from an empty span's
+  // (possibly null) data pointer would be UB.
+  if (data.empty()) return Status::Ok();
   const std::uint64_t end = offset + data.size();
   if (end > data_.size()) data_.resize(end);
   std::memcpy(data_.data() + offset, data.data(), data.size());
@@ -29,6 +33,8 @@ Status Mram::Read(std::uint64_t offset, std::span<std::uint8_t> out) const {
   if (offset + out.size() > capacity_) {
     return Status::OutOfRange("MRAM read beyond capacity");
   }
+  if (observer_ != nullptr) observer_->OnRead(offset, out.size());
+  if (out.empty()) return Status::Ok();
   std::fill(out.begin(), out.end(), std::uint8_t{0});
   if (offset < data_.size()) {
     const std::uint64_t available =

@@ -16,6 +16,18 @@
 
 namespace updlrm::pim {
 
+/// Access interception hook for the check-mode shadow state
+/// (src/check/): notified on every functional MRAM access *after* the
+/// bank's own validation, with the original offset/size. Null (the
+/// default) costs one predicted-not-taken branch per access, so the
+/// hook compiles down to a no-op when checks are off.
+class MramObserver {
+ public:
+  virtual ~MramObserver() = default;
+  virtual void OnWrite(std::uint64_t offset, std::uint64_t bytes) = 0;
+  virtual void OnRead(std::uint64_t offset, std::uint64_t bytes) = 0;
+};
+
 class Mram {
  public:
   explicit Mram(std::uint64_t capacity_bytes)
@@ -33,9 +45,17 @@ class Mram {
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t high_watermark() const { return data_.size(); }
 
+  /// Attaches (or detaches, with nullptr) an access observer. The
+  /// observer must outlive the bank or be detached first; the caller
+  /// attaching it owns that lifetime (the engine detaches its checker's
+  /// observers in its destructor).
+  void set_observer(MramObserver* observer) { observer_ = observer; }
+  MramObserver* observer() const { return observer_; }
+
  private:
   std::uint64_t capacity_;
   std::vector<std::uint8_t> data_;
+  MramObserver* observer_ = nullptr;
 };
 
 }  // namespace updlrm::pim

@@ -6,19 +6,30 @@
 
 namespace updlrm::pim {
 
+// Layout guard for UPDLRM_DPU_COUNTER_FIELDS: DpuStats must consist of
+// kernel_cycles plus exactly the listed uint64 counters. A counter
+// added to the struct without extending the macro changes sizeof and
+// fails here, so it cannot silently skip aggregation.
+namespace {
+constexpr std::size_t kListedCounters =
+#define UPDLRM_COUNT_FIELD(name) +1
+    UPDLRM_DPU_COUNTER_FIELDS(UPDLRM_COUNT_FIELD);
+#undef UPDLRM_COUNT_FIELD
+static_assert(sizeof(DpuStats) ==
+                  sizeof(Cycles) + kListedCounters * sizeof(std::uint64_t),
+              "DpuStats has a field missing from UPDLRM_DPU_COUNTER_FIELDS "
+              "(pim/dpu.h); extend the macro so it aggregates");
+}  // namespace
+
 DpuStatsSummary SummarizeStats(const DpuSystem& system) {
   DpuStatsSummary summary;
   std::vector<double> cycles;
   cycles.reserve(system.num_dpus());
   for (std::uint32_t d = 0; d < system.num_dpus(); ++d) {
     const DpuStats& stats = system.dpu(d).stats();
-    summary.total_lookups += stats.lookups;
-    summary.total_cache_reads += stats.cache_reads;
-    summary.total_mram_bytes_read += stats.mram_bytes_read;
-    summary.total_wram_hits += stats.wram_hits;
-    summary.total_gather_refs += stats.gather_refs;
-    summary.total_dedup_saved_reads += stats.dedup_saved_reads;
-    summary.total_index_bytes_pushed += stats.index_bytes_pushed;
+#define UPDLRM_ADD_TOTAL(name) summary.total_##name += stats.name;
+    UPDLRM_DPU_COUNTER_FIELDS(UPDLRM_ADD_TOTAL)
+#undef UPDLRM_ADD_TOTAL
     summary.max_kernel_cycles =
         std::max(summary.max_kernel_cycles, stats.kernel_cycles);
     cycles.push_back(static_cast<double>(stats.kernel_cycles));

@@ -2,7 +2,9 @@
 //
 // The engine accumulates per-DPU work (kernel cycles, EMT/cache reads,
 // bytes moved); this summarizes them into the utilization and balance
-// numbers the benches and examples report.
+// numbers the benches and examples report. The `total_<name>` fields
+// are generated from UPDLRM_DPU_COUNTER_FIELDS (pim/dpu.h), so every
+// DpuStats counter is aggregated by construction.
 #pragma once
 
 #include <cstdint>
@@ -13,13 +15,9 @@
 namespace updlrm::pim {
 
 struct DpuStatsSummary {
-  std::uint64_t total_lookups = 0;
-  std::uint64_t total_cache_reads = 0;
-  std::uint64_t total_mram_bytes_read = 0;
-  std::uint64_t total_wram_hits = 0;
-  std::uint64_t total_gather_refs = 0;
-  std::uint64_t total_dedup_saved_reads = 0;
-  std::uint64_t total_index_bytes_pushed = 0;
+#define UPDLRM_DECLARE_TOTAL(name) std::uint64_t total_##name = 0;
+  UPDLRM_DPU_COUNTER_FIELDS(UPDLRM_DECLARE_TOTAL)
+#undef UPDLRM_DECLARE_TOTAL
   Cycles max_kernel_cycles = 0;
   Cycles mean_kernel_cycles = 0;
 
@@ -36,6 +34,12 @@ struct DpuStatsSummary {
   /// Share of original row references the dedup planner collapsed into
   /// gather replays (saved MRAM reads / pre-dedup references).
   double dedup_saved_share = 0.0;
+  /// Hardware-contract violations reported by the check layer
+  /// (src/check/). DpuStats does not track violations, so
+  /// SummarizeStats leaves this 0; callers running under
+  /// EngineOptions::check_mode fill it from
+  /// UpDlrmEngine::check_violations().
+  std::uint64_t check_violations = 0;
 };
 
 DpuStatsSummary SummarizeStats(const DpuSystem& system);

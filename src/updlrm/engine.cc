@@ -33,6 +33,12 @@ UpDlrmEngine::UpDlrmEngine(const dlrm::DlrmModel* model,
       options_(std::move(options)),
       cpu_(options_.cpu) {}
 
+UpDlrmEngine::~UpDlrmEngine() {
+  // The checker's observers point into checker_-owned state; unhook
+  // them from the (longer-lived) system's banks before dying.
+  if (checker_ != nullptr) checker_->Detach(*system_);
+}
+
 Result<std::unique_ptr<UpDlrmEngine>> UpDlrmEngine::Create(
     const dlrm::DlrmModel* model, const dlrm::DlrmConfig& config,
     const trace::Trace& trace, pim::DpuSystem* system,
@@ -66,6 +72,13 @@ Status UpDlrmEngine::Setup() {
   if (model_ != nullptr && !system_->functional()) {
     return Status::FailedPrecondition(
         "functional engine requires a functional DpuSystem");
+  }
+  if (options_.check_mode) {
+    checker_ = std::make_unique<check::Checker>(system_->config(),
+                                                options_.check_tolerance);
+    // Attach before placement so PlaceTable's writes seed the
+    // written-byte shadow state the uninit-read rule checks against.
+    checker_->Attach(*system_);
   }
 
   std::vector<dlrm::TableShape> shapes;
@@ -212,6 +225,9 @@ Status UpDlrmEngine::Setup() {
     UPDLRM_RETURN_IF_ERROR(b.status);
     groups_.push_back(std::move(b.group));
   }
+  if (checker_ != nullptr) {
+    for (const TableGroup& group : groups_) AuditGroup(group);
+  }
 
   scratch_.resize(groups_.size());
   bin_task_start_.assign(groups_.size() + 1, 0);
@@ -231,6 +247,55 @@ Status UpDlrmEngine::Setup() {
   transfer_group_start_.assign(first_dpu_.begin(), first_dpu_.end());
   transfer_group_start_.push_back(system_->num_dpus());
   return Status::Ok();
+}
+
+void UpDlrmEngine::AuditGroup(const TableGroup& group) {
+  const auto& geom = group.plan.geom;
+  const std::uint32_t row_bytes = geom.row_bytes();
+  // Audit against the regions placement actually carved out, not the
+  // partitioner's own capacity arithmetic.
+  check::PlanAuditLimits limits;
+  limits.emt_bytes = group.layout.emt_bytes;
+  limits.cache_bytes = group.layout.cache_bytes;
+  limits.claims_uniform_model = tile_result_.has_value();
+  check::AuditPlan(group.plan, limits, &checker_->report());
+
+  const std::uint32_t max_rows =
+      system_->kernel_cost().MaxWramCacheRows(row_bytes);
+  for (std::uint32_t b = 0;
+       b < static_cast<std::uint32_t>(group.wram_rows_per_bin.size());
+       ++b) {
+    check::AuditWramCapacity(b, group.wram_rows_per_bin[b], max_rows,
+                             &checker_->report());
+  }
+
+  // Register every DPU's region map for the shadow-state validator.
+  // Only the used prefix of the EMT/cache regions is registered (what
+  // this bin's rows and lists occupy); the bases come from the shared
+  // per-group layout, so any overlap here is a placement bug.
+  check::AccessValidator& access = checker_->access();
+  for (std::uint32_t b = 0; b < geom.row_shards; ++b) {
+    const std::uint64_t emt_used = group.emt_rows_per_bin[b] * row_bytes;
+    const std::uint64_t cache_used =
+        group.cache_bytes_per_bin.empty() ? 0
+                                          : group.cache_bytes_per_bin[b];
+    for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
+      const std::uint32_t dpu = group.GlobalDpu(b, c);
+      access.RegisterRegion(dpu, check::RegionKind::kEmt,
+                            group.layout.emt_base, emt_used);
+      access.RegisterRegion(dpu, check::RegionKind::kReplica,
+                            group.layout.replica_base,
+                            group.layout.replica_bytes);
+      access.RegisterRegion(dpu, check::RegionKind::kCache,
+                            group.layout.cache_base, cache_used);
+      access.RegisterRegion(dpu, check::RegionKind::kIndex,
+                            group.layout.index_base,
+                            group.layout.index_bytes);
+      access.RegisterRegion(dpu, check::RegionKind::kOutput,
+                            group.layout.output_base,
+                            group.layout.output_bytes);
+    }
+  }
 }
 
 std::uint32_t UpDlrmEngine::EffectiveWramRows(
@@ -571,6 +636,38 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
             }
           }
           bin_cycles[task] = cycles;
+          if (checker_ != nullptr) {
+            // Cross-audit the priced launch against the executed
+            // simulator, check the dedup wire format, and report this
+            // launch's per-item DMA shapes to the shadow validator.
+            checker_->model_audit().AuditKernel(work, cycles);
+            check::AuditDedupBounds(work.num_gather_refs > 0,
+                                    work.num_lookups +
+                                        work.num_cache_reads +
+                                        work.num_wram_hits,
+                                    work.num_gather_refs,
+                                    &checker_->report());
+            const std::uint32_t chunk_bytes =
+                system_->config().kernel_cost.index_chunk * 4;
+            check::AccessValidator& access = checker_->access();
+            for (std::uint32_t c = 0; c < geom.col_shards; ++c) {
+              const std::uint32_t id = group.GlobalDpu(bin, c);
+              if (list_bytes > 0) {
+                access.OnDma(id, group.layout.index_base, chunk_bytes,
+                             /*is_write=*/false);
+              }
+              if (work.num_lookups > 0) {
+                access.OnDma(id, group.layout.emt_base, row_bytes,
+                             /*is_write=*/false);
+              }
+              if (work.num_cache_reads > 0) {
+                access.OnDma(id, group.layout.cache_base, row_bytes,
+                             /*is_write=*/false);
+              }
+              access.OnDma(id, group.layout.output_base, row_bytes,
+                           /*is_write=*/true);
+            }
+          }
 
           const std::uint64_t idx_bytes =
               list_bytes + 2 * (batch + 1) * 4;
@@ -721,10 +818,23 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
     // Coalesced plan: the padded-vs-ragged choice is re-derived from
     // the actual (deduped) buffer sizes, and a single call can cover
     // every table's buffers, amortizing the launch overhead.
-    out.stages.cpu_to_dpu =
-        system_->transfer().PlanPush(push_bytes, transfer_group_start_).time;
-    out.stages.dpu_to_cpu =
-        system_->transfer().PlanPull(pull_bytes, transfer_group_start_).time;
+    const pim::TransferPlan push_plan =
+        system_->transfer().PlanPush(push_bytes, transfer_group_start_);
+    const pim::TransferPlan pull_plan =
+        system_->transfer().PlanPull(pull_bytes, transfer_group_start_);
+    out.stages.cpu_to_dpu = push_plan.time;
+    out.stages.dpu_to_cpu = pull_plan.time;
+    if (checker_ != nullptr) {
+      // The planner promises to never lose to either classic path.
+      check::AuditTransferPlan(
+          push_plan.time, system_->transfer().PushTime(push_bytes, true),
+          system_->transfer().PushTime(push_bytes, false),
+          &checker_->report());
+      check::AuditTransferPlan(
+          pull_plan.time, system_->transfer().PullTime(pull_bytes, true),
+          system_->transfer().PullTime(pull_bytes, false),
+          &checker_->report());
+    }
   } else {
     out.stages.cpu_to_dpu =
         system_->transfer().PushTime(push_bytes, options_.pad_transfers);

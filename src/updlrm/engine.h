@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/grace.h"
+#include "check/checker.h"
 #include "common/status.h"
 #include "dlrm/model.h"
 #include "host/cpu_model.h"
@@ -94,6 +95,15 @@ struct EngineOptions {
   /// invariant, see DESIGN.md §"Host execution backend"). 0 = the
   /// process-wide default pool width, 1 = serial.
   std::uint32_t num_threads = 0;
+  /// Hardware-contract checker (DESIGN.md §7): shadow-state validation
+  /// of every MRAM/DMA access, static plan audits at Setup, and the
+  /// kernel_cost-vs-kernel_sim cross-audit on every launch. Violations
+  /// accumulate in check_report(); simulated results are unchanged.
+  /// Off (the default) compiles to no-ops on the hot path.
+  bool check_mode = false;
+  /// Accepted executed/claimed cycle band for the model/sim
+  /// cross-audit (check_mode only).
+  check::ModelAuditTolerance check_tolerance;
 };
 
 class UpDlrmEngine {
@@ -135,6 +145,18 @@ class UpDlrmEngine {
   bool functional() const { return model_ != nullptr; }
   const trace::Trace& trace() const { return trace_; }
 
+  /// Violation report of the hardware-contract checker; null unless
+  /// options.check_mode.
+  const check::CheckReport* check_report() const {
+    return checker_ != nullptr ? &checker_->report() : nullptr;
+  }
+  /// Total violations recorded so far (0 when checks are off).
+  std::uint64_t check_violations() const {
+    return checker_ != nullptr ? checker_->report().total() : 0;
+  }
+
+  ~UpDlrmEngine();
+
  private:
   UpDlrmEngine(const dlrm::DlrmModel* model, dlrm::DlrmConfig config,
                const trace::Trace& trace, pim::DpuSystem* system,
@@ -143,6 +165,11 @@ class UpDlrmEngine {
   Status Setup();
   Result<partition::PartitionPlan> BuildPlan(
       std::uint32_t table, std::span<const std::uint64_t> freq) const;
+
+  // Check-mode Setup pass over one built group: static plan audit,
+  // WRAM-tier capacity audit, and MRAM region registration for the
+  // shadow-state access validator.
+  void AuditGroup(const TableGroup& group);
 
   // options_.wram_cache_rows clamped to the WRAM left over by the
   // kernel's per-tasklet working buffers at this row width.
@@ -207,6 +234,10 @@ class UpDlrmEngine {
   // Group (table) boundaries in global DPU ids for the coalesced
   // transfer planner: {first_dpu_[t]..., num_dpus}.
   std::vector<std::uint32_t> transfer_group_start_;
+
+  // Hardware-contract checker; null unless options_.check_mode. Its
+  // observers hook system_'s banks, so the destructor detaches them.
+  std::unique_ptr<check::Checker> checker_;
 };
 
 }  // namespace updlrm::core

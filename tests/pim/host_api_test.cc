@@ -125,6 +125,64 @@ TEST(HostApiTest, PullReadsBack) {
   EXPECT_EQ(out[1][0], 0u);  // never written: zeros
 }
 
+// ---- Status propagation through the facade's error paths. ----
+
+TEST(HostApiTest, BroadcastPropagatesMramErrors) {
+  auto system = SmallSystem();
+  auto set = DpuSet::Allocate(system.get(), 0, 2);
+  ASSERT_TRUE(set.ok());
+  const std::vector<std::uint8_t> data(8, 1);
+  // Misaligned offset: rejected by the first bank, surfaced verbatim.
+  EXPECT_EQ(set->Broadcast(3, data).status().code(),
+            StatusCode::kInvalidArgument);
+  // Beyond the 1 MiB bank.
+  EXPECT_EQ(set->Broadcast(1 * kMiB, data).status().code(),
+            StatusCode::kCapacityExceeded);
+  // Nothing was partially written on the failed paths.
+  EXPECT_EQ(system->TotalHighWatermark(), 0u);
+}
+
+TEST(HostApiTest, PushPropagatesMramErrors) {
+  auto system = SmallSystem();
+  auto set = DpuSet::Allocate(system.get(), 0, 2);
+  ASSERT_TRUE(set.ok());
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(8));
+  EXPECT_EQ(set->Push(12, buffers).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(set->Push(1 * kMiB, buffers).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(HostApiTest, PullPropagatesMramErrors) {
+  auto system = SmallSystem();
+  auto set = DpuSet::Allocate(system.get(), 0, 2);
+  ASSERT_TRUE(set.ok());
+  std::vector<std::vector<std::uint8_t>> out;
+  EXPECT_EQ(set->Pull(4, 8, &out).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(set->Pull(1 * kMiB, 8, &out).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(HostApiTest, LaunchPropagatesProgramFailure) {
+  // A kernel whose MRAM access fails must surface that Status from
+  // Launch, not crash or report success.
+  class BrokenKernel : public DpuProgram {
+   public:
+    Status Run(std::uint32_t /*dpu_index*/, Mram& mram,
+               std::vector<KernelWorkload>& /*phases*/) override {
+      std::vector<std::uint8_t> buf(8);
+      return mram.Read(2 * kMiB, buf);  // beyond the bank
+    }
+  };
+  auto system = SmallSystem();
+  auto set = DpuSet::Allocate(system.get(), 0, 2);
+  ASSERT_TRUE(set.ok());
+  BrokenKernel kernel;
+  EXPECT_EQ(set->Launch(kernel).status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(HostApiTest, EndToEndSumKernel) {
   // The full SDK-style flow: push data, launch, pull results — with a
   // user-defined kernel, proving the substrate is workload-agnostic.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace updlrm::pim {
@@ -72,6 +74,76 @@ TEST(MramTest, OverwriteReplacesBytes) {
   std::vector<std::uint8_t> out(8);
   ASSERT_TRUE(mram.Read(0, out).ok());
   EXPECT_EQ(out[0], 100u);
+}
+
+// ---- Error paths and edge cases. ----
+
+TEST(MramTest, ZeroLengthAccessesAreValidNoOps) {
+  // Empty spans may carry a null data pointer; the bank must neither
+  // memcpy from it nor materialize storage for it.
+  Mram mram(1024);
+  EXPECT_TRUE(mram.Write(64, {}).ok());
+  EXPECT_EQ(mram.high_watermark(), 0u);
+  std::span<std::uint8_t> empty;
+  EXPECT_TRUE(mram.Read(64, empty).ok());
+  // Alignment and capacity still apply to the degenerate access.
+  EXPECT_FALSE(mram.Write(3, {}).ok());
+  EXPECT_FALSE(mram.Read(2048, empty).ok());
+}
+
+TEST(MramTest, ErrorStatusCodesAreSpecific) {
+  Mram mram(128);
+  EXPECT_EQ(mram.Write(4, Pattern(8)).code(), StatusCode::kInvalidArgument);
+  std::vector<std::uint8_t> out(8);
+  EXPECT_EQ(mram.Read(4, out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mram.Write(128, Pattern(8)).code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(mram.Read(128, out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MramTest, FailedAccessLeavesStateUntouched) {
+  Mram mram(64);
+  ASSERT_TRUE(mram.Write(0, Pattern(8)).ok());
+  const std::uint64_t watermark = mram.high_watermark();
+  EXPECT_FALSE(mram.Write(32, Pattern(64)).ok());  // exceeds capacity
+  EXPECT_EQ(mram.high_watermark(), watermark);
+  std::vector<std::uint8_t> out(8);
+  ASSERT_TRUE(mram.Read(0, out).ok());
+  EXPECT_EQ(out, Pattern(8));
+}
+
+namespace {
+class RecordingObserver final : public MramObserver {
+ public:
+  void OnWrite(std::uint64_t offset, std::uint64_t bytes) override {
+    writes.push_back({offset, bytes});
+  }
+  void OnRead(std::uint64_t offset, std::uint64_t bytes) override {
+    reads.push_back({offset, bytes});
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reads;
+};
+}  // namespace
+
+TEST(MramTest, ObserverSeesValidAccessesOnly) {
+  Mram mram(1024);
+  RecordingObserver obs;
+  mram.set_observer(&obs);
+  ASSERT_TRUE(mram.Write(64, Pattern(16)).ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(mram.Read(64, out).ok());
+  // Rejected accesses never reach the observer: the hook models the
+  // hardware's view, and the bank already refused these.
+  EXPECT_FALSE(mram.Write(3, Pattern(8)).ok());
+  EXPECT_FALSE(mram.Read(2048, out).ok());
+  ASSERT_EQ(obs.writes.size(), 1u);
+  EXPECT_EQ(obs.writes[0], (std::pair<std::uint64_t, std::uint64_t>{64, 16}));
+  ASSERT_EQ(obs.reads.size(), 1u);
+  EXPECT_EQ(obs.reads[0], (std::pair<std::uint64_t, std::uint64_t>{64, 16}));
+  mram.set_observer(nullptr);
+  ASSERT_TRUE(mram.Write(0, Pattern(8)).ok());
+  EXPECT_EQ(obs.writes.size(), 1u);  // detached: no further callbacks
 }
 
 }  // namespace

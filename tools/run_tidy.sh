@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every first-party source
+# file in the compilation database.
+#
+# Usage:
+#   tools/run_tidy.sh [build_dir] [-- <extra clang-tidy args>]
+#
+# build_dir defaults to ./build and must contain compile_commands.json
+# (the top-level CMakeLists.txt exports it). If clang-tidy is not
+# installed the script reports that and exits 0 so local workflows on
+# minimal containers are not blocked; CI's `analysis` job installs it,
+# making the gate binding there.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_tidy: clang-tidy not found; skipping (install clang-tidy or" \
+       "set CLANG_TIDY to make this gate binding)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_tidy: ${db} not found; configure with" \
+       "cmake -S ${repo_root} -B ${build_dir} first" >&2
+  exit 1
+fi
+
+# First-party translation units only: skip tests (gtest macros expand
+# into patterns tidy dislikes) and anything pulled from the toolchain.
+mapfile -t files < <(
+  python3 - "${db}" "${repo_root}" <<'EOF'
+import json, sys
+db, root = sys.argv[1], sys.argv[2]
+seen = set()
+for entry in json.load(open(db)):
+    f = entry["file"]
+    if not f.startswith(root):
+        continue
+    rel = f[len(root) + 1:]
+    if rel.startswith(("src/", "bench/", "examples/")):
+        seen.add(f)
+print("\n".join(sorted(seen)))
+EOF
+)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "run_tidy: no first-party files in ${db}" >&2
+  exit 1
+fi
+
+echo "run_tidy: ${tidy_bin} over ${#files[@]} files (db: ${db})"
+status=0
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${files[@]}" |
+  xargs -P "${jobs}" -n 8 "${tidy_bin}" -p "${build_dir}" --quiet "$@" ||
+  status=$?
+if [[ "${status}" -ne 0 ]]; then
+  echo "run_tidy: clang-tidy reported errors (see above)" >&2
+  exit "${status}"
+fi
+echo "run_tidy: clean"
