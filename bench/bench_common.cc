@@ -1,11 +1,16 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "common/table.h"
 #include "common/thread_pool.h"
+#include "pim/stats_summary.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/tracer.h"
 
 namespace updlrm::bench {
 
@@ -28,6 +33,9 @@ BenchScale ParseScale(int argc, const char* const* argv) {
     scale.wram = static_cast<std::uint32_t>(cl->GetInt("wram", 0));
     scale.coalesce = cl->GetBool("coalesce", false);
     scale.check = cl->GetBool("check", false);
+    scale.trace_out = cl->GetString("trace-out", "");
+    scale.trace_sample_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, cl->GetInt("trace-sample-every", 1)));
   }
   if (scale.threads > 0) {
     // Cap the process-wide pool so num_threads = 0 regions also honor
@@ -135,29 +143,19 @@ baselines::FaeOptions PaperFaeOptions() {
   return baselines::FaeOptions{};  // 64 MB hot cache (see systems.h)
 }
 
-HostTimer::HostTimer(std::string name, const BenchScale& scale)
-    : name_(std::move(name)),
-      threads_(scale.threads),
-      start_(std::chrono::steady_clock::now()) {}
+namespace {
 
-HostTimer::~HostTimer() {
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_)
-          .count();
-  const unsigned effective =
-      threads_ > 0 ? threads_
-                   : std::max(1u, std::thread::hardware_concurrency());
-
-  // Merge into BENCH_host.json: keep every line that belongs to another
-  // bench, replace (or append) our own. The file is our own output
-  // format — one entry per line — so a line parser is sufficient.
-  const char* path = "BENCH_host.json";
+// Merge one "<name>": <payload> entry into a one-entry-per-line JSON
+// object file: keep every line that belongs to another bench, replace
+// (or append) our own. The files are our own output format, so a line
+// parser is sufficient.
+void MergeJsonEntry(const char* path, const std::string& name,
+                    const std::string& payload) {
   std::vector<std::string> entries;
   {
     std::ifstream in(path);
     std::string line;
-    const std::string me = "\"" + name_ + "\":";
+    const std::string me = "\"" + name + "\":";
     while (std::getline(in, line)) {
       const auto key = line.find('"');
       if (key == std::string::npos) continue;  // braces / blank lines
@@ -166,10 +164,7 @@ HostTimer::~HostTimer() {
       entries.push_back(line);
     }
   }
-  std::ostringstream mine;
-  mine << "  \"" << name_ << "\": {\"wall_seconds\": " << seconds
-       << ", \"threads\": " << effective << "}";
-  entries.push_back(mine.str());
+  entries.push_back("  \"" + name + "\": " + payload);
 
   std::ofstream out(path, std::ios::trunc);
   out << "{\n";
@@ -177,8 +172,149 @@ HostTimer::~HostTimer() {
     out << entries[i] << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "}\n";
-  std::printf("\n# host wall clock: %.3f s at %u thread(s) -> %s\n",
-              seconds, effective, path);
+}
+
+}  // namespace
+
+HostTimer::HostTimer(std::string name, const BenchScale& scale)
+    : name_(std::move(name)),
+      threads_(scale.threads),
+      start_(std::chrono::steady_clock::now()) {}
+
+void HostTimer::BeginPhase(const char* name) {
+  ClosePhase();
+  open_phase_ = name;
+  phase_start_ = std::chrono::steady_clock::now();
+}
+
+double HostTimer::ClosePhase() {
+  if (open_phase_ == nullptr) return 0.0;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    phase_start_)
+          .count();
+  const std::string name = open_phase_;
+  open_phase_ = nullptr;
+  for (auto& [phase, total] : phases_) {
+    if (phase == name) {
+      total += seconds;
+      return seconds;
+    }
+  }
+  phases_.emplace_back(name, seconds);
+  return seconds;
+}
+
+HostTimer::~HostTimer() {
+  ClosePhase();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  const unsigned effective =
+      threads_ > 0 ? threads_
+                   : std::max(1u, std::thread::hardware_concurrency());
+
+  std::ostringstream mine;
+  mine << "{\"wall_seconds\": " << seconds << ", \"threads\": "
+       << effective;
+  if (!phases_.empty()) {
+    mine << ", \"phases\": {";
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      mine << (i > 0 ? ", " : "") << "\"" << phases_[i].first
+           << "\": " << phases_[i].second;
+    }
+    mine << "}";
+  }
+  mine << "}";
+  MergeJsonEntry("BENCH_host.json", name_, mine.str());
+
+  // Mirror into the unified registry, then snapshot everything the
+  // bench exported (serve scorecards, DPU stats, trace accounting,
+  // ...) into BENCH_metrics.json under the same entry name.
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  registry.SetGauge("host.wall_seconds", seconds);
+  registry.SetGauge("host.threads", static_cast<double>(effective));
+  for (const auto& [phase, total] : phases_) {
+    registry.SetGauge("host.phase." + phase + "_seconds", total);
+  }
+  MergeJsonEntry("BENCH_metrics.json", name_, registry.ToJson());
+
+  std::printf("\n# host wall clock: %.3f s at %u thread(s)", seconds,
+              effective);
+  for (const auto& [phase, total] : phases_) {
+    std::printf(" [%s %.3f s]", phase.c_str(), total);
+  }
+  std::printf(" -> BENCH_host.json, BENCH_metrics.json\n");
+}
+
+TraceSession::TraceSession(const BenchScale& scale)
+    : path_(scale.trace_out), sample_every_(scale.trace_sample_every) {
+#ifdef UPDLRM_TELEMETRY_DISABLED
+  if (!path_.empty()) {
+    std::fprintf(stderr,
+                 "# trace: telemetry compiled out (-DUPDLRM_TELEMETRY=OFF); "
+                 "--trace-out ignored\n");
+    path_.clear();
+  }
+#else
+  if (path_.empty()) return;
+  telemetry::TracerOptions options;
+  options.sample_every = sample_every_;
+  telemetry::Tracer::Get().Enable(options);
+#endif
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  tracer.Disable();
+  const Status written = telemetry::WriteChromeTrace(tracer, path_);
+  UPDLRM_CHECK_MSG(written.ok(), written.ToString());
+  const Status valid = telemetry::ValidateChromeTraceFile(path_);
+  UPDLRM_CHECK_MSG(valid.ok(), valid.ToString());
+
+  const std::uint64_t recorded = tracer.recorded_events();
+  const std::uint64_t dropped = tracer.dropped_events();
+  const std::uint64_t sampled_out = tracer.sampled_out_events();
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  registry.Increment("trace.recorded_events",
+                     static_cast<double>(recorded));
+  registry.Increment("trace.dropped_events", static_cast<double>(dropped));
+  registry.Increment("trace.sampled_out_spans",
+                     static_cast<double>(sampled_out));
+  std::fprintf(stderr,
+               "# trace: %llu events -> %s (%llu dropped by full buffers, "
+               "%llu spans sampled out by --trace-sample-every=%llu)\n",
+               static_cast<unsigned long long>(recorded), path_.c_str(),
+               static_cast<unsigned long long>(dropped),
+               static_cast<unsigned long long>(sampled_out),
+               static_cast<unsigned long long>(sample_every_));
+}
+
+std::vector<std::vector<std::string>> StragglerRows(
+    const core::UpDlrmEngine& engine, const std::string& label,
+    std::size_t k) {
+  const pim::DpuSystem& system = engine.dpu_system();
+  const pim::DpuStatsSummary summary = pim::SummarizeStats(system);
+  const double mean = static_cast<double>(summary.mean_kernel_cycles);
+  std::vector<std::vector<std::string>> rows;
+  for (const pim::DpuHotspot& h : pim::TopKSlowestDpus(system, k)) {
+    const auto loc = engine.LocateDpu(h.dpu);
+    const std::string where =
+        loc ? std::to_string(loc->table) + "/" + std::to_string(loc->bin) +
+                  "/" + std::to_string(loc->col)
+            : "-";
+    rows.push_back(
+        {label, std::to_string(h.dpu), where,
+         std::to_string(h.kernel_cycles),
+         TablePrinter::Fmt(
+             mean == 0.0 ? 0.0
+                         : static_cast<double>(h.kernel_cycles) / mean,
+             2),
+         std::to_string(h.lookups), std::to_string(h.wram_hits)});
+  }
+  return rows;
 }
 
 }  // namespace updlrm::bench

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/systems.h"
@@ -29,6 +30,7 @@
 #include "common/cli.h"
 #include "dlrm/model.h"
 #include "pim/system.h"
+#include "telemetry/registry.h"
 #include "trace/dataset.h"
 #include "trace/generator.h"
 #include "updlrm/engine.h"
@@ -56,11 +58,20 @@ struct BenchScale {
   /// every engine the bench creates. The bench aborts with the
   /// violation report if any rule fires (see AssertChecksClean).
   bool check = false;
+  /// Chrome-trace output path; empty = tracing off. Benches honoring
+  /// it scope a TraceSession around one representative run (simulated
+  /// clocks restart at 0 per run, so tracing several runs into one
+  /// file would overlap in the viewer).
+  std::string trace_out;
+  /// Trace 1-in-N batches/requests (TracerOptions::sample_every). The
+  /// skipped spans are counted, never silently dropped.
+  std::uint64_t trace_sample_every = 1;
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
-/// / --dedup / --wram=N / --coalesce / --check from argv; sizes the
-/// process-wide default pool and prints a scale banner.
+/// / --dedup / --wram=N / --coalesce / --check / --trace-out=PATH /
+/// --trace-sample-every=N from argv; sizes the process-wide default
+/// pool and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {
@@ -100,10 +111,17 @@ void AssertChecksClean(const core::UpDlrmEngine& engine,
                        const std::string& label);
 
 /// RAII wall-clock self-timer. On destruction, merges
-///   "<name>": {"wall_seconds": <elapsed>, "threads": <width>}
+///   "<name>": {"wall_seconds": <elapsed>, "threads": <width>,
+///              "phases": {<phase>: <seconds>, ...}}
 /// into BENCH_host.json in the working directory (one entry per bench;
-/// re-runs overwrite their own entry). This is the only place host
-/// wall time is recorded — simulated results never depend on it.
+/// re-runs overwrite their own entry; "phases" is omitted when
+/// BeginPhase was never called). It also mirrors the measurements into
+/// MetricsRegistry::Global() ("host.wall_seconds", "host.threads",
+/// "host.phase.<phase>_seconds") and merges that registry's full
+/// ToJson snapshot — everything the bench exported, not just host time
+/// — into BENCH_metrics.json under the same entry name. This is the
+/// only place host wall time is recorded — simulated results never
+/// depend on it.
 class HostTimer {
  public:
   HostTimer(std::string name, const BenchScale& scale);
@@ -112,10 +130,57 @@ class HostTimer {
   HostTimer(const HostTimer&) = delete;
   HostTimer& operator=(const HostTimer&) = delete;
 
+  /// Closes the currently open phase (if any) and opens `name`.
+  /// Repeated phases accumulate, so a bench looping over configs can
+  /// alternate BeginPhase("setup") / BeginPhase("run_batches") and get
+  /// the total Setup-vs-RunBatch wall-clock split. Phase attribution
+  /// is per-thread wall clock: call from the bench's main thread only.
+  void BeginPhase(const char* name);
+
  private:
+  double ClosePhase();
+
   std::string name_;
   std::uint32_t threads_;
   std::chrono::steady_clock::time_point start_;
+  /// Accumulated (phase, seconds), in first-use order.
+  std::vector<std::pair<std::string, double>> phases_;
+  const char* open_phase_ = nullptr;
+  std::chrono::steady_clock::time_point phase_start_{};
 };
+
+/// RAII tracing scope for one bench region (the --trace-out /
+/// --trace-sample-every flags). Inert when scale.trace_out is empty;
+/// otherwise enables the process tracer on construction and, on
+/// destruction, disables it, writes the Chrome-trace JSON to
+/// scale.trace_out, validates it with the schema checker (aborting the
+/// bench on a malformed or empty trace), and prints the
+/// recorded/dropped/sampled-out accounting to stderr and the registry
+/// ("trace.*" counters) — the drop is never silent.
+class TraceSession {
+ public:
+  explicit TraceSession(const BenchScale& scale);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  std::uint64_t sample_every_ = 1;
+};
+
+/// Top-k straggler rows for the engine's accumulated stage-2 work —
+/// the per-run balance report behind the NU/CA claims. Each row is
+/// {label, dpu, table/bin/col, kernel cycles, x mean, lookups,
+/// wram hits} for a TablePrinter with kStragglerColumns headers.
+inline const std::vector<std::string> kStragglerColumns = {
+    "config", "dpu", "tbl/bin/col", "kernel cycles", "x mean",
+    "lookups", "wram hits"};
+std::vector<std::vector<std::string>> StragglerRows(
+    const core::UpDlrmEngine& engine, const std::string& label,
+    std::size_t k = 3);
 
 }  // namespace updlrm::bench

@@ -14,6 +14,7 @@
 #include "bench_common.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "pim/stats_summary.h"
 
 int main(int argc, char** argv) {
   using namespace updlrm;
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   // engine/mining regions fan out through the same pool.
   const auto specs = trace::Table1Workloads();
   std::vector<std::vector<std::vector<std::string>>> rows(specs.size());
+  // Straggler report slots: the slowest DPU per (dataset, method) at
+  // Nc=8, so the U/NU/CA balance claim is inspectable per run.
+  std::vector<std::vector<std::vector<std::string>>> stragglers(
+      specs.size());
   ParallelFor(
       specs.size(),
       [&](std::size_t begin, std::size_t end) {
@@ -53,6 +58,10 @@ int main(int argc, char** argv) {
             double best_speedup = 0.0;
             std::uint32_t best_nc = 0;
             for (std::uint32_t nc : ncs) {
+              const std::string label =
+                  spec.name + "/" +
+                  std::string(partition::MethodShortName(method)) +
+                  "/nc" + std::to_string(nc);
               auto system = bench::MakePaperSystem();
               core::EngineOptions options =
                   bench::PaperEngineOptions(method, nc, scale);
@@ -62,11 +71,20 @@ int main(int argc, char** argv) {
               UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
               auto report = (*engine)->RunAll(nullptr);
               UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
-              bench::AssertChecksClean(
-                  **engine,
-                  spec.name + "/" +
-                      std::string(partition::MethodShortName(method)) +
-                      "/nc" + std::to_string(nc));
+              bench::AssertChecksClean(**engine, label);
+              if (nc == 8) {
+                pim::DpuStatsSummary stats = pim::SummarizeStats(*system);
+                stats.check_violations = (*engine)->check_violations();
+                // The registry is mutex-guarded and map-keyed, so the
+                // snapshot is identical at any thread count.
+                pim::ExportStats(stats,
+                                 telemetry::MetricsRegistry::Global(),
+                                 "pim." + label);
+                for (auto& row :
+                     bench::StragglerRows(**engine, label, /*k=*/1)) {
+                  stragglers[ds].push_back(std::move(row));
+                }
+              }
               const double speedup =
                   t_cpu_emb / report->AvgBatchEmbedding();
               if (speedup > best_speedup) {
@@ -90,6 +108,17 @@ int main(int argc, char** argv) {
     }
   }
   out.Print(std::cout);
+
+  std::printf(
+      "\n== straggler report: slowest DPU per method at Nc=8 ==\n\n");
+  TablePrinter straggler_table(bench::kStragglerColumns);
+  for (auto& dataset_rows : stragglers) {
+    for (auto& row : dataset_rows) {
+      straggler_table.AddRow(std::move(row));
+    }
+  }
+  straggler_table.Print(std::cout);
+
   std::printf(
       "\npaper: CA > NU > U on High Hot datasets; ~tie on clo; the best "
       "Nc varies by dataset (4 for the first three, 8 for the rest)\n");

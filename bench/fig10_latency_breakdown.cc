@@ -8,6 +8,7 @@
 // results), e.g. CA: stage 1 31%->21%, stage 3 17%->35% from Nc=2 to 8.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   std::printf(
       "== Figure 10: embedding-layer latency breakdown (GoodReads) ==\n\n");
   const bench::BenchScale scale = bench::ParseScale(argc, argv);
+  bench::HostTimer timer("fig10_latency_breakdown", scale);
 
+  timer.BeginPhase("setup");
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
@@ -36,8 +39,19 @@ int main(int argc, char** argv) {
                     "dedup saved%"});
   double ca_lookup_share_min = 1.0, ca_lookup_share_max = 0.0;
   double other_lookup_share_min = 1.0, other_lookup_share_max = 0.0;
+  std::vector<std::vector<std::string>> stragglers;
   for (partition::Method method : methods) {
     for (std::uint32_t nc : {2u, 4u, 8u}) {
+      const std::string label =
+          std::string(partition::MethodShortName(method)) + "/nc" +
+          std::to_string(nc);
+      timer.BeginPhase("setup");
+      // --trace-out captures the last configuration (CA, Nc=8): sim
+      // clocks restart at 0 per run, so one trace holds one run.
+      std::optional<bench::TraceSession> trace_session;
+      if (method == partition::Method::kCacheAware && nc == 8) {
+        trace_session.emplace(scale);
+      }
       auto system = bench::MakePaperSystem();
       core::EngineOptions options =
           bench::PaperEngineOptions(method, nc, scale);
@@ -45,11 +59,11 @@ int main(int argc, char** argv) {
       auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
                                                system.get(), options);
       UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
+      timer.BeginPhase("run_batches");
       auto report = (*engine)->RunAll(nullptr);
       UPDLRM_CHECK_MSG(report.ok(), report.status().ToString());
-      bench::AssertChecksClean(
-          **engine, std::string(partition::MethodShortName(method)) +
-                        "/nc" + std::to_string(nc));
+      trace_session.reset();  // write + validate the trace, if tracing
+      bench::AssertChecksClean(**engine, label);
 
       // Stage shares over the three transfer/lookup stages, as in the
       // paper's stacked bars.
@@ -68,6 +82,11 @@ int main(int argc, char** argv) {
       }
       pim::DpuStatsSummary stats = pim::SummarizeStats(*system);
       stats.check_violations = (*engine)->check_violations();
+      pim::ExportStats(stats, telemetry::MetricsRegistry::Global(),
+                       "pim." + label);
+      for (auto& row : bench::StragglerRows(**engine, label)) {
+        stragglers.push_back(std::move(row));
+      }
       out.AddRow({std::string(partition::MethodShortName(method)),
                   std::to_string(nc), TablePrinter::FmtPercent(s1, 0),
                   TablePrinter::FmtPercent(s2, 0),
@@ -81,6 +100,13 @@ int main(int argc, char** argv) {
     }
   }
   out.Print(std::cout);
+
+  std::printf("\n== straggler report: top-%d slowest DPUs per config ==\n\n",
+              3);
+  TablePrinter straggler_table(bench::kStragglerColumns);
+  for (auto& row : stragglers) straggler_table.AddRow(std::move(row));
+  straggler_table.Print(std::cout);
+
   std::printf(
       "\npaper: CA lookup share 43-52%% vs 71-77%% for U/NU; measured: "
       "CA %.0f-%.0f%%, U/NU %.0f-%.0f%%\n",

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -30,10 +31,12 @@ int main(int argc, char** argv) {
       "== Online serving: tail latency and sustainable QPS per "
       "partitioning method ==\n\n");
   const bench::BenchScale scale = bench::ParseScale(argc, argv);
+  bench::HostTimer timer("serve_latency", scale);
 
   auto arrival = serve::ParseArrivalProcess(scale.arrival);
   UPDLRM_CHECK_MSG(arrival.ok(), arrival.status().ToString());
 
+  timer.BeginPhase("setup");
   const auto& spec = trace::Table1Workloads()[0];  // clo
   const bench::Workload w = bench::PrepareWorkload(spec, scale);
   const double load_factors[] = {0.5, 0.8, 1.0, 1.2, 1.5, 2.0};
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
   for (const partition::Method method :
        {partition::Method::kUniform, partition::Method::kNonUniform,
         partition::Method::kCacheAware}) {
+    timer.BeginPhase("setup");
     auto system = bench::MakePaperSystem();
     auto engine = core::UpDlrmEngine::Create(
         nullptr, w.config, w.trace, system.get(),
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
     UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
 
     // Calibrate: one offline pass gives the per-batch stage profile.
+    timer.BeginPhase("calibrate");
     auto profile = (*engine)->RunAll(nullptr);
     UPDLRM_CHECK_MSG(profile.ok(), profile.status().ToString());
     const double nb = static_cast<double>(profile->num_batches);
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
         (std::max(host_per_batch, dpu_per_batch) / kNanosPerSecond);
     if (slo_ns == 0.0) slo_ns = 3.0 * batch_total;
 
+    timer.BeginPhase("serve");
     std::vector<serve::RatePoint> points;
     for (const double load : load_factors) {
       const double qps = load * capacity_qps;
@@ -90,9 +96,22 @@ int main(int argc, char** argv) {
       options.batcher.max_queue_delay_ns = batch_total;
       options.batcher.queue_capacity = 4 * scale.batch_size;
       options.batcher.policy = serve::AdmissionPolicy::kShed;
+      // --trace-out captures one representative serve run (cache-aware
+      // at 1.0x capacity): each run restarts the simulated clock at 0,
+      // so one trace file holds exactly one run.
+      std::optional<bench::TraceSession> trace_session;
+      if (method == partition::Method::kCacheAware && load == 1.0) {
+        trace_session.emplace(scale);
+      }
       auto result =
           serve::RunServeSimulation(**engine, *requests, options);
       UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
+      trace_session.reset();  // write + validate the trace, if tracing
+
+      const std::string method_name(partition::MethodShortName(method));
+      result->ExportTo(telemetry::MetricsRegistry::Global(),
+                       "serve." + method_name + ".load" +
+                           TablePrinter::Fmt(load, 1));
 
       const serve::SloReport report = result->MakeSloReport(qps, slo_ns);
       points.push_back(

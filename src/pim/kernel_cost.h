@@ -71,6 +71,12 @@ struct EmbeddingKernelWork {
 /// output write-back.
 inline constexpr std::size_t kEmbeddingKernelNumPhases = 5;
 
+/// Display names for the phases, in EmbeddingKernelPhases order (used
+/// by the telemetry timeline and the straggler report).
+inline constexpr std::array<const char*, kEmbeddingKernelNumPhases>
+    kEmbeddingKernelPhaseNames = {"index_stream", "mram_reads", "wram_hits",
+                                  "gather_replay", "sample_output"};
+
 /// Builds the per-phase work items / instruction budgets / DMA costs of
 /// one kernel launch. Single source of truth shared by the analytic
 /// cost model (EmbeddingKernelCostModel), the cycle simulator

@@ -36,9 +36,13 @@ std::vector<TaskletState> InitialState(const KernelPhase& phase,
 // The reference engine: one loop iteration per cycle, O(tasklets)
 // wake/liveness scans. Obviously faithful; quadratic-ish on large
 // phases. kPeriodic must match it cycle for cycle.
+//
+// `finish`, when non-null, records each tasklet's retirement cycle
+// (already sized; observation only, never read back into the model).
 Cycles RunPhaseExact(const KernelPhase& phase, std::uint32_t tasklets,
                      std::uint32_t revolver_depth,
-                     std::uint64_t* instructions, std::uint64_t* dmas) {
+                     std::uint64_t* instructions, std::uint64_t* dmas,
+                     std::vector<Cycles>* finish) {
   if (phase.num_items == 0) return 0;
   UPDLRM_CHECK(phase.instr_per_item >= 1);
 
@@ -56,12 +60,16 @@ Cycles RunPhaseExact(const KernelPhase& phase, std::uint32_t tasklets,
 
   while (any_active()) {
     // Wake tasklets whose DMA completed.
-    for (auto& s : state) {
+    for (std::uint32_t t = 0; t < tasklets; ++t) {
+      TaskletState& s = state[t];
       if (s.waiting_dma && cycle >= s.dma_done) {
         s.waiting_dma = false;
         if (s.items_left > 0) {
           s.instr_left = phase.instr_per_item;
           --s.items_left;
+        } else if (finish != nullptr) {
+          // Last item retired when its DMA completed.
+          (*finish)[t] = s.dma_done;
         }
       }
     }
@@ -85,6 +93,9 @@ Cycles RunPhaseExact(const KernelPhase& phase, std::uint32_t tasklets,
         } else if (s.items_left > 0) {
           s.instr_left = phase.instr_per_item;
           --s.items_left;
+        } else if (finish != nullptr) {
+          // Last item retired as this instruction completes.
+          (*finish)[t] = cycle + 1;
         }
       }
       rr = t + 1;
@@ -135,7 +146,8 @@ struct PeriodSnapshot {
 
 Cycles RunPhaseFast(const KernelPhase& phase, std::uint32_t tasklets,
                     std::uint32_t revolver_depth,
-                    std::uint64_t* instructions, std::uint64_t* dmas) {
+                    std::uint64_t* instructions, std::uint64_t* dmas,
+                    std::vector<Cycles>* finish) {
   if (phase.num_items == 0) return 0;
   UPDLRM_CHECK(phase.instr_per_item >= 1);
   const bool has_dma = phase.dma_latency > 0 || phase.dma_occupancy > 0;
@@ -217,7 +229,8 @@ Cycles RunPhaseFast(const KernelPhase& phase, std::uint32_t tasklets,
 
     if (num_waiting > 0 && cycle >= next_wake) {
       next_wake = kNever;
-      for (TaskletState& s : state) {
+      for (std::uint32_t t = 0; t < tasklets; ++t) {
+        TaskletState& s = state[t];
         if (!s.waiting_dma) continue;
         if (cycle >= s.dma_done) {
           s.waiting_dma = false;
@@ -227,6 +240,10 @@ Cycles RunPhaseFast(const KernelPhase& phase, std::uint32_t tasklets,
             --s.items_left;
           } else {
             --live;
+            // Retirement transition; never replayed inside a period
+            // jump (the jump cap preserves item-availability truth
+            // values), so dma_done here equals the reference engine's.
+            if (finish != nullptr) (*finish)[t] = s.dma_done;
           }
         } else {
           next_wake = std::min(next_wake, s.dma_done);
@@ -257,6 +274,7 @@ Cycles RunPhaseFast(const KernelPhase& phase, std::uint32_t tasklets,
           --s.items_left;
         } else {
           --live;
+          if (finish != nullptr) (*finish)[t] = cycle + 1;
         }
       }
       rr = t + 1;
@@ -286,20 +304,29 @@ Cycles RunPhaseFast(const KernelPhase& phase, std::uint32_t tasklets,
 
 Cycles SimulatePhase(const KernelPhase& phase, std::uint32_t tasklets,
                      std::uint32_t revolver_depth, PhaseEngine engine,
-                     std::uint64_t* instructions, std::uint64_t* dmas) {
+                     std::uint64_t* instructions, std::uint64_t* dmas,
+                     std::vector<Cycles>* tasklet_finish) {
+  if (tasklet_finish != nullptr) tasklet_finish->assign(tasklets, 0);
   if (engine == PhaseEngine::kExactCycle) {
     return RunPhaseExact(phase, tasklets, revolver_depth, instructions,
-                         dmas);
+                         dmas, tasklet_finish);
   }
-  return RunPhaseFast(phase, tasklets, revolver_depth, instructions, dmas);
+  return RunPhaseFast(phase, tasklets, revolver_depth, instructions, dmas,
+                      tasklet_finish);
 }
 
 KernelSimResult SimulateEmbeddingKernel(
     const DpuConfig& dpu, const MramTimingModel& mram,
     const EmbeddingKernelCostParams& params,
-    const EmbeddingKernelWork& work, PhaseEngine engine) {
+    const EmbeddingKernelWork& work, PhaseEngine engine,
+    KernelTimeline* timeline) {
   UPDLRM_CHECK_MSG(dpu.Validate().ok(), "invalid DpuConfig");
   KernelSimResult result;
+  if (timeline != nullptr) {
+    timeline->boot_cycles = params.boot_cycles;
+    timeline->tasklets = dpu.num_tasklets;
+    timeline->phases.clear();
+  }
   if (work.num_lookups + work.num_cache_reads + work.num_samples +
           work.num_wram_hits + work.num_gather_refs ==
       0) {
@@ -312,9 +339,30 @@ KernelSimResult SimulateEmbeddingKernel(
   for (const KernelWorkload& w : EmbeddingKernelPhases(params, mram, work)) {
     const KernelPhase phase{w.num_items, w.instr_cycles_per_item,
                             w.dma_latency_per_item, w.dma_occupancy_per_item};
-    makespan += SimulatePhase(phase, dpu.num_tasklets, dpu.revolver_depth,
-                              engine, &result.instructions_issued,
-                              &result.dma_transfers);
+    PhaseTrace* pt = nullptr;
+    if (timeline != nullptr) {
+      timeline->phases.emplace_back();
+      pt = &timeline->phases.back();
+      pt->start = makespan;
+      pt->num_items = phase.num_items;
+    }
+    const std::uint64_t dmas_before = result.dma_transfers;
+    const Cycles span = SimulatePhase(
+        phase, dpu.num_tasklets, dpu.revolver_depth, engine,
+        &result.instructions_issued, &result.dma_transfers,
+        pt != nullptr ? &pt->tasklet_finish : nullptr);
+    makespan += span;
+    if (pt != nullptr) {
+      pt->makespan = span;
+      pt->dma_busy =
+          (result.dma_transfers - dmas_before) * phase.dma_occupancy;
+      pt->tasklet_items.resize(dpu.num_tasklets);
+      for (std::uint32_t t = 0; t < dpu.num_tasklets; ++t) {
+        pt->tasklet_items[t] =
+            phase.num_items / dpu.num_tasklets +
+            (t < phase.num_items % dpu.num_tasklets ? 1 : 0);
+      }
+    }
   }
   result.makespan = makespan;
   result.issue_utilization =

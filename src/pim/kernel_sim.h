@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.h"
 #include "pim/dpu_config.h"
@@ -59,22 +60,56 @@ struct KernelPhase {
   Cycles dma_occupancy = 0;
 };
 
+/// Per-tasklet timing of one executed phase, for the telemetry
+/// timeline. `tasklet_finish[t]` is the cycle (relative to the phase's
+/// start) at which tasklet t retired its last item — 0 when the tasklet
+/// had no items. Finish times are defined at the state machine's two
+/// retirement transitions (final instruction issues: cycle + 1; final
+/// DMA completes: dma_done), which both engines reach at identical
+/// cycles, so a trace captured under kPeriodic equals the kExactCycle
+/// reference (tests/pim/kernel_sim_trace_test.cc pins this).
+struct PhaseTrace {
+  Cycles start = 0;     // from kernel launch, boot included
+  Cycles makespan = 0;  // this phase's span (barrier to barrier)
+  std::uint64_t num_items = 0;
+  /// Cycles the (single) DMA engine was occupied during the phase —
+  /// the "MRAM DMA" share of the slice; the rest is compute/issue.
+  Cycles dma_busy = 0;
+  std::vector<Cycles> tasklet_finish;
+  std::vector<std::uint64_t> tasklet_items;
+};
+
+/// Full kernel timeline: one PhaseTrace per EmbeddingKernelPhases entry
+/// (kEmbeddingKernelPhaseNames gives display names), empty for a
+/// zero-work kernel.
+struct KernelTimeline {
+  Cycles boot_cycles = 0;
+  std::uint32_t tasklets = 0;
+  std::vector<PhaseTrace> phases;
+};
+
 /// Executes one phase to completion on `tasklets` tasklets and returns
 /// its makespan; `instructions` / `dmas` accumulate issued counts.
+/// `tasklet_finish`, when non-null, is resized to `tasklets` and filled
+/// with per-tasklet retirement cycles (see PhaseTrace); recording is
+/// pure observation and never changes the simulated result.
 /// Exposed for the engine-equivalence property tests.
 Cycles SimulatePhase(const KernelPhase& phase, std::uint32_t tasklets,
                      std::uint32_t revolver_depth, PhaseEngine engine,
-                     std::uint64_t* instructions, std::uint64_t* dmas);
+                     std::uint64_t* instructions, std::uint64_t* dmas,
+                     std::vector<Cycles>* tasklet_finish = nullptr);
 
 /// Executes the three-phase embedding kernel (index streaming, row
 /// reads + accumulation, per-sample output) with the same per-item
 /// instruction budgets as EmbeddingKernelCostModel. Work items are
 /// distributed round-robin over the configured tasklets; phases are
-/// separated by barriers, as in the analytic model.
+/// separated by barriers, as in the analytic model. `timeline`, when
+/// non-null, receives the per-phase/per-tasklet trace.
 KernelSimResult SimulateEmbeddingKernel(
     const DpuConfig& dpu, const MramTimingModel& mram,
     const EmbeddingKernelCostParams& params,
     const EmbeddingKernelWork& work,
-    PhaseEngine engine = PhaseEngine::kPeriodic);
+    PhaseEngine engine = PhaseEngine::kPeriodic,
+    KernelTimeline* timeline = nullptr);
 
 }  // namespace updlrm::pim

@@ -1,5 +1,6 @@
 #include "pim/stats_summary.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/stats.h"
@@ -58,6 +59,51 @@ DpuStatsSummary SummarizeStats(const DpuSystem& system) {
           : static_cast<double>(summary.total_dedup_saved_reads) /
                 static_cast<double>(pre_dedup_refs);
   return summary;
+}
+
+std::vector<DpuHotspot> TopKSlowestDpus(const DpuSystem& system,
+                                        std::size_t k) {
+  std::vector<DpuHotspot> all;
+  all.reserve(system.num_dpus());
+  for (std::uint32_t d = 0; d < system.num_dpus(); ++d) {
+    const DpuStats& stats = system.dpu(d).stats();
+    all.push_back(DpuHotspot{d, stats.kernel_cycles, stats.lookups,
+                             stats.cache_reads, stats.wram_hits});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                    [](const DpuHotspot& a, const DpuHotspot& b) {
+                      if (a.kernel_cycles != b.kernel_cycles) {
+                        return a.kernel_cycles > b.kernel_cycles;
+                      }
+                      return a.dpu < b.dpu;
+                    });
+  all.resize(k);
+  return all;
+}
+
+void ExportStats(const DpuStatsSummary& summary,
+                 telemetry::MetricsRegistry& registry,
+                 const std::string& prefix) {
+#define UPDLRM_EXPORT_TOTAL(name) \
+  registry.Increment(prefix + "." #name,     \
+                     static_cast<double>(summary.total_##name));
+  UPDLRM_DPU_COUNTER_FIELDS(UPDLRM_EXPORT_TOTAL)
+#undef UPDLRM_EXPORT_TOTAL
+  registry.Increment(prefix + ".check_violations",
+                     static_cast<double>(summary.check_violations));
+  registry.SetGauge(prefix + ".max_kernel_cycles",
+                    static_cast<double>(summary.max_kernel_cycles));
+  registry.SetGauge(prefix + ".mean_kernel_cycles",
+                    static_cast<double>(summary.mean_kernel_cycles));
+  registry.SetGauge(prefix + ".cycle_imbalance", summary.cycle_imbalance);
+  registry.SetGauge(prefix + ".cycle_cv", summary.cycle_cv);
+  registry.SetGauge(prefix + ".cache_read_share",
+                    summary.cache_read_share);
+  registry.SetGauge(prefix + ".wram_hit_share", summary.wram_hit_share);
+  registry.SetGauge(prefix + ".dedup_saved_share",
+                    summary.dedup_saved_share);
 }
 
 }  // namespace updlrm::pim

@@ -7,10 +7,14 @@
 // DpuStats counter is aggregated by construction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/units.h"
 #include "pim/system.h"
+#include "telemetry/registry.h"
 
 namespace updlrm::pim {
 
@@ -43,5 +47,27 @@ struct DpuStatsSummary {
 };
 
 DpuStatsSummary SummarizeStats(const DpuSystem& system);
+
+/// One row of the straggler report: a slow DPU and the per-DPU
+/// counters explaining why it is slow.
+struct DpuHotspot {
+  std::uint32_t dpu = 0;
+  Cycles kernel_cycles = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_reads = 0;
+  std::uint64_t wram_hits = 0;
+};
+
+/// The k slowest DPUs by accumulated kernel cycles, slowest first.
+/// Ties break toward the lower DPU id so the report is deterministic.
+std::vector<DpuHotspot> TopKSlowestDpus(const DpuSystem& system,
+                                        std::size_t k);
+
+/// Mirrors a summary into `registry` under "<prefix>." keys: every
+/// UPDLRM_DPU_COUNTER_FIELDS total (and check_violations) as a
+/// counter, the derived balance/share numbers as gauges.
+void ExportStats(const DpuStatsSummary& summary,
+                 telemetry::MetricsRegistry& registry,
+                 const std::string& prefix);
 
 }  // namespace updlrm::pim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/tracer.h"
+#include "updlrm/timeline.h"
+
 namespace updlrm::serve {
 
 SloReport ServeResult::MakeSloReport(double offered_qps,
@@ -24,6 +27,31 @@ SloReport ServeResult::MakeSloReport(double offered_qps,
   return report;
 }
 
+void ServeResult::ExportTo(telemetry::MetricsRegistry& registry,
+                           const std::string& prefix) const {
+  registry.Increment(prefix + ".offered", static_cast<double>(offered));
+  registry.Increment(prefix + ".completed",
+                     static_cast<double>(completed));
+  registry.Increment(prefix + ".shed", static_cast<double>(shed));
+  registry.Increment(prefix + ".batches",
+                     static_cast<double>(num_batches));
+  registry.Increment(prefix + ".requests_traced",
+                     static_cast<double>(requests_traced));
+  registry.Increment(prefix + ".requests_sampled_out",
+                     static_cast<double>(requests_sampled_out));
+  registry.SetGauge(prefix + ".makespan_ns", makespan_ns);
+  registry.SetGauge(prefix + ".avg_batch_size", avg_batch_size);
+  registry.SetGauge(prefix + ".max_queue_depth",
+                    static_cast<double>(max_queue_depth));
+  registry.SetGauge(prefix + ".host_utilization",
+                    utilization.HostUtilization());
+  registry.SetGauge(prefix + ".dpu_utilization",
+                    utilization.DpuUtilization());
+  for (const Nanos l : request_latency_ns) {
+    registry.Observe(prefix + ".latency_ns", l);
+  }
+}
+
 Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
                                        std::span<const Request> requests,
                                        const ServeOptions& options) {
@@ -32,9 +60,30 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   ServeResult result;
   result.offered = requests.size();
 
+  // Tracing: the serve loop runs on one thread, so all emission below
+  // is single-threaded. Request spans and per-batch timelines are
+  // emitted post-drain (only then are stage-3 completions known);
+  // everything is simulated-clock and pure observation.
+  const bool tracing = telemetry::TraceEnabled();
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  const std::uint64_t sample_every =
+      tracing ? tracer.options().sample_every : 1;
+  using telemetry::Clock;
+  using telemetry::kPipelinePid;
+  using telemetry::kRequestPid;
+
   // Per cut batch: the requests it carries, for latency attribution.
   std::vector<std::vector<QueuedRequest>> batch_requests;
   std::vector<std::size_t> samples;  // sample-id scratch per cut
+  // Per cut batch: the engine's stage-2 launch records (tracing only).
+  std::vector<std::shared_ptr<const core::BatchDpuTrace>> batch_traces;
+
+  auto offer = [&](const Request& r, Nanos now) {
+    if (batcher.Offer(r, now) == Admission::kShed && tracing) {
+      tracer.InstantAt(kRequestPid, 0, Clock::kSim, "shed", now, "request",
+                       static_cast<double>(r.id));
+    }
+  };
 
   // The discrete-event scan. State changes happen at three kinds of
   // instants — arrivals, batcher deadlines, and executor buffer frees —
@@ -49,7 +98,7 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
     Nanos t = executor.NextAdmitTime();
     // Offer everything that has already arrived by then.
     while (next < requests.size() && requests[next].arrival_ns <= t) {
-      batcher.Offer(requests[next], requests[next].arrival_ns);
+      offer(requests[next], requests[next].arrival_ns);
       ++next;
     }
     // Walk forward until the batcher is due.
@@ -62,7 +111,7 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
       if (event == DynamicBatcher::kNever) break;  // drained
       t = std::max(t, event);
       while (next < requests.size() && requests[next].arrival_ns <= t) {
-        batcher.Offer(requests[next], requests[next].arrival_ns);
+        offer(requests[next], requests[next].arrival_ns);
         ++next;
       }
     }
@@ -78,6 +127,7 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
     executor.Submit(batch->stages, t);
     result.batch_stages.push_back(batch->stages);
     batch_requests.push_back(std::move(cut));
+    if (tracing) batch_traces.push_back(batch->dpu_trace);
     result.queue_depth.push_back(QueueDepthSample{t, batcher.queue_depth()});
   }
 
@@ -91,14 +141,70 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
                                         executor.dpu_busy_ns(),
                                         result.makespan_ns};
 
+  if (tracing) {
+    tracer.SetThreadName(kPipelinePid, 0, "host buses (stage 1/3)");
+    tracer.SetThreadName(kPipelinePid, 1, "DPU array (stage 2)");
+    for (const QueueDepthSample& s : result.queue_depth) {
+      tracer.Counter(kPipelinePid, Clock::kSim, "queue_depth", s.t_ns,
+                     static_cast<double>(s.depth));
+    }
+  }
+
   std::uint64_t served = 0;
   for (std::size_t b = 0; b < batch_requests.size(); ++b) {
-    const Nanos done = result.schedule[b].s3_end_ns;
+    const ExecutedBatch& sched = result.schedule[b];
+    const Nanos done = sched.s3_end_ns;
+    if (tracing) {
+      if (b % sample_every == 0) {
+        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage1.push",
+                        sched.s1_start_ns,
+                        sched.s1_end_ns - sched.s1_start_ns, "batch",
+                        static_cast<double>(b));
+        tracer.Complete(kPipelinePid, 1, Clock::kSim, "stage2.kernel",
+                        sched.s2_start_ns,
+                        sched.s2_end_ns - sched.s2_start_ns);
+        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage3.pull",
+                        sched.s3_start_ns,
+                        sched.s3_end_ns - sched.s3_start_ns);
+        if (batch_traces[b] != nullptr) {
+          core::EmitBatchDpuTimeline(engine.dpu_system(), *batch_traces[b],
+                                     b, sched.s2_start_ns,
+                                     /*tasklet_detail=*/true);
+        }
+      } else {
+        tracer.CountSampledOut();
+      }
+    }
     for (const QueuedRequest& q : batch_requests[b]) {
       const Nanos latency = done - q.request.arrival_ns;
       result.latency.Add(latency);
       result.request_latency_ns.push_back(latency);
       ++served;
+      if (!tracing) continue;
+      // 1-in-N request spans, keyed on the stable request id so the
+      // same requests are traced at any thread count.
+      if (q.request.id % sample_every != 0) {
+        ++result.requests_sampled_out;
+        tracer.CountSampledOut();
+        continue;
+      }
+      ++result.requests_traced;
+      // Nested async spans sharing the request's id:
+      //   lifetime [arrival, s3 end)
+      //     queued  [admission, batch cut)
+      //     execute [batch cut, s3 end)
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim,
+                        "request", "request", q.request.arrival_ns);
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim, "queued",
+                        "request", q.admit_ns);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "queued",
+                      "request", sched.submit_ns);
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim, "execute",
+                        "request", sched.submit_ns);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "execute",
+                      "request", done);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "request",
+                      "request", done);
     }
   }
   result.completed = served;

@@ -21,11 +21,14 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "common/status.h"
 #include "serve/batcher.h"
 #include "serve/executor.h"
 #include "serve/metrics.h"
 #include "serve/workload.h"
+#include "telemetry/registry.h"
 #include "updlrm/engine.h"
 
 namespace updlrm::serve {
@@ -54,6 +57,16 @@ struct ServeResult {
   /// Per-batch stage timings, in cut order (feed to
   /// core::EstimatePipelinedEmbedding to compare bound vs executed).
   std::vector<core::StageBreakdown> batch_stages;
+  /// Request-span tracing accounting (0 unless tracing was enabled):
+  /// spans emitted vs skipped by the 1-in-N sampler — the drop is
+  /// always visible, never silent.
+  std::uint64_t requests_traced = 0;
+  std::uint64_t requests_sampled_out = 0;
+
+  /// Exports the scorecard into `registry` under "<prefix>." keys
+  /// (counters for totals, gauges for rates/latencies).
+  void ExportTo(telemetry::MetricsRegistry& registry,
+                const std::string& prefix) const;
 
   SloReport MakeSloReport(double offered_qps, Nanos slo_ns) const;
 };

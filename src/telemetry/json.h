@@ -1,0 +1,75 @@
+// Minimal JSON reader for validating the files this repo emits.
+//
+// The exporters write JSON with ostream formatting; without a reader,
+// "the trace loads in Perfetto" would be an unchecked claim. This is a
+// strict recursive-descent parser over the JSON grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null) — enough to
+// round-trip-check BENCH_*.json and the Chrome trace exporter
+// (trace_export.h), not a general-purpose JSON library. Duplicate keys
+// are rejected (our writers never produce them; catching one means a
+// merge bug).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::telemetry {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map: deterministic iteration for error messages and tests.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return *array_; }
+  const JsonObject& AsObject() const { return *object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(JsonArray v);
+  static JsonValue MakeObject(JsonObject v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirection keeps JsonValue movable/copyable with incomplete
+  // recursive containers.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace updlrm::telemetry

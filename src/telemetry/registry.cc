@@ -1,0 +1,186 @@
+#include "telemetry/registry.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace updlrm::telemetry {
+
+namespace {
+
+/// Bucket index for a value (0 = underflow, kNumBuckets-1 = overflow).
+int BucketIndex(double value) {
+  if (!(value >= ValueHistogram::kMinValue)) return 0;  // also NaN
+  const double pos = std::log10(value / ValueHistogram::kMinValue) *
+                     ValueHistogram::kBucketsPerDecade;
+  const int idx = 1 + static_cast<int>(pos);
+  if (idx >= ValueHistogram::kNumBuckets - 1) {
+    return ValueHistogram::kNumBuckets - 1;
+  }
+  return idx;
+}
+
+double BucketLower(int i) {
+  if (i <= 0) return 0.0;
+  return ValueHistogram::kMinValue *
+         std::pow(10.0, static_cast<double>(i - 1) /
+                            ValueHistogram::kBucketsPerDecade);
+}
+
+double BucketUpper(int i) {
+  if (i >= ValueHistogram::kNumBuckets - 1) {
+    return BucketLower(ValueHistogram::kNumBuckets - 1) * 10.0;
+  }
+  return BucketLower(i + 1);
+}
+
+void AppendNumber(std::ostringstream& os, double v) {
+  os.precision(15);
+  os << v;
+}
+
+}  // namespace
+
+void ValueHistogram::Observe(double value) {
+  if (std::isnan(value)) return;  // undefined sample; keep stats sane
+  if (value < 0.0) value = 0.0;
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double ValueHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lower = BucketLower(i);
+      const double upper = BucketUpper(i);
+      const double frac =
+          (rank - static_cast<double>(seen)) /
+          static_cast<double>(buckets_[i]);
+      double v = lower + frac * (upper - lower);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::Increment(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UPDLRM_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                   "metric name reused across kinds: " + name);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UPDLRM_CHECK_MSG(
+      counters_.count(name) == 0 && histograms_.count(name) == 0,
+      "metric name reused across kinds: " + name);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UPDLRM_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                   "metric name reused across kinds: " + name);
+  histograms_[name].Observe(value);
+}
+
+double MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+ValueHistogram MetricsRegistry::HistogramValue(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? ValueHistogram{} : it->second;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+    AppendNumber(os, value);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+    AppendNumber(os, value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h.count();
+    os << ",\"mean\":";
+    AppendNumber(os, h.Mean());
+    os << ",\"p50\":";
+    AppendNumber(os, h.Percentile(50.0));
+    os << ",\"p95\":";
+    AppendNumber(os, h.Percentile(95.0));
+    os << ",\"p99\":";
+    AppendNumber(os, h.Percentile(99.0));
+    os << ",\"min\":";
+    AppendNumber(os, h.min());
+    os << ",\"max\":";
+    AppendNumber(os, h.max());
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace updlrm::telemetry

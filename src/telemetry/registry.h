@@ -1,0 +1,104 @@
+// Unified metrics registry: counters, gauges, histograms, one snapshot.
+//
+// Before this existed, every subsystem serialized its own numbers:
+// DpuStats aggregation printed ad-hoc tables, the serve bench built its
+// SLO JSON by hand, and the check layer kept violation counts in local
+// structs. The registry absorbs those into one namespace-keyed store
+// ("pim.lookups", "serve.p99_ns", "check.violations", ...) with a
+// single deterministic ToJson() snapshot that every bench appends to
+// BENCH_metrics.json — so a run's full scorecard lives in one line of
+// JSON instead of four formats.
+//
+// Not a hot-path structure: updates take a mutex. Instrument per-batch
+// or per-run aggregates here; per-event hot-path observation belongs in
+// the tracer (tracer.h). Deterministic by construction: std::map keys
+// give stable iteration, and values come from simulated quantities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+
+namespace updlrm::telemetry {
+
+/// Log-spaced fixed-bucket histogram for nonnegative values (latencies
+/// in ns, cycle counts, batch sizes). Same log-bucket trade as
+/// serve::LatencyHistogram — <= ~26% relative error inside a bucket,
+/// exact min/max/sum — but over a wider range ([1, 1e12), plus
+/// underflow/overflow) since it holds more than latencies.
+class ValueHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 10;
+  static constexpr int kDecades = 12;
+  static constexpr double kMinValue = 1.0;
+  /// underflow + kDecades * kBucketsPerDecade + overflow
+  static constexpr int kNumBuckets = 2 + kDecades * kBucketsPerDecade;
+
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Interpolated percentile, p in [0, 100]. 0 with no samples.
+  double Percentile(double p) const;
+
+  std::span<const std::uint64_t> buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Thread-safe named metrics store. Names are dotted paths
+/// ("<subsystem>.<metric>"); each name belongs to exactly one kind —
+/// re-using a counter name as a gauge is a programming error (checked).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry benches snapshot. Tests construct their
+  /// own instances.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to a monotonic counter (creating it at 0).
+  void Increment(const std::string& name, double delta = 1.0);
+  /// Sets a gauge to its latest value.
+  void SetGauge(const std::string& name, double value);
+  /// Records one sample into a histogram (creating it empty).
+  void Observe(const std::string& name, double value);
+
+  /// Reads (0.0 / empty when the metric does not exist).
+  double CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  ValueHistogram HistogramValue(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// One JSON object, single line, stable key order:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"x":{"count":..,"mean":..,"p50":..,"p95":..,
+  ///                       "p99":..,"min":..,"max":..}}}
+  std::string ToJson() const;
+
+  /// Drops every metric (benches call this between measured sections).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, ValueHistogram> histograms_;
+};
+
+}  // namespace updlrm::telemetry

@@ -1,0 +1,347 @@
+#include "telemetry/trace_export.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace updlrm::telemetry {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FmtNumber(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+/// ts is exported in microseconds per the trace-event format.
+void AppendCommonFields(std::string& out, const TraceEvent& e) {
+  out += "\"ts\":";
+  out += FmtNumber(e.ts_ns / 1.0e3);
+  out += ",\"pid\":";
+  out += std::to_string(e.pid);
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+}
+
+void AppendName(std::string& out, const char* name) {
+  out += "\"name\":\"";
+  AppendEscaped(out, name != nullptr ? name : "(unnamed)");
+  out += "\"";
+}
+
+void AppendCategory(std::string& out, const char* category,
+                    const char* fallback) {
+  out += ",\"cat\":\"";
+  AppendEscaped(out, category != nullptr ? category : fallback);
+  out += "\"";
+}
+
+void AppendArgs(std::string& out, const TraceEvent& e) {
+  if (e.arg_name[0] == nullptr && e.arg_name[1] == nullptr) return;
+  out += ",\"args\":{";
+  bool first = true;
+  for (int i = 0; i < 2; ++i) {
+    if (e.arg_name[i] == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(out, e.arg_name[i]);
+    out += "\":";
+    out += FmtNumber(e.arg_value[i]);
+  }
+  out += "}";
+}
+
+void AppendEvent(std::string& out, const TraceEvent& e) {
+  out += "{";
+  switch (e.kind) {
+    case EventKind::kBegin:
+      AppendName(out, e.name);
+      AppendCategory(out, e.category, "host");
+      out += ",\"ph\":\"B\",";
+      AppendCommonFields(out, e);
+      AppendArgs(out, e);
+      break;
+    case EventKind::kEnd:
+      // "E" closes the innermost open "B" on the same (pid, tid);
+      // name/cat are optional and omitted.
+      out += "\"ph\":\"E\",";
+      AppendCommonFields(out, e);
+      break;
+    case EventKind::kComplete:
+      AppendName(out, e.name);
+      AppendCategory(out, e.category,
+                     e.clock == Clock::kSim ? "sim" : "host");
+      out += ",\"ph\":\"X\",";
+      AppendCommonFields(out, e);
+      out += ",\"dur\":";
+      out += FmtNumber(e.dur_ns / 1.0e3);
+      AppendArgs(out, e);
+      break;
+    case EventKind::kInstant:
+      AppendName(out, e.name);
+      AppendCategory(out, e.category,
+                     e.clock == Clock::kSim ? "sim" : "host");
+      out += ",\"ph\":\"i\",\"s\":\"t\",";
+      AppendCommonFields(out, e);
+      AppendArgs(out, e);
+      break;
+    case EventKind::kCounter:
+      AppendName(out, e.name);
+      out += ",\"ph\":\"C\",";
+      AppendCommonFields(out, e);
+      out += ",\"args\":{\"value\":";
+      out += FmtNumber(e.value);
+      out += "}";
+      break;
+    case EventKind::kAsyncBegin:
+    case EventKind::kAsyncEnd:
+      AppendName(out, e.name);
+      AppendCategory(out, e.category, "async");
+      out += ",\"ph\":\"";
+      out += e.kind == EventKind::kAsyncBegin ? "b" : "e";
+      out += "\",\"id\":\"0x";
+      {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llx",
+                      static_cast<unsigned long long>(e.async_id));
+        out += buf;
+      }
+      out += "\",";
+      AppendCommonFields(out, e);
+      AppendArgs(out, e);
+      break;
+  }
+  out += "}";
+}
+
+void AppendMetadata(std::string& out, std::int32_t pid, std::int64_t tid,
+                    const char* which, const std::string& name,
+                    bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"";
+  out += which;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"";
+  AppendEscaped(out, name);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const Tracer& tracer,
+                              const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 1024);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: default process names for the well-known pids, overlaid
+  // with whatever the emitters registered.
+  std::map<std::int32_t, std::string> processes = {
+      {kHostPid, "host threads (wall clock)"},
+      {kPipelinePid, "pipeline (simulated time)"},
+      {kRequestPid, "requests (simulated time)"},
+      {kDpuPid, "DPU array (simulated time)"},
+      {kTaskletPid, "straggler tasklets (simulated time)"},
+  };
+  std::set<std::int32_t> used_pids;
+  for (const TraceEvent& e : events) used_pids.insert(e.pid);
+  for (const auto& [pid, name] : tracer.process_names()) {
+    processes[pid] = name;
+  }
+  for (const auto& [pid, name] : processes) {
+    if (used_pids.count(pid) == 0) continue;
+    AppendMetadata(out, pid, 0, "process_name", name, first);
+  }
+  for (const auto& [key, name] : tracer.thread_names()) {
+    AppendMetadata(out, key.first, key.second, "thread_name", name, first);
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    AppendEvent(out, e);
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{";
+  out += "\"clockDomains\":\"pid 1 = host wall clock; other pids = "
+         "simulated nanoseconds\"";
+  out += ",\"recordedEvents\":" + std::to_string(events.size());
+  out += ",\"droppedEvents\":" + std::to_string(tracer.dropped_events());
+  out += ",\"sampledOutSpans\":" +
+         std::to_string(tracer.sampled_out_events());
+  out += "}}\n";
+  return out;
+}
+
+std::string ToChromeTraceJson(const Tracer& tracer) {
+  return ToChromeTraceJson(tracer, tracer.Snapshot());
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  if (events.empty()) {
+    return Status::FailedPrecondition(
+        "trace is empty: no events were recorded (is tracing enabled?)");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file " + path);
+  }
+  out << ToChromeTraceJson(tracer, events);
+  out.flush();
+  if (!out) return Status::InvalidArgument("failed writing " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+Status EventError(std::size_t index, const std::string& what) {
+  return Status::InvalidArgument("traceEvents[" + std::to_string(index) +
+                                 "]: " + what);
+}
+
+Status ValidateEvent(std::size_t i, const JsonValue& event) {
+  if (!event.is_object()) return EventError(i, "not an object");
+  const JsonValue* ph = event.Find("ph");
+  if (ph == nullptr || !ph->is_string()) {
+    return EventError(i, "missing string \"ph\"");
+  }
+  const std::string& phase = ph->AsString();
+  static const std::set<std::string> kKnown = {"B", "E", "X", "i", "C",
+                                              "b", "e", "M"};
+  if (kKnown.count(phase) == 0) {
+    return EventError(i, "unknown phase \"" + phase + "\"");
+  }
+  const JsonValue* pid = event.Find("pid");
+  if (pid == nullptr || !pid->is_number()) {
+    return EventError(i, "missing numeric \"pid\"");
+  }
+  if (phase != "M") {
+    const JsonValue* ts = event.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return EventError(i, "missing numeric \"ts\"");
+    }
+    if (ts->AsNumber() < 0.0) return EventError(i, "negative \"ts\"");
+  }
+  if (phase != "E") {
+    // "E" events may omit the name; everything else must carry one.
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string() ||
+        name->AsString().empty()) {
+      return EventError(i, "missing non-empty string \"name\"");
+    }
+  }
+  if (phase == "X") {
+    const JsonValue* dur = event.Find("dur");
+    if (dur == nullptr || !dur->is_number()) {
+      return EventError(i, "complete event missing numeric \"dur\"");
+    }
+    if (dur->AsNumber() < 0.0) return EventError(i, "negative \"dur\"");
+  }
+  if (phase == "C" || phase == "M") {
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) {
+      return EventError(i, "counter/metadata event missing \"args\"");
+    }
+  }
+  if (phase == "b" || phase == "e") {
+    const JsonValue* id = event.Find("id");
+    if (id == nullptr || (!id->is_string() && !id->is_number())) {
+      return EventError(i, "async event missing \"id\"");
+    }
+    const JsonValue* cat = event.Find("cat");
+    if (cat == nullptr || !cat->is_string()) {
+      return EventError(i, "async event missing \"cat\"");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateChromeTraceJson(std::string_view json,
+                               std::size_t min_events) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("trace root is not a JSON object");
+  }
+  const JsonValue* events = parsed->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("missing \"traceEvents\" array");
+  }
+  std::size_t real_events = 0;
+  const JsonArray& array = events->AsArray();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    UPDLRM_RETURN_IF_ERROR(ValidateEvent(i, array[i]));
+    const JsonValue* ph = array[i].Find("ph");
+    if (ph->AsString() != "M") ++real_events;
+  }
+  if (real_events < min_events) {
+    return Status::FailedPrecondition(
+        "trace holds " + std::to_string(real_events) +
+        " non-metadata event(s), expected at least " +
+        std::to_string(min_events));
+  }
+  return Status::Ok();
+}
+
+Status ValidateChromeTraceFile(const std::string& path,
+                               std::size_t min_events) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ValidateChromeTraceJson(buffer.str(), min_events);
+}
+
+Result<bool> ChromeTraceContainsEvent(std::string_view json,
+                                      std::string_view name) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("missing \"traceEvents\" array");
+  }
+  for (const JsonValue& event : events->AsArray()) {
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* n = event.Find("name");
+    if (ph != nullptr && ph->is_string() && ph->AsString() != "M" &&
+        n != nullptr && n->is_string() && n->AsString() == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace updlrm::telemetry

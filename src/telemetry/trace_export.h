@@ -1,0 +1,64 @@
+// Chrome trace-event / Perfetto JSON export of a recorded trace.
+//
+// Emits the JSON Array Format's object flavour
+// ({"traceEvents": [...], ...}) that both chrome://tracing and
+// ui.perfetto.dev load directly. Mapping from tracer events:
+//   * kBegin/kEnd        -> ph "B"/"E" duration events
+//   * kComplete          -> ph "X" with "dur"
+//   * kInstant           -> ph "i" (thread scope)
+//   * kCounter           -> ph "C" with args {"value": v}
+//   * kAsyncBegin/End    -> ph "b"/"e" with "id" (request lifetimes)
+// plus ph "M" metadata naming every process/thread track registered
+// with the tracer. Timestamps are exported in microseconds (the
+// format's unit), as doubles, so simulated sub-microsecond slices keep
+// their resolution.
+//
+// Clock domains stay separated by construction: host-clock events all
+// live in the kHostPid process, simulated-clock events in the other
+// pids, and the export summary (otherData) names each process's clock.
+//
+// ValidateChromeTraceJson is the schema checker the tests and the CI
+// trace-smoke step run over emitted files: it re-parses the JSON
+// (telemetry/json.h) and checks the trace-event schema — required
+// fields per phase type, numeric timestamps, non-empty event list —
+// so a malformed or empty trace fails loudly instead of silently
+// rendering blank in the viewer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/tracer.h"
+
+namespace updlrm::telemetry {
+
+/// Serializes `events` (plus track-name metadata from `tracer`) into
+/// Chrome trace-event JSON. Deterministic for a given event sequence.
+std::string ToChromeTraceJson(const Tracer& tracer,
+                              const std::vector<TraceEvent>& events);
+
+/// Snapshot + serialize in one step.
+std::string ToChromeTraceJson(const Tracer& tracer);
+
+/// Writes the tracer's current snapshot to `path`. Fails if the file
+/// cannot be written or the trace recorded zero events.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// Schema checker for trace-event JSON (see file comment). `min_events`
+/// guards against structurally-valid-but-empty traces: metadata ("M")
+/// events do not count toward it.
+Status ValidateChromeTraceJson(std::string_view json,
+                               std::size_t min_events = 1);
+
+/// Reads `path` and validates it.
+Status ValidateChromeTraceFile(const std::string& path,
+                               std::size_t min_events = 1);
+
+/// True if the file contains at least one non-metadata event with this
+/// exact name (used by tools/trace_check --require).
+Result<bool> ChromeTraceContainsEvent(std::string_view json,
+                                      std::string_view name);
+
+}  // namespace updlrm::telemetry

@@ -6,8 +6,10 @@
 #include "common/fixed_point.h"
 #include "common/thread_pool.h"
 #include "partition/replication.h"
+#include "telemetry/tracer.h"
 #include "trace/profiler.h"
 #include "updlrm/dedup.h"
+#include "updlrm/timeline.h"
 
 namespace updlrm::core {
 
@@ -51,6 +53,7 @@ Result<std::unique_ptr<UpDlrmEngine>> UpDlrmEngine::Create(
 }
 
 Status UpDlrmEngine::Setup() {
+  telemetry::TraceSpan span("engine.Setup", "engine");
   UPDLRM_RETURN_IF_ERROR(config_.Validate());
   if (options_.batch_size == 0) {
     return Status::InvalidArgument("batch_size must be >= 1");
@@ -562,18 +565,26 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   const std::uint32_t dim = config_.embedding_dim;
   const std::uint32_t tables = config_.num_tables;
   const unsigned threads = options_.num_threads;
+  // Tracing is observation only: `capture` gates writes into
+  // trace-owned side buffers (and the host-clock spans below); every
+  // simulated quantity is computed identically either way.
+  const bool capture = telemetry::TraceEnabled();
+  telemetry::TraceSpan batch_span("engine.RunSamples", "engine");
 
   BatchResult out;
   std::vector<std::uint64_t> push_bytes(system_->num_dpus(), 0);
   std::vector<std::uint64_t> pull_bytes(system_->num_dpus(), 0);
 
   // --- Stage 1: routing, one task per group (disjoint scratch). ---
-  ParallelFor(
-      groups_.size(),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t g = begin; g < end; ++g) RouteGroup(g, samples);
-      },
-      threads);
+  {
+    telemetry::TraceSpan span("engine.route", "engine");
+    ParallelFor(
+        groups_.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t g = begin; g < end; ++g) RouteGroup(g, samples);
+        },
+        threads);
+  }
 
   // --- Stage 2: per-(group, bin) kernel cost and per-DPU statistics.
   // Each task owns bin (g, bin) and writes only that bin's DPU column
@@ -584,6 +595,14 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   const std::size_t num_bin_tasks = bin_task_start_.back();
   std::vector<Cycles> bin_cycles(num_bin_tasks, 0);
   std::vector<Status> bin_status(num_bin_tasks);
+  // Per-(group, bin) launch records for the telemetry timeline; tasks
+  // write disjoint entries, so capture is deterministic and race-free.
+  std::shared_ptr<BatchDpuTrace> dpu_trace;
+  if (capture) {
+    dpu_trace = std::make_shared<BatchDpuTrace>();
+    dpu_trace->slices.resize(num_bin_tasks);
+  }
+  if (capture) telemetry::Tracer::Get().Begin("engine.stage2", "engine");
   ParallelFor(
       num_bin_tasks,
       [&](std::size_t begin, std::size_t end) {
@@ -636,6 +655,15 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
             }
           }
           bin_cycles[task] = cycles;
+          if (dpu_trace != nullptr) {
+            DpuTraceSlice& slice = dpu_trace->slices[task];
+            slice.table = group.table_index;
+            slice.bin = bin;
+            slice.first_dpu = group.GlobalDpu(bin, 0);
+            slice.col_shards = geom.col_shards;
+            slice.cycles = cycles;
+            slice.work = work;
+          }
           if (checker_ != nullptr) {
             // Cross-audit the priced launch against the executed
             // simulator, check the dedup wire format, and report this
@@ -701,10 +729,20 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
         }
       },
       threads);
+  if (capture) telemetry::Tracer::Get().End();
   Cycles max_kernel = 0;
   for (std::size_t task = 0; task < num_bin_tasks; ++task) {
     UPDLRM_RETURN_IF_ERROR(bin_status[task]);
     max_kernel = std::max(max_kernel, bin_cycles[task]);
+  }
+  if (dpu_trace != nullptr) {
+    for (std::size_t task = 0; task < num_bin_tasks; ++task) {
+      if (bin_cycles[task] > dpu_trace->max_cycles) {
+        dpu_trace->max_cycles = bin_cycles[task];
+        dpu_trace->straggler = task;
+      }
+    }
+    out.dpu_trace = dpu_trace;
   }
 
   // --- Functional kernel execution: real MRAM reads, bit-exact int32
@@ -717,6 +755,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   // are bit-identical to the serial order at any thread count. ---
   std::vector<std::int64_t> pooled_acc;
   if (fn) {
+    telemetry::TraceSpan span("engine.functional", "engine");
     pooled_acc.assign(batch * static_cast<std::size_t>(tables) * dim, 0);
     const std::size_t num_fn_tasks = fn_task_start_.back();
     const std::size_t wires_per_task = batch * nc_;
@@ -877,14 +916,79 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
 Result<InferenceReport> UpDlrmEngine::RunAll(
     const dlrm::DenseInputs* dense) {
   InferenceReport report;
+  // Trace emission: RunAll models batches back-to-back (no pipelining),
+  // so a serial sim-time cursor places batch i at [t, t + total). Spans
+  // mirror the StageBreakdown; 1-in-sample_every batches also get the
+  // per-DPU timeline (skips are counted, never silent).
+  const bool tracing = telemetry::TraceEnabled();
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  const std::uint64_t sample_every =
+      tracing ? tracer.options().sample_every : 1;
+  using telemetry::Clock;
+  using telemetry::kPipelinePid;
+  if (tracing) {
+    tracer.SetThreadName(kPipelinePid, 0, "host buses (stage 1/3)");
+    tracer.SetThreadName(kPipelinePid, 1, "DPU array (stage 2)");
+    tracer.SetThreadName(kPipelinePid, 2, "MLP (CPU)");
+  }
+  Nanos cursor = 0.0;
+  std::uint64_t batch_index = 0;
   for (const trace::BatchRange& range :
        trace::MakeBatches(trace_.num_samples(), options_.batch_size)) {
     auto batch = RunBatch(range, dense);
     if (!batch.ok()) return batch.status();
+    if (tracing) {
+      if (batch_index % sample_every == 0) {
+        const StageBreakdown& st = batch->stages;
+        const Nanos s2_start = cursor + st.cpu_to_dpu;
+        const Nanos s3_start = s2_start + st.dpu_lookup;
+        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage1.push",
+                        cursor, st.cpu_to_dpu, "batch",
+                        static_cast<double>(batch_index));
+        tracer.Complete(kPipelinePid, 1, Clock::kSim, "stage2.kernel",
+                        s2_start, st.dpu_lookup);
+        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage3.pull",
+                        s3_start, st.dpu_to_cpu);
+        tracer.Complete(kPipelinePid, 0, Clock::kSim, "cpu.aggregate",
+                        s3_start + st.dpu_to_cpu, st.cpu_aggregate);
+        tracer.Complete(kPipelinePid, 2, Clock::kSim, "mlp.bottom",
+                        cursor, batch->bottom_mlp);
+        tracer.Complete(
+            kPipelinePid, 2, Clock::kSim, "mlp.interaction_top",
+            cursor + std::max(batch->bottom_mlp, st.EmbeddingTotal()),
+            batch->interaction_top);
+        if (batch->dpu_trace != nullptr) {
+          EmitBatchDpuTimeline(*system_, *batch->dpu_trace, batch_index,
+                               s2_start, /*tasklet_detail=*/true);
+        }
+      } else {
+        tracer.CountSampledOut();
+      }
+    }
+    cursor += batch->total;
+    ++batch_index;
     report.Accumulate(batch.value());
     report.num_samples += range.size();
   }
   return report;
+}
+
+std::optional<UpDlrmEngine::DpuLocation> UpDlrmEngine::LocateDpu(
+    std::uint32_t dpu) const {
+  for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(groups_.size());
+       ++t) {
+    if (dpu < first_dpu_[t] || dpu >= first_dpu_[t] + dpus_per_table_[t]) {
+      continue;
+    }
+    const auto& geom = groups_[t].plan.geom;
+    const std::uint32_t local = dpu - first_dpu_[t];
+    if (local >=
+        static_cast<std::uint32_t>(geom.row_shards) * geom.col_shards) {
+      return std::nullopt;  // allocated to the table but unused
+    }
+    return DpuLocation{t, local / geom.col_shards, local % geom.col_shards};
+  }
+  return std::nullopt;
 }
 
 }  // namespace updlrm::core

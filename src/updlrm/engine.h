@@ -136,6 +136,18 @@ class UpDlrmEngine {
 
   std::uint32_t nc() const { return nc_; }
   const std::vector<TableGroup>& groups() const { return groups_; }
+  /// The DPU system this engine runs on (for telemetry emission and
+  /// the straggler report).
+  const pim::DpuSystem& dpu_system() const { return *system_; }
+
+  /// Inverse of TableGroup::GlobalDpu: which (table, bin, column
+  /// shard) a global DPU id serves; nullopt for DPUs no group uses.
+  struct DpuLocation {
+    std::uint32_t table = 0;
+    std::uint32_t bin = 0;
+    std::uint32_t col = 0;
+  };
+  std::optional<DpuLocation> LocateDpu(std::uint32_t dpu) const;
   /// Present when Nc was chosen automatically.
   const std::optional<partition::TileOptimizerResult>& tile_optimization()
       const {

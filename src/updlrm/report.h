@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/units.h"
 
 namespace updlrm::core {
+
+struct BatchDpuTrace;  // updlrm/timeline.h
 
 struct StageBreakdown {
   Nanos cpu_to_dpu = 0.0;    // stage 1
@@ -44,6 +47,11 @@ struct BatchResult {
   // Functional outputs (empty in timing-only mode).
   std::vector<float> pooled;  // batch x (tables * dim), fixed-point path
   std::vector<float> ctr;     // batch
+
+  /// Per-(table, bin) stage-2 launch records for the telemetry
+  /// timeline; null unless tracing was enabled during the batch.
+  /// Observation only — never feeds back into any simulated value.
+  std::shared_ptr<const BatchDpuTrace> dpu_trace;
 };
 
 struct InferenceReport {

@@ -1,0 +1,84 @@
+#include "updlrm/timeline.h"
+
+#include <string>
+
+#include "pim/kernel_sim.h"
+#include "telemetry/tracer.h"
+
+namespace updlrm::core {
+
+namespace {
+
+using telemetry::Clock;
+using telemetry::kDpuPid;
+using telemetry::kTaskletPid;
+using telemetry::Tracer;
+
+void EmitStragglerTasklets(const pim::DpuSystem& system,
+                           const DpuTraceSlice& slice, Nanos kernel_start) {
+  const double clock_hz = system.config().dpu.clock_hz;
+  pim::KernelTimeline tl;
+  (void)pim::SimulateEmbeddingKernel(system.config().dpu,
+                                     system.mram_timing(),
+                                     system.config().kernel_cost, slice.work,
+                                     pim::PhaseEngine::kPeriodic, &tl);
+  Tracer& tracer = Tracer::Get();
+  tracer.SetThreadName(kTaskletPid, tl.tasklets, "phase summary");
+  for (std::uint32_t t = 0; t < tl.tasklets; ++t) {
+    tracer.SetThreadName(kTaskletPid, t, "tasklet " + std::to_string(t));
+  }
+  for (std::size_t p = 0; p < tl.phases.size(); ++p) {
+    const pim::PhaseTrace& ph = tl.phases[p];
+    if (ph.num_items == 0) continue;
+    const char* name = p < pim::kEmbeddingKernelNumPhases
+                           ? pim::kEmbeddingKernelPhaseNames[p]
+                           : "phase";
+    const Nanos start = kernel_start + CyclesToNanos(ph.start, clock_hz);
+    // Phase-summary slice: the barrier-to-barrier span, with the DMA
+    // engine's occupancy (the "MRAM DMA" share) as an arg.
+    tracer.Complete(kTaskletPid, tl.tasklets, Clock::kSim, name, start,
+                    CyclesToNanos(ph.makespan, clock_hz), "dma_busy_cycles",
+                    static_cast<double>(ph.dma_busy), "items",
+                    static_cast<double>(ph.num_items));
+    for (std::uint32_t t = 0; t < tl.tasklets; ++t) {
+      if (ph.tasklet_items[t] == 0) continue;
+      tracer.Complete(kTaskletPid, t, Clock::kSim, name, start,
+                      CyclesToNanos(ph.tasklet_finish[t], clock_hz),
+                      "items", static_cast<double>(ph.tasklet_items[t]));
+    }
+  }
+}
+
+}  // namespace
+
+void EmitBatchDpuTimeline(const pim::DpuSystem& system,
+                          const BatchDpuTrace& trace,
+                          std::uint64_t batch_index, Nanos s2_start_ns,
+                          bool tasklet_detail) {
+  Tracer& tracer = Tracer::Get();
+  if (!telemetry::TraceEnabled() || trace.slices.empty()) return;
+  const double clock_hz = system.config().dpu.clock_hz;
+  const Nanos kernel_start =
+      s2_start_ns + system.transfer().KernelLaunchOverhead();
+  for (const DpuTraceSlice& s : trace.slices) {
+    const Nanos dur = CyclesToNanos(s.cycles, clock_hz);
+    tracer.Complete(kDpuPid, s.first_dpu, Clock::kSim, "kernel",
+                    kernel_start, dur, "cycles",
+                    static_cast<double>(s.cycles), "lookups",
+                    static_cast<double>(s.work.num_lookups));
+    if (s.work.num_wram_hits > 0) {
+      tracer.InstantAt(kDpuPid, s.first_dpu, Clock::kSim, "wram_hits",
+                       kernel_start, "hits",
+                       static_cast<double>(s.work.num_wram_hits));
+    }
+  }
+  const DpuTraceSlice& slow = trace.slices[trace.straggler];
+  tracer.InstantAt(kDpuPid, slow.first_dpu, Clock::kSim, "straggler",
+                   kernel_start + CyclesToNanos(slow.cycles, clock_hz),
+                   "batch", static_cast<double>(batch_index));
+  if (tasklet_detail) {
+    EmitStragglerTasklets(system, slow, kernel_start);
+  }
+}
+
+}  // namespace updlrm::core

@@ -1,0 +1,218 @@
+// The Chrome trace-event exporter and its schema checker: event
+// mapping, microsecond conversion, clock-domain separation in the
+// output, and rejection of malformed or empty traces.
+#include "telemetry/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/tracer.h"
+
+namespace updlrm::telemetry {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::Get().Disable(); }
+
+  /// Records a small representative trace spanning both clocks and
+  /// every event kind the instrumentation emits.
+  static void RecordSampleTrace() {
+    Tracer& tracer = Tracer::Get();
+    tracer.Enable();
+    tracer.SetProcessName(kDpuPid, "DPU array (simulated time)");
+    tracer.SetThreadName(kDpuPid, 3, "dpu 3");
+    tracer.Begin("host_span", "engine");
+    tracer.Instant("host_mark");
+    tracer.End();
+    tracer.Complete(kDpuPid, 3, Clock::kSim, "kernel", 2'000.0, 500.0,
+                    "cycles", 175.0);
+    tracer.Counter(kPipelinePid, Clock::kSim, "queue_depth", 1'000.0,
+                   4.0);
+    tracer.AsyncBegin(kRequestPid, 9, Clock::kSim, "request", "request",
+                      100.0);
+    tracer.AsyncEnd(kRequestPid, 9, Clock::kSim, "request", "request",
+                    3'100.0);
+  }
+};
+
+TEST_F(ExportTest, RoundTripsThroughTheSchemaChecker) {
+  RecordSampleTrace();
+  const std::string json = ToChromeTraceJson(Tracer::Get());
+  EXPECT_TRUE(ValidateChromeTraceJson(json).ok())
+      << ValidateChromeTraceJson(json).ToString();
+  EXPECT_TRUE(ValidateChromeTraceJson(json, /*min_events=*/7).ok());
+  // 7 non-metadata events were recorded; demanding more must fail.
+  EXPECT_FALSE(ValidateChromeTraceJson(json, /*min_events=*/8).ok());
+}
+
+TEST_F(ExportTest, MapsEventKindsAndConvertsToMicroseconds) {
+  RecordSampleTrace();
+  const std::string json = ToChromeTraceJson(Tracer::Get());
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  const JsonValue* kernel = nullptr;
+  const JsonValue* counter = nullptr;
+  const JsonValue* async_begin = nullptr;
+  bool saw_host_begin = false;
+  for (const JsonValue& e : events->AsArray()) {
+    const std::string& ph = e.Find("ph")->AsString();
+    const JsonValue* name = e.Find("name");
+    if (ph == "X") kernel = &e;
+    if (ph == "C") counter = &e;
+    if (ph == "b") async_begin = &e;
+    if (ph == "B" && name->AsString() == "host_span") {
+      saw_host_begin = true;
+      EXPECT_EQ(static_cast<int>(e.Find("pid")->AsNumber()), kHostPid);
+      EXPECT_EQ(e.Find("cat")->AsString(), "engine");
+    }
+  }
+  EXPECT_TRUE(saw_host_begin);
+
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->Find("name")->AsString(), "kernel");
+  EXPECT_EQ(static_cast<int>(kernel->Find("pid")->AsNumber()), kDpuPid);
+  EXPECT_EQ(static_cast<int>(kernel->Find("tid")->AsNumber()), 3);
+  // ts/dur are exported in microseconds: 2000 ns -> 2 us, 500 -> 0.5.
+  EXPECT_DOUBLE_EQ(kernel->Find("ts")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(kernel->Find("dur")->AsNumber(), 0.5);
+  const JsonValue* cycles = kernel->Find("args")->Find("cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_DOUBLE_EQ(cycles->AsNumber(), 175.0);
+
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->Find("args")->Find("value")->AsNumber(), 4.0);
+
+  ASSERT_NE(async_begin, nullptr);
+  EXPECT_EQ(async_begin->Find("cat")->AsString(), "request");
+  ASSERT_NE(async_begin->Find("id"), nullptr);
+}
+
+TEST_F(ExportTest, NamesTracksAndSeparatesClockDomains) {
+  RecordSampleTrace();
+  const std::string json = ToChromeTraceJson(Tracer::Get());
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  bool named_dpu_process = false;
+  bool named_dpu_track = false;
+  for (const JsonValue& e : parsed->Find("traceEvents")->AsArray()) {
+    if (e.Find("ph")->AsString() != "M") {
+      // Host-clock events stay in kHostPid; simulated events never
+      // appear there.
+      const int pid = static_cast<int>(e.Find("pid")->AsNumber());
+      const std::string& name = e.Find("name") != nullptr
+                                    ? e.Find("name")->AsString()
+                                    : std::string();
+      if (pid == kHostPid) {
+        EXPECT_TRUE(name == "host_span" || name == "host_mark" ||
+                    name.empty())
+            << name;
+      } else {
+        EXPECT_TRUE(name != "host_span" && name != "host_mark") << name;
+      }
+      continue;
+    }
+    if (e.Find("name")->AsString() == "process_name" &&
+        static_cast<int>(e.Find("pid")->AsNumber()) == kDpuPid) {
+      named_dpu_process = true;
+    }
+    if (e.Find("name")->AsString() == "thread_name" &&
+        static_cast<int>(e.Find("tid")->AsNumber()) == 3) {
+      named_dpu_track = true;
+    }
+  }
+  EXPECT_TRUE(named_dpu_process);
+  EXPECT_TRUE(named_dpu_track);
+  const JsonValue* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_NE(other->Find("clockDomains"), nullptr);
+}
+
+TEST_F(ExportTest, RejectsMalformedJson) {
+  EXPECT_FALSE(ValidateChromeTraceJson("not json at all").ok());
+  EXPECT_FALSE(ValidateChromeTraceJson("{\"traceEvents\": 17}").ok());
+  EXPECT_FALSE(ValidateChromeTraceJson("{}").ok());
+  EXPECT_FALSE(ValidateChromeTraceJson("{\"traceEvents\": [").ok());
+}
+
+TEST_F(ExportTest, RejectsSchemaViolations) {
+  auto wrap = [](const std::string& event) {
+    return "{\"traceEvents\": [" + event + "]}";
+  };
+  // Well-formed JSON, broken trace-event schema:
+  EXPECT_FALSE(ValidateChromeTraceJson(wrap("{}")).ok());  // no ph
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   wrap("{\"ph\":\"Z\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                        "\"name\":\"x\"}"))
+                   .ok());  // unknown phase
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   wrap("{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                        "\"name\":\"x\"}"))
+                   .ok());  // X without dur
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   wrap("{\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":-5,"
+                        "\"name\":\"x\"}"))
+                   .ok());  // negative ts
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   wrap("{\"ph\":\"b\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                        "\"name\":\"x\"}"))
+                   .ok());  // async without id/cat
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   wrap("{\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                        "\"name\":\"\"}"))
+                   .ok());  // empty name on an opening event
+  // A valid minimal B event passes.
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  wrap("{\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                       "\"name\":\"x\"}"))
+                  .ok());
+}
+
+TEST_F(ExportTest, MetadataOnlyTracesCountAsEmpty) {
+  const std::string metadata_only =
+      "{\"traceEvents\": [{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"process_name\",\"args\":{\"name\":\"x\"}}]}";
+  EXPECT_FALSE(ValidateChromeTraceJson(metadata_only).ok());
+  EXPECT_TRUE(ValidateChromeTraceJson(metadata_only, /*min_events=*/0).ok());
+}
+
+TEST_F(ExportTest, WriteFailsOnEmptyTrace) {
+  Tracer::Get().Enable();  // enabled but nothing recorded
+  const Status status =
+      WriteChromeTrace(Tracer::Get(), "/tmp/updlrm_export_test_empty.json");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ExportTest, WritesAndValidatesFile) {
+  RecordSampleTrace();
+  const std::string path = "/tmp/updlrm_export_test_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(Tracer::Get(), path).ok());
+  EXPECT_TRUE(ValidateChromeTraceFile(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ValidateChromeTraceFile(path).ok());  // unreadable
+}
+
+TEST_F(ExportTest, ContainsEventFindsNonMetadataNames) {
+  RecordSampleTrace();
+  const std::string json = ToChromeTraceJson(Tracer::Get());
+  auto has_kernel = ChromeTraceContainsEvent(json, "kernel");
+  ASSERT_TRUE(has_kernel.ok());
+  EXPECT_TRUE(*has_kernel);
+  auto has_missing = ChromeTraceContainsEvent(json, "nope");
+  ASSERT_TRUE(has_missing.ok());
+  EXPECT_FALSE(*has_missing);
+  // Metadata track names don't count as events.
+  auto has_meta = ChromeTraceContainsEvent(json, "process_name");
+  ASSERT_TRUE(has_meta.ok());
+  EXPECT_FALSE(*has_meta);
+}
+
+}  // namespace
+}  // namespace updlrm::telemetry

@@ -1,0 +1,127 @@
+// The unified metrics registry: counter/gauge/histogram semantics,
+// percentile interpolation bounds, deterministic JSON snapshots and
+// the one-kind-per-name contract.
+#include "telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace updlrm::telemetry {
+namespace {
+
+TEST(ValueHistogramTest, TracksCountSumMinMax) {
+  ValueHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  h.Observe(100.0);
+  h.Observe(5.0);
+  h.Observe(1e9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0 + 5.0 + 1e9);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.Mean(), h.sum() / 3.0);
+}
+
+TEST(ValueHistogramTest, PercentilesClampToExactExtremes) {
+  ValueHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i) * 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 10.0);     // exact min
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);  // exact max
+  // Log-spaced buckets bound the interior error to ~26% relative.
+  const double p50 = h.Percentile(50.0);
+  EXPECT_GT(p50, 500.0 * 0.7);
+  EXPECT_LT(p50, 500.0 * 1.3);
+  const double p99 = h.Percentile(99.0);
+  EXPECT_GT(p99, 990.0 * 0.7);
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(ValueHistogramTest, HandlesOutOfRangeInputs) {
+  ValueHistogram h;
+  h.Observe(-5.0);   // clamped to 0 (underflow bucket)
+  h.Observe(0.25);   // below kMinValue -> underflow bucket
+  h.Observe(5e13);   // beyond the top decade -> overflow bucket
+  h.Observe(std::nan(""));  // ignored
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5e13);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 5e13);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulateGaugesOverwrite) {
+  MetricsRegistry registry;
+  registry.Increment("pim.lookups", 10.0);
+  registry.Increment("pim.lookups", 5.0);
+  registry.Increment("pim.batches");
+  registry.SetGauge("serve.qps", 100.0);
+  registry.SetGauge("serve.qps", 250.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("pim.lookups"), 15.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("pim.batches"), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("serve.qps"), 250.0);
+  EXPECT_TRUE(registry.Has("pim.lookups"));
+  EXPECT_FALSE(registry.Has("missing"));
+  EXPECT_DOUBLE_EQ(registry.CounterValue("missing"), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramsObserve) {
+  MetricsRegistry registry;
+  registry.Observe("serve.latency_ns", 1'000.0);
+  registry.Observe("serve.latency_ns", 2'000.0);
+  const ValueHistogram h = registry.HistogramValue("serve.latency_ns");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1'000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2'000.0);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAndOrdered) {
+  auto fill = [](MetricsRegistry& r) {
+    // Insertion order differs from key order on purpose: the snapshot
+    // must sort by name regardless.
+    r.SetGauge("z.gauge", 1.5);
+    r.Increment("b.counter", 2.0);
+    r.Increment("a.counter", 1.0);
+    r.Observe("m.hist", 100.0);
+  };
+  MetricsRegistry first;
+  MetricsRegistry second;
+  fill(first);
+  fill(second);
+  const std::string json = first.ToJson();
+  EXPECT_EQ(json, second.ToJson());
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+  EXPECT_LT(json.find("a.counter"), json.find("b.counter"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.Increment("c", 1.0);
+  registry.SetGauge("g", 1.0);
+  registry.Observe("h", 1.0);
+  registry.Reset();
+  EXPECT_FALSE(registry.Has("c"));
+  EXPECT_FALSE(registry.Has("g"));
+  EXPECT_FALSE(registry.Has("h"));
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryDeathTest, NameKindReuseAborts) {
+  MetricsRegistry registry;
+  registry.Increment("metric.x", 1.0);
+  EXPECT_DEATH(registry.SetGauge("metric.x", 2.0), "metric.x");
+}
+
+TEST(MetricsRegistryTest, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace updlrm::telemetry

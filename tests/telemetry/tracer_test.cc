@@ -1,0 +1,181 @@
+// The span tracer's core contracts: emission ordering, ring-buffer
+// overflow accounting, the disabled gate, clock-domain tagging and
+// multi-threaded buffer isolation.
+#include "telemetry/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace updlrm::telemetry {
+namespace {
+
+// The tracer is a process-wide singleton; every test starts its own
+// trace (Enable drops prior events) and disables on exit.
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::Get().Disable(); }
+};
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();  // fresh trace (drops any prior test's events)
+  tracer.Disable();
+  EXPECT_FALSE(TraceEnabled());
+  tracer.Begin("ignored");
+  tracer.End();
+  tracer.Complete(kPipelinePid, 0, Clock::kSim, "ignored", 10.0, 5.0);
+  { TraceSpan span("ignored"); }
+  EXPECT_EQ(tracer.Snapshot().size(), 0u);
+  EXPECT_EQ(tracer.recorded_events(), 0u);
+}
+
+TEST_F(TracerTest, EmissionOrderIsPreserved) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  ASSERT_TRUE(TraceEnabled());
+  tracer.Begin("outer", "cat");
+  tracer.Begin("inner", "cat");
+  tracer.Instant("mark");
+  tracer.End();
+  tracer.End();
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(std::string(events[0].name), "outer");
+  EXPECT_EQ(events[0].kind, EventKind::kBegin);
+  EXPECT_EQ(std::string(events[1].name), "inner");
+  EXPECT_EQ(std::string(events[2].name), "mark");
+  EXPECT_EQ(events[2].kind, EventKind::kInstant);
+  EXPECT_EQ(events[3].kind, EventKind::kEnd);
+  EXPECT_EQ(events[4].kind, EventKind::kEnd);
+  // Host-clock timestamps are monotonic in emission order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns) << i;
+  }
+}
+
+TEST_F(TracerTest, OverflowDropsAndCountsNeverResizes) {
+  Tracer& tracer = Tracer::Get();
+  TracerOptions options;
+  options.buffer_capacity = 8;
+  tracer.Enable(options);
+  for (int i = 0; i < 20; ++i) tracer.Instant("e");
+  EXPECT_EQ(tracer.recorded_events(), 8u);
+  EXPECT_EQ(tracer.dropped_events(), 12u);
+  EXPECT_EQ(tracer.Snapshot().size(), 8u);
+  // The first `capacity` events survive, in order.
+  for (const TraceEvent& e : tracer.Snapshot()) {
+    EXPECT_EQ(std::string(e.name), "e");
+  }
+}
+
+TEST_F(TracerTest, EnableResetsPriorTrace) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  tracer.Instant("old");
+  tracer.CountSampledOut(3);
+  ASSERT_EQ(tracer.recorded_events(), 1u);
+  tracer.Enable();  // fresh trace
+  EXPECT_EQ(tracer.recorded_events(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  EXPECT_EQ(tracer.sampled_out_events(), 0u);
+  tracer.Instant("new");
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "new");
+}
+
+TEST_F(TracerTest, ClockDomainsStaySeparated) {
+  // Host-side emission is stamped kHost/kHostPid by the tracer; the
+  // explicit-clock calls carry exactly the pid/clock/timestamps the
+  // emitter computed — simulated timestamps are never mixed with the
+  // wall clock.
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  tracer.Begin("host_work");
+  tracer.End();
+  tracer.Complete(kDpuPid, 7, Clock::kSim, "kernel", 1'000.0, 250.0,
+                  "cycles", 88.0);
+  tracer.Counter(kPipelinePid, Clock::kSim, "queue_depth", 500.0, 3.0);
+  tracer.AsyncBegin(kRequestPid, 42, Clock::kSim, "request", "request",
+                    100.0);
+  tracer.AsyncEnd(kRequestPid, 42, Clock::kSim, "request", "request",
+                  900.0);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].clock, Clock::kHost);
+  EXPECT_EQ(events[0].pid, kHostPid);
+  EXPECT_GE(events[0].ts_ns, 0.0);
+
+  EXPECT_EQ(events[2].clock, Clock::kSim);
+  EXPECT_EQ(events[2].pid, kDpuPid);
+  EXPECT_EQ(events[2].tid, 7);
+  EXPECT_DOUBLE_EQ(events[2].ts_ns, 1'000.0);
+  EXPECT_DOUBLE_EQ(events[2].dur_ns, 250.0);
+  EXPECT_EQ(std::string(events[2].arg_name[0]), "cycles");
+  EXPECT_DOUBLE_EQ(events[2].arg_value[0], 88.0);
+
+  EXPECT_EQ(events[3].kind, EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[3].value, 3.0);
+  EXPECT_EQ(events[4].kind, EventKind::kAsyncBegin);
+  EXPECT_EQ(events[4].async_id, 42u);
+  EXPECT_EQ(events[5].kind, EventKind::kAsyncEnd);
+}
+
+TEST_F(TracerTest, SampledOutAccumulates) {
+  Tracer& tracer = Tracer::Get();
+  TracerOptions options;
+  options.sample_every = 4;
+  tracer.Enable(options);
+  EXPECT_EQ(tracer.options().sample_every, 4u);
+  tracer.CountSampledOut();
+  tracer.CountSampledOut(5);
+  EXPECT_EQ(tracer.sampled_out_events(), 6u);
+}
+
+TEST_F(TracerTest, TrackNamesAreStored) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  tracer.SetProcessName(kDpuPid, "DPU array");
+  tracer.SetThreadName(kDpuPid, 3, "dpu 3");
+  EXPECT_EQ(tracer.process_names().at(kDpuPid), "DPU array");
+  EXPECT_EQ(tracer.thread_names().at({kDpuPid, 3}), "dpu 3");
+}
+
+TEST_F(TracerTest, ThreadsWriteDisjointBuffersInOrder) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&tracer, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // tid-distinguishing payload via the sim-clock path: ts
+        // encodes (worker, i) so per-thread order is checkable after
+        // the merge.
+        tracer.Complete(kPipelinePid, w, Clock::kSim, "work",
+                        static_cast<double>(i), 1.0);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  // Within each worker's track, timestamps appear in emission order.
+  std::vector<double> last(kThreads, -1.0);
+  for (const TraceEvent& e : events) {
+    const auto w = static_cast<std::size_t>(e.tid);
+    ASSERT_LT(w, static_cast<std::size_t>(kThreads));
+    EXPECT_GT(e.ts_ns, last[w]);
+    last[w] = e.ts_ns;
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::telemetry

@@ -1,0 +1,119 @@
+// trace_check: validate Chrome trace-event JSON files emitted by the
+// benches (--trace-out) against the telemetry schema checker.
+//
+// Usage:
+//   trace_check [--min-events=N] [--require=NAME ...] FILE [FILE ...]
+//
+// Exit status is 0 only if every file parses, passes the schema check
+// with at least N non-metadata events, and contains every --require'd
+// event name. CI's trace-smoke step runs this over the traces the
+// smoke benches emit, so a malformed or empty trace fails the build
+// instead of silently rendering blank in the viewer.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "telemetry/trace_export.h"
+
+namespace updlrm {
+namespace {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return std::move(contents).str();
+}
+
+int Run(int argc, char** argv) {
+  auto cli = CommandLine::Parse(argc, argv);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "trace_check: %s\n",
+                 cli.status().ToString().c_str());
+    return 2;
+  }
+  const auto min_events =
+      static_cast<std::size_t>(cli->GetInt("min-events", 1));
+  // CommandLine keeps one value per flag; a comma-separated list keeps
+  // `--require=a,b` usable alongside repeated positional files.
+  std::vector<std::string> required;
+  {
+    std::string list = cli->GetString("require", "");
+    std::size_t start = 0;
+    while (start <= list.size() && !list.empty()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string name =
+          list.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!name.empty()) required.push_back(name);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  const std::vector<std::string>& files = cli->positional();
+  const std::vector<std::string> unused = cli->UnusedFlags();
+  if (!unused.empty()) {
+    for (const std::string& flag : unused) {
+      std::fprintf(stderr, "trace_check: unknown flag --%s\n",
+                   flag.c_str());
+    }
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_check [--min-events=N] [--require=a,b] "
+                 "FILE [FILE ...]\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : files) {
+    auto json = ReadFileToString(path);
+    if (!json.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   json.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const Status valid =
+        telemetry::ValidateChromeTraceJson(*json, min_events);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   valid.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    bool missing = false;
+    for (const std::string& name : required) {
+      auto has = telemetry::ChromeTraceContainsEvent(*json, name);
+      if (!has.ok()) {
+        std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                     has.status().ToString().c_str());
+        missing = true;
+        break;
+      }
+      if (!*has) {
+        std::fprintf(stderr, "FAIL %s: no event named \"%s\"\n",
+                     path.c_str(), name.c_str());
+        missing = true;
+      }
+    }
+    if (missing) {
+      ++failures;
+      continue;
+    }
+    std::printf("OK %s\n", path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace updlrm
+
+int main(int argc, char** argv) { return updlrm::Run(argc, argv); }
