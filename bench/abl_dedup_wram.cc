@@ -54,7 +54,10 @@ int main(int argc, char** argv) {
   for (const trace::DatasetSpec& spec : trace::Table1Workloads()) {
     ++num_datasets;
     const bench::Workload w = bench::PrepareWorkload(spec, scale);
-    const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+    const std::vector<trace::TableProfile> profiles =
+        bench::ProfileTables(w);
+    const std::vector<cache::CacheRes> caches =
+        bench::MineCaches(w, 0, &profiles);
     int methods_improved = 0;
     for (partition::Method method : methods) {
       std::vector<double> us_per_batch;
@@ -64,6 +67,7 @@ int main(int argc, char** argv) {
         core::EngineOptions options =
             bench::PaperEngineOptions(method, 8, scale);
         options.premined_cache = &caches;
+        options.preprofiled = &profiles;
         options.dedup = cfg.dedup;
         options.wram_cache_rows = cfg.wram ? wram_rows : 0;
         options.coalesce_transfers = cfg.coalesce;

@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
-  const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+  const std::vector<trace::TableProfile> profiles =
+      bench::ProfileTables(w);
+  const std::vector<cache::CacheRes> caches =
+      bench::MineCaches(w, 0, &profiles);
 
   TablePrinter out({"method", "replicated rows", "replica MRAM/DPU",
                     "stage2 (us/batch)", "embedding (us/batch)",
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
       core::EngineOptions options =
           bench::PaperEngineOptions(method, 8, scale);
       options.premined_cache = &caches;
+      options.preprofiled = &profiles;
       options.replicate_hot_rows = k;
       auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
                                                system.get(), options);

@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
-  const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+  const std::vector<trace::TableProfile> profiles =
+      bench::ProfileTables(w);
+  const std::vector<cache::CacheRes> caches =
+      bench::MineCaches(w, 0, &profiles);
 
   TablePrinter out(
       {"tasklets", "lookup time (us/batch)", "speedup vs 1 tasklet"});
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
     core::EngineOptions options = bench::PaperEngineOptions(
         partition::Method::kCacheAware, 8, scale);
     options.premined_cache = &caches;
+    options.preprofiled = &profiles;
     auto engine = core::UpDlrmEngine::Create(
         nullptr, w.config, w.trace, system->get(), options);
     UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());

@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
-  const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+  const std::vector<trace::TableProfile> profiles =
+      bench::ProfileTables(w);
+  const std::vector<cache::CacheRes> caches =
+      bench::MineCaches(w, 0, &profiles);
 
   // Three transfer modes in one table: the classic per-call padded
   // path, the ragged sequential fallback, and (with --coalesce) the
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
     core::EngineOptions options = bench::PaperEngineOptions(
         partition::Method::kCacheAware, 8, scale);
     options.premined_cache = &caches;
+    options.preprofiled = &profiles;
     options.pad_transfers = mode.pad;
     options.dedup = false;
     options.wram_cache_rows = 0;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/simd.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "pim/stats_summary.h"
@@ -33,6 +34,9 @@ BenchScale ParseScale(int argc, const char* const* argv) {
     scale.wram = static_cast<std::uint32_t>(cl->GetInt("wram", 0));
     scale.coalesce = cl->GetBool("coalesce", false);
     scale.check = cl->GetBool("check", false);
+    if (cl->GetBool("force-scalar", false)) {
+      simd::ForceScalar(true);
+    }
     scale.trace_out = cl->GetString("trace-out", "");
     scale.trace_sample_every = static_cast<std::uint64_t>(
         std::max<std::int64_t>(1, cl->GetInt("trace-sample-every", 1)));
@@ -46,10 +50,12 @@ BenchScale ParseScale(int argc, const char* const* argv) {
       scale.threads > 0 ? scale.threads
                         : std::max(1u, std::thread::hardware_concurrency());
   std::printf("# setup: %zu sampled inferences, batch size %zu, "
-              "%u host thread(s) "
+              "%u host thread(s), %s kernels "
               "(paper: 12800 / 64; pass --full for paper scale, "
-              "--threads=N for host parallelism)\n\n",
-              scale.num_samples, scale.batch_size, effective);
+              "--threads=N for host parallelism, --force-scalar to "
+              "disable AVX2)\n\n",
+              scale.num_samples, scale.batch_size, effective,
+              simd::UsingAvx2() ? "avx2" : "scalar");
   return scale;
 }
 
@@ -111,11 +117,14 @@ void AssertChecksClean(const core::UpDlrmEngine& engine,
                               " violation(s) in " + label);
 }
 
-std::vector<cache::CacheRes> MineCaches(const Workload& workload,
-                                        std::uint32_t num_threads) {
+std::vector<cache::CacheRes> MineCaches(
+    const Workload& workload, std::uint32_t num_threads,
+    const std::vector<trace::TableProfile>* profiles) {
   // Per-table mining is independent; each task fills its own slot, so
   // the mined lists are identical at any thread count.
   const std::uint32_t tables = workload.config.num_tables;
+  UPDLRM_CHECK_MSG(profiles == nullptr || profiles->size() == tables,
+                   "profiles must hold one TableProfile per table");
   std::vector<cache::CacheRes> caches(tables);
   std::vector<Status> statuses(tables);
   ParallelFor(
@@ -123,8 +132,9 @@ std::vector<cache::CacheRes> MineCaches(const Workload& workload,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t t = begin; t < end; ++t) {
           cache::GraceMiner miner;
-          auto res = miner.Mine(workload.trace.tables[t],
-                                workload.config.rows_per_table);
+          auto res = miner.Mine(
+              workload.trace.tables[t], workload.config.rows_per_table,
+              profiles != nullptr ? &(*profiles)[t] : nullptr);
           if (!res.ok()) {
             statuses[t] = res.status();
             continue;
@@ -137,6 +147,24 @@ std::vector<cache::CacheRes> MineCaches(const Workload& workload,
     UPDLRM_CHECK_MSG(status.ok(), status.ToString());
   }
   return caches;
+}
+
+std::vector<trace::TableProfile> ProfileTables(const Workload& workload,
+                                               std::uint32_t num_threads) {
+  // Per-table profiling is independent; each task fills its own slot,
+  // so the profiles are identical at any thread count.
+  const std::uint32_t tables = workload.config.num_tables;
+  std::vector<trace::TableProfile> profiles(tables);
+  ParallelFor(
+      tables,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          profiles[t] = trace::ProfileTable(workload.trace.tables[t],
+                                            workload.config.rows_per_table);
+        }
+      },
+      num_threads);
+  return profiles;
 }
 
 baselines::FaeOptions PaperFaeOptions() {
@@ -175,6 +203,11 @@ void MergeJsonEntry(const char* path, const std::string& name,
 }
 
 }  // namespace
+
+void WriteBenchHostEntry(const std::string& name,
+                         const std::string& payload) {
+  MergeJsonEntry("BENCH_host.json", name, payload);
+}
 
 HostTimer::HostTimer(std::string name, const BenchScale& scale)
     : name_(std::move(name)),

@@ -33,6 +33,7 @@
 #include "telemetry/registry.h"
 #include "trace/dataset.h"
 #include "trace/generator.h"
+#include "trace/profiler.h"
 #include "updlrm/engine.h"
 
 namespace updlrm::bench {
@@ -96,12 +97,28 @@ core::EngineOptions PaperEngineOptions(partition::Method method,
 /// Mines GRACE cache lists once per table so multiple engine
 /// configurations can share them. Tables mine in parallel
 /// (`num_threads`: 0 = default pool, 1 = serial); results are
-/// thread-count invariant.
-std::vector<cache::CacheRes> MineCaches(const Workload& workload,
-                                        std::uint32_t num_threads = 0);
+/// thread-count invariant. `profiles` optionally supplies ProfileTables
+/// output so the miner skips its own per-table profiling pass.
+std::vector<cache::CacheRes> MineCaches(
+    const Workload& workload, std::uint32_t num_threads = 0,
+    const std::vector<trace::TableProfile>* profiles = nullptr);
+
+/// Profiles every table once (freq histogram + descending-frequency
+/// order) for EngineOptions::preprofiled, so the per-table radix sort
+/// runs once per workload instead of once per engine configuration.
+/// Tables profile in parallel; results are thread-count invariant.
+std::vector<trace::TableProfile> ProfileTables(
+    const Workload& workload, std::uint32_t num_threads = 0);
 
 /// FAE GPU hot-cache provisioning used in comparisons.
 baselines::FaeOptions PaperFaeOptions();
+
+/// Merges "<name>": <payload> (payload = a JSON value) into
+/// BENCH_host.json — the same file HostTimer writes — for benches that
+/// produce structured measurements outside the RAII timer (e.g. the
+/// micro_benchmarks SIMD throughput rows).
+void WriteBenchHostEntry(const std::string& name,
+                         const std::string& payload);
 
 /// Check-mode gate: a no-op when the engine runs without
 /// EngineOptions::check_mode; otherwise prints the violation report

@@ -48,8 +48,12 @@ int main(int argc, char** argv) {
           const baselines::DlrmCpu cpu(w.config, w.trace);
           const double t_cpu_emb =
               cpu.RunAll(scale.batch_size).AvgBatchEmbedding();
+          // One profiling pass (histogram + descending-frequency sort)
+          // serves the miner and all 9 engine configurations below.
+          const std::vector<trace::TableProfile> profiles =
+              bench::ProfileTables(w, scale.threads);
           const std::vector<cache::CacheRes> caches =
-              bench::MineCaches(w, scale.threads);
+              bench::MineCaches(w, scale.threads, &profiles);
 
           for (partition::Method method : methods) {
             std::vector<std::string> row = {
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
               core::EngineOptions options =
                   bench::PaperEngineOptions(method, nc, scale);
               options.premined_cache = &caches;
+              options.preprofiled = &profiles;
               auto engine = core::UpDlrmEngine::Create(
                   nullptr, w.config, w.trace, system.get(), options);
               UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());

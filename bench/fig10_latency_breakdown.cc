@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
-  const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+  const std::vector<trace::TableProfile> profiles =
+      bench::ProfileTables(w);
+  const std::vector<cache::CacheRes> caches =
+      bench::MineCaches(w, 0, &profiles);
 
   const partition::Method methods[] = {partition::Method::kUniform,
                                        partition::Method::kNonUniform,
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
       core::EngineOptions options =
           bench::PaperEngineOptions(method, nc, scale);
       options.premined_cache = &caches;
+      options.preprofiled = &profiles;
       auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
                                                system.get(), options);
       UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());

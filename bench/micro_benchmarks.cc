@@ -4,10 +4,17 @@
 // execution cost, not the simulated latencies the fig* benches report.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <sstream>
+#include <vector>
 
+#include "bench_common.h"
 #include "cache/grace.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "partition/cache_aware.h"
 #include "partition/nonuniform.h"
 #include "partition/uniform.h"
@@ -151,7 +158,149 @@ void BM_EngineRunBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRunBatch);
 
+// ---------------------------------------------------------------------
+// Vectorized host-runtime kernels (common/simd.h): scalar vs dispatched
+// throughput of the pooled-sum reduction and the dedup gather-map
+// counting pass. state.range(0) toggles ForceScalar, so each pair of
+// rows reads off the AVX2 speedup directly.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kSimdN = 1 << 16;
+
+void BM_PooledSumAddI32(benchmark::State& state) {
+  simd::ForceScalar(state.range(0) != 0);
+  std::vector<std::int32_t> src(kSimdN);
+  std::vector<std::int64_t> acc(kSimdN, 0);
+  Rng rng(3);
+  for (auto& v : src) v = static_cast<std::int32_t>(rng.NextU64());
+  for (auto _ : state) {
+    simd::AddI32ToI64(src.data(), acc.data(), kSimdN);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  simd::ForceScalar(false);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kSimdN *
+      (sizeof(std::int32_t) + sizeof(std::int64_t)));
+  state.SetLabel(state.range(0) != 0 ? "scalar"
+                                     : (simd::Avx2Available() ? "avx2"
+                                                              : "scalar"));
+}
+BENCHMARK(BM_PooledSumAddI32)->Arg(0)->Arg(1);
+
+void BM_GatherMapUniqueCounts(benchmark::State& state) {
+  simd::ForceScalar(state.range(0) != 0);
+  Rng rng(4);
+  std::vector<std::uint64_t> keys(kSimdN);
+  for (auto& k : keys) {
+    k = ((rng.NextU64() % 3) << 62) | (rng.NextU64() % (kSimdN / 8));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (auto _ : state) {
+    std::uint64_t counts[3] = {0, 0, 0};
+    simd::UniqueStreamCounts(keys.data(), kSimdN, counts);
+    benchmark::DoNotOptimize(counts);
+  }
+  simd::ForceScalar(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSimdN * sizeof(std::uint64_t));
+  state.SetLabel(state.range(0) != 0 ? "scalar"
+                                     : (simd::Avx2Available() ? "avx2"
+                                                              : "scalar"));
+}
+BENCHMARK(BM_GatherMapUniqueCounts)->Arg(0)->Arg(1);
+
+// Timed outside google-benchmark so the result lands in
+// BENCH_host.json next to the fig* host timings: GB/s of each kernel
+// on the scalar and dispatched paths.
+double MeasureGbps(void (*run)(), std::uint64_t bytes_per_run) {
+  using clock = std::chrono::steady_clock;
+  // Warm, then time enough repetitions for ~50 ms.
+  run();
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < reps; ++i) run();
+    const double s = std::chrono::duration<double>(clock::now() - start)
+                         .count();
+    if (s >= 0.05) {
+      return static_cast<double>(bytes_per_run) *
+             static_cast<double>(reps) / s / 1e9;
+    }
+    reps *= 4;
+  }
+}
+
+std::vector<std::int32_t>& SimdSrc() {
+  static std::vector<std::int32_t> src = [] {
+    std::vector<std::int32_t> v(kSimdN);
+    Rng rng(5);
+    for (auto& x : v) x = static_cast<std::int32_t>(rng.NextU64());
+    return v;
+  }();
+  return src;
+}
+std::vector<std::int64_t>& SimdAcc() {
+  static std::vector<std::int64_t> acc(kSimdN, 0);
+  return acc;
+}
+std::vector<std::uint64_t>& SimdKeys() {
+  static std::vector<std::uint64_t> keys = [] {
+    std::vector<std::uint64_t> k(kSimdN);
+    Rng rng(6);
+    for (auto& x : k) {
+      x = ((rng.NextU64() % 3) << 62) | (rng.NextU64() % (kSimdN / 8));
+    }
+    std::sort(k.begin(), k.end());
+    return k;
+  }();
+  return keys;
+}
+
+void RunPooledSum() {
+  simd::AddI32ToI64(SimdSrc().data(), SimdAcc().data(), kSimdN);
+}
+void RunUniqueCounts() {
+  std::uint64_t counts[3] = {0, 0, 0};
+  simd::UniqueStreamCounts(SimdKeys().data(), kSimdN, counts);
+  benchmark::DoNotOptimize(counts);
+}
+
 }  // namespace
+
+void WriteSimdThroughputRows() {
+  constexpr std::uint64_t kPooledBytes =
+      kSimdN * (sizeof(std::int32_t) + sizeof(std::int64_t));
+  constexpr std::uint64_t kKeyBytes = kSimdN * sizeof(std::uint64_t);
+
+  simd::ForceScalar(true);
+  const double pooled_scalar = MeasureGbps(RunPooledSum, kPooledBytes);
+  const double gather_scalar = MeasureGbps(RunUniqueCounts, kKeyBytes);
+  simd::ForceScalar(false);
+  const double pooled_simd = MeasureGbps(RunPooledSum, kPooledBytes);
+  const double gather_simd = MeasureGbps(RunUniqueCounts, kKeyBytes);
+
+  std::ostringstream payload;
+  payload << "{\"dispatch\": \""
+          << (simd::UsingAvx2() ? "avx2" : "scalar")
+          << "\", \"pooled_sum_gbps\": {\"scalar\": " << pooled_scalar
+          << ", \"simd\": " << pooled_simd
+          << "}, \"gather_map_gbps\": {\"scalar\": " << gather_scalar
+          << ", \"simd\": " << gather_simd << "}}";
+  bench::WriteBenchHostEntry("micro_simd_kernels", payload.str());
+  std::printf("# simd kernels: pooled-sum %.2f -> %.2f GB/s, "
+              "gather-map %.2f -> %.2f GB/s (scalar -> %s) "
+              "-> BENCH_host.json\n",
+              pooled_scalar, pooled_simd, gather_scalar, gather_simd,
+              simd::UsingAvx2() ? "avx2" : "scalar");
+}
+
 }  // namespace updlrm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  updlrm::WriteSimdThroughputRows();
+  return 0;
+}

@@ -20,13 +20,17 @@ int main(int argc, char** argv) {
   auto spec = trace::FindDataset("read");
   UPDLRM_CHECK(spec.ok());
   const bench::Workload w = bench::PrepareWorkload(*spec, scale);
-  const std::vector<cache::CacheRes> caches = bench::MineCaches(w);
+  const std::vector<trace::TableProfile> profiles =
+      bench::ProfileTables(w);
+  const std::vector<cache::CacheRes> caches =
+      bench::MineCaches(w, 0, &profiles);
 
   auto lookup_time = [&](partition::Method method, double fraction) {
     auto system = bench::MakePaperSystem();
     core::EngineOptions options =
         bench::PaperEngineOptions(method, 8, scale);
     options.premined_cache = &caches;
+    options.preprofiled = &profiles;
     options.cache_capacity_fraction = fraction;
     auto engine = core::UpDlrmEngine::Create(nullptr, w.config, w.trace,
                                              system.get(), options);

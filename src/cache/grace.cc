@@ -38,6 +38,68 @@ std::size_t ReplayGrain(std::size_t num_samples) {
   return std::max<std::size_t>(64, num_samples / 256);
 }
 
+// Open-addressed pair-key -> count map (linear probing, power-of-2
+// capacity, keys stored +1 so 0 marks an empty slot). The counting
+// loop below increments one entry per hot pair per sample — with
+// std::unordered_map that is a node allocation + rehash treadmill
+// (hundreds of millions of `new`s at full trace scale); a flat table
+// makes the increment a hash + probe + add with zero per-entry
+// allocation. Counts merge by addition, so determinism is unaffected.
+class PairCounts {
+ public:
+  PairCounts() { slots_.resize(kInitialSlots); }
+
+  void Add(std::uint64_t key, std::uint64_t count) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow();
+    Slot& slot = FindSlot(slots_, key);
+    if (slot.key_plus_1 == 0) {
+      slot.key_plus_1 = key + 1;
+      ++size_;
+    }
+    slot.count += count;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key_plus_1 != 0) fn(slot.key_plus_1 - 1, slot.count);
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1 << 14;
+
+  struct Slot {
+    std::uint64_t key_plus_1 = 0;  // 0 = empty
+    std::uint64_t count = 0;
+  };
+
+  static Slot& FindSlot(std::vector<Slot>& slots, std::uint64_t key) {
+    const std::size_t mask = slots.size() - 1;
+    std::uint64_t h = key;
+    std::size_t i = SplitMix64(h) & mask;
+    while (slots[i].key_plus_1 != 0 && slots[i].key_plus_1 != key + 1) {
+      i = (i + 1) & mask;
+    }
+    return slots[i];
+  }
+
+  void Grow() {
+    std::vector<Slot> bigger(slots_.size() * 2);
+    for (const Slot& slot : slots_) {
+      if (slot.key_plus_1 == 0) continue;
+      Slot& dst = FindSlot(bigger, slot.key_plus_1 - 1);
+      dst = slot;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
 }  // namespace
 
 Status GraceOptions::Validate() const {
@@ -57,17 +119,27 @@ Status GraceOptions::Validate() const {
 GraceMiner::GraceMiner(GraceOptions options) : options_(options) {}
 
 Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
-                                  std::uint64_t num_items) const {
+                                  std::uint64_t num_items,
+                                  const trace::TableProfile* profile) const {
   UPDLRM_RETURN_IF_ERROR(options_.Validate());
   if (num_items == 0) {
     return Status::InvalidArgument("num_items must be > 0");
   }
+  if (profile != nullptr && (profile->freq.size() != num_items ||
+                             profile->by_freq.size() != num_items)) {
+    return Status::InvalidArgument(
+        "profile does not match the table shape");
+  }
 
-  const std::vector<std::uint64_t> freq =
-      trace::ItemFrequencies(table, num_items);
+  trace::TableProfile own_profile;
+  if (profile == nullptr) {
+    own_profile = trace::ProfileTable(table, num_items);
+    profile = &own_profile;
+  }
+  const std::span<const std::uint64_t> freq(profile->freq);
 
   // Hot set: the most frequent items with nonzero counts.
-  const std::vector<std::uint32_t> by_freq = trace::ItemsByFrequency(freq);
+  const std::span<const std::uint32_t> by_freq(profile->by_freq);
   std::vector<bool> is_hot(num_items, false);
   std::size_t hot_count = 0;
   for (std::uint32_t id : by_freq) {
@@ -81,12 +153,12 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
   // into the global one by summing counts — integer addition is
   // commutative, so the merged counts (and everything derived from
   // them) do not depend on shard boundaries or merge order.
-  std::unordered_map<std::uint64_t, std::uint64_t> pair_counts;
+  PairCounts pair_counts;
   std::mutex merge_mu;
   ParallelFor(
       table.num_samples(),
       [&](std::size_t begin, std::size_t end) {
-        std::unordered_map<std::uint64_t, std::uint64_t> local;
+        PairCounts local;
         std::vector<std::uint32_t> hot_in_sample;
         for (std::size_t s = begin; s < end; ++s) {
           hot_in_sample.clear();
@@ -100,12 +172,14 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
           }
           for (std::size_t i = 0; i < hot_in_sample.size(); ++i) {
             for (std::size_t j = i + 1; j < hot_in_sample.size(); ++j) {
-              ++local[PairKey(hot_in_sample[i], hot_in_sample[j])];
+              local.Add(PairKey(hot_in_sample[i], hot_in_sample[j]), 1);
             }
           }
         }
         std::lock_guard<std::mutex> lock(merge_mu);
-        for (const auto& [key, count] : local) pair_counts[key] += count;
+        local.ForEach([&](std::uint64_t key, std::uint64_t count) {
+          pair_counts.Add(key, count);
+        });
       },
       options_.num_threads, ReplayGrain(table.num_samples()));
 
@@ -116,11 +190,11 @@ Result<CacheRes> GraceMiner::Mine(const trace::TableTrace& table,
   };
   std::vector<Edge> edges;
   edges.reserve(pair_counts.size());
-  for (const auto& [key, count] : pair_counts) {
-    if (count < options_.min_pair_count) continue;
+  pair_counts.ForEach([&](std::uint64_t key, std::uint64_t count) {
+    if (count < options_.min_pair_count) return;
     edges.push_back({count, static_cast<std::uint32_t>(key >> 32),
                      static_cast<std::uint32_t>(key & 0xffffffffU)});
-  }
+  });
   std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
     if (x.count != y.count) return x.count > y.count;
     if (x.a != y.a) return x.a < y.a;

@@ -16,6 +16,7 @@
 
 #include "cache/cache_list.h"
 #include "common/status.h"
+#include "trace/profiler.h"
 #include "trace/trace.h"
 
 namespace updlrm::cache {
@@ -45,9 +46,13 @@ class GraceMiner {
 
   /// Mines cache lists from one table's trace. Lists are disjoint,
   /// benefit-scored on the same trace, and sorted by descending benefit;
-  /// zero-benefit groups are dropped.
+  /// zero-benefit groups are dropped. `profile` optionally supplies the
+  /// table's precomputed freq/by_freq (trace::ProfileTable) so callers
+  /// that already profiled the trace skip the miner's own pass; null =
+  /// profile internally. Results are identical either way.
   Result<CacheRes> Mine(const trace::TableTrace& table,
-                        std::uint64_t num_items) const;
+                        std::uint64_t num_items,
+                        const trace::TableProfile* profile = nullptr) const;
 
   const GraceOptions& options() const { return options_; }
 

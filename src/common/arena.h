@@ -1,0 +1,152 @@
+// Bump arena for per-batch scratch buffers.
+//
+// The steady-state serving loop runs the same batch shape thousands of
+// times; per-batch std::vector churn turns that into a stream of
+// malloc/free pairs. An Arena hands out raw storage by bumping a
+// cursor through a single block; Reset() makes every byte reusable
+// without freeing. The block grows high-water-mark style: a Reset
+// after an overflowing batch re-provisions one block big enough for
+// everything that batch asked for, so a workload with a bounded batch
+// shape reaches zero heap allocations per batch after one warmup pass
+// (asserted by tests/serve/alloc_test.cc).
+//
+// Ownership/lifetime rules (DESIGN.md §"Host runtime"):
+//   * Arena memory is valid until the next Reset(); never hold a span
+//     across batches.
+//   * AllocSpan default-constructs trivially-destructible elements
+//     only; no destructors run at Reset.
+//   * Arenas are single-threaded. Parallel sections use one arena per
+//     worker (ThreadArena(), keyed by worker index), never a shared
+//     one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes != 0) Provision(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` T, aligned for T.
+  template <typename T>
+  T* Alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    const std::size_t bytes = count * sizeof(T);
+    return reinterpret_cast<T*>(AllocBytes(bytes, alignof(T)));
+  }
+
+  /// Value-initialized (zeroed, for arithmetic T) span of `count` T.
+  template <typename T>
+  std::span<T> AllocSpan(std::size_t count) {
+    T* p = Alloc<T>(count);
+    for (std::size_t i = 0; i < count; ++i) p[i] = T{};
+    return {p, count};
+  }
+
+  /// Returns every byte to the arena. If the previous cycle overflowed
+  /// the block, re-provisions one block sized to that cycle's
+  /// high-water mark (the only allocation; subsequent same-shaped
+  /// cycles allocate nothing).
+  void Reset() {
+    if (used_ + overflow_bytes_ > capacity_) {
+      Provision(used_ + overflow_bytes_);
+    }
+    used_ = 0;
+    overflow_bytes_ = 0;
+    overflow_.clear();
+  }
+
+  /// Bytes handed out since the last Reset (including overflow).
+  std::size_t used() const { return used_ + overflow_bytes_; }
+  std::size_t capacity() const { return capacity_; }
+  /// True when the current cycle spilled past the block (the next
+  /// Reset will grow it).
+  bool overflowed() const { return !overflow_.empty(); }
+
+ private:
+  static constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+
+  void Provision(std::size_t bytes) {
+    // Grow geometrically so N warmup batches of creeping sizes cost
+    // O(log) re-provisions, not N.
+    std::size_t cap = capacity_ == 0 ? 4096 : capacity_;
+    while (cap < bytes) cap *= 2;
+    block_ = std::make_unique<unsigned char[]>(cap + kMaxAlign);
+    base_ = AlignPtr(block_.get(), kMaxAlign);
+    capacity_ = cap;
+  }
+
+  static unsigned char* AlignPtr(unsigned char* p, std::size_t align) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+    return p + (aligned - addr);
+  }
+
+  unsigned char* AllocBytes(std::size_t bytes, std::size_t align) {
+    UPDLRM_CHECK(align <= kMaxAlign);
+    const std::size_t offset = (used_ + align - 1) & ~(align - 1);
+    if (offset + bytes <= capacity_) {
+      used_ = offset + bytes;
+      return base_ + offset;
+    }
+    // Overflow: serve from a side allocation, remember the demand so
+    // the next Reset provisions a big-enough block.
+    overflow_bytes_ += bytes + align;
+    overflow_.push_back(std::make_unique<unsigned char[]>(bytes + align));
+    return AlignPtr(overflow_.back().get(), align);
+  }
+
+  std::unique_ptr<unsigned char[]> block_;
+  unsigned char* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t overflow_bytes_ = 0;
+  std::vector<std::unique_ptr<unsigned char[]>> overflow_;
+};
+
+/// Per-thread arena for parallel per-task scratch (e.g. the engine's
+/// stage-3 accumulators). Distinct OS threads get distinct arenas; a
+/// thread-pool worker reuses its arena across tasks and batches. The
+/// caller brackets use with ScopedArenaFrame so nested tasks on the
+/// same thread compose.
+inline Arena& ThreadArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+/// RAII frame over an arena: records the cursor at construction and
+/// rolls back to it at destruction, so a task can carve scratch out of
+/// its worker's arena without coordinating with other tasks that run
+/// later on the same worker. (Bump-only arenas can't roll back
+/// mid-block, so the frame simply Resets when it is the outermost
+/// frame and the arena is its own high-water block.)
+class ScopedArenaFrame {
+ public:
+  explicit ScopedArenaFrame(Arena& arena)
+      : arena_(arena), outermost_(arena.used() == 0) {}
+  ~ScopedArenaFrame() {
+    if (outermost_) arena_.Reset();
+  }
+  ScopedArenaFrame(const ScopedArenaFrame&) = delete;
+  ScopedArenaFrame& operator=(const ScopedArenaFrame&) = delete;
+
+ private:
+  Arena& arena_;
+  bool outermost_;
+};
+
+}  // namespace updlrm

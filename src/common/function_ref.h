@@ -1,0 +1,57 @@
+// Non-owning callable reference (the C++26 std::function_ref shape).
+//
+// std::function owns its callable: any capture list over 16 bytes heap
+// allocates at construction, which puts one malloc/free pair on every
+// parallel region launched with a capturing lambda. The hot fan-out
+// paths (ThreadPool::ParallelFor and friends) only ever *borrow* the
+// callable for the duration of the call, so a (void*, fn-pointer) pair
+// is enough — two words, trivially copyable, never allocates.
+//
+// Lifetime: a FunctionRef does not extend the referenced callable's
+// life. Bind it to a callable that outlives every invocation — a local
+// lambda passed straight into a blocking call (the ParallelFor
+// pattern) is the intended use. Never store a FunctionRef beyond the
+// callable's scope.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace updlrm {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Empty ref; calling it is undefined. Test with operator bool.
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirroring std::function_ref — call sites pass lambdas directly.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return fn_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*fn_)(void*, Args...) = nullptr;
+};
+
+}  // namespace updlrm

@@ -1,0 +1,342 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/status.h"
+
+#if defined(__x86_64__) && !defined(UPDLRM_DISABLE_AVX2)
+#define UPDLRM_SIMD_AVX2_BUILD 1
+#include <immintrin.h>
+#else
+#define UPDLRM_SIMD_AVX2_BUILD 0
+#endif
+
+namespace updlrm::simd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar reference implementations. These define the semantics; the
+// AVX2 variants must match them bit for bit (pinned by simd_test).
+// ---------------------------------------------------------------------
+
+void AddI32ToI64Scalar(const std::int32_t* src, std::int64_t* acc,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+}
+
+void UniqueStreamCountsScalar(const std::uint64_t* keys, std::size_t n,
+                              std::uint64_t counts[3]) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && keys[i] == keys[i - 1]) continue;
+    ++counts[keys[i] >> 62];
+  }
+}
+
+std::uint64_t MaxU64Scalar(const std::uint64_t* v, std::size_t n) {
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) m = v[i] > m ? v[i] : m;
+  return m;
+}
+
+std::uint64_t SumU64Scalar(const std::uint64_t* v, std::size_t n) {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+std::uint64_t CountNonZeroU64Scalar(const std::uint64_t* v,
+                                    std::size_t n) {
+  std::uint64_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += v[i] != 0 ? 1 : 0;
+  return c;
+}
+
+bool AllZeroOrEqualU64Scalar(const std::uint64_t* v, std::size_t n,
+                             std::uint64_t value) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] != 0 && v[i] != value) return false;
+  }
+  return true;
+}
+
+void PackPaddedScalar(const std::uint8_t* src, std::size_t src_bytes,
+                      std::uint8_t* dst, std::size_t dst_bytes) {
+  if (src_bytes != 0) std::memcpy(dst, src, src_bytes);
+  if (dst_bytes > src_bytes) {
+    std::memset(dst + src_bytes, 0, dst_bytes - src_bytes);
+  }
+}
+
+#if UPDLRM_SIMD_AVX2_BUILD
+// ---------------------------------------------------------------------
+// AVX2 variants. Compiled with per-function target attributes so the
+// rest of the binary needs no -mavx2; reached only when CPUID reports
+// AVX2 and no scalar override is active.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void AddI32ToI64Avx2(
+    const std::int32_t* src, std::int64_t* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i s0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 4));
+    __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 4));
+    a0 = _mm256_add_epi64(a0, _mm256_cvtepi32_epi64(s0));
+    a1 = _mm256_add_epi64(a1, _mm256_cvtepi32_epi64(s1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4), a1);
+  }
+  for (; i < n; ++i) acc[i] += src[i];
+}
+
+__attribute__((target("avx2"))) void UniqueStreamCountsAvx2(
+    const std::uint64_t* keys, std::size_t n, std::uint64_t counts[3]) {
+  if (n == 0) return;
+  ++counts[keys[0] >> 62];
+  std::size_t i = 1;
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i prev = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i - 1));
+    // Lane l is "unique" when keys[i+l] != keys[i+l-1].
+    const __m256i eq = _mm256_cmpeq_epi64(cur, prev);
+    const int uniq = ~_mm256_movemask_pd(_mm256_castsi256_pd(eq)) & 0xf;
+    if (uniq == 0) continue;
+    // Stream id = top two bits; compare against each stream and count
+    // the unique lanes that match.
+    const __m256i stream = _mm256_srli_epi64(cur, 62);
+    const int is0 = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(stream, _mm256_setzero_si256())));
+    const int is1 = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(stream, _mm256_set1_epi64x(1))));
+    const int is2 = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(stream, _mm256_set1_epi64x(2))));
+    c0 += static_cast<unsigned>(__builtin_popcount(uniq & is0));
+    c1 += static_cast<unsigned>(__builtin_popcount(uniq & is1));
+    c2 += static_cast<unsigned>(__builtin_popcount(uniq & is2));
+  }
+  for (; i < n; ++i) {
+    if (keys[i] == keys[i - 1]) continue;
+    const std::uint64_t s = keys[i] >> 62;
+    c0 += s == 0;
+    c1 += s == 1;
+    c2 += s == 2;
+  }
+  counts[0] += c0;
+  counts[1] += c1;
+  counts[2] += c2;
+}
+
+// Unsigned 64-bit lane max: flip the sign bit so signed compare orders
+// unsigned values correctly.
+__attribute__((target("avx2"))) inline __m256i MaxEpu64(__m256i a,
+                                                        __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                                        _mm256_xor_si256(b, bias));
+  return _mm256_blendv_epi8(b, a, gt);
+}
+
+__attribute__((target("avx2"))) std::uint64_t MaxU64Avx2(
+    const std::uint64_t* v, std::size_t n) {
+  std::size_t i = 0;
+  __m256i best = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    best = MaxEpu64(best, x);
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  std::uint64_t m = 0;
+  for (const std::uint64_t lane : lanes) m = lane > m ? lane : m;
+  for (; i < n; ++i) m = v[i] > m ? v[i] : m;
+  return m;
+}
+
+__attribute__((target("avx2"))) std::uint64_t SumU64Avx2(
+    const std::uint64_t* v, std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t s = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) s += v[i];
+  return s;
+}
+
+__attribute__((target("avx2"))) std::uint64_t CountNonZeroU64Avx2(
+    const std::uint64_t* v, std::size_t n) {
+  std::size_t i = 0;
+  std::uint64_t zeros = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, _mm256_setzero_si256());
+    zeros += static_cast<unsigned>(
+        __builtin_popcount(_mm256_movemask_pd(_mm256_castsi256_pd(eq))));
+  }
+  std::uint64_t count = i - zeros;
+  for (; i < n; ++i) count += v[i] != 0 ? 1 : 0;
+  return count;
+}
+
+__attribute__((target("avx2"))) bool AllZeroOrEqualU64Avx2(
+    const std::uint64_t* v, std::size_t n, std::uint64_t value) {
+  std::size_t i = 0;
+  const __m256i val = _mm256_set1_epi64x(static_cast<long long>(value));
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i ok = _mm256_or_si256(
+        _mm256_cmpeq_epi64(x, _mm256_setzero_si256()),
+        _mm256_cmpeq_epi64(x, val));
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(ok)) != 0xf) return false;
+  }
+  for (; i < n; ++i) {
+    if (v[i] != 0 && v[i] != value) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) void PackPaddedAvx2(
+    const std::uint8_t* src, std::size_t src_bytes, std::uint8_t* dst,
+    std::size_t dst_bytes) {
+  std::size_t i = 0;
+  for (; i + 32 <= src_bytes; i += 32) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  }
+  if (i < src_bytes) std::memcpy(dst + i, src + i, src_bytes - i);
+  i = src_bytes;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= dst_bytes; i += 32) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+  }
+  if (i < dst_bytes) std::memset(dst + i, 0, dst_bytes - i);
+}
+#endif  // UPDLRM_SIMD_AVX2_BUILD
+
+// ---------------------------------------------------------------------
+// Dispatch table. Chosen once at static init (this TU, top to bottom),
+// swappable by ForceScalar; tests flip it single-threaded.
+// ---------------------------------------------------------------------
+
+struct Kernels {
+  void (*add_i32_to_i64)(const std::int32_t*, std::int64_t*, std::size_t);
+  void (*unique_stream_counts)(const std::uint64_t*, std::size_t,
+                               std::uint64_t[3]);
+  std::uint64_t (*max_u64)(const std::uint64_t*, std::size_t);
+  std::uint64_t (*sum_u64)(const std::uint64_t*, std::size_t);
+  std::uint64_t (*count_non_zero_u64)(const std::uint64_t*, std::size_t);
+  bool (*all_zero_or_equal_u64)(const std::uint64_t*, std::size_t,
+                                std::uint64_t);
+  void (*pack_padded)(const std::uint8_t*, std::size_t, std::uint8_t*,
+                      std::size_t);
+};
+
+constexpr Kernels kScalarKernels = {
+    AddI32ToI64Scalar,      UniqueStreamCountsScalar,
+    MaxU64Scalar,           SumU64Scalar,
+    CountNonZeroU64Scalar,  AllZeroOrEqualU64Scalar,
+    PackPaddedScalar,
+};
+
+#if UPDLRM_SIMD_AVX2_BUILD
+const Kernels kAvx2Kernels = {
+    AddI32ToI64Avx2,      UniqueStreamCountsAvx2,
+    MaxU64Avx2,           SumU64Avx2,
+    CountNonZeroU64Avx2,  AllZeroOrEqualU64Avx2,
+    PackPaddedAvx2,
+};
+#endif
+
+bool DetectAvx2() {
+#if UPDLRM_SIMD_AVX2_BUILD
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("UPDLRM_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+const bool g_avx2_available = DetectAvx2();
+
+const Kernels* PickKernels(bool force_scalar) {
+#if UPDLRM_SIMD_AVX2_BUILD
+  if (g_avx2_available && !force_scalar) return &kAvx2Kernels;
+#else
+  (void)force_scalar;
+#endif
+  return &kScalarKernels;
+}
+
+const Kernels* g_active = PickKernels(EnvForcesScalar());
+
+}  // namespace
+
+bool Avx2Available() { return g_avx2_available; }
+
+bool UsingAvx2() {
+#if UPDLRM_SIMD_AVX2_BUILD
+  return g_active == &kAvx2Kernels;
+#else
+  return false;
+#endif
+}
+
+void ForceScalar(bool force) { g_active = PickKernels(force); }
+
+void AddI32ToI64(const std::int32_t* src, std::int64_t* acc,
+                 std::size_t n) {
+  g_active->add_i32_to_i64(src, acc, n);
+}
+
+void UniqueStreamCounts(const std::uint64_t* sorted_keys, std::size_t n,
+                        std::uint64_t counts[3]) {
+  g_active->unique_stream_counts(sorted_keys, n, counts);
+}
+
+std::uint64_t MaxU64(const std::uint64_t* v, std::size_t n) {
+  return g_active->max_u64(v, n);
+}
+
+std::uint64_t SumU64(const std::uint64_t* v, std::size_t n) {
+  return g_active->sum_u64(v, n);
+}
+
+std::uint64_t CountNonZeroU64(const std::uint64_t* v, std::size_t n) {
+  return g_active->count_non_zero_u64(v, n);
+}
+
+bool AllZeroOrEqualU64(const std::uint64_t* v, std::size_t n,
+                       std::uint64_t value) {
+  return g_active->all_zero_or_equal_u64(v, n, value);
+}
+
+void PackPadded(const std::uint8_t* src, std::size_t src_bytes,
+                std::uint8_t* dst, std::size_t dst_bytes) {
+  UPDLRM_CHECK(src_bytes <= dst_bytes);
+  g_active->pack_padded(src, src_bytes, dst, dst_bytes);
+}
+
+}  // namespace updlrm::simd

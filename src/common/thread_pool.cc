@@ -1,8 +1,14 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace updlrm {
 
@@ -10,6 +16,26 @@ namespace {
 
 std::atomic<unsigned> g_default_threads{0};
 std::atomic<bool> g_default_created{false};
+
+bool EnvPinThreads() {
+  const char* env = std::getenv("UPDLRM_PIN_THREADS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+// Pins the calling thread to one CPU (best effort; no-op off Linux or
+// when the mask call fails — pinning is a performance hint, never a
+// correctness requirement).
+void PinCurrentThread(unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
 
 }  // namespace
 
@@ -20,9 +46,15 @@ ThreadPool::ThreadPool(unsigned threads) {
   num_threads_ = threads;
   queues_.resize(std::max(1u, threads - 1));
   workers_.reserve(threads - 1);
+  const bool pin = EnvPinThreads();
   for (unsigned i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    workers_.emplace_back([this, i, pin] {
+      // Worker i takes CPU i+1, leaving CPU 0 to the caller thread.
+      if (pin) PinCurrentThread(i + 1);
+      WorkerLoop(i);
+    });
   }
+  if (pin && threads > 1) PinCurrentThread(0);
 }
 
 ThreadPool::~ThreadPool() {
@@ -32,6 +64,8 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // Workers are joined: no task can reference a state anymore.
+  for (ParallelForState* s : all_states_) delete s;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -87,17 +121,69 @@ void ThreadPool::WorkerLoop(unsigned worker_index) {
   }
 }
 
+// Region descriptor, recycled across ParallelFor calls. The recycling
+// protocol against stale helper tasks (a Submit()ed helper can run
+// arbitrarily late, after its region finished and the state moved on):
+//
+//   helper:  participants++;
+//            if (ticket != mine) { participants--; return; }   (stale)
+//            run chunks; participants--;
+//
+//   reuse:   ticket++                       (invalidate stale helpers)
+//            spin until participants == 0   (drain ones already past
+//                                            the check; they see the
+//                                            old exhausted cursor and
+//                                            exit without running the
+//                                            old — dangling — body)
+//            reinit fields; submit helpers with the new ticket
+//
+// The ticket bump is sequenced before the spin and the reinit after
+// it, so no helper can observe a half-initialized region: either it
+// sees the new ticket and backs out, or it joined before the bump and
+// the spin waits it out while the old cursor (next >= n) starves it.
 struct ThreadPool::ParallelForState {
   std::atomic<std::size_t> next{0};
   std::size_t n = 0;
   std::size_t grain = 1;
-  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  FunctionRef<void(std::size_t, std::size_t)> body;
   std::atomic<std::size_t> done{0};  // indices fully processed
+  std::atomic<std::uint64_t> ticket{0};
+  std::atomic<unsigned> participants{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
   std::exception_ptr error;
   std::mutex error_mu;
+  ParallelForState* free_next = nullptr;
 };
+
+ThreadPool::ParallelForState* ThreadPool::AcquireState() {
+  ParallelForState* head =
+      free_states_.load(std::memory_order_acquire);
+  while (head != nullptr) {
+    if (free_states_.compare_exchange_weak(head, head->free_next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return head;
+    }
+  }
+  // Freelist empty (first call, or deeply nested regions): mint a new
+  // immortal state. Bounded by the maximum number of concurrently
+  // active regions ever reached, not by call count.
+  auto* state = new ParallelForState();
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    all_states_.push_back(state);
+  }
+  return state;
+}
+
+void ThreadPool::ReleaseState(ParallelForState* state) {
+  ParallelForState* head = free_states_.load(std::memory_order_relaxed);
+  do {
+    state->free_next = head;
+  } while (!free_states_.compare_exchange_weak(
+      head, state, std::memory_order_acq_rel, std::memory_order_relaxed));
+}
 
 void ThreadPool::RunChunks(ParallelForState& state) {
   for (;;) {
@@ -106,7 +192,7 @@ void ThreadPool::RunChunks(ParallelForState& state) {
     if (begin >= state.n) return;
     const std::size_t end = std::min(state.n, begin + state.grain);
     try {
-      (*state.body)(begin, end);
+      state.body(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state.error_mu);
       if (!state.error) state.error = std::current_exception();
@@ -121,9 +207,21 @@ void ThreadPool::RunChunks(ParallelForState& state) {
   }
 }
 
+void ThreadPool::HelperRun(ParallelForState* state, std::uint64_t ticket) {
+  state->participants.fetch_add(1, std::memory_order_acq_rel);
+  if (state->ticket.load(std::memory_order_acquire) != ticket) {
+    // Stale: the region completed and the state was (or is being)
+    // recycled. Back out without touching anything else.
+    state->participants.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  RunChunks(*state);
+  state->participants.fetch_sub(1, std::memory_order_release);
+}
+
 void ThreadPool::ParallelFor(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body,
+    FunctionRef<void(std::size_t, std::size_t)> body,
     unsigned max_workers) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
@@ -139,14 +237,28 @@ void ThreadPool::ParallelFor(
     return;
   }
 
-  auto state = std::make_shared<ParallelForState>();
+  ParallelForState* state = AcquireState();
+  // Invalidate any stale helpers of the previous region first, then
+  // wait out ones that already passed their ticket check (they find
+  // the old cursor exhausted and exit), and only then reinitialize.
+  const std::uint64_t ticket =
+      state->ticket.fetch_add(1, std::memory_order_acq_rel) + 1;
+  while (state->participants.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  state->next.store(0, std::memory_order_relaxed);
   state->n = n;
   state->grain = grain;
-  state->body = &body;
+  state->body = body;
+  state->done.store(0, std::memory_order_relaxed);
+  state->error = nullptr;
+
   // One helper per extra thread; busy workers simply never pick theirs
   // up and the caller (or a stealing sibling) drains the range instead.
+  // The closure is two words — inside std::function's small-object
+  // buffer, so Submit does not allocate.
   for (unsigned i = 0; i + 1 < width; ++i) {
-    Submit([this, state] { RunChunks(*state); });
+    Submit([state, ticket] { HelperRun(state, ticket); });
   }
   RunChunks(*state);
   if (state->done.load(std::memory_order_acquire) < n) {
@@ -155,9 +267,11 @@ void ThreadPool::ParallelFor(
       return state->done.load(std::memory_order_acquire) >= n;
     });
   }
-  // `body` dangles once we return; helpers that wake late see
-  // next >= n and never touch it.
-  if (state->error) std::rethrow_exception(state->error);
+  // `body` dangles once we return; helpers that wake late see a stale
+  // ticket (or an exhausted cursor) and never touch it.
+  const std::exception_ptr error = state->error;
+  ReleaseState(state);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Default() {
@@ -174,12 +288,12 @@ unsigned ThreadPool::SetDefaultThreads(unsigned threads) {
 }
 
 void ParallelFor(std::size_t n,
-                 const std::function<void(std::size_t, std::size_t)>& body,
+                 FunctionRef<void(std::size_t, std::size_t)> body,
                  unsigned num_threads, std::size_t grain) {
   if (num_threads == 1) {
-    for (std::size_t begin = 0; begin < n; begin += std::max<std::size_t>(
-                                              grain, 1)) {
-      body(begin, std::min(n, begin + std::max<std::size_t>(grain, 1)));
+    const std::size_t step = std::max<std::size_t>(grain, 1);
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      body(begin, std::min(n, begin + step));
     }
     return;
   }

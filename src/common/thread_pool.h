@@ -16,6 +16,17 @@
 // participates, so nested parallel regions (an engine fanning out from
 // inside a comparison task) cannot deadlock — a caller that finds no
 // idle worker simply executes every chunk itself.
+//
+// Steady-state ParallelFor is allocation-free: the body is passed by
+// FunctionRef (no std::function ownership copy), region descriptors
+// are recycled from a freelist of immortal states guarded by a
+// (ticket, participant-count) protocol against stale helper tasks, and
+// the helper closures fit std::function's small-object buffer.
+//
+// Affinity: set UPDLRM_PIN_THREADS=1 to pin each worker thread to one
+// CPU (round-robin over the online set, the caller's CPU excluded
+// first). Off by default — pinning helps steady-state serving on
+// dedicated cores and hurts oversubscribed CI boxes.
 #pragma once
 
 #include <atomic>
@@ -26,6 +37,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/function_ref.h"
 
 namespace updlrm {
 
@@ -52,7 +65,7 @@ class ThreadPool {
   /// call (0 = the full pool, 1 = inline on the caller). Chunk
   /// boundaries depend only on `n` and `grain`, never on thread count.
   void ParallelFor(std::size_t n, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body,
+                   FunctionRef<void(std::size_t, std::size_t)> body,
                    unsigned max_workers = 0);
 
   /// The process-wide pool, created on first use. Sized by
@@ -70,7 +83,13 @@ class ThreadPool {
 
   void WorkerLoop(unsigned worker_index);
   bool TryRunOneTask(unsigned home);
-  void RunChunks(ParallelForState& state);
+  static void RunChunks(ParallelForState& state);
+  // Helper-task entry: joins `state`'s region iff its ticket is still
+  // current (see the recycling protocol in thread_pool.cc).
+  static void HelperRun(ParallelForState* state, std::uint64_t ticket);
+
+  ParallelForState* AcquireState();
+  void ReleaseState(ParallelForState* state);
 
   unsigned num_threads_ = 1;  // workers + caller
   std::vector<std::thread> workers_;
@@ -79,13 +98,20 @@ class ThreadPool {
   std::condition_variable cv_;
   std::atomic<unsigned> next_queue_{0};
   bool stopping_ = false;
+
+  // Freelist of recycled region descriptors (Treiber stack). States
+  // live until pool destruction — stale helper tasks may dereference
+  // them long after their region completed.
+  std::atomic<ParallelForState*> free_states_{nullptr};
+  std::mutex states_mu_;  // guards all_states_
+  std::vector<ParallelForState*> all_states_;
 };
 
 /// ParallelFor on the process-wide default pool. `num_threads` is the
 /// per-call cap with the EngineOptions convention: 0 = full pool,
 /// 1 = serial inline, N = at most N threads.
 void ParallelFor(std::size_t n,
-                 const std::function<void(std::size_t, std::size_t)>& body,
+                 FunctionRef<void(std::size_t, std::size_t)> body,
                  unsigned num_threads = 0, std::size_t grain = 1);
 
 }  // namespace updlrm

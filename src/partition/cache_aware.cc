@@ -14,6 +14,10 @@ Result<CacheAwareResult> CacheAwarePartition(
     return Status::InvalidArgument("freq must have one entry per table row");
   }
   UPDLRM_RETURN_IF_ERROR(cache_res.Validate(geom.table.rows));
+  if (!options.order.empty() && options.order.size() != freq.size()) {
+    return Status::InvalidArgument(
+        "order hint must have one entry per table row");
+  }
 
   const std::uint32_t bins = geom.row_shards;
   const std::uint32_t row_bytes = geom.row_bytes();
@@ -66,7 +70,11 @@ Result<CacheAwareResult> CacheAwarePartition(
 
   // Lines 11-15: uncached items, most frequent first, to the bin with
   // the lowest effective load and EMT capacity left.
-  const std::vector<std::uint32_t> order = trace::ItemsByFrequency(freq);
+  std::vector<std::uint32_t> computed_order;
+  if (options.order.empty()) computed_order = trace::ItemsByFrequency(freq);
+  const std::span<const std::uint32_t> order =
+      options.order.empty() ? std::span<const std::uint32_t>(computed_order)
+                            : options.order;
   for (std::uint32_t row : order) {
     if (plan.item_list[row] >= 0) continue;  // cache hit: already placed
     std::int64_t best = -1;

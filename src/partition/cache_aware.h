@@ -25,6 +25,11 @@ struct CacheAwareOptions {
   /// fall back to the EMT region) instead of failing. Algorithm 1's
   /// "enough cache capacity" guard.
   bool drop_unplaceable_lists = true;
+
+  /// Precomputed descending-frequency order (ItemsByFrequency(freq),
+  /// e.g. trace::TableProfile::by_freq) for lines 11-15. Empty =
+  /// compute internally; non-empty must have one entry per row.
+  std::span<const std::uint32_t> order;
 };
 
 struct CacheAwareResult {

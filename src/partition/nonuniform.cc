@@ -17,6 +17,10 @@ Result<PartitionPlan> NonUniformPartition(
   if (options.assignment_batch == 0) {
     return Status::InvalidArgument("assignment_batch must be >= 1");
   }
+  if (!options.order.empty() && options.order.size() != freq.size()) {
+    return Status::InvalidArgument(
+        "order hint must have one entry per table row");
+  }
   const std::uint64_t capacity = options.max_rows_per_bin == 0
                                      ? std::numeric_limits<std::uint64_t>::max()
                                      : options.max_rows_per_bin;
@@ -33,7 +37,11 @@ Result<PartitionPlan> NonUniformPartition(
   plan.method = Method::kNonUniform;
   plan.row_bin.assign(geom.table.rows, 0);
 
-  const std::vector<std::uint32_t> order = trace::ItemsByFrequency(freq);
+  std::vector<std::uint32_t> computed_order;
+  if (options.order.empty()) computed_order = trace::ItemsByFrequency(freq);
+  const std::span<const std::uint32_t> order =
+      options.order.empty() ? std::span<const std::uint32_t>(computed_order)
+                            : options.order;
 
   std::vector<std::uint64_t> bin_load(geom.row_shards, 0);
   std::vector<std::uint64_t> bin_rows(geom.row_shards, 0);

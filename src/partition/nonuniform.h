@@ -34,6 +34,13 @@ struct NonUniformOptions {
   /// exists to provide, while batching the near-uniform tail is free.
   std::uint64_t assignment_batch = 1;
   std::uint64_t head_items_per_bin = 32;
+
+  /// Precomputed descending-frequency order (ItemsByFrequency(freq),
+  /// e.g. trace::TableProfile::by_freq). The permutation depends only
+  /// on `freq`, so callers building several plans from one profile can
+  /// share it instead of re-sorting every row per plan. Empty =
+  /// compute internally; non-empty must have one entry per row.
+  std::span<const std::uint32_t> order;
 };
 
 /// Greedy frequency-balanced assignment. `freq[r]` is the profiled

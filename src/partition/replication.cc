@@ -8,14 +8,23 @@ namespace updlrm::partition {
 
 Result<std::size_t> ApplyReplication(PartitionPlan& plan,
                                      std::span<const std::uint64_t> freq,
-                                     std::uint32_t top_k) {
+                                     std::uint32_t top_k,
+                                     std::span<const std::uint32_t> order_hint) {
   if (freq.size() != plan.geom.table.rows) {
     return Status::InvalidArgument("freq must have one entry per row");
+  }
+  if (!order_hint.empty() && order_hint.size() != freq.size()) {
+    return Status::InvalidArgument(
+        "order hint must have one entry per table row");
   }
   plan.replicated_rows.clear();
   if (top_k == 0) return std::size_t{0};
 
-  const std::vector<std::uint32_t> order = trace::ItemsByFrequency(freq);
+  std::vector<std::uint32_t> computed_order;
+  if (order_hint.empty()) computed_order = trace::ItemsByFrequency(freq);
+  const std::span<const std::uint32_t> order =
+      order_hint.empty() ? std::span<const std::uint32_t>(computed_order)
+                         : order_hint;
   plan.replicated_rows.reserve(top_k);
   for (std::uint32_t row : order) {
     if (plan.replicated_rows.size() >= top_k) break;

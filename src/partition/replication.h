@@ -21,8 +21,11 @@ namespace updlrm::partition {
 /// of cache lists as replicated (plan.replicated_rows). Rows with zero
 /// profiled frequency are never replicated. Returns the number of rows
 /// actually marked. Idempotent: any previous replication is replaced.
+/// `order` optionally supplies the precomputed descending-frequency
+/// permutation (ItemsByFrequency(freq)); empty = compute internally.
 Result<std::size_t> ApplyReplication(PartitionPlan& plan,
                                      std::span<const std::uint64_t> freq,
-                                     std::uint32_t top_k);
+                                     std::uint32_t top_k,
+                                     std::span<const std::uint32_t> order = {});
 
 }  // namespace updlrm::partition

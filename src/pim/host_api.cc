@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace updlrm::pim {
 
 Result<DpuSet> DpuSet::Allocate(DpuSystem* system, std::uint32_t first,
@@ -39,26 +41,43 @@ Result<Nanos> DpuSet::Push(
     return Status::InvalidArgument("need one buffer per DPU of the set");
   }
   // The transfer model prices the whole system; DPUs outside the set
-  // move zero bytes.
-  std::vector<std::uint64_t> bytes(system_->num_dpus(), 0);
+  // move zero bytes. Scratch is reused across calls.
+  bytes_scratch_.assign(system_->num_dpus(), 0);
+  std::uint64_t max_bytes = 0;
   for (std::uint32_t i = 0; i < count_; ++i) {
-    UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Write(mram_offset, buffers[i]));
-    bytes[first_ + i] = buffers[i].size();
+    bytes_scratch_[first_ + i] = buffers[i].size();
+    max_bytes = std::max<std::uint64_t>(max_bytes, buffers[i].size());
   }
-  return system_->transfer().PushTime(bytes, /*pad_to_max=*/true);
+  // Stage ragged buffers into the padded transfer matrix the SDK would
+  // DMA (one max_bytes row per DPU, zero-filled tail), then write each
+  // row's live prefix to MRAM. The packed rows keep the copy loop on
+  // the vectorized path; MRAM contents are identical to writing the
+  // original buffers.
+  staging_.resize(static_cast<std::size_t>(max_bytes) * count_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    std::uint8_t* row = staging_.data() +
+                        static_cast<std::size_t>(max_bytes) * i;
+    simd::PackPadded(buffers[i].data(), buffers[i].size(), row, max_bytes);
+    UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Write(
+        mram_offset, std::span<const std::uint8_t>(row, buffers[i].size())));
+  }
+  return system_->transfer().PushTime(bytes_scratch_, /*pad_to_max=*/true);
 }
 
 Result<Nanos> DpuSet::Pull(std::uint64_t mram_offset,
                            std::uint64_t bytes_per_dpu,
                            std::vector<std::vector<std::uint8_t>>* out) {
   UPDLRM_CHECK(out != nullptr);
-  out->assign(count_, std::vector<std::uint8_t>(bytes_per_dpu));
-  std::vector<std::uint64_t> bytes(system_->num_dpus(), 0);
+  // resize() (not assign with a temporary) keeps each inner buffer's
+  // capacity across calls.
+  out->resize(count_);
+  bytes_scratch_.assign(system_->num_dpus(), 0);
   for (std::uint32_t i = 0; i < count_; ++i) {
+    (*out)[i].resize(bytes_per_dpu);
     UPDLRM_RETURN_IF_ERROR(dpu(i).mram().Read(mram_offset, (*out)[i]));
-    bytes[first_ + i] = bytes_per_dpu;
+    bytes_scratch_[first_ + i] = bytes_per_dpu;
   }
-  return system_->transfer().PullTime(bytes, /*pad_to_max=*/true);
+  return system_->transfer().PullTime(bytes_scratch_, /*pad_to_max=*/true);
 }
 
 Result<Nanos> DpuSet::Launch(DpuProgram& program) {

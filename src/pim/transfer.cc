@@ -1,7 +1,8 @@
 #include "pim/transfer.h"
 
 #include <algorithm>
-#include <numeric>
+
+#include "common/simd.h"
 
 namespace updlrm::pim {
 
@@ -35,15 +36,14 @@ Nanos HostTransferModel::TransferTime(
   UPDLRM_CHECK_MSG(bytes_per_dpu.size() == num_dpus_,
                    "bytes_per_dpu must cover every DPU");
   const std::uint64_t max_bytes =
-      *std::max_element(bytes_per_dpu.begin(), bytes_per_dpu.end());
+      simd::MaxU64(bytes_per_dpu.data(), bytes_per_dpu.size());
   if (max_bytes == 0) return 0.0;
 
   // A zero-byte DPU transfers nothing: it is absent from the transfer
   // matrix and must not force the ragged (sequential) path when every
   // participating buffer is the same size.
-  const bool all_equal =
-      std::all_of(bytes_per_dpu.begin(), bytes_per_dpu.end(),
-                  [&](std::uint64_t b) { return b == 0 || b == max_bytes; });
+  const bool all_equal = simd::AllZeroOrEqualU64(
+      bytes_per_dpu.data(), bytes_per_dpu.size(), max_bytes);
 
   if (all_equal || pad_to_max) {
     // Parallel path: every rank streams its (padded) buffer matrix
@@ -64,8 +64,8 @@ Nanos HostTransferModel::TransferTime(
   }
 
   // Sequential path: ragged buffers are copied one DPU at a time.
-  const std::uint64_t total = std::accumulate(
-      bytes_per_dpu.begin(), bytes_per_dpu.end(), std::uint64_t{0});
+  const std::uint64_t total =
+      simd::SumU64(bytes_per_dpu.data(), bytes_per_dpu.size());
   return params_.transfer_launch_ns +
          TransferNanos(total, params_.serial_bytes_per_sec);
 }
@@ -73,10 +73,8 @@ Nanos HostTransferModel::TransferTime(
 std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
     std::span<const std::uint64_t> bytes_per_dpu, std::uint32_t lo,
     std::uint32_t hi, double rank_bw) const {
-  std::uint64_t call_max = 0;
-  for (std::uint32_t d = lo; d < hi; ++d) {
-    call_max = std::max(call_max, bytes_per_dpu[d]);
-  }
+  const std::uint64_t call_max =
+      simd::MaxU64(bytes_per_dpu.data() + lo, hi - lo);
   if (call_max == 0) return {0.0, 0};
   // Each rank streams its participating (nonzero) buffers, padded to the
   // call-wide max, concurrently with the other ranks; the fullest rank
@@ -88,10 +86,8 @@ std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
   for (std::uint32_t r = first_rank; r <= last_rank; ++r) {
     const std::uint32_t rlo = std::max(lo, r * dpus_per_rank_);
     const std::uint32_t rhi = std::min(hi, (r + 1) * dpus_per_rank_);
-    std::uint64_t pop = 0;
-    for (std::uint32_t d = rlo; d < rhi; ++d) {
-      if (bytes_per_dpu[d] != 0) ++pop;
-    }
+    const std::uint64_t pop =
+        simd::CountNonZeroU64(bytes_per_dpu.data() + rlo, rhi - rlo);
     const std::uint64_t rank_bytes = pop * call_max;
     worst_rank_bytes = std::max(worst_rank_bytes, rank_bytes);
     streamed += rank_bytes;
@@ -111,8 +107,8 @@ TransferPlan HostTransferModel::PlanTransfer(
                        group_start.back() == bytes_per_dpu.size(),
                    "group_start must cover [0, num_dpus]");
 
-  std::uint64_t total = 0;
-  for (const std::uint64_t b : bytes_per_dpu) total += b;
+  const std::uint64_t total =
+      simd::SumU64(bytes_per_dpu.data(), bytes_per_dpu.size());
   if (total == 0) return plan;  // nothing moves: no launch, zero cost
 
   // Candidate 1: one coalesced call padded to the call-wide nonzero max.

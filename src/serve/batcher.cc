@@ -19,10 +19,12 @@ Admission DynamicBatcher::Offer(const Request& request, Nanos now) {
       ++shed_;
       return Admission::kShed;
     }
-    blocked_.push_back(request);
+    // Parked requests get their slab slot now; admit_ns is stamped when
+    // a cut frees queue space.
+    blocked_.push_back(slab_.Insert(QueuedRequest{request, 0.0}));
     return Admission::kBlocked;
   }
-  queue_.push_back(QueuedRequest{request, now});
+  queue_.push_back(slab_.Insert(QueuedRequest{request, now}));
   max_depth_ = std::max(max_depth_, queue_.size());
   return Admission::kQueued;
 }
@@ -30,22 +32,30 @@ Admission DynamicBatcher::Offer(const Request& request, Nanos now) {
 bool DynamicBatcher::ReadyToCut(Nanos now) const {
   if (queue_.empty()) return false;
   if (queue_.size() >= options_.max_batch_size) return true;
-  return now >= queue_.front().admit_ns + options_.max_queue_delay_ns;
+  return now >= queue_.front()->admit_ns + options_.max_queue_delay_ns;
 }
 
 Nanos DynamicBatcher::NextDeadline() const {
   if (queue_.empty()) return kNever;
-  return queue_.front().admit_ns + options_.max_queue_delay_ns;
+  return queue_.front()->admit_ns + options_.max_queue_delay_ns;
 }
 
 std::vector<QueuedRequest> DynamicBatcher::Cut(Nanos now) {
+  std::vector<QueuedRequest> batch;
+  batch.reserve(std::min(queue_.size(), options_.max_batch_size));
+  CutInto(now, batch);
+  return batch;
+}
+
+void DynamicBatcher::CutInto(Nanos now,
+                             std::vector<QueuedRequest>& out) {
   UPDLRM_CHECK_MSG(!queue_.empty(), "Cut on an empty queue");
   const std::size_t n = std::min(queue_.size(), options_.max_batch_size);
-  std::vector<QueuedRequest> batch;
-  batch.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    batch.push_back(queue_.front());
+    QueuedRequest* q = queue_.front();
     queue_.pop_front();
+    out.push_back(*q);
+    slab_.Erase(q);
   }
   // Backpressure release: parked arrivals take the freed slots in
   // arrival order. Their batching deadline restarts at the admission
@@ -55,11 +65,12 @@ std::vector<QueuedRequest> DynamicBatcher::Cut(Nanos now) {
   while (!blocked_.empty() &&
          (options_.queue_capacity == 0 ||
           queue_.size() < options_.queue_capacity)) {
-    queue_.push_back(QueuedRequest{blocked_.front(), now});
+    QueuedRequest* q = blocked_.front();
     blocked_.pop_front();
+    q->admit_ns = now;
+    queue_.push_back(q);
     max_depth_ = std::max(max_depth_, queue_.size());
   }
-  return batch;
 }
 
 }  // namespace updlrm::serve

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "serve/slab.h"
 #include "serve/workload.h"
 
 namespace updlrm::serve {
@@ -73,6 +74,11 @@ class DynamicBatcher {
   /// order with admit_ns = now. Requires a non-empty queue.
   std::vector<QueuedRequest> Cut(Nanos now);
 
+  /// Allocation-free Cut: *appends* the popped requests to `out`
+  /// (callers keep one flat request log and record batch boundaries
+  /// as offsets into it). Identical semantics otherwise.
+  void CutInto(Nanos now, std::vector<QueuedRequest>& out);
+
   bool Idle() const { return queue_.empty() && blocked_.empty(); }
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t blocked_depth() const { return blocked_.size(); }
@@ -82,9 +88,15 @@ class DynamicBatcher {
   static constexpr Nanos kNever = std::numeric_limits<double>::infinity();
 
  private:
+  // Request state lives in the stable-pointer slab; the queues hold
+  // pointers only. A request parked under backpressure keeps its slab
+  // address across arbitrarily many cuts, and both admission and cut
+  // are O(1) with zero steady-state allocation once the high-water
+  // depth has been provisioned (serve/slab.h).
   BatcherOptions options_;
-  std::deque<QueuedRequest> queue_;
-  std::deque<Request> blocked_;
+  RequestSlab<QueuedRequest> slab_;
+  std::deque<QueuedRequest*> queue_;
+  std::deque<QueuedRequest*> blocked_;
   std::uint64_t shed_ = 0;
   std::size_t max_depth_ = 0;
 };

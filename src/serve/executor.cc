@@ -11,6 +11,10 @@ PipelinedExecutor::PipelinedExecutor(std::uint32_t depth) : depth_(depth) {
   UPDLRM_CHECK_MSG(depth >= 1, "executor needs at least one buffer pair");
 }
 
+void PipelinedExecutor::Reserve(std::size_t expected_batches) {
+  batches_.reserve(expected_batches);
+}
+
 Nanos PipelinedExecutor::NextAdmitTime() const {
   if (batches_.size() < depth_) return last_cut_;
   // The next batch reuses the buffer pair of batch (n - depth), which
@@ -73,6 +77,7 @@ Nanos PipelinedExecutor::MakespanNs() const {
 PipelinedExecutor ExecutePipelined(
     std::span<const core::StageBreakdown> batches, std::uint32_t depth) {
   PipelinedExecutor executor(depth);
+  executor.Reserve(batches.size());
   for (const core::StageBreakdown& b : batches) {
     executor.Submit(b, executor.NextAdmitTime());
   }

@@ -61,6 +61,11 @@ class PipelinedExecutor {
   /// window has a free slot from this time on. Monotone across Submits.
   Nanos NextAdmitTime() const;
 
+  /// Pre-sizes the executed-schedule vector for `expected_batches`
+  /// Submits (the serving loop's requests/max_batch_size hint), so
+  /// steady-state Submit never reallocates the StageBreakdown records.
+  void Reserve(std::size_t expected_batches);
+
   /// Submits the next batch at its cut instant (`cut_ns` must be >= the
   /// previous cut and >= NextAdmitTime()). Finalizes the batch's
   /// stage-1 and stage-2 schedule; stage 3 is scheduled lazily as host

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <span>
 
 #include "telemetry/tracer.h"
 #include "updlrm/timeline.h"
@@ -72,11 +73,26 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   using telemetry::kPipelinePid;
   using telemetry::kRequestPid;
 
-  // Per cut batch: the requests it carries, for latency attribution.
-  std::vector<std::vector<QueuedRequest>> batch_requests;
+  // Flat request log: every cut appends its requests here (for latency
+  // attribution) and records its start offset in batch_start — one
+  // up-front reservation instead of a vector<vector> that allocates per
+  // batch. batch_start gets a closing sentinel after the serve loop.
+  const std::size_t expected_batches =
+      options.batcher.max_batch_size > 0
+          ? requests.size() / options.batcher.max_batch_size + 2
+          : requests.size() + 2;
+  std::vector<QueuedRequest> request_log;
+  request_log.reserve(requests.size());
+  std::vector<std::size_t> batch_start;
+  batch_start.reserve(expected_batches + 1);
   std::vector<std::size_t> samples;  // sample-id scratch per cut
+  samples.reserve(options.batcher.max_batch_size);
   // Per cut batch: the engine's stage-2 launch records (tracing only).
   std::vector<std::shared_ptr<const core::BatchDpuTrace>> batch_traces;
+  executor.Reserve(expected_batches);
+  result.batch_stages.reserve(expected_batches);
+  result.queue_depth.reserve(expected_batches);
+  result.request_latency_ns.reserve(requests.size());
 
   auto offer = [&](const Request& r, Nanos now) {
     if (batcher.Offer(r, now) == Admission::kShed && tracing) {
@@ -117,24 +133,26 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
     }
     if (!batcher.ReadyToCut(t)) break;  // nothing left to serve
 
-    std::vector<QueuedRequest> cut = batcher.Cut(t);
+    batch_start.push_back(request_log.size());
+    batcher.CutInto(t, request_log);
     samples.clear();
-    samples.reserve(cut.size());
-    for (const QueuedRequest& q : cut) samples.push_back(q.request.sample);
+    for (std::size_t i = batch_start.back(); i < request_log.size(); ++i) {
+      samples.push_back(request_log[i].request.sample);
+    }
     auto batch = engine.RunSamples(samples, nullptr);
     if (!batch.ok()) return batch.status();
 
     executor.Submit(batch->stages, t);
     result.batch_stages.push_back(batch->stages);
-    batch_requests.push_back(std::move(cut));
     if (tracing) batch_traces.push_back(batch->dpu_trace);
     result.queue_depth.push_back(QueueDepthSample{t, batcher.queue_depth()});
   }
+  batch_start.push_back(request_log.size());  // closing sentinel
 
   executor.Drain();
   result.makespan_ns = executor.MakespanNs();
   result.schedule = executor.batches();
-  result.num_batches = batch_requests.size();
+  result.num_batches = batch_start.size() - 1;
   result.shed = batcher.shed_count();
   result.max_queue_depth = batcher.max_queue_depth();
   result.utilization = StageUtilization{executor.host_busy_ns(),
@@ -151,7 +169,7 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   }
 
   std::uint64_t served = 0;
-  for (std::size_t b = 0; b < batch_requests.size(); ++b) {
+  for (std::size_t b = 0; b + 1 < batch_start.size(); ++b) {
     const ExecutedBatch& sched = result.schedule[b];
     const Nanos done = sched.s3_end_ns;
     if (tracing) {
@@ -175,7 +193,10 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
         tracer.CountSampledOut();
       }
     }
-    for (const QueuedRequest& q : batch_requests[b]) {
+    const std::span<const QueuedRequest> batch_requests(
+        request_log.data() + batch_start[b],
+        batch_start[b + 1] - batch_start[b]);
+    for (const QueuedRequest& q : batch_requests) {
       const Nanos latency = done - q.request.arrival_ns;
       result.latency.Add(latency);
       result.request_latency_ns.push_back(latency);

@@ -1,0 +1,125 @@
+// Stable-pointer request slab (the plf::hive / colony idiom).
+//
+// The serving layer keeps every in-flight request in one of these: a
+// segmented pool of geometrically growing blocks whose elements never
+// move. Insert and Erase are O(1) — erased slots chain into an
+// intrusive free list threaded through the element storage itself and
+// are handed back to later inserts — so admission, parking and batch
+// cuts never shift or reallocate request state. Pointers returned by
+// Insert stay valid until that element is erased (or the slab is
+// destroyed), which is what lets the batcher queue raw pointers while
+// backpressure holds the same request parked across many cuts.
+//
+// Compared to the std::deque<QueuedRequest> it replaces:
+//   * erase from the middle is O(1), not a shift;
+//   * blocks are never freed while the slab lives, so a serving loop
+//     reaches zero steady-state allocation once the high-water request
+//     count has been provisioned (tests/serve/alloc_test.cc);
+//   * pointers are stable across inserts (deque invalidates on
+//     pop_front + push_back reuse).
+//
+// T must be trivially destructible: slots are recycled by overwrite and
+// the destructor just frees the blocks. (Requests are plain structs of
+// ids and timestamps; this is a static_assert, not a silent contract.)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updlrm::serve {
+
+template <typename T>
+class RequestSlab {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "RequestSlab recycles slots by overwrite; element types "
+                "must be trivially destructible");
+
+ public:
+  RequestSlab() = default;
+  RequestSlab(const RequestSlab&) = delete;
+  RequestSlab& operator=(const RequestSlab&) = delete;
+
+  /// Places a copy of `value` into a free slot and returns its stable
+  /// address. O(1); allocates only when every provisioned slot is live.
+  T* Insert(const T& value) {
+    Node* node = PopFree();
+    return ::new (static_cast<void*>(node->storage)) T(value);
+  }
+
+  /// Constructs in place; same guarantees as Insert.
+  template <typename... Args>
+  T* Emplace(Args&&... args) {
+    Node* node = PopFree();
+    return ::new (static_cast<void*>(node->storage))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Returns `p`'s slot to the free list. `p` must be a live pointer
+  /// previously returned by Insert/Emplace. O(1).
+  void Erase(T* p) {
+    UPDLRM_CHECK(p != nullptr && live_ > 0);
+    Node* node = std::launder(reinterpret_cast<Node*>(p));
+    node->next_free = free_;
+    free_ = node;
+    --live_;
+  }
+
+  /// Live (inserted, not yet erased) element count.
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  /// Total provisioned slots (live + free); never shrinks.
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // A slot is either a live T or a link in the free list; the free-list
+  // pointer lives in the element storage (the hive trick), so the node
+  // is exactly max(sizeof(T), sizeof(void*)) payload bytes.
+  struct Node {
+    union {
+      alignas(T) unsigned char storage[sizeof(T)];
+      Node* next_free;
+    };
+  };
+
+  Node* PopFree() {
+    if (free_ == nullptr) Grow();
+    Node* node = free_;
+    free_ = node->next_free;
+    ++live_;
+    return node;
+  }
+
+  void Grow() {
+    // Geometric block sizes, capped: doubling keeps the block count
+    // logarithmic in the high-water mark while the cap bounds the
+    // overshoot for huge serving runs.
+    constexpr std::size_t kFirstBlock = 64;
+    constexpr std::size_t kMaxBlock = 8192;
+    const std::size_t n =
+        blocks_.empty()
+            ? kFirstBlock
+            : std::min<std::size_t>(kMaxBlock, capacity_);
+    blocks_.push_back(std::make_unique<Node[]>(n));
+    Node* nodes = blocks_.back().get();
+    // Chain in reverse so slots hand out in forward (cache-friendly)
+    // address order.
+    for (std::size_t i = n; i > 0; --i) {
+      nodes[i - 1].next_free = free_;
+      free_ = &nodes[i - 1];
+    }
+    capacity_ += n;
+  }
+
+  std::vector<std::unique_ptr<Node[]>> blocks_;
+  Node* free_ = nullptr;
+  std::size_t live_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace updlrm::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/radix_sort.h"
 #include "common/thread_pool.h"
 
 namespace updlrm::trace {
@@ -34,15 +35,17 @@ std::vector<std::uint32_t> TraceGenerator::BuildRankToId(Rng& rng) const {
   std::iota(ids.begin(), ids.end(), 0U);
   if (spec_.rank_jitter <= 0.0) return ids;
 
-  std::vector<double> keys(n);
+  // Keys are non-negative, so their IEEE-754 bit patterns order exactly
+  // like the doubles and the stable radix sort reproduces the
+  // stable_sort permutation bit for bit (see common/radix_sort.h).
+  std::vector<std::uint64_t> keys(n);
   const double noise_scale = spec_.rank_jitter * static_cast<double>(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    keys[i] = static_cast<double>(i) + noise_scale * rng.NextDouble();
+    keys[i] = AscendingKeyFromNonNegativeDouble(
+        static_cast<double>(i) + noise_scale * rng.NextDouble());
   }
-  std::stable_sort(ids.begin(), ids.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return keys[a] < keys[b];
-                   });
+  StableRadixSortIdsByKey(std::span<std::uint32_t>(ids),
+                          std::span<std::uint64_t>(keys));
   return ids;
 }
 
@@ -52,7 +55,12 @@ CliqueModel TraceGenerator::BuildCliqueModel(
       options.seed_override != 0 ? options.seed_override : spec_.seed;
   Rng perm_rng(DeriveSeed(base_seed, table, kPurposePerm));
   const std::vector<std::uint32_t> rank_to_id = BuildRankToId(perm_rng);
+  return BuildCliqueModelFromRanks(table, base_seed, rank_to_id);
+}
 
+CliqueModel TraceGenerator::BuildCliqueModelFromRanks(
+    std::uint32_t table, std::uint64_t base_seed,
+    std::span<const std::uint32_t> rank_to_id) const {
   CliqueModel model;
   const auto num_hot = static_cast<std::uint64_t>(
       std::min<std::uint64_t>(spec_.num_hot_items, spec_.num_items));
@@ -158,7 +166,10 @@ Result<Trace> TraceGenerator::Generate(
        t < table_end; ++t) {
     Rng perm_rng(DeriveSeed(base_seed, t, kPurposePerm));
     const std::vector<std::uint32_t> rank_to_id = BuildRankToId(perm_rng);
-    const CliqueModel cliques = BuildCliqueModel(t, options);
+    // Reuse the rank map just built — BuildCliqueModel would re-derive
+    // the identical permutation from the same seed stream.
+    const CliqueModel cliques =
+        BuildCliqueModelFromRanks(t, base_seed, rank_to_id);
     Rng rng(DeriveSeed(base_seed, t, kPurposeSamples));
 
     // clique index -> its member *ranks* (so drifted id maps keep

@@ -77,6 +77,12 @@ class TraceGenerator {
   // rank -> item id map for one table.
   std::vector<std::uint32_t> BuildRankToId(Rng& rng) const;
 
+  // BuildCliqueModel against a rank map the caller already built (the
+  // generator reuses one map per table instead of re-deriving it).
+  CliqueModel BuildCliqueModelFromRanks(
+      std::uint32_t table, std::uint64_t base_seed,
+      std::span<const std::uint32_t> rank_to_id) const;
+
   DatasetSpec spec_;
 };
 

@@ -1,8 +1,10 @@
 #include "trace/profiler.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
+#include "common/radix_sort.h"
 #include "common/stats.h"
 
 namespace updlrm::trace {
@@ -47,27 +49,43 @@ SkewReport AnalyzeSkew(std::span<const std::uint64_t> block_counts) {
 double TopKAccessShare(std::span<const std::uint64_t> freq,
                        std::size_t top_k) {
   if (freq.empty() || top_k == 0) return 0.0;
-  std::vector<std::uint64_t> sorted(freq.begin(), freq.end());
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  // Only the top-k *multiset of values* matters, and both sums are
+  // exact integer sums (order-insensitive) — a linear-time selection
+  // gives the same result as a full descending sort.
+  std::vector<std::uint64_t> values(freq.begin(), freq.end());
+  top_k = std::min(top_k, values.size());
+  std::nth_element(values.begin(), values.begin() + (top_k - 1),
+                   values.end(), std::greater<std::uint64_t>());
   const double total = static_cast<double>(
-      std::accumulate(sorted.begin(), sorted.end(), std::uint64_t{0}));
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0}));
   if (total == 0.0) return 0.0;
-  top_k = std::min(top_k, sorted.size());
   const double top = static_cast<double>(
-      std::accumulate(sorted.begin(), sorted.begin() + top_k,
+      std::accumulate(values.begin(), values.begin() + top_k,
                       std::uint64_t{0}));
   return top / total;
 }
 
 std::vector<std::uint32_t> ItemsByFrequency(
     std::span<const std::uint64_t> freq) {
+  // Stable descending-by-frequency == stable ascending on ~freq; the
+  // radix sort reproduces the stable_sort permutation exactly.
   std::vector<std::uint32_t> ids(freq.size());
   std::iota(ids.begin(), ids.end(), 0U);
-  std::stable_sort(ids.begin(), ids.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return freq[a] > freq[b];
-                   });
+  std::vector<std::uint64_t> keys(freq.size());
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    keys[i] = AscendingKeyFromDescendingU64(freq[i]);
+  }
+  StableRadixSortIdsByKey(std::span<std::uint32_t>(ids),
+                          std::span<std::uint64_t>(keys));
   return ids;
+}
+
+TableProfile ProfileTable(const TableTrace& table,
+                          std::uint64_t num_items) {
+  TableProfile profile;
+  profile.freq = ItemFrequencies(table, num_items);
+  profile.by_freq = ItemsByFrequency(profile.freq);
+  return profile;
 }
 
 }  // namespace updlrm::trace

@@ -43,4 +43,19 @@ double TopKAccessShare(std::span<const std::uint64_t> freq,
 std::vector<std::uint32_t> ItemsByFrequency(
     std::span<const std::uint64_t> freq);
 
+/// One table's profile, computed once and shared across every consumer
+/// that would otherwise re-derive it: the per-item access histogram and
+/// its descending-frequency permutation. Both partitioners and the
+/// engine accept these precomputed (the profiling analogue of
+/// EngineOptions::premined_cache) — re-profiling the same trace per
+/// engine configuration repeats a full radix sort of every table row.
+struct TableProfile {
+  std::vector<std::uint64_t> freq;     // ItemFrequencies(table, items)
+  std::vector<std::uint32_t> by_freq;  // ItemsByFrequency(freq)
+};
+
+/// Profiles one table: histogram + descending-frequency order.
+TableProfile ProfileTable(const TableTrace& table,
+                          std::uint64_t num_items);
+
 }  // namespace updlrm::trace

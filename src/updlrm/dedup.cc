@@ -1,31 +1,40 @@
 #include "updlrm/dedup.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "common/radix_sort.h"
+#include "common/simd.h"
 #include "common/units.h"
 
 namespace updlrm::core {
+
+namespace {
+// Below this size the comparison sort's lower constant beats the radix
+// sort's fixed per-pass scans (the crossover sits around 1-4k keys on
+// current hardware; any choice is bit-exact, both orders are the full
+// sorted order of a value multiset).
+constexpr std::size_t kRadixThreshold = 2048;
+}  // namespace
 
 DedupPlan PlanDedup(std::span<DedupKey> keys) {
   DedupPlan plan;
   plan.refs = keys.size();
   if (keys.empty()) return plan;
 
-  std::sort(keys.begin(), keys.end());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    if (i > 0 && keys[i] == keys[i - 1]) continue;
-    switch (DedupKeyStream(keys[i])) {
-      case DedupStream::kRow:
-        ++plan.unique_rows;
-        break;
-      case DedupStream::kWram:
-        ++plan.unique_wram;
-        break;
-      case DedupStream::kCache:
-        ++plan.unique_cache;
-        break;
-    }
+  if (keys.size() < kRadixThreshold) {
+    std::sort(keys.begin(), keys.end());
+  } else {
+    // Reused per worker thread: zero allocations per batch once warm.
+    thread_local std::vector<std::uint64_t> scratch;
+    RadixSortU64(keys, scratch);
   }
+
+  std::uint64_t counts[3] = {0, 0, 0};
+  simd::UniqueStreamCounts(keys.data(), keys.size(), counts);
+  plan.unique_rows = counts[0];
+  plan.unique_wram = counts[1];
+  plan.unique_cache = counts[2];
 
   const std::uint64_t raw_bytes = plan.refs * 4;
   const std::uint64_t dedup_bytes =

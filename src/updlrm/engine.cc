@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/fixed_point.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "partition/replication.h"
 #include "telemetry/tracer.h"
@@ -178,6 +180,21 @@ Status UpDlrmEngine::Setup() {
   if (next_dpu > system_->num_dpus()) {
     return Status::CapacityExceeded("allocation exceeds the DPU count");
   }
+  if (options_.preprofiled != nullptr) {
+    if (options_.preprofiled->size() != config_.num_tables) {
+      return Status::InvalidArgument(
+          "preprofiled must hold one TableProfile per table");
+    }
+    for (std::uint32_t t = 0; t < config_.num_tables; ++t) {
+      const trace::TableProfile& p = (*options_.preprofiled)[t];
+      if (p.freq.size() != config_.RowsInTable(t) ||
+          p.by_freq.size() != p.freq.size()) {
+        return Status::InvalidArgument(
+            "preprofiled table " + std::to_string(t) +
+            " does not match the table shape");
+      }
+    }
+  }
 
   // Per-table preparation (profiling, partitioning, mining, MRAM
   // placement) is independent across tables: each table's group owns a
@@ -193,9 +210,19 @@ Status UpDlrmEngine::Setup() {
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           const auto t = static_cast<std::uint32_t>(i);
-          const std::vector<std::uint64_t> freq = trace::ItemFrequencies(
-              trace_.tables[t], config_.RowsInTable(t));
-          auto plan = BuildPlan(t, freq);
+          // Shared profile when provided (validated above); otherwise
+          // profile this table's trace once here — the partitioner,
+          // replication, WRAM tier and cache miner all reuse it.
+          const trace::TableProfile* profile =
+              options_.preprofiled != nullptr ? &(*options_.preprofiled)[t]
+                                              : nullptr;
+          trace::TableProfile own_profile;
+          if (profile == nullptr) {
+            own_profile = trace::ProfileTable(trace_.tables[t],
+                                              config_.RowsInTable(t));
+            profile = &own_profile;
+          }
+          auto plan = BuildPlan(t, *profile);
           if (!plan.ok()) {
             built[i].status = plan.status();
             continue;
@@ -211,7 +238,7 @@ Status UpDlrmEngine::Setup() {
           built[i].group = std::move(group).value();
           if (options_.wram_cache_rows > 0) {
             BuildWramCache(
-                built[i].group, freq,
+                built[i].group, profile->freq,
                 EffectiveWramRows(built[i].group.plan.geom.row_bytes()));
           }
           if (model_ != nullptr) {
@@ -342,7 +369,9 @@ Nanos UpDlrmEngine::EstimateBatchCost(
 }
 
 Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
-    std::uint32_t table, std::span<const std::uint64_t> freq) const {
+    std::uint32_t table, const trace::TableProfile& profile) const {
+  const std::span<const std::uint64_t> freq(profile.freq);
+  const std::span<const std::uint32_t> by_freq(profile.by_freq);
   auto geom_or = partition::GroupGeometry::Make(
       config_.table_shape(table), dpus_per_table_[table], nc_);
   if (!geom_or.ok()) return geom_or.status();
@@ -370,27 +399,32 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
     case partition::Method::kNonUniform: {
       partition::NonUniformOptions nu;
       nu.max_rows_per_bin = usable / geom.row_bytes();
+      nu.order = by_freq;
       auto built = partition::NonUniformPartition(geom, freq, nu);
       if (!built.ok()) return built;
       plan = std::move(built).value();
       break;
     }
     case partition::Method::kCacheAware: {
-      cache::CacheRes mined_res;
+      // Borrow the shared lists when premined (no per-engine deep copy
+      // of every cache list); mine locally otherwise.
+      cache::CacheRes own_mined;
+      const cache::CacheRes* mined_res = nullptr;
       if (options_.premined_cache != nullptr) {
         if (options_.premined_cache->size() != config_.num_tables) {
           return Status::InvalidArgument(
               "premined_cache must hold one CacheRes per table");
         }
-        mined_res = (*options_.premined_cache)[table];
+        mined_res = &(*options_.premined_cache)[table];
       } else {
         cache::GraceMiner miner(options_.grace);
-        auto mined =
-            miner.Mine(trace_.tables[table], config_.RowsInTable(table));
+        auto mined = miner.Mine(trace_.tables[table],
+                                config_.RowsInTable(table), &profile);
         if (!mined.ok()) return mined.status();
-        mined_res = std::move(mined).value();
+        own_mined = std::move(mined).value();
+        mined_res = &own_mined;
       }
-      const cache::CacheRes trimmed = mined_res.TrimToBudgetFraction(
+      const cache::CacheRes trimmed = mined_res->TrimToBudgetFraction(
           geom.row_bytes(), options_.cache_capacity_fraction);
 
       const std::uint64_t total_cache =
@@ -406,6 +440,7 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
       partition::CacheAwareOptions ca;
       ca.capacity =
           partition::BinCapacity{usable - cache_budget, cache_budget};
+      ca.order = by_freq;
       auto result = partition::CacheAwarePartition(geom, freq, trimmed, ca);
       if (!result.ok()) return result.status();
       plan = std::move(result).value().plan;
@@ -415,7 +450,7 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
   }
   if (options_.replicate_hot_rows > 0) {
     auto replicated = partition::ApplyReplication(
-        plan, freq, options_.replicate_hot_rows);
+        plan, freq, options_.replicate_hot_rows, by_freq);
     if (!replicated.ok()) return replicated.status();
   }
   UPDLRM_RETURN_IF_ERROR(plan.Validate(capacity));
@@ -572,8 +607,12 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   telemetry::TraceSpan batch_span("engine.RunSamples", "engine");
 
   BatchResult out;
-  std::vector<std::uint64_t> push_bytes(system_->num_dpus(), 0);
-  std::vector<std::uint64_t> pull_bytes(system_->num_dpus(), 0);
+  // assign() reuses capacity: after the first batch these are pure
+  // fills, part of the zero-allocations-per-batch contract.
+  push_bytes_.assign(system_->num_dpus(), 0);
+  pull_bytes_.assign(system_->num_dpus(), 0);
+  std::span<std::uint64_t> push_bytes(push_bytes_);
+  std::span<std::uint64_t> pull_bytes(pull_bytes_);
 
   // --- Stage 1: routing, one task per group (disjoint scratch). ---
   {
@@ -593,8 +632,10 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   // simulated latency (max across DPUs, as on real hardware) and any
   // error report are thread-count invariant. ---
   const std::size_t num_bin_tasks = bin_task_start_.back();
-  std::vector<Cycles> bin_cycles(num_bin_tasks, 0);
-  std::vector<Status> bin_status(num_bin_tasks);
+  bin_cycles_.assign(num_bin_tasks, 0);
+  bin_status_.assign(num_bin_tasks, Status());
+  std::span<Cycles> bin_cycles(bin_cycles_);
+  std::span<Status> bin_status(bin_status_);
   // Per-(group, bin) launch records for the telemetry timeline; tasks
   // write disjoint entries, so capture is deterministic and race-free.
   std::shared_ptr<BatchDpuTrace> dpu_trace;
@@ -753,19 +794,27 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   // fixed (group, bin, col) order — the determinism contract's merge
   // step. int64 addition of int32 terms is exact, so pooled embeddings
   // are bit-identical to the serial order at any thread count. ---
-  std::vector<std::int64_t> pooled_acc;
+  std::span<std::int64_t> pooled_acc;
   if (fn) {
     telemetry::TraceSpan span("engine.functional", "engine");
-    pooled_acc.assign(batch * static_cast<std::size_t>(tables) * dim, 0);
+    pooled_acc_.assign(batch * static_cast<std::size_t>(tables) * dim, 0);
+    pooled_acc = pooled_acc_;
     const std::size_t num_fn_tasks = fn_task_start_.back();
     const std::size_t wires_per_task = batch * nc_;
-    std::vector<std::int32_t> wires(num_fn_tasks * wires_per_task, 0);
-    std::vector<Status> fn_status(num_fn_tasks);
+    wires_.assign(num_fn_tasks * wires_per_task, 0);
+    fn_status_.assign(num_fn_tasks, Status());
+    std::span<std::int32_t> wires(wires_);
+    std::span<Status> fn_status(fn_status_);
     ParallelFor(
         num_fn_tasks,
         [&](std::size_t begin, std::size_t end) {
-          std::vector<std::int64_t> acc(nc_);
-          std::vector<std::int32_t> buf(nc_);
+          // Per-task accumulators come from this worker's arena: the
+          // frame rolls the arena back when the task chain on this
+          // worker drains, so repeated batches re-use the same block.
+          Arena& arena = ThreadArena();
+          ScopedArenaFrame frame(arena);
+          std::int64_t* acc = arena.Alloc<std::int64_t>(nc_);
+          std::int32_t* buf = arena.Alloc<std::int32_t>(nc_);
           std::size_t g = 0;
           for (std::size_t task = begin; task < end; ++task) {
             while (task >= fn_task_start_[g + 1]) ++g;
@@ -773,7 +822,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
             const auto& geom = group.plan.geom;
             const std::uint32_t row_bytes = geom.row_bytes();
             auto buf_bytes = std::span<std::uint8_t>(
-                reinterpret_cast<std::uint8_t*>(buf.data()), row_bytes);
+                reinterpret_cast<std::uint8_t*>(buf), row_bytes);
             const std::size_t local = task - fn_task_start_[g];
             const auto bin =
                 static_cast<std::uint32_t>(local / geom.col_shards);
@@ -786,7 +835,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
                 wires.data() + task * wires_per_task;
             Status status;
             for (std::size_t s = 0; s < batch && status.ok(); ++s) {
-              std::fill(acc.begin(), acc.end(), std::int64_t{0});
+              std::fill(acc, acc + nc_, std::int64_t{0});
               // Slot references are absolute (EMT at base 0, replicas
               // and cache offsets folded in during routing).
               for (std::uint32_t k = rt.emt_offsets[s];
@@ -795,9 +844,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
                     static_cast<std::uint64_t>(rt.emt_slots[k]) *
                         row_bytes,
                     buf_bytes);
-                for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-                  acc[lane] += buf[lane];
-                }
+                simd::AddI32ToI64(buf, acc, geom.nc);
               }
               for (std::uint32_t k = rt.cache_offsets[s];
                    k < rt.cache_offsets[s + 1] && status.ok(); ++k) {
@@ -805,9 +852,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
                     static_cast<std::uint64_t>(rt.cache_slots[k]) *
                         row_bytes,
                     buf_bytes);
-                for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-                  acc[lane] += buf[lane];
-                }
+                simd::AddI32ToI64(buf, acc, geom.nc);
               }
               if (!status.ok()) break;
               // Partial sums cross the DPU->CPU wire as int32 (§3.1
@@ -844,9 +889,9 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
         std::int64_t* dst = pooled_acc.data() +
                             (s * tables + group.table_index) * dim +
                             static_cast<std::size_t>(c) * geom.nc;
-        for (std::uint32_t lane = 0; lane < geom.nc; ++lane) {
-          dst[lane] += task_wires[s * nc_ + lane];
-        }
+        // Integer lanes: the vectorized add is exactly the fixed-order
+        // merge (int64 addition is commutative per lane).
+        simd::AddI32ToI64(task_wires + s * nc_, dst, geom.nc);
       }
     }
   }
@@ -882,8 +927,8 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   }
   out.stages.dpu_lookup = system_->transfer().KernelLaunchOverhead() +
                           CyclesToNanos(max_kernel, clock);
-  std::uint64_t partial_bytes = 0;
-  for (std::uint64_t b : pull_bytes) partial_bytes += b;
+  const std::uint64_t partial_bytes =
+      simd::SumU64(pull_bytes.data(), pull_bytes.size());
   out.stages.cpu_aggregate =
       cpu_.StreamTime(partial_bytes) + cpu_.BagOverhead(tables);
 
@@ -896,6 +941,8 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
               out.interaction_top;
 
   if (fn) {
+    // The one unavoidable per-batch allocation of functional mode: the
+    // pooled embeddings are returned to the caller by value.
     out.pooled.resize(pooled_acc.size());
     for (std::size_t i = 0; i < pooled_acc.size(); ++i) {
       out.pooled[i] = FromFixedSum(pooled_acc[i]);

@@ -34,6 +34,7 @@
 #include "partition/nonuniform.h"
 #include "partition/uniform.h"
 #include "pim/system.h"
+#include "trace/profiler.h"
 #include "trace/trace.h"
 #include "updlrm/placement.h"
 #include "updlrm/report.h"
@@ -90,6 +91,12 @@ struct EngineOptions {
   /// across engine configurations to avoid re-mining the same trace).
   /// Used by the cache-aware method only; must outlive the engine.
   const std::vector<cache::CacheRes>* premined_cache = nullptr;
+  /// Optional pre-computed trace profiles, one TableProfile per table
+  /// (freq histogram + descending-frequency order). Same sharing story
+  /// as premined_cache: one profiling pass serves every engine built
+  /// from the same trace, instead of a full radix sort of every table
+  /// row per engine. Must outlive the engine.
+  const std::vector<trace::TableProfile>* preprofiled = nullptr;
   /// Host worker threads for setup and per-batch fan-out (wall-clock
   /// only; functional outputs and simulated times are thread-count
   /// invariant, see DESIGN.md §"Host execution backend"). 0 = the
@@ -176,7 +183,7 @@ class UpDlrmEngine {
 
   Status Setup();
   Result<partition::PartitionPlan> BuildPlan(
-      std::uint32_t table, std::span<const std::uint64_t> freq) const;
+      std::uint32_t table, const trace::TableProfile& profile) const;
 
   // Check-mode Setup pass over one built group: static plan audit,
   // WRAM-tier capacity audit, and MRAM region registration for the
@@ -239,6 +246,17 @@ class UpDlrmEngine {
   std::vector<GroupScratch> scratch_;
   // Sample-id scratch for the RunBatch(range) -> RunSamples adapter.
   std::vector<std::size_t> range_samples_;
+  // Per-batch buffers reused across RunSamples calls, assign()ed each
+  // batch (capacity persists: zero heap allocations per batch once
+  // warm, asserted by tests/serve/alloc_test.cc). Per-task accumulator
+  // scratch lives in the per-worker ThreadArena instead.
+  std::vector<std::uint64_t> push_bytes_;
+  std::vector<std::uint64_t> pull_bytes_;
+  std::vector<Cycles> bin_cycles_;
+  std::vector<Status> bin_status_;
+  std::vector<std::int64_t> pooled_acc_;
+  std::vector<std::int32_t> wires_;
+  std::vector<Status> fn_status_;
   // Flattened fan-out offsets: task id ranges for the per-(group, bin)
   // stage-2 tasks and the per-(group, bin, col) functional tasks.
   std::vector<std::size_t> bin_task_start_;  // size groups + 1

@@ -1,0 +1,130 @@
+// The stable-pointer request slab (serve/slab.h): O(1) insert/erase,
+// pointer stability across growth, slot recycling, and the batcher's
+// allocation-free CutInto on top of it.
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve/slab.h"
+
+namespace updlrm::serve {
+namespace {
+
+struct Payload {
+  std::uint64_t id = 0;
+  double stamp = 0.0;
+};
+
+TEST(RequestSlabTest, PointersStableAcrossGrowth) {
+  RequestSlab<Payload> slab;
+  std::vector<Payload*> ptrs;
+  // Far past several block boundaries (first block is 64 slots).
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ptrs.push_back(slab.Insert(Payload{i, i * 0.5}));
+  }
+  EXPECT_EQ(slab.size(), 1000u);
+  EXPECT_GE(slab.capacity(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(ptrs[i]->id, i);
+    ASSERT_EQ(ptrs[i]->stamp, i * 0.5);
+  }
+}
+
+TEST(RequestSlabTest, EraseRecyclesSlotsWithoutGrowth) {
+  RequestSlab<Payload> slab;
+  std::vector<Payload*> ptrs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ptrs.push_back(slab.Insert(Payload{i, 0.0}));
+  }
+  const std::size_t capacity = slab.capacity();
+  std::set<Payload*> freed;
+  for (std::size_t i = 0; i < 100; i += 2) {
+    freed.insert(ptrs[i]);
+    slab.Erase(ptrs[i]);
+  }
+  EXPECT_EQ(slab.size(), 50u);
+  // Refill: every new element lands in a freed slot; capacity is flat.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Payload* p = slab.Insert(Payload{1000 + i, 0.0});
+    EXPECT_EQ(freed.count(p), 1u) << "insert did not recycle a slot";
+  }
+  EXPECT_EQ(slab.size(), 100u);
+  EXPECT_EQ(slab.capacity(), capacity);
+  // Survivors are untouched.
+  for (std::size_t i = 1; i < 100; i += 2) {
+    ASSERT_EQ(ptrs[i]->id, i);
+  }
+}
+
+TEST(RequestSlabTest, EmplaceConstructsInPlace) {
+  RequestSlab<Payload> slab;
+  Payload* p = slab.Emplace(7u, 2.5);
+  EXPECT_EQ(p->id, 7u);
+  EXPECT_EQ(p->stamp, 2.5);
+  EXPECT_EQ(slab.size(), 1u);
+  slab.Erase(p);
+  EXPECT_TRUE(slab.empty());
+}
+
+// CutInto appends to the caller's log — the serving loop records batch
+// boundaries as offsets into one flat vector.
+TEST(RequestSlabTest, BatcherCutIntoAppends) {
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  DynamicBatcher batcher(options);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Request r;
+    r.id = i;
+    r.sample = i;
+    r.arrival_ns = static_cast<Nanos>(i);
+    batcher.Offer(r, r.arrival_ns);
+  }
+  std::vector<QueuedRequest> log;
+  std::vector<std::size_t> starts;
+  while (!batcher.Idle()) {
+    starts.push_back(log.size());
+    batcher.CutInto(100.0, log);
+  }
+  starts.push_back(log.size());
+  ASSERT_EQ(log.size(), 5u);
+  ASSERT_EQ(starts.size(), 4u);  // 2 + 2 + 1
+  EXPECT_EQ(starts[1] - starts[0], 2u);
+  EXPECT_EQ(starts[2] - starts[1], 2u);
+  EXPECT_EQ(starts[3] - starts[2], 1u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log[i].request.id, i) << "FIFO order across cuts";
+  }
+}
+
+// Blocked requests keep their slab slot while parked and are admitted
+// with admit_ns restarted at the cut instant.
+TEST(RequestSlabTest, BlockedRequestsSurviveParking) {
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  options.queue_capacity = 2;
+  options.policy = AdmissionPolicy::kBlock;
+  DynamicBatcher batcher(options);
+  Request r;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    r.id = i;
+    r.arrival_ns = static_cast<Nanos>(i);
+    const Admission a = batcher.Offer(r, r.arrival_ns);
+    EXPECT_EQ(a, i < 2 ? Admission::kQueued : Admission::kBlocked) << i;
+  }
+  EXPECT_EQ(batcher.blocked_depth(), 2u);
+  std::vector<QueuedRequest> batch = batcher.Cut(50.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, 0u);
+  EXPECT_EQ(batcher.blocked_depth(), 0u);
+  EXPECT_EQ(batcher.queue_depth(), 2u);
+  batch = batcher.Cut(60.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, 2u);
+  EXPECT_EQ(batch[0].admit_ns, 50.0) << "deadline restarts at admission";
+}
+
+}  // namespace
+}  // namespace updlrm::serve
