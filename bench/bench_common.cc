@@ -34,6 +34,7 @@ BenchScale ParseScale(int argc, const char* const* argv) {
     scale.wram = static_cast<std::uint32_t>(cl->GetInt("wram", 0));
     scale.coalesce = cl->GetBool("coalesce", false);
     scale.check = cl->GetBool("check", false);
+    scale.e2e = cl->GetBool("e2e", false);
     if (cl->GetBool("force-scalar", false)) {
       simd::ForceScalar(true);
     }

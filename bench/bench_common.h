@@ -59,6 +59,11 @@ struct BenchScale {
   /// every engine the bench creates. The bench aborts with the
   /// violation report if any rule fires (see AssertChecksClean).
   bool check = false;
+  /// serve_latency only: restrict the bench to the end-to-end pipeline
+  /// section (tuned data flow, CTR path spans) and skip the
+  /// per-method embedding sweep — the CI smoke configuration. The
+  /// default (false) runs both sections.
+  bool e2e = false;
   /// Chrome-trace output path; empty = tracing off. Benches honoring
   /// it scope a TraceSession around one representative run (simulated
   /// clocks restart at 0 per run, so tracing several runs into one
@@ -70,9 +75,9 @@ struct BenchScale {
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
-/// / --dedup / --wram=N / --coalesce / --check / --trace-out=PATH /
-/// --trace-sample-every=N from argv; sizes the process-wide default
-/// pool and prints a scale banner.
+/// / --dedup / --wram=N / --coalesce / --check / --e2e /
+/// --trace-out=PATH / --trace-sample-every=N from argv; sizes the
+/// process-wide default pool and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {

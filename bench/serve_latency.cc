@@ -10,6 +10,14 @@
 // latency distribution, shed count and whether a 3x-batch-time p99 SLO
 // holds; the highest load that holds it is the max sustainable QPS.
 //
+// A second section serves the complete DLRM request path (bottom MLP
+// overlapped with the DPU embedding stages, then interaction + top
+// MLP) through src/pipeline: the data-flow auto-tuner picks the batch
+// depth / bottom-split / backend placement, and the same load sweep
+// reports full-path tail latency as rows tagged "path": "e2e".
+// Pass --e2e to run only that section (the CI smoke configuration; it
+// is also the mode in which --trace-out captures the e2e spans).
+//
 // Emits BENCH_serve.json (one row per method x offered rate). All
 // results are simulated time: bit-exact at any --threads width.
 // Flags: --arrival=poisson|uniform|bursty, --seed=N (trace seed
@@ -23,6 +31,8 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "pipeline/runner.h"
+#include "pipeline/tuner.h"
 #include "serve/server.h"
 
 int main(int argc, char** argv) {
@@ -51,18 +61,110 @@ int main(int argc, char** argv) {
   // batch embedding time (uniform runs first below).
   Nanos slo_ns = 0.0;
 
-  for (const partition::Method method :
-       {partition::Method::kUniform, partition::Method::kNonUniform,
-        partition::Method::kCacheAware}) {
-    timer.BeginPhase("setup");
+  if (!scale.e2e) {
+    for (const partition::Method method :
+         {partition::Method::kUniform, partition::Method::kNonUniform,
+          partition::Method::kCacheAware}) {
+      timer.BeginPhase("setup");
+      auto system = bench::MakePaperSystem();
+      auto engine = core::UpDlrmEngine::Create(
+          nullptr, w.config, w.trace, system.get(),
+          bench::PaperEngineOptions(method, 0, scale));
+      UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
+
+      // Calibrate: one offline pass gives the per-batch stage profile.
+      timer.BeginPhase("calibrate");
+      auto profile = (*engine)->RunAll(nullptr);
+      UPDLRM_CHECK_MSG(profile.ok(), profile.status().ToString());
+      const double nb = static_cast<double>(profile->num_batches);
+      const Nanos host_per_batch = (profile->stages.cpu_to_dpu +
+                                    profile->stages.dpu_to_cpu +
+                                    profile->stages.cpu_aggregate) /
+                                   nb;
+      const Nanos dpu_per_batch = profile->stages.dpu_lookup / nb;
+      const Nanos batch_total =
+          profile->stages.EmbeddingTotal() / nb;
+      // Pipelined capacity: the slower resource turns over one batch per
+      // max(host, dpu) ns in steady state.
+      const double capacity_qps =
+          static_cast<double>(scale.batch_size) /
+          (std::max(host_per_batch, dpu_per_batch) / kNanosPerSecond);
+      if (slo_ns == 0.0) slo_ns = 3.0 * batch_total;
+
+      timer.BeginPhase("serve");
+      std::vector<serve::RatePoint> points;
+      for (const double load : load_factors) {
+        const double qps = load * capacity_qps;
+        serve::ArrivalOptions arrivals;
+        arrivals.process = *arrival;
+        arrivals.qps = qps;
+        arrivals.seed = scale.seed + 1;  // deterministic, thread-free
+        auto requests = serve::GenerateRequests(w.trace, 0, arrivals);
+        UPDLRM_CHECK_MSG(requests.ok(), requests.status().ToString());
+
+        serve::ServeOptions options;
+        options.batcher.max_batch_size = scale.batch_size;
+        options.batcher.max_queue_delay_ns = batch_total;
+        options.batcher.queue_capacity = 4 * scale.batch_size;
+        options.batcher.policy = serve::AdmissionPolicy::kShed;
+        // --trace-out captures one representative serve run (cache-aware
+        // at 1.0x capacity): each run restarts the simulated clock at 0,
+        // so one trace file holds exactly one run.
+        std::optional<bench::TraceSession> trace_session;
+        if (method == partition::Method::kCacheAware && load == 1.0) {
+          trace_session.emplace(scale);
+        }
+        auto result =
+            serve::RunServeSimulation(**engine, *requests, options);
+        UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
+        trace_session.reset();  // write + validate the trace, if tracing
+
+        const std::string method_name(partition::MethodShortName(method));
+        result->ExportTo(telemetry::MetricsRegistry::Global(),
+                         "serve." + method_name + ".load" +
+                             TablePrinter::Fmt(load, 1));
+
+        const serve::SloReport report = result->MakeSloReport(qps, slo_ns);
+        points.push_back(
+            serve::RatePoint{qps, report.p99_ns, report.shed});
+        out.AddRow({std::string(partition::MethodShortName(method)),
+                    TablePrinter::Fmt(load, 1),
+                    TablePrinter::Fmt(qps, 0),
+                    TablePrinter::Fmt(NanosToMicros(report.p50_ns), 1),
+                    TablePrinter::Fmt(NanosToMicros(report.p99_ns), 1),
+                    std::to_string(report.shed),
+                    report.slo_met ? "yes" : "NO"});
+        if (!first_row) rows << ",\n";
+        first_row = false;
+        const std::string json = report.ToJson();
+        rows << "    {\"method\": \""
+             << partition::MethodShortName(method)
+             << "\", \"load\": " << load << ", " << json.substr(1);
+      }
+      // The serve executor drove every load sweep through this engine's
+      // RunSamples, so one gate covers the whole method.
+      bench::AssertChecksClean(
+          **engine, std::string(partition::MethodShortName(method)));
+      if (sustainable.tellp() > 0) sustainable << ", ";
+      sustainable << "\"" << partition::MethodShortName(method)
+                  << "\": " << serve::MaxSustainableQps(points, slo_ns);
+    }
+  }
+
+  // --- End-to-end pipeline: tuned data flow over the full DLRM path.
+  // The embedding rows above stop at the stage-3 pull; these rows
+  // include the host/GPU dense stages, with the bottom MLP overlapped
+  // against the in-flight embedding batch per the tuner's chosen plan.
+  {
+    timer.BeginPhase("e2e_setup");
     auto system = bench::MakePaperSystem();
     auto engine = core::UpDlrmEngine::Create(
         nullptr, w.config, w.trace, system.get(),
-        bench::PaperEngineOptions(method, 0, scale));
+        bench::PaperEngineOptions(partition::Method::kCacheAware, 0,
+                                  scale));
     UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString());
 
-    // Calibrate: one offline pass gives the per-batch stage profile.
-    timer.BeginPhase("calibrate");
+    timer.BeginPhase("e2e_calibrate");
     auto profile = (*engine)->RunAll(nullptr);
     UPDLRM_CHECK_MSG(profile.ok(), profile.status().ToString());
     const double nb = static_cast<double>(profile->num_batches);
@@ -71,53 +173,87 @@ int main(int argc, char** argv) {
                                   profile->stages.cpu_aggregate) /
                                  nb;
     const Nanos dpu_per_batch = profile->stages.dpu_lookup / nb;
-    const Nanos batch_total =
-        profile->stages.EmbeddingTotal() / nb;
-    // Pipelined capacity: the slower resource turns over one batch per
-    // max(host, dpu) ns in steady state.
+    const Nanos batch_total = profile->stages.EmbeddingTotal() / nb;
     const double capacity_qps =
         static_cast<double>(scale.batch_size) /
         (std::max(host_per_batch, dpu_per_batch) / kNanosPerSecond);
     if (slo_ns == 0.0) slo_ns = 3.0 * batch_total;
 
-    timer.BeginPhase("serve");
+    serve::BatcherOptions batcher;
+    batcher.max_batch_size = scale.batch_size;
+    batcher.max_queue_delay_ns = batch_total;
+    batcher.queue_capacity = 4 * scale.batch_size;
+    batcher.policy = serve::AdmissionPolicy::kShed;
+
+    // Tune against the 1.0x-capacity stream: enumerate candidate data
+    // flows, rank by the analytic predictor, calibrate the short list.
+    serve::ArrivalOptions tune_arrivals;
+    tune_arrivals.process = *arrival;
+    tune_arrivals.qps = capacity_qps;
+    tune_arrivals.seed = scale.seed + 1;
+    auto tune_requests =
+        serve::GenerateRequests(w.trace, 0, tune_arrivals);
+    UPDLRM_CHECK_MSG(tune_requests.ok(),
+                     tune_requests.status().ToString());
+    pipeline::DataFlowTuner tuner(pipeline::TunerOptions{});
+    auto tuned = tuner.Tune(**engine, *tune_requests, batcher);
+    UPDLRM_CHECK_MSG(tuned.ok(), tuned.status().ToString());
+    std::printf("# e2e: tuned data flow %s (predicted short-list "
+                "calibrated on %zu candidates)\n",
+                pipeline::Name(tuned->best).c_str(),
+                tuned->candidates.size());
+
+    // Full-path SLO: the embedding SLO plus 3x the chosen plan's dense
+    // per-batch work, so the e2e sustainable-QPS gate scales with the
+    // model instead of charging the MLP stages against embedding slack.
+    core::BatchResult probe;
+    probe.stages.cpu_to_dpu = profile->stages.cpu_to_dpu / nb;
+    probe.stages.dpu_lookup = profile->stages.dpu_lookup / nb;
+    probe.stages.dpu_to_cpu = profile->stages.dpu_to_cpu / nb;
+    probe.stages.cpu_aggregate = profile->stages.cpu_aggregate / nb;
+    const host::GpuTimingModel gpu_model;
+    const auto costs = pipeline::ComputeBatchTaskCosts(
+        w.config, (*engine)->cpu_model(), gpu_model, probe,
+        scale.batch_size, tuned->best);
+    const Nanos dense_per_batch =
+        (tuned->best.bottom == pipeline::Backend::kGpu
+             ? costs.bottom_gpu
+             : costs.bottom_host()) +
+        (tuned->best.top == pipeline::Backend::kGpu ? costs.top_gpu
+                                                    : costs.top_host());
+    const Nanos e2e_slo_ns = slo_ns + 3.0 * dense_per_batch;
+
+    timer.BeginPhase("e2e_serve");
+    check::CheckReport audit;
     std::vector<serve::RatePoint> points;
     for (const double load : load_factors) {
       const double qps = load * capacity_qps;
       serve::ArrivalOptions arrivals;
       arrivals.process = *arrival;
       arrivals.qps = qps;
-      arrivals.seed = scale.seed + 1;  // deterministic, thread-free
+      arrivals.seed = scale.seed + 1;
       auto requests = serve::GenerateRequests(w.trace, 0, arrivals);
       UPDLRM_CHECK_MSG(requests.ok(), requests.status().ToString());
 
-      serve::ServeOptions options;
-      options.batcher.max_batch_size = scale.batch_size;
-      options.batcher.max_queue_delay_ns = batch_total;
-      options.batcher.queue_capacity = 4 * scale.batch_size;
-      options.batcher.policy = serve::AdmissionPolicy::kShed;
-      // --trace-out captures one representative serve run (cache-aware
-      // at 1.0x capacity): each run restarts the simulated clock at 0,
-      // so one trace file holds exactly one run.
+      pipeline::DataFlowServeOptions options;
+      options.batcher = batcher;
+      options.plan = tuned->best;
+      options.num_threads = scale.threads;
+      if (scale.check) options.audit = &audit;
+      // In --e2e mode --trace-out captures the full-path run at 1.0x
+      // capacity, including the mlp_bottom / interact / mlp_top spans.
       std::optional<bench::TraceSession> trace_session;
-      if (method == partition::Method::kCacheAware && load == 1.0) {
-        trace_session.emplace(scale);
-      }
-      auto result =
-          serve::RunServeSimulation(**engine, *requests, options);
+      if (scale.e2e && load == 1.0) trace_session.emplace(scale);
+      auto result = pipeline::RunDataFlowSimulation(
+          **engine, *requests, nullptr, options);
       UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
-      trace_session.reset();  // write + validate the trace, if tracing
+      trace_session.reset();
 
-      const std::string method_name(partition::MethodShortName(method));
-      result->ExportTo(telemetry::MetricsRegistry::Global(),
-                       "serve." + method_name + ".load" +
-                           TablePrinter::Fmt(load, 1));
-
-      const serve::SloReport report = result->MakeSloReport(qps, slo_ns);
+      const serve::SloReport report =
+          result->MakeSloReport(qps, e2e_slo_ns);
       points.push_back(
           serve::RatePoint{qps, report.p99_ns, report.shed});
-      out.AddRow({std::string(partition::MethodShortName(method)),
-                  TablePrinter::Fmt(load, 1),
+      out.AddRow({"e2e", TablePrinter::Fmt(load, 1),
                   TablePrinter::Fmt(qps, 0),
                   TablePrinter::Fmt(NanosToMicros(report.p50_ns), 1),
                   TablePrinter::Fmt(NanosToMicros(report.p99_ns), 1),
@@ -126,17 +262,24 @@ int main(int argc, char** argv) {
       if (!first_row) rows << ",\n";
       first_row = false;
       const std::string json = report.ToJson();
-      rows << "    {\"method\": \""
-           << partition::MethodShortName(method)
-           << "\", \"load\": " << load << ", " << json.substr(1);
+      rows << "    {\"method\": \"CA\", \"path\": \"e2e\", \"plan\": \""
+           << pipeline::Name(tuned->best) << "\", \"load\": " << load
+           << ", " << json.substr(1);
     }
-    // The serve executor drove every load sweep through this engine's
-    // RunSamples, so one gate covers the whole method.
-    bench::AssertChecksClean(
-        **engine, std::string(partition::MethodShortName(method)));
+    if (scale.check) {
+      if (audit.clean()) {
+        std::printf("# check[e2e-dataflow]: clean (0 violations)\n");
+      } else {
+        std::printf("# check[e2e-dataflow]: %s",
+                    audit.ToString().c_str());
+        UPDLRM_CHECK_MSG(false,
+                         "data-flow audits reported violations");
+      }
+    }
+    bench::AssertChecksClean(**engine, "e2e");
     if (sustainable.tellp() > 0) sustainable << ", ";
-    sustainable << "\"" << partition::MethodShortName(method)
-                << "\": " << serve::MaxSustainableQps(points, slo_ns);
+    sustainable << "\"e2e\": "
+                << serve::MaxSustainableQps(points, e2e_slo_ns);
   }
   out.Print(std::cout);
 
@@ -150,7 +293,8 @@ int main(int argc, char** argv) {
        << sustainable.str() << "}\n}\n";
   std::printf(
       "\nSLO = 3x the uniform baseline's average serial batch "
-      "embedding time (one SLO for all methods); max sustainable QPS "
+      "embedding time (one SLO for all methods; the e2e rows add 3x "
+      "the tuned plan's dense per-batch work); max sustainable QPS "
       "= highest swept load with p99 <= SLO and nothing shed -> "
       "BENCH_serve.json\n");
   return 0;

@@ -1,6 +1,10 @@
 // Serving demo: drive the UpDLRM engine through the online serving
 // subsystem — open-loop arrivals, dynamic batching, double-buffered
-// pipelined execution — and print the tail-latency scorecard.
+// pipelined execution — and print the tail-latency scorecard. A second
+// section then serves the *complete* DLRM path through src/pipeline:
+// the data-flow auto-tuner picks the overlap/placement plan, the
+// functional engine produces real embeddings, and the batched dense
+// stages turn them into per-request CTR predictions.
 //
 //   build/examples/serving_demo
 //   build/examples/serving_demo --qps=150000 --arrival=bursty
@@ -9,10 +13,14 @@
 // Everything below runs in *simulated* time: the arrival stream, batch
 // cuts, and the pipelined schedule are all derived from the engine's
 // per-batch stage timings, so the numbers are identical on any machine
-// and at any host thread count.
+// and at any host thread count. The CTR floats are real model output
+// (fixed-order accumulation: bit-exact at any thread count too).
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.h"
+#include "pipeline/runner.h"
+#include "pipeline/tuner.h"
 #include "serve/server.h"
 #include "trace/generator.h"
 
@@ -138,5 +146,74 @@ int main(int argc, char** argv) {
       qps, /*slo_ns=*/3.0 * result->latency.PercentileNs(50.0));
   std::printf("\nslo report (p99 vs 3x p50): %s\n",
               report.ToJson().c_str());
+
+  // --- End-to-end pipeline: tuned data flow, real CTR outputs. ---
+  // A functional engine this time: materialized embedding tables, a
+  // real DLRM model, and per-request dense features, so each completed
+  // request carries an actual click-through prediction.
+  auto created = dlrm::DlrmModel::Create(config);
+  if (!created.ok()) {
+    std::printf("model: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  dlrm::DlrmModel model = std::move(created).value();
+  const dlrm::DenseInputs dense = dlrm::DenseInputs::Generate(
+      trace_options.num_samples, config.dense_features, seed + 1);
+  system_config.functional = true;
+  auto e2e_system = pim::DpuSystem::Create(system_config);
+  if (!e2e_system.ok()) {
+    std::printf("system: %s\n", e2e_system.status().ToString().c_str());
+    return 1;
+  }
+  auto e2e_engine =
+      core::UpDlrmEngine::Create(&model, config, *trace,
+                                 e2e_system->get(), engine_options);
+  if (!e2e_engine.ok()) {
+    std::printf("engine: %s\n", e2e_engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Let the auto-tuner pick the depth / bottom-split / backend mix for
+  // this (model, batch size) point, calibrating its short list against
+  // the same request stream it will serve.
+  pipeline::DataFlowTuner tuner(pipeline::TunerOptions{});
+  auto tuned = tuner.Tune(**e2e_engine, *requests, options.batcher);
+  if (!tuned.ok()) {
+    std::printf("tuner: %s\n", tuned.status().ToString().c_str());
+    return 1;
+  }
+
+  pipeline::DataFlowServeOptions e2e_options;
+  e2e_options.batcher = options.batcher;
+  e2e_options.plan = tuned->best;
+  auto e2e = pipeline::RunDataFlowSimulation(**e2e_engine, *requests,
+                                             &dense, e2e_options);
+  if (!e2e.ok()) {
+    std::printf("pipeline: %s\n", e2e.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "\n== end-to-end pipeline: tuned data flow %s "
+      "(%zu candidates searched) ==\n\n",
+      pipeline::Name(tuned->best).c_str(), tuned->candidates.size());
+  std::printf("completed      %llu requests, %zu batches\n",
+              static_cast<unsigned long long>(e2e->completed),
+              e2e->num_batches);
+  std::printf("utilization    host-bus %.0f%%   dpu %.0f%%   "
+              "host-mlp %.0f%%\n",
+              100.0 * e2e->utilization.HostUtilization(),
+              100.0 * e2e->utilization.DpuUtilization(),
+              100.0 * e2e->utilization.HostMlpUtilization());
+  std::printf("full-path latency  p50 %8.1f us   p99 %8.1f us\n",
+              NanosToMicros(e2e->latency.PercentileNs(50.0)),
+              NanosToMicros(e2e->latency.PercentileNs(99.0)));
+  std::printf("\nfirst CTR predictions (request -> click probability):\n");
+  const std::size_t show = std::min<std::size_t>(8, e2e->ctr.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    std::printf("  request %zu   sample %llu   ctr %.6f\n", i,
+                static_cast<unsigned long long>((*requests)[i].sample),
+                static_cast<double>(e2e->ctr[i]));
+  }
   return 0;
 }

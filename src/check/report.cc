@@ -32,6 +32,12 @@ std::string_view RuleName(Rule rule) {
       return "transfer-plan";
     case Rule::kModelSimDivergence:
       return "model-sim-divergence";
+    case Rule::kDataFlowShape:
+      return "dataflow-shape";
+    case Rule::kDataFlowCapacity:
+      return "dataflow-capacity";
+    case Rule::kStageOrdering:
+      return "stage-ordering";
     case Rule::kNumRules:
       break;
   }

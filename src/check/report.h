@@ -35,6 +35,9 @@ enum class Rule : std::uint32_t {
   kWramCapacity,        // pinned WRAM tier exceeds leftover WRAM
   kTransferPlan,        // coalesced plan prices worse than classic paths
   kModelSimDivergence,  // kernel_cost vs kernel_sim outside tolerance
+  kDataFlowShape,       // data-flow plan outside the legal space
+  kDataFlowCapacity,    // in-flight pipeline buffers exceed reserved IO
+  kStageOrdering,       // executed batch stages out of order / overlap
   kNumRules,
 };
 

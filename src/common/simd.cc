@@ -25,6 +25,19 @@ void AddI32ToI64Scalar(const std::int32_t* src, std::int64_t* acc,
   for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
 }
 
+void AddScaledF32Scalar(const float* col, float x, float* acc,
+                        std::size_t n) {
+  // Exactly one IEEE multiply then one IEEE add per element. Neither
+  // leg may fuse them into an FMA (different rounding): this TU is
+  // compiled for baseline x86-64 (no FMA ISA), and the AVX2 leg's
+  // target("avx2") does not enable FMA either, so mul-then-add is what
+  // both emit and the results match bit for bit.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p = col[i] * x;
+    acc[i] = acc[i] + p;
+  }
+}
+
 void UniqueStreamCountsScalar(const std::uint64_t* keys, std::size_t n,
                               std::uint64_t counts[3]) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -93,6 +106,24 @@ __attribute__((target("avx2"))) void AddI32ToI64Avx2(
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4), a1);
   }
   for (; i < n; ++i) acc[i] += src[i];
+}
+
+__attribute__((target("avx2"))) void AddScaledF32Avx2(
+    const float* col, float x, float* acc, std::size_t n) {
+  const __m256 vx = _mm256_set1_ps(x);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 c = _mm256_loadu_ps(col + i);
+    const __m256 a = _mm256_loadu_ps(acc + i);
+    // Separate mul + add (never _mm256_fmadd_ps): lane l computes
+    // fl(acc[l] + fl(col[l] * x)), the scalar leg's exact sequence.
+    _mm256_storeu_ps(acc + i,
+                     _mm256_add_ps(a, _mm256_mul_ps(c, vx)));
+  }
+  for (; i < n; ++i) {
+    const float p = col[i] * x;
+    acc[i] = acc[i] + p;
+  }
 }
 
 __attribute__((target("avx2"))) void UniqueStreamCountsAvx2(
@@ -238,6 +269,7 @@ __attribute__((target("avx2"))) void PackPaddedAvx2(
 
 struct Kernels {
   void (*add_i32_to_i64)(const std::int32_t*, std::int64_t*, std::size_t);
+  void (*add_scaled_f32)(const float*, float, float*, std::size_t);
   void (*unique_stream_counts)(const std::uint64_t*, std::size_t,
                                std::uint64_t[3]);
   std::uint64_t (*max_u64)(const std::uint64_t*, std::size_t);
@@ -250,7 +282,8 @@ struct Kernels {
 };
 
 constexpr Kernels kScalarKernels = {
-    AddI32ToI64Scalar,      UniqueStreamCountsScalar,
+    AddI32ToI64Scalar,      AddScaledF32Scalar,
+    UniqueStreamCountsScalar,
     MaxU64Scalar,           SumU64Scalar,
     CountNonZeroU64Scalar,  AllZeroOrEqualU64Scalar,
     PackPaddedScalar,
@@ -258,7 +291,8 @@ constexpr Kernels kScalarKernels = {
 
 #if UPDLRM_SIMD_AVX2_BUILD
 const Kernels kAvx2Kernels = {
-    AddI32ToI64Avx2,      UniqueStreamCountsAvx2,
+    AddI32ToI64Avx2,      AddScaledF32Avx2,
+    UniqueStreamCountsAvx2,
     MaxU64Avx2,           SumU64Avx2,
     CountNonZeroU64Avx2,  AllZeroOrEqualU64Avx2,
     PackPaddedAvx2,
@@ -309,6 +343,10 @@ void ForceScalar(bool force) { g_active = PickKernels(force); }
 void AddI32ToI64(const std::int32_t* src, std::int64_t* acc,
                  std::size_t n) {
   g_active->add_i32_to_i64(src, acc, n);
+}
+
+void AddScaledF32(const float* col, float x, float* acc, std::size_t n) {
+  g_active->add_scaled_f32(col, x, acc, n);
 }
 
 void UniqueStreamCounts(const std::uint64_t* sorted_keys, std::size_t n,

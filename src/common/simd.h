@@ -47,6 +47,16 @@ void ForceScalar(bool force);
 void AddI32ToI64(const std::int32_t* src, std::int64_t* acc,
                  std::size_t n);
 
+/// acc[i] += col[i] * x for i in [0, n) — the axpy column update of
+/// the batched MLP GEMV (dlrm/batched.h). The one float kernel in this
+/// layer, and it keeps the bit-exactness contract *without* fixing a
+/// summation order across lanes: each acc[i] receives exactly one
+/// IEEE-754 multiply and one add per call, independently per lane, so
+/// AVX2 and scalar produce identical bits. The AVX2 body uses separate
+/// mul + add intrinsics (target("avx2") does not enable FMA, and the
+/// intrinsics cannot be contracted), so no fused rounding sneaks in.
+void AddScaledF32(const float* col, float x, float* acc, std::size_t n);
+
 /// Per-stream unique-key counts over a *sorted* key span — the dedup
 /// planner's gather-map pass. Key stream = top two bits (see
 /// updlrm/dedup.h); counts[s] += number of positions i where

@@ -1,0 +1,131 @@
+#include "dlrm/batched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "dlrm/interaction.h"
+
+namespace updlrm::dlrm {
+
+BatchedMlp BatchedMlp::Prepare(const Mlp& mlp) {
+  std::vector<Layer> layers;
+  layers.reserve(mlp.num_layers());
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    const MlpLayer& src = mlp.layer(l);
+    Layer out;
+    out.in_dim = src.in_dim();
+    out.out_dim = src.out_dim();
+    out.act = src.activation();
+    out.bias.assign(src.bias().begin(), src.bias().end());
+    // Transpose W (out x in, row-major) into wt (in x out): column j
+    // of the axpy walk is the j-th input's weight across all outputs.
+    out.wt.resize(static_cast<std::size_t>(out.in_dim) * out.out_dim);
+    const std::span<const float> w = src.weights();
+    for (std::uint32_t o = 0; o < out.out_dim; ++o) {
+      for (std::uint32_t j = 0; j < out.in_dim; ++j) {
+        out.wt[static_cast<std::size_t>(j) * out.out_dim + o] =
+            w[static_cast<std::size_t>(o) * out.in_dim + j];
+      }
+    }
+    layers.push_back(std::move(out));
+  }
+  return BatchedMlp(std::move(layers));
+}
+
+void BatchedMlp::ForwardLayer(const Layer& layer, const float* in,
+                              float* out) {
+  // acc[o] = bias[o]; then one un-fused mul + add per (o, j) with j
+  // ascending — MlpLayer::Forward's exact per-accumulator sequence.
+  std::memcpy(out, layer.bias.data(), layer.out_dim * sizeof(float));
+  for (std::uint32_t j = 0; j < layer.in_dim; ++j) {
+    simd::AddScaledF32(
+        layer.wt.data() + static_cast<std::size_t>(j) * layer.out_dim,
+        in[j], out, layer.out_dim);
+  }
+  switch (layer.act) {
+    case Activation::kRelu:
+      for (std::uint32_t o = 0; o < layer.out_dim; ++o) {
+        out[o] = out[o] > 0.0f ? out[o] : 0.0f;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::uint32_t o = 0; o < layer.out_dim; ++o) {
+        out[o] = 1.0f / (1.0f + std::exp(-out[o]));
+      }
+      break;
+    case Activation::kNone:
+      break;
+  }
+}
+
+void BatchedMlp::ForwardSample(std::span<const float> in,
+                               std::span<float> out, Arena& arena) const {
+  UPDLRM_CHECK(in.size() == in_dim());
+  UPDLRM_CHECK(out.size() == out_dim());
+  // Ping-pong between two arena buffers wide enough for any layer.
+  std::uint32_t max_dim = in_dim();
+  for (const Layer& l : layers_) max_dim = std::max(max_dim, l.out_dim);
+  float* a = arena.Alloc<float>(max_dim);
+  float* b = arena.Alloc<float>(max_dim);
+  std::memcpy(a, in.data(), in.size() * sizeof(float));
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    float* dst = (l + 1 == layers_.size()) ? out.data() : b;
+    ForwardLayer(layers_[l], a, dst);
+    std::swap(a, b);
+  }
+}
+
+void BatchedMlp::ForwardBatch(std::span<const float> in, std::size_t count,
+                              std::span<float> out, Arena& arena) const {
+  UPDLRM_CHECK(in.size() == count * in_dim());
+  UPDLRM_CHECK(out.size() == count * out_dim());
+  for (std::size_t s = 0; s < count; ++s) {
+    ForwardSample(in.subspan(s * in_dim(), in_dim()),
+                  out.subspan(s * out_dim(), out_dim()), arena);
+  }
+}
+
+BatchedDlrm::BatchedDlrm(const DlrmModel& model)
+    : model_(&model),
+      bottom_(BatchedMlp::Prepare(model.bottom_mlp())),
+      top_(BatchedMlp::Prepare(model.top_mlp())),
+      inter_dim_(InteractionOutputDim(model.config().interaction,
+                                      model.config().num_tables,
+                                      model.config().embedding_dim)) {}
+
+void BatchedDlrm::Forward(std::span<const float> dense,
+                          std::span<const float> pooled, std::size_t count,
+                          std::span<float> ctr,
+                          std::uint32_t num_threads) const {
+  const dlrm::DlrmConfig& config = model_->config();
+  const std::uint32_t dense_dim = config.dense_features;
+  const std::uint32_t dim = config.embedding_dim;
+  const std::size_t pooled_stride =
+      static_cast<std::size_t>(config.num_tables) * dim;
+  UPDLRM_CHECK(dense.size() == count * dense_dim);
+  UPDLRM_CHECK(pooled.size() == count * pooled_stride);
+  UPDLRM_CHECK(ctr.size() == count);
+
+  ParallelFor(
+      count,
+      [&](std::size_t begin, std::size_t end) {
+        Arena& arena = ThreadArena();
+        for (std::size_t s = begin; s < end; ++s) {
+          ScopedArenaFrame frame(arena);
+          float* feat = arena.Alloc<float>(dim);
+          bottom_.ForwardSample(dense.subspan(s * dense_dim, dense_dim),
+                                {feat, dim}, arena);
+          float* inter = arena.Alloc<float>(inter_dim_);
+          ComputeInteraction(config.interaction, {feat, dim},
+                             pooled.subspan(s * pooled_stride, pooled_stride),
+                             config.num_tables, dim, {inter, inter_dim_});
+          top_.ForwardSample({inter, inter_dim_}, ctr.subspan(s, 1), arena);
+        }
+      },
+      num_threads);
+}
+
+}  // namespace updlrm::dlrm

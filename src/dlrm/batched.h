@@ -1,0 +1,96 @@
+// Batched MLP / interaction execution over arena buffers.
+//
+// The per-sample reference path (DlrmModel::ForwardSample) allocates
+// fresh vectors per call — fine for validation, fatal in the serving
+// hot loop. This module re-lays each MLP's weights column-major once
+// and then walks batches with the SIMD axpy kernel
+// (simd::AddScaledF32) and per-worker arena scratch: zero steady-state
+// allocations, fanned out over host threads.
+//
+// Bit-exactness contract (pinned by tests/dlrm/batched_test.cc): the
+// batched path reproduces MlpLayer::Forward *exactly*, on both the
+// scalar and the AVX2 dispatch legs. Per output o the reference
+// computes fl(...fl(fl(bias[o] + w[o][0]*x[0]) + w[o][1]*x[1])...);
+// the column-major axpy walk performs the same multiply/add sequence
+// on the same operands per accumulator — columns are visited in
+// ascending input order and every lane does one un-fused mul + add —
+// so no float is reassociated or contracted anywhere. Interaction and
+// activations reuse the reference code paths verbatim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/arena.h"
+#include "dlrm/mlp.h"
+#include "dlrm/model.h"
+
+namespace updlrm::dlrm {
+
+/// One MLP stack prepared for batched execution: column-major weights,
+/// arena-scratch forward.
+class BatchedMlp {
+ public:
+  static BatchedMlp Prepare(const Mlp& mlp);
+
+  std::uint32_t in_dim() const { return layers_.front().in_dim; }
+  std::uint32_t out_dim() const { return layers_.back().out_dim; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Single-sample forward; `out` must hold out_dim() floats. Scratch
+  /// (intermediate activations) comes from `arena`; the caller owns
+  /// the arena frame.
+  void ForwardSample(std::span<const float> in, std::span<float> out,
+                     Arena& arena) const;
+
+  /// Serial batch forward: `in` is count x in_dim() row-major, `out`
+  /// count x out_dim(). Equivalent to ForwardSample per row.
+  void ForwardBatch(std::span<const float> in, std::size_t count,
+                    std::span<float> out, Arena& arena) const;
+
+ private:
+  struct Layer {
+    std::uint32_t in_dim = 0;
+    std::uint32_t out_dim = 0;
+    Activation act = Activation::kNone;
+    std::vector<float> wt;  // in x out: column j = row j of inputs
+    std::vector<float> bias;
+  };
+
+  explicit BatchedMlp(std::vector<Layer> layers)
+      : layers_(std::move(layers)) {}
+
+  // y = act(W x + b) for one sample, axpy over columns.
+  static void ForwardLayer(const Layer& layer, const float* in, float* out);
+
+  std::vector<Layer> layers_;
+};
+
+/// The full dense path of one DLRM: bottom MLP -> feature interaction
+/// -> top MLP, batched. Embedding pooling stays with the engine (the
+/// PIM side); this consumes its pooled output.
+class BatchedDlrm {
+ public:
+  /// `model` must outlive this object.
+  explicit BatchedDlrm(const DlrmModel& model);
+
+  /// CTR for `count` samples. `dense` holds count x dense_features
+  /// rows gathered in batch order; `pooled` count x (tables * dim)
+  /// pooled embeddings (the engine's BatchResult::pooled layout);
+  /// `ctr` receives count outputs. Samples fan out over `num_threads`
+  /// workers (0 = default pool, 1 = serial); each sample is a pure
+  /// function into its own ctr slot, so outputs are bit-exact at any
+  /// width and equal to DlrmModel::ForwardSample per sample.
+  void Forward(std::span<const float> dense, std::span<const float> pooled,
+               std::size_t count, std::span<float> ctr,
+               std::uint32_t num_threads = 1) const;
+
+ private:
+  const DlrmModel* model_;
+  BatchedMlp bottom_;
+  BatchedMlp top_;
+  std::uint32_t inter_dim_ = 0;
+};
+
+}  // namespace updlrm::dlrm

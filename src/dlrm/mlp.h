@@ -28,6 +28,12 @@ class MlpLayer {
     return 2ULL * in_dim_ * out_dim_;
   }
 
+  /// Read-only parameter views for the batched execution path
+  /// (dlrm/batched.h), which re-lays the weights column-major once and
+  /// must start from the exact floats Forward uses.
+  std::span<const float> weights() const { return weights_; }  // out x in
+  std::span<const float> bias() const { return bias_; }
+
  private:
   MlpLayer(std::uint32_t in_dim, std::uint32_t out_dim, Activation act,
            std::vector<float> weights, std::vector<float> bias)
@@ -57,6 +63,7 @@ class Mlp {
   std::uint32_t in_dim() const { return layers_.front().in_dim(); }
   std::uint32_t out_dim() const { return layers_.back().out_dim(); }
   std::size_t num_layers() const { return layers_.size(); }
+  const MlpLayer& layer(std::size_t l) const { return layers_[l]; }
 
   /// Single-sample forward.
   std::vector<float> Forward(std::span<const float> in) const;

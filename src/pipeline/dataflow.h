@@ -1,0 +1,108 @@
+// Candidate data flows for the end-to-end DLRM serving pipeline.
+//
+// The full request path has four compute stages — bottom MLP, embedding
+// lookup (the PIM pipeline), feature interaction, top MLP — and three
+// places to run the dense ones: overlapped on the host while the DPUs
+// own the embedding stages, on the host after the pull, or offloaded to
+// the GPU backend. Which assignment wins is *asymmetric*: it depends on
+// batch size (GPU per-batch fixed overheads amortize only at scale),
+// model shape (bottom/top FLOP ratio), and the embedding stage times of
+// the particular dataset. This module enumerates the legal assignments
+// (DataFlowPlan), prices one batch under each assignment from the same
+// calibrated cost models the engine charges (BatchTaskCosts), and
+// provides the analytic steady-state prediction the tuner uses to rank
+// candidates before calibration (PredictFlow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dlrm/model.h"
+#include "host/cpu_model.h"
+#include "host/gpu_model.h"
+#include "updlrm/report.h"
+
+namespace updlrm::pipeline {
+
+/// Where a dense stage executes.
+enum class Backend : std::uint8_t { kCpu, kGpu };
+
+std::string_view BackendName(Backend b);  // "cpu" / "gpu"
+
+/// One candidate data flow: stage placement + overlap structure.
+struct DataFlowPlan {
+  /// In-flight batches (MRAM index/output buffer pairs); 1 = serial
+  /// admission, 2 = classic double buffering.
+  std::uint32_t depth = 2;
+  /// Bottom-MLP layers run as the low-priority overlap filler task
+  /// (BPRE) while the batch's embedding stages own the DPUs; the
+  /// remaining layers run as the higher-priority BPOST task. The split
+  /// tunes non-preemptive host scheduling granularity: a long
+  /// monolithic bottom task can delay the next batch's stage-1 push,
+  /// a fully split one yields between the halves. CPU backend only
+  /// (the GPU runs the whole stack as one offload).
+  std::uint32_t bottom_split = 0;
+  Backend bottom = Backend::kCpu;
+  /// Backend of interaction + top MLP.
+  Backend top = Backend::kCpu;
+
+  bool operator==(const DataFlowPlan&) const = default;
+};
+
+/// Stable display name, e.g. "d2.split1.cpu-cpu".
+std::string Name(const DataFlowPlan& plan);
+
+/// The enumeration space.
+struct DataFlowSpace {
+  /// Largest pipeline depth to enumerate (clamped to
+  /// check::kMaxPipelineDepth by EnumerateDataFlows).
+  std::uint32_t max_depth = 4;
+  /// Total bottom-MLP layers (config.bottom_hidden.size() + 1); bounds
+  /// the split enumeration.
+  std::uint32_t bottom_layers = 1;
+  /// Enumerate GPU placements (a provisioned GPU backend).
+  bool allow_gpu = true;
+};
+
+/// All legal plans of `space`, deterministic order: depth ascending,
+/// then bottom split ascending, then backend mix (cpu-cpu, cpu-gpu,
+/// gpu-cpu, gpu-gpu). GPU-bottom plans carry split 0.
+std::vector<DataFlowPlan> EnumerateDataFlows(const DataFlowSpace& space);
+
+/// Simulated durations of one batch's tasks under a plan. Embedding
+/// stage times come from the engine (BatchResult); dense-stage times
+/// are re-derived from the same CpuTimingModel the engine charges plus
+/// the GPU model for offloaded placements. The interact / top_mlp
+/// split exists so trace spans can partition the TOP task honestly.
+struct BatchTaskCosts {
+  core::StageBreakdown emb;
+  Nanos bottom_pre = 0.0;   // host: overlapped bottom-MLP prefix
+  Nanos bottom_post = 0.0;  // host: remaining bottom-MLP layers
+  Nanos bottom_gpu = 0.0;   // gpu: whole bottom stack + PCIe + sync
+  Nanos interact = 0.0;     // host: feature interaction stream pass
+  Nanos top_mlp = 0.0;      // host: top-MLP GEMVs
+  Nanos top_gpu = 0.0;      // gpu: interaction + top stack + PCIe + sync
+
+  Nanos top_host() const { return interact + top_mlp; }
+  Nanos bottom_host() const { return bottom_pre + bottom_post; }
+};
+
+/// Prices one batch of `batch_size` samples under `plan`. `batch`
+/// supplies the executed embedding stage times.
+BatchTaskCosts ComputeBatchTaskCosts(const dlrm::DlrmConfig& config,
+                                     const host::CpuTimingModel& cpu,
+                                     const host::GpuTimingModel& gpu,
+                                     const core::BatchResult& batch,
+                                     std::size_t batch_size,
+                                     const DataFlowPlan& plan);
+
+/// Analytic steady-state score of `plan` (lower is better): the larger
+/// of the per-resource periods (throughput bound at saturation) and
+/// the single-batch critical path (latency floor at low load). A rank
+/// heuristic, not a latency promise — the tuner calibrates the
+/// finalists with real simulated runs.
+Nanos PredictFlow(const BatchTaskCosts& costs, const DataFlowPlan& plan);
+
+}  // namespace updlrm::pipeline

@@ -1,0 +1,356 @@
+#include "pipeline/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "check/dataflow_audit.h"
+#include "dlrm/batched.h"
+#include "telemetry/tracer.h"
+#include "updlrm/timeline.h"
+
+namespace updlrm::pipeline {
+
+serve::SloReport DataFlowServeResult::MakeSloReport(double offered_qps,
+                                                    Nanos slo_ns) const {
+  serve::SloReport report;
+  report.offered_qps = offered_qps;
+  report.completed = completed;
+  report.shed = shed;
+  report.achieved_qps =
+      makespan_ns <= 0.0 ? 0.0
+                         : static_cast<double>(completed) /
+                               (makespan_ns / kNanosPerSecond);
+  report.p50_ns = latency.PercentileNs(50.0);
+  report.p95_ns = latency.PercentileNs(95.0);
+  report.p99_ns = latency.PercentileNs(99.0);
+  report.mean_ns = latency.MeanNs();
+  report.max_ns = latency.max_ns();
+  report.slo_ns = slo_ns;
+  report.slo_met = shed == 0 && report.p99_ns <= slo_ns;
+  return report;
+}
+
+namespace {
+
+check::StageInstants FlattenInstants(const ExecutedFlowBatch& b) {
+  check::StageInstants t;
+  t.cut_ns = b.cut_ns;
+  t.bpre_start_ns = b.bpre_start_ns;
+  t.bpre_end_ns = b.bpre_end_ns;
+  t.s1_start_ns = b.s1_start_ns;
+  t.s1_end_ns = b.s1_end_ns;
+  t.s2_start_ns = b.s2_start_ns;
+  t.s2_end_ns = b.s2_end_ns;
+  t.s3_start_ns = b.s3_start_ns;
+  t.s3_end_ns = b.s3_end_ns;
+  t.bottom_done_ns = b.bottom_done_ns;
+  t.top_start_ns = b.top_start_ns;
+  t.top_end_ns = b.top_end_ns;
+  return t;
+}
+
+}  // namespace
+
+Result<DataFlowServeResult> RunDataFlowSimulation(
+    core::UpDlrmEngine& engine, std::span<const serve::Request> requests,
+    const dlrm::DenseInputs* dense, const DataFlowServeOptions& options) {
+  const dlrm::DlrmConfig& config = engine.config();
+  const host::GpuTimingModel gpu(options.gpu);
+  const DataFlowPlan& plan = options.plan;
+
+  if (options.audit != nullptr) {
+    check::DataFlowShape shape;
+    shape.depth = plan.depth;
+    shape.bottom_overlap_layers =
+        plan.bottom == Backend::kGpu ? 0 : plan.bottom_split;
+    shape.bottom_layers =
+        static_cast<std::uint32_t>(config.bottom_hidden.size()) + 1;
+    shape.bottom_on_gpu = plan.bottom == Backend::kGpu;
+    shape.top_on_gpu = plan.top == Backend::kGpu;
+    shape.gpu_available = options.gpu_available;
+    check::AuditDataFlowShape(shape, options.audit);
+  }
+
+  serve::DynamicBatcher batcher(options.batcher);
+  DataFlowExecutor executor(plan);
+  DataFlowServeResult result;
+  result.offered = requests.size();
+
+  const bool compute_ctr = dense != nullptr && engine.functional();
+  std::unique_ptr<dlrm::BatchedDlrm> batched;
+  if (compute_ctr) {
+    batched = std::make_unique<dlrm::BatchedDlrm>(*engine.model());
+  }
+
+  // Tracing: the serve loop runs on one thread, so all emission below
+  // is single-threaded, post-drain, and pure observation (mirrors
+  // serve/server.cc).
+  const bool tracing = telemetry::TraceEnabled();
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  const std::uint64_t sample_every =
+      tracing ? tracer.options().sample_every : 1;
+  using telemetry::Clock;
+  using telemetry::kDpuTrack;
+  using telemetry::kGpuTrack;
+  using telemetry::kHostBusTrack;
+  using telemetry::kMlpTrack;
+  using telemetry::kPipelinePid;
+  using telemetry::kRequestPid;
+
+  const std::size_t expected_batches =
+      options.batcher.max_batch_size > 0
+          ? requests.size() / options.batcher.max_batch_size + 2
+          : requests.size() + 2;
+  std::vector<serve::QueuedRequest> request_log;
+  request_log.reserve(requests.size());
+  std::vector<std::size_t> batch_start;
+  batch_start.reserve(expected_batches + 1);
+  std::vector<std::size_t> samples;
+  samples.reserve(options.batcher.max_batch_size);
+  std::vector<float> dense_rows;  // gathered batch dense inputs
+  if (compute_ctr) {
+    dense_rows.reserve(options.batcher.max_batch_size *
+                       config.dense_features);
+  }
+  std::vector<std::shared_ptr<const core::BatchDpuTrace>> batch_traces;
+  executor.Reserve(expected_batches);
+  result.request_latency_ns.reserve(requests.size());
+  if (compute_ctr) result.ctr.reserve(requests.size());
+  std::vector<serve::QueueDepthSample> queue_depth;
+  queue_depth.reserve(expected_batches);
+
+  // Worst in-flight buffer pair across the run (capacity audit input).
+  std::uint64_t max_index_bytes = 0;
+  std::uint64_t max_output_bytes = 0;
+
+  auto offer = [&](const serve::Request& r, Nanos now) {
+    if (batcher.Offer(r, now) == serve::Admission::kShed && tracing) {
+      tracer.InstantAt(kRequestPid, 0, Clock::kSim, "shed", now, "request",
+                       static_cast<double>(r.id));
+    }
+  };
+
+  // The same discrete-event scan as serve/server.cc: arrivals, batcher
+  // deadlines, and executor buffer frees are the only state-change
+  // instants, all non-decreasing; arrivals at a tie are offered before
+  // the cut is taken.
+  std::size_t next = 0;
+  while (next < requests.size() || !batcher.Idle()) {
+    Nanos t = executor.NextAdmitTime();
+    while (next < requests.size() && requests[next].arrival_ns <= t) {
+      offer(requests[next], requests[next].arrival_ns);
+      ++next;
+    }
+    while (!batcher.ReadyToCut(t)) {
+      const Nanos next_arrival = next < requests.size()
+                                     ? requests[next].arrival_ns
+                                     : serve::DynamicBatcher::kNever;
+      const Nanos deadline = batcher.NextDeadline();
+      const Nanos event = std::min(next_arrival, deadline);
+      if (event == serve::DynamicBatcher::kNever) break;  // drained
+      t = std::max(t, event);
+      while (next < requests.size() && requests[next].arrival_ns <= t) {
+        offer(requests[next], requests[next].arrival_ns);
+        ++next;
+      }
+    }
+    if (!batcher.ReadyToCut(t)) break;  // nothing left to serve
+
+    batch_start.push_back(request_log.size());
+    batcher.CutInto(t, request_log);
+    samples.clear();
+    for (std::size_t i = batch_start.back(); i < request_log.size(); ++i) {
+      samples.push_back(request_log[i].request.sample);
+    }
+    auto batch = engine.RunSamples(samples, nullptr);
+    if (!batch.ok()) return batch.status();
+    max_index_bytes = std::max(max_index_bytes, batch->max_index_bytes);
+    max_output_bytes = std::max(max_output_bytes, batch->max_output_bytes);
+
+    const BatchTaskCosts costs = ComputeBatchTaskCosts(
+        config, engine.cpu_model(), gpu, *batch, samples.size(), plan);
+    executor.Submit(costs, t);
+    if (tracing) batch_traces.push_back(batch->dpu_trace);
+    queue_depth.push_back(
+        serve::QueueDepthSample{t, batcher.queue_depth()});
+
+    if (compute_ctr) {
+      if (samples.size() * config.dense_features > dense_rows.capacity()) {
+        dense_rows.reserve(samples.size() * config.dense_features);
+      }
+      dense_rows.clear();
+      for (const std::size_t s : samples) {
+        if (s >= dense->num_samples()) {
+          return Status::InvalidArgument(
+              "request sample outside the dense inputs");
+        }
+        const std::span<const float> row = dense->Sample(s);
+        dense_rows.insert(dense_rows.end(), row.begin(), row.end());
+      }
+      const std::size_t base = result.ctr.size();
+      result.ctr.resize(base + samples.size());
+      batched->Forward(dense_rows, batch->pooled, samples.size(),
+                       std::span<float>(result.ctr.data() + base,
+                                        samples.size()),
+                       options.num_threads);
+    }
+  }
+  batch_start.push_back(request_log.size());  // closing sentinel
+
+  executor.Drain();
+  result.makespan_ns = executor.MakespanNs();
+  result.schedule = executor.batches();
+  result.num_batches = batch_start.size() - 1;
+  result.shed = batcher.shed_count();
+  result.max_queue_depth = batcher.max_queue_depth();
+  result.utilization.host_busy_ns = executor.host_busy_ns();
+  result.utilization.dpu_busy_ns = executor.dpu_busy_ns();
+  result.utilization.host_mlp_busy_ns = executor.host_mlp_busy_ns();
+  result.utilization.gpu_busy_ns = executor.gpu_busy_ns();
+  result.utilization.makespan_ns = result.makespan_ns;
+
+  if (options.audit != nullptr) {
+    check::DataFlowCapacity cap;
+    cap.depth = plan.depth;
+    cap.max_index_bytes = max_index_bytes;
+    cap.max_output_bytes = max_output_bytes;
+    cap.index_region_bytes = ~0ULL;
+    cap.output_region_bytes = ~0ULL;
+    for (const core::TableGroup& g : engine.groups()) {
+      cap.index_region_bytes =
+          std::min(cap.index_region_bytes, g.layout.index_bytes);
+      cap.output_region_bytes =
+          std::min(cap.output_region_bytes, g.layout.output_bytes);
+    }
+    check::AuditDataFlowCapacity(cap, options.audit);
+    for (std::size_t b = 0; b < result.schedule.size(); ++b) {
+      check::AuditStageOrdering(b, FlattenInstants(result.schedule[b]),
+                                options.audit);
+    }
+  }
+
+  const bool uses_gpu =
+      plan.bottom == Backend::kGpu || plan.top == Backend::kGpu;
+  if (tracing) {
+    tracer.SetThreadName(kPipelinePid, kHostBusTrack,
+                         "host buses (stage 1/3)");
+    tracer.SetThreadName(kPipelinePid, kDpuTrack, "DPU array (stage 2)");
+    tracer.SetThreadName(kPipelinePid, kMlpTrack,
+                         "host dense (MLP / interaction)");
+    if (uses_gpu) {
+      tracer.SetThreadName(kPipelinePid, kGpuTrack, "GPU backend");
+    }
+    for (const serve::QueueDepthSample& s : queue_depth) {
+      tracer.Counter(kPipelinePid, Clock::kSim, "queue_depth", s.t_ns,
+                     static_cast<double>(s.depth));
+    }
+  }
+
+  std::uint64_t served = 0;
+  for (std::size_t b = 0; b + 1 < batch_start.size(); ++b) {
+    const ExecutedFlowBatch& sched = result.schedule[b];
+    const Nanos done = sched.done_ns;
+    if (tracing) {
+      if (b % sample_every == 0) {
+        const double batch_id = static_cast<double>(b);
+        tracer.Complete(kPipelinePid, kHostBusTrack, Clock::kSim,
+                        "stage1.push", sched.s1_start_ns,
+                        sched.s1_end_ns - sched.s1_start_ns, "batch",
+                        batch_id);
+        tracer.Complete(kPipelinePid, kDpuTrack, Clock::kSim,
+                        "stage2.kernel", sched.s2_start_ns,
+                        sched.s2_end_ns - sched.s2_start_ns);
+        tracer.Complete(kPipelinePid, kHostBusTrack, Clock::kSim,
+                        "stage3.pull", sched.s3_start_ns,
+                        sched.s3_end_ns - sched.s3_start_ns);
+        if (plan.bottom == Backend::kGpu) {
+          tracer.Complete(kPipelinePid, kGpuTrack, Clock::kSim,
+                          "mlp_bottom", sched.bpre_start_ns,
+                          sched.bpre_end_ns - sched.bpre_start_ns, "batch",
+                          batch_id);
+        } else {
+          // The bottom stack runs as up to two host slices (the
+          // overlapped prefix and the remainder); emit each non-empty
+          // one under the same span name.
+          if (sched.bpre_end_ns > sched.bpre_start_ns) {
+            tracer.Complete(kPipelinePid, kMlpTrack, Clock::kSim,
+                            "mlp_bottom", sched.bpre_start_ns,
+                            sched.bpre_end_ns - sched.bpre_start_ns,
+                            "batch", batch_id);
+          }
+          if (sched.bpost_end_ns > sched.bpost_start_ns) {
+            tracer.Complete(kPipelinePid, kMlpTrack, Clock::kSim,
+                            "mlp_bottom", sched.bpost_start_ns,
+                            sched.bpost_end_ns - sched.bpost_start_ns,
+                            "batch", batch_id);
+          }
+        }
+        if (plan.top == Backend::kGpu) {
+          // One offload covers interaction + top stack; the host-time
+          // interact/top split does not apply on the device.
+          tracer.Complete(kPipelinePid, kGpuTrack, Clock::kSim, "mlp_top",
+                          sched.top_start_ns,
+                          sched.top_end_ns - sched.top_start_ns, "batch",
+                          batch_id);
+        } else {
+          tracer.Complete(kPipelinePid, kMlpTrack, Clock::kSim, "interact",
+                          sched.top_start_ns, sched.costs.interact, "batch",
+                          batch_id);
+          tracer.Complete(kPipelinePid, kMlpTrack, Clock::kSim, "mlp_top",
+                          sched.top_start_ns + sched.costs.interact,
+                          sched.top_end_ns -
+                              (sched.top_start_ns + sched.costs.interact));
+        }
+        if (batch_traces[b] != nullptr) {
+          core::EmitBatchDpuTimeline(engine.dpu_system(), *batch_traces[b],
+                                     b, sched.s2_start_ns,
+                                     /*tasklet_detail=*/true);
+        }
+      } else {
+        tracer.CountSampledOut();
+      }
+    }
+    const std::span<const serve::QueuedRequest> batch_requests(
+        request_log.data() + batch_start[b],
+        batch_start[b + 1] - batch_start[b]);
+    for (const serve::QueuedRequest& q : batch_requests) {
+      const Nanos latency = done - q.request.arrival_ns;
+      result.latency.Add(latency);
+      result.request_latency_ns.push_back(latency);
+      ++served;
+      if (!tracing) continue;
+      if (q.request.id % sample_every != 0) {
+        ++result.requests_sampled_out;
+        tracer.CountSampledOut();
+        continue;
+      }
+      ++result.requests_traced;
+      // Nested async spans sharing the request's id:
+      //   lifetime [arrival, top end)
+      //     queued  [admission, batch cut)
+      //     execute [batch cut, top end)
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim, "request",
+                        "request", q.request.arrival_ns);
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim, "queued",
+                        "request", q.admit_ns);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "queued",
+                      "request", sched.cut_ns);
+      tracer.AsyncBegin(kRequestPid, q.request.id, Clock::kSim, "execute",
+                        "request", sched.cut_ns);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "execute",
+                      "request", done);
+      tracer.AsyncEnd(kRequestPid, q.request.id, Clock::kSim, "request",
+                      "request", done);
+    }
+  }
+  result.completed = served;
+  if (result.num_batches > 0) {
+    result.avg_batch_size = static_cast<double>(served) /
+                            static_cast<double>(result.num_batches);
+  }
+  UPDLRM_CHECK_MSG(result.completed + result.shed == result.offered,
+                   "serving accounting mismatch");
+  return result;
+}
+
+}  // namespace updlrm::pipeline

@@ -60,17 +60,32 @@ class LatencyHistogram {
   Nanos max_ = 0.0;
 };
 
-/// Busy fractions of the two pipeline resources over the run.
+/// Busy fractions of the pipeline resources over the run. The
+/// embedding-only pipeline fills the first two; the full-path data-flow
+/// executor (src/pipeline) additionally splits out the host's dense-
+/// compute time and the optional GPU backend.
 struct StageUtilization {
   Nanos host_busy_ns = 0.0;  // stage 1 + stage 3 + CPU aggregation
   Nanos dpu_busy_ns = 0.0;   // stage 2
   Nanos makespan_ns = 0.0;
+  /// Host time spent in MLP / interaction work (a subset of
+  /// host_busy_ns: one host resource serves both transfer and dense
+  /// compute).
+  Nanos host_mlp_busy_ns = 0.0;
+  /// GPU backend busy time; 0 when every stage runs on the host.
+  Nanos gpu_busy_ns = 0.0;
 
   double HostUtilization() const {
     return makespan_ns <= 0.0 ? 0.0 : host_busy_ns / makespan_ns;
   }
   double DpuUtilization() const {
     return makespan_ns <= 0.0 ? 0.0 : dpu_busy_ns / makespan_ns;
+  }
+  double HostMlpUtilization() const {
+    return makespan_ns <= 0.0 ? 0.0 : host_mlp_busy_ns / makespan_ns;
+  }
+  double GpuUtilization() const {
+    return makespan_ns <= 0.0 ? 0.0 : gpu_busy_ns / makespan_ns;
   }
 };
 

@@ -70,6 +70,8 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   const std::uint64_t sample_every =
       tracing ? tracer.options().sample_every : 1;
   using telemetry::Clock;
+  using telemetry::kDpuTrack;
+  using telemetry::kHostBusTrack;
   using telemetry::kPipelinePid;
   using telemetry::kRequestPid;
 
@@ -155,13 +157,14 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   result.num_batches = batch_start.size() - 1;
   result.shed = batcher.shed_count();
   result.max_queue_depth = batcher.max_queue_depth();
-  result.utilization = StageUtilization{executor.host_busy_ns(),
-                                        executor.dpu_busy_ns(),
-                                        result.makespan_ns};
+  result.utilization.host_busy_ns = executor.host_busy_ns();
+  result.utilization.dpu_busy_ns = executor.dpu_busy_ns();
+  result.utilization.makespan_ns = result.makespan_ns;
 
   if (tracing) {
-    tracer.SetThreadName(kPipelinePid, 0, "host buses (stage 1/3)");
-    tracer.SetThreadName(kPipelinePid, 1, "DPU array (stage 2)");
+    tracer.SetThreadName(kPipelinePid, kHostBusTrack,
+                         "host buses (stage 1/3)");
+    tracer.SetThreadName(kPipelinePid, kDpuTrack, "DPU array (stage 2)");
     for (const QueueDepthSample& s : result.queue_depth) {
       tracer.Counter(kPipelinePid, Clock::kSim, "queue_depth", s.t_ns,
                      static_cast<double>(s.depth));
@@ -174,14 +177,14 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
     const Nanos done = sched.s3_end_ns;
     if (tracing) {
       if (b % sample_every == 0) {
-        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage1.push",
+        tracer.Complete(kPipelinePid, kHostBusTrack, Clock::kSim, "stage1.push",
                         sched.s1_start_ns,
                         sched.s1_end_ns - sched.s1_start_ns, "batch",
                         static_cast<double>(b));
-        tracer.Complete(kPipelinePid, 1, Clock::kSim, "stage2.kernel",
+        tracer.Complete(kPipelinePid, kDpuTrack, Clock::kSim, "stage2.kernel",
                         sched.s2_start_ns,
                         sched.s2_end_ns - sched.s2_start_ns);
-        tracer.Complete(kPipelinePid, 0, Clock::kSim, "stage3.pull",
+        tracer.Complete(kPipelinePid, kHostBusTrack, Clock::kSim, "stage3.pull",
                         sched.s3_start_ns,
                         sched.s3_end_ns - sched.s3_start_ns);
         if (batch_traces[b] != nullptr) {

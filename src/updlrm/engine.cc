@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/arena.h"
 #include "common/fixed_point.h"
@@ -449,11 +450,45 @@ Result<partition::PartitionPlan> UpDlrmEngine::BuildPlan(
     }
   }
   if (options_.replicate_hot_rows > 0) {
-    auto replicated = partition::ApplyReplication(
-        plan, freq, options_.replicate_hot_rows, by_freq);
-    if (!replicated.ok()) return replicated.status();
+    // Replication adds up to k extra row slices to every bin; a k that
+    // fits one workload can overflow another's EMT regions. Rather than
+    // abort Setup with CAPACITY_EXCEEDED, shed replicas down to the
+    // largest feasible count (replica bytes interact with per-bin EMT
+    // row placement, so bisect instead of solving in closed form).
+    // ApplyReplication is idempotent — re-applying with a smaller k
+    // replaces, not accumulates, the marks.
+    auto replicate = [&](std::uint32_t k) -> Result<std::size_t> {
+      auto marked = partition::ApplyReplication(plan, freq, k, by_freq);
+      if (!marked.ok()) return marked;
+      UPDLRM_RETURN_IF_ERROR(plan.Validate(capacity));
+      return marked;
+    };
+    auto requested = replicate(options_.replicate_hot_rows);
+    if (!requested.ok()) {
+      // Separate "replicas overflow the bins" from a structurally
+      // invalid plan: with zero replicas the plan must validate.
+      auto zero = replicate(0);
+      if (!zero.ok()) return zero.status();
+      std::uint32_t lo = 0;                            // feasible
+      std::uint32_t hi = options_.replicate_hot_rows;  // infeasible
+      while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (replicate(mid).ok()) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      auto clamped = replicate(lo);
+      if (!clamped.ok()) return clamped.status();
+      std::fprintf(stderr,
+                   "[updlrm] warning: table %u: replicate_hot_rows=%u "
+                   "exceeds bin capacity; clamped to %zu replicas\n",
+                   table, options_.replicate_hot_rows, clamped.value());
+    }
+  } else {
+    UPDLRM_RETURN_IF_ERROR(plan.Validate(capacity));
   }
-  UPDLRM_RETURN_IF_ERROR(plan.Validate(capacity));
   return plan;
 }
 
@@ -927,6 +962,12 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   }
   out.stages.dpu_lookup = system_->transfer().KernelLaunchOverhead() +
                           CyclesToNanos(max_kernel, clock);
+  // Worst per-DPU stage-1/3 buffer footprint of this batch: the
+  // full-path pipeline's capacity audit checks that `depth` in-flight
+  // buffer pairs of this size fit the reserved-IO region
+  // (check/dataflow_audit.h).
+  out.max_index_bytes = simd::MaxU64(push_bytes.data(), push_bytes.size());
+  out.max_output_bytes = simd::MaxU64(pull_bytes.data(), pull_bytes.size());
   const std::uint64_t partial_bytes =
       simd::SumU64(pull_bytes.data(), pull_bytes.size());
   out.stages.cpu_aggregate =

@@ -162,7 +162,15 @@ class UpDlrmEngine {
   }
   const EngineOptions& options() const { return options_; }
   bool functional() const { return model_ != nullptr; }
+  /// The reference model (null in timing-only mode). The full-path
+  /// serving pipeline builds its batched MLP stacks from it.
+  const dlrm::DlrmModel* model() const { return model_; }
   const trace::Trace& trace() const { return trace_; }
+  const dlrm::DlrmConfig& config() const { return config_; }
+  /// Calibrated host timing model (the data-flow tuner prices MLP /
+  /// interaction placement candidates with the same model the engine
+  /// charges).
+  const host::CpuTimingModel& cpu_model() const { return cpu_; }
 
   /// Violation report of the hardware-contract checker; null unless
   /// options.check_mode.

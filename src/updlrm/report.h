@@ -44,6 +44,12 @@ struct BatchResult {
   /// pipeline (they have no data dependency).
   Nanos total = 0.0;
 
+  /// Worst per-DPU stage-1 (index) and stage-3 (partial-sum) buffer
+  /// bytes of this batch — the in-flight MRAM footprint one pipeline
+  /// buffer pair must hold (consumed by the data-flow capacity audit).
+  std::uint64_t max_index_bytes = 0;
+  std::uint64_t max_output_bytes = 0;
+
   // Functional outputs (empty in timing-only mode).
   std::vector<float> pooled;  // batch x (tables * dim), fixed-point path
   std::vector<float> ctr;     // batch

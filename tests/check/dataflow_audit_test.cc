@@ -1,0 +1,176 @@
+#include "check/dataflow_audit.h"
+
+#include <gtest/gtest.h>
+
+namespace updlrm::check {
+namespace {
+
+// ---- Plan shape. ----
+
+DataFlowShape LegalShape() {
+  DataFlowShape s;
+  s.depth = 2;
+  s.bottom_overlap_layers = 1;
+  s.bottom_layers = 3;
+  s.bottom_on_gpu = false;
+  s.top_on_gpu = true;
+  s.gpu_available = true;
+  return s;
+}
+
+TEST(DataFlowShapeAudit, CleanShapeAddsNothing) {
+  CheckReport report;
+  AuditDataFlowShape(LegalShape(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(DataFlowShapeAudit, FiresOnZeroDepth) {
+  CheckReport report;
+  DataFlowShape s = LegalShape();
+  s.depth = 0;
+  AuditDataFlowShape(s, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowShape), 1u);
+}
+
+TEST(DataFlowShapeAudit, FiresOnExcessiveDepth) {
+  CheckReport report;
+  DataFlowShape s = LegalShape();
+  s.depth = kMaxPipelineDepth + 1;
+  AuditDataFlowShape(s, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowShape), 1u);
+  EXPECT_NE(report.first_offender(Rule::kDataFlowShape).find("depth"),
+            std::string::npos);
+}
+
+TEST(DataFlowShapeAudit, FiresOnOverlapSplitBeyondStack) {
+  CheckReport report;
+  DataFlowShape s = LegalShape();
+  s.bottom_overlap_layers = 4;  // stack has 3
+  AuditDataFlowShape(s, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowShape), 1u);
+}
+
+TEST(DataFlowShapeAudit, FiresOnGpuPlacementWithoutGpu) {
+  CheckReport report;
+  DataFlowShape s = LegalShape();
+  s.gpu_available = false;  // but top_on_gpu stays true
+  AuditDataFlowShape(s, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowShape), 1u);
+  EXPECT_NE(report.first_offender(Rule::kDataFlowShape).find("GPU"),
+            std::string::npos);
+}
+
+// ---- In-flight IO capacity. ----
+
+TEST(DataFlowCapacityAudit, CleanWhenBufferPairsFit) {
+  CheckReport report;
+  DataFlowCapacity cap;
+  cap.depth = 2;
+  cap.max_index_bytes = 1024;
+  cap.max_output_bytes = 4096;
+  cap.index_region_bytes = 4 * 1024;
+  cap.output_region_bytes = 16 * 1024;
+  AuditDataFlowCapacity(cap, &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(DataFlowCapacityAudit, FiresWhenDepthOverflowsIndexRegion) {
+  CheckReport report;
+  DataFlowCapacity cap;
+  cap.depth = 4;
+  cap.max_index_bytes = 2048;  // 4 x 2048 > 4096
+  cap.max_output_bytes = 16;
+  cap.index_region_bytes = 4096;
+  cap.output_region_bytes = 4096;
+  AuditDataFlowCapacity(cap, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowCapacity), 1u);
+  EXPECT_NE(report.first_offender(Rule::kDataFlowCapacity).find("index"),
+            std::string::npos);
+}
+
+TEST(DataFlowCapacityAudit, FiresWhenDepthOverflowsOutputRegion) {
+  CheckReport report;
+  DataFlowCapacity cap;
+  cap.depth = 2;
+  cap.max_index_bytes = 16;
+  cap.max_output_bytes = 3000;  // 2 x 3000 > 4096
+  cap.index_region_bytes = 4096;
+  cap.output_region_bytes = 4096;
+  AuditDataFlowCapacity(cap, &report);
+  EXPECT_EQ(report.count(Rule::kDataFlowCapacity), 1u);
+  EXPECT_NE(report.first_offender(Rule::kDataFlowCapacity).find("output"),
+            std::string::npos);
+}
+
+// ---- Stage ordering. ----
+
+StageInstants WellOrdered() {
+  StageInstants t;
+  t.cut_ns = 100;
+  t.bpre_start_ns = 100;
+  t.bpre_end_ns = 150;
+  t.s1_start_ns = 100;
+  t.s1_end_ns = 200;
+  t.s2_start_ns = 200;
+  t.s2_end_ns = 400;
+  t.s3_start_ns = 410;
+  t.s3_end_ns = 500;
+  t.bottom_done_ns = 450;
+  t.top_start_ns = 500;
+  t.top_end_ns = 600;
+  return t;
+}
+
+TEST(StageOrderingAudit, CleanBatchAddsNothing) {
+  CheckReport report;
+  AuditStageOrdering(0, WellOrdered(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(StageOrderingAudit, ExactlyTouchingStagesAreClean) {
+  // Back-to-back scheduling (end == next start) is the common case and
+  // must not fire.
+  CheckReport report;
+  StageInstants t = WellOrdered();
+  t.s3_start_ns = t.s2_end_ns;
+  t.top_start_ns = t.s3_end_ns;
+  AuditStageOrdering(3, t, &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(StageOrderingAudit, FiresWhenStageStartsBeforeCut) {
+  CheckReport report;
+  StageInstants t = WellOrdered();
+  t.s1_start_ns = t.cut_ns - 50;
+  AuditStageOrdering(7, t, &report);
+  EXPECT_GE(report.count(Rule::kStageOrdering), 1u);
+  EXPECT_NE(report.first_offender(Rule::kStageOrdering).find("batch 7"),
+            std::string::npos);
+}
+
+TEST(StageOrderingAudit, FiresWhenLookupPrecedesPush) {
+  CheckReport report;
+  StageInstants t = WellOrdered();
+  t.s2_start_ns = t.s1_end_ns - 10;
+  AuditStageOrdering(0, t, &report);
+  EXPECT_EQ(report.count(Rule::kStageOrdering), 1u);
+}
+
+TEST(StageOrderingAudit, FiresWhenTopIgnoresBottomDependency) {
+  CheckReport report;
+  StageInstants t = WellOrdered();
+  t.bottom_done_ns = t.top_start_ns + 25;  // top started too early
+  AuditStageOrdering(0, t, &report);
+  EXPECT_GE(report.count(Rule::kStageOrdering), 1u);
+}
+
+TEST(StageOrderingAudit, FiresOnNegativeDuration) {
+  CheckReport report;
+  StageInstants t = WellOrdered();
+  t.s3_end_ns = t.s3_start_ns - 1;
+  AuditStageOrdering(0, t, &report);
+  EXPECT_GE(report.count(Rule::kStageOrdering), 1u);
+}
+
+}  // namespace
+}  // namespace updlrm::check

@@ -73,6 +73,34 @@ TEST_F(SimdTest, AddI32ToI64MatchesScalar) {
   }
 }
 
+TEST_F(SimdTest, AddScaledF32BitExactAcrossPaths) {
+  // The batched-MLP axpy: both legs must produce identical float bits
+  // (one un-fused mul + add per lane — the dlrm/batched.h contract).
+  Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> col(n);
+    std::vector<float> init(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      col[i] = static_cast<float>(rng.NextDouble()) * 4.0f - 2.0f;
+      init[i] = static_cast<float>(rng.NextDouble()) * 4.0f - 2.0f;
+    }
+    const float x = static_cast<float>(rng.NextDouble()) * 2.0f - 1.0f;
+    std::vector<float> scalar = init;
+    std::vector<float> vec = init;
+    simd::ForceScalar(true);
+    simd::AddScaledF32(col.data(), x, scalar.data(), n);
+    simd::ForceScalar(false);
+    simd::AddScaledF32(col.data(), x, vec.data(), n);
+    ASSERT_EQ(0, std::memcmp(scalar.data(), vec.data(), n * sizeof(float)))
+        << "n=" << n;
+    // And against the literal reference loop.
+    for (std::size_t i = 0; i < n; ++i) {
+      const float expect = init[i] + col[i] * x;
+      ASSERT_EQ(scalar[i], expect) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST_F(SimdTest, UniqueStreamCountsMatchesScalar) {
   Rng rng(2);
   for (const std::size_t n : kSizes) {

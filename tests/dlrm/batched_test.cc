@@ -1,0 +1,144 @@
+// Randomized equivalence tests for the batched dense path
+// (dlrm/batched.h): BatchedMlp / BatchedDlrm must reproduce the
+// per-sample reference (Mlp::Forward / DlrmModel::ForwardSample)
+// bit-exactly — on the dispatched SIMD leg, on the forced-scalar leg,
+// and at every thread fan-out.
+#include "dlrm/batched.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "dlrm/interaction.h"
+
+namespace updlrm::dlrm {
+namespace {
+
+class BatchedTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::ForceScalar(false); }
+};
+
+// Random MLP shapes x random inputs: the batched forward equals the
+// reference layer loop float-for-float.
+TEST_F(BatchedTest, MlpMatchesReferenceOnRandomShapes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> dims;
+    dims.push_back(1 + rng.NextBounded(33));  // input width
+    const std::uint32_t depth = 1 + rng.NextBounded(3);
+    for (std::uint32_t l = 0; l < depth; ++l) {
+      dims.push_back(1 + rng.NextBounded(40));
+    }
+    const Activation last =
+        trial % 2 == 0 ? Activation::kSigmoid : Activation::kNone;
+    auto mlp_or = Mlp::Create(dims, last, rng.NextU64());
+    ASSERT_TRUE(mlp_or.ok());
+    const Mlp& mlp = mlp_or.value();
+    const std::uint32_t in_dim = mlp.in_dim();
+    const BatchedMlp batched = BatchedMlp::Prepare(mlp);
+    ASSERT_EQ(batched.in_dim(), mlp.in_dim());
+    ASSERT_EQ(batched.out_dim(), mlp.out_dim());
+
+    const bool scalar = trial % 3 == 0;
+    simd::ForceScalar(scalar);
+    std::vector<float> in(in_dim);
+    for (float& v : in) {
+      v = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+    }
+    const std::vector<float> expected = mlp.Forward(in);
+    std::vector<float> got(mlp.out_dim());
+    Arena arena;
+    batched.ForwardSample(in, got, arena);
+    ASSERT_EQ(got.size(), expected.size());
+    ASSERT_EQ(0, std::memcmp(got.data(), expected.data(),
+                             got.size() * sizeof(float)))
+        << "trial " << trial << " scalar=" << scalar;
+  }
+}
+
+TEST_F(BatchedTest, ForwardBatchEqualsPerSampleForward) {
+  Rng rng(12);
+  const std::vector<std::uint32_t> dims = {9, 24, 7};
+  auto mlp_or = Mlp::Create(dims, Activation::kNone, 99);
+  ASSERT_TRUE(mlp_or.ok());
+  const Mlp& mlp = mlp_or.value();
+  const BatchedMlp batched = BatchedMlp::Prepare(mlp);
+  const std::size_t count = 17;
+  std::vector<float> in(count * 9);
+  for (float& v : in) v = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+  std::vector<float> out(count * 7);
+  Arena arena;
+  batched.ForwardBatch(in, count, out, arena);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::vector<float> expected =
+        mlp.Forward({in.data() + s * 9, 9});
+    for (std::size_t o = 0; o < 7; ++o) {
+      ASSERT_EQ(out[s * 7 + o], expected[o]) << "sample " << s;
+    }
+  }
+}
+
+DlrmConfig SmallConfig(InteractionKind kind, std::uint64_t seed) {
+  DlrmConfig config;
+  config.num_tables = 3;
+  config.rows_per_table = 64;
+  config.embedding_dim = 8;
+  config.dense_features = 6;
+  config.bottom_hidden = {16, 8};
+  config.top_hidden = {12};
+  config.interaction = kind;
+  config.seed = seed;
+  return config;
+}
+
+// Full dense path (bottom MLP -> interaction -> top MLP) against
+// DlrmModel::ForwardSample, both interaction kinds, both SIMD legs,
+// thread fan-out 1/2/4: identical bits everywhere.
+TEST_F(BatchedTest, DlrmMatchesForwardSampleExactly) {
+  for (const InteractionKind kind :
+       {InteractionKind::kConcat, InteractionKind::kDot}) {
+    auto model = DlrmModel::Create(SmallConfig(kind, 2024));
+    ASSERT_TRUE(model.ok());
+    const BatchedDlrm batched(model.value());
+
+    Rng rng(13);
+    const std::size_t count = 29;
+    const std::uint32_t dense_dim = model->config().dense_features;
+    const std::size_t pooled_stride =
+        static_cast<std::size_t>(model->config().num_tables) *
+        model->config().embedding_dim;
+    std::vector<float> dense(count * dense_dim);
+    std::vector<float> pooled(count * pooled_stride);
+    for (float& v : dense) v = static_cast<float>(rng.NextDouble(-1.5, 1.5));
+    for (float& v : pooled) {
+      v = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+    }
+
+    std::vector<float> expected(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      expected[s] = model->ForwardSample(
+          {dense.data() + s * dense_dim, dense_dim},
+          {pooled.data() + s * pooled_stride, pooled_stride});
+    }
+
+    for (const bool scalar : {false, true}) {
+      simd::ForceScalar(scalar);
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        std::vector<float> ctr(count, -1.0f);
+        batched.Forward(dense, pooled, count, ctr, threads);
+        for (std::size_t s = 0; s < count; ++s) {
+          ASSERT_EQ(ctr[s], expected[s])
+              << "sample " << s << " scalar=" << scalar << " threads="
+              << threads << " kind=" << static_cast<int>(kind);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::dlrm

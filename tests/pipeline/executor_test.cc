@@ -1,0 +1,263 @@
+// The full-path data-flow executor: deterministic host scheduling
+// around the embedding stages, GPU offload FIFO, depth-bounded
+// admission, and the stage-ordering invariants under random load.
+#include "pipeline/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/dataflow_audit.h"
+#include "check/report.h"
+#include "common/rng.h"
+
+namespace updlrm::pipeline {
+namespace {
+
+BatchTaskCosts CpuCosts() {
+  BatchTaskCosts c;
+  c.emb.cpu_to_dpu = 100.0;
+  c.emb.dpu_lookup = 200.0;
+  c.emb.dpu_to_cpu = 50.0;
+  c.emb.cpu_aggregate = 50.0;
+  c.bottom_pre = 0.0;
+  c.bottom_post = 300.0;
+  c.interact = 40.0;
+  c.top_mlp = 60.0;
+  return c;
+}
+
+TEST(DataFlowExecutorTest, SingleBatchCpuFlowSchedulesInOrder) {
+  DataFlowPlan plan;
+  plan.depth = 1;
+  DataFlowExecutor ex(plan);
+  ex.Submit(CpuCosts(), 0.0);
+  ex.Drain();
+  const ExecutedFlowBatch& b = ex.batches().front();
+  // S1 [0,100] then S2 [100,300]; the host fills the DPU window with
+  // the bottom stack [100,400]; S3 waits for both the host and the
+  // lookup [400,500]; top closes the batch [500,600].
+  EXPECT_DOUBLE_EQ(b.s1_start_ns, 0.0);
+  EXPECT_DOUBLE_EQ(b.s1_end_ns, 100.0);
+  EXPECT_DOUBLE_EQ(b.s2_start_ns, 100.0);
+  EXPECT_DOUBLE_EQ(b.s2_end_ns, 300.0);
+  EXPECT_DOUBLE_EQ(b.bpost_start_ns, 100.0);
+  EXPECT_DOUBLE_EQ(b.bpost_end_ns, 400.0);
+  EXPECT_DOUBLE_EQ(b.bottom_done_ns, 400.0);
+  EXPECT_DOUBLE_EQ(b.s3_start_ns, 400.0);
+  EXPECT_DOUBLE_EQ(b.s3_end_ns, 500.0);
+  EXPECT_DOUBLE_EQ(b.top_start_ns, 500.0);
+  EXPECT_DOUBLE_EQ(b.top_end_ns, 600.0);
+  EXPECT_DOUBLE_EQ(b.done_ns, 600.0);
+  EXPECT_DOUBLE_EQ(ex.MakespanNs(), 600.0);
+  EXPECT_DOUBLE_EQ(ex.host_busy_ns(), 100.0 + 300.0 + 100.0 + 100.0);
+  EXPECT_DOUBLE_EQ(ex.host_mlp_busy_ns(), 300.0 + 100.0);
+  EXPECT_DOUBLE_EQ(ex.dpu_busy_ns(), 200.0);
+  EXPECT_DOUBLE_EQ(ex.gpu_busy_ns(), 0.0);
+}
+
+TEST(DataFlowExecutorTest, DepthBoundsAdmission) {
+  DataFlowPlan d1;
+  d1.depth = 1;
+  DataFlowExecutor serial(d1);
+  EXPECT_DOUBLE_EQ(serial.NextAdmitTime(), 0.0);
+  serial.Submit(CpuCosts(), 0.0);
+  // One buffer pair: the next cut waits for this batch's stage 2.
+  EXPECT_DOUBLE_EQ(serial.NextAdmitTime(),
+                   serial.batches().front().s2_end_ns);
+
+  DataFlowPlan d2;
+  d2.depth = 2;
+  DataFlowExecutor doubled(d2);
+  doubled.Submit(CpuCosts(), 0.0);
+  // Double buffering admits immediately after the previous cut.
+  EXPECT_DOUBLE_EQ(doubled.NextAdmitTime(), 0.0);
+  doubled.Submit(CpuCosts(), 10.0);
+  EXPECT_DOUBLE_EQ(doubled.NextAdmitTime(),
+                   std::max(10.0, doubled.batches()[0].s2_end_ns));
+}
+
+TEST(DataFlowExecutorTest, BottomOverlapsTheNextBatchWindow) {
+  // Depth 2: batch 1's bottom stack should run while batch 0's lookup
+  // still owns the DPUs — the asymmetric overlap the plans exist for.
+  DataFlowPlan plan;
+  plan.depth = 2;
+  DataFlowExecutor ex(plan);
+  BatchTaskCosts c = CpuCosts();
+  c.bottom_post = 50.0;  // cheap enough to fit inside the DPU window
+  ex.Submit(c, 0.0);
+  ex.Submit(c, 100.0);
+  ex.Drain();
+  const auto& b0 = ex.batches()[0];
+  const auto& b1 = ex.batches()[1];
+  // Batch 1's S1 takes the host right at its cut (S1 outranks dense
+  // work), then its bottom stack starts inside batch 0's S2 window.
+  EXPECT_DOUBLE_EQ(b1.s1_start_ns, 100.0);
+  EXPECT_LT(b1.bpost_start_ns, b0.s2_end_ns);
+  // Batch order is preserved on the DPU resource.
+  EXPECT_GE(b1.s2_start_ns, b0.s2_end_ns);
+  // Both batches complete, in order.
+  EXPECT_GE(b1.done_ns, b0.done_ns);
+  EXPECT_DOUBLE_EQ(ex.MakespanNs(), b1.done_ns);
+}
+
+TEST(DataFlowExecutorTest, StageThreePreemptsQueuedBottomWork) {
+  // S3 outranks bottom tasks at equal start instants: once the host
+  // frees at the lookup's end, the pull runs before further dense work.
+  BatchTaskCosts c = CpuCosts();
+  c.bottom_pre = 120.0;
+  c.bottom_post = 180.0;
+  DataFlowPlan plan;
+  plan.depth = 1;
+  plan.bottom_split = 1;
+  DataFlowExecutor ex(plan);
+  ex.Submit(c, 0.0);
+  ex.Drain();
+  const auto& b = ex.batches().front();
+  // Host: S1 [0,100], BPRE [100,220], BPOST [220,400]; S3 becomes
+  // ready at 300 mid-BPOST and must wait (non-preemptive) -> [400,500].
+  EXPECT_DOUBLE_EQ(b.bpre_start_ns, 100.0);
+  EXPECT_DOUBLE_EQ(b.bpre_end_ns, 220.0);
+  EXPECT_DOUBLE_EQ(b.bpost_end_ns, 400.0);
+  EXPECT_DOUBLE_EQ(b.s3_start_ns, 400.0);
+  EXPECT_DOUBLE_EQ(b.top_start_ns, 500.0);
+}
+
+TEST(DataFlowExecutorTest, GpuBottomRunsOffHostAndInFifoOrder) {
+  BatchTaskCosts c = CpuCosts();
+  c.bottom_pre = 0.0;
+  c.bottom_post = 0.0;
+  c.bottom_gpu = 500.0;
+  DataFlowPlan plan;
+  plan.depth = 2;
+  plan.bottom = Backend::kGpu;
+  DataFlowExecutor ex(plan);
+  ex.Submit(c, 0.0);
+  ex.Submit(c, 100.0);
+  ex.Drain();
+  const auto& b0 = ex.batches()[0];
+  const auto& b1 = ex.batches()[1];
+  // The offload starts at each batch's cut, FIFO on the GPU.
+  EXPECT_DOUBLE_EQ(b0.bpre_start_ns, 0.0);
+  EXPECT_DOUBLE_EQ(b0.bottom_done_ns, 500.0);
+  EXPECT_DOUBLE_EQ(b1.bpre_start_ns, 500.0);  // queued behind batch 0
+  EXPECT_DOUBLE_EQ(b1.bottom_done_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(ex.gpu_busy_ns(), 1000.0);
+  // The host never ran dense bottom work; its MLP time is the tops.
+  EXPECT_DOUBLE_EQ(ex.host_mlp_busy_ns(),
+                   2.0 * (c.interact + c.top_mlp));
+  // Tops wait for the (slow) GPU bottom.
+  EXPECT_GE(b0.top_start_ns, b0.bottom_done_ns);
+  EXPECT_GE(b1.top_start_ns, b1.bottom_done_ns);
+}
+
+TEST(DataFlowExecutorTest, GpuTopWaitsForPullAndBottom) {
+  BatchTaskCosts c = CpuCosts();
+  c.top_gpu = 250.0;
+  DataFlowPlan plan;
+  plan.depth = 2;
+  plan.top = Backend::kGpu;
+  DataFlowExecutor ex(plan);
+  ex.Submit(c, 0.0);
+  ex.Submit(c, 100.0);
+  ex.Drain();
+  for (const auto& b : ex.batches()) {
+    EXPECT_GE(b.top_start_ns, b.s3_end_ns);
+    EXPECT_GE(b.top_start_ns, b.bottom_done_ns);
+    EXPECT_DOUBLE_EQ(b.top_end_ns - b.top_start_ns, 250.0);
+  }
+  // FIFO on the GPU resource.
+  EXPECT_GE(ex.batches()[1].top_start_ns, ex.batches()[0].top_end_ns);
+  EXPECT_DOUBLE_EQ(ex.gpu_busy_ns(), 500.0);
+}
+
+// Randomized loads across every backend mix: the executed schedule must
+// satisfy the stage-ordering audit and never double-book a resource.
+TEST(DataFlowExecutorTest, RandomLoadsKeepOrderingAndResourceInvariants) {
+  Rng rng(99);
+  const Backend kinds[] = {Backend::kCpu, Backend::kGpu};
+  for (const Backend bottom : kinds) {
+    for (const Backend top : kinds) {
+      for (const std::uint32_t depth : {1u, 2u, 3u}) {
+        DataFlowPlan plan;
+        plan.depth = depth;
+        plan.bottom_split = 1;
+        plan.bottom = bottom;
+        plan.top = top;
+        DataFlowExecutor ex(plan);
+        Nanos cut = 0.0;
+        for (int b = 0; b < 40; ++b) {
+          BatchTaskCosts c;
+          c.emb.cpu_to_dpu = 10.0 + 90.0 * rng.NextDouble();
+          c.emb.dpu_lookup = 50.0 + 300.0 * rng.NextDouble();
+          c.emb.dpu_to_cpu = 5.0 + 50.0 * rng.NextDouble();
+          c.emb.cpu_aggregate = 5.0 + 50.0 * rng.NextDouble();
+          if (bottom == Backend::kCpu) {
+            c.bottom_pre = 100.0 * rng.NextDouble();
+            c.bottom_post = 100.0 * rng.NextDouble();
+          } else {
+            c.bottom_gpu = 50.0 + 200.0 * rng.NextDouble();
+          }
+          c.interact = 20.0 * rng.NextDouble();
+          c.top_mlp = 50.0 * rng.NextDouble();
+          if (top == Backend::kGpu) {
+            c.top_gpu = 50.0 + 200.0 * rng.NextDouble();
+          }
+          cut = std::max(cut + 100.0 * rng.NextDouble(),
+                         ex.NextAdmitTime());
+          ex.Submit(c, cut);
+        }
+        ex.Drain();
+
+        check::CheckReport report;
+        std::vector<std::pair<Nanos, Nanos>> host, dpu, gpu;
+        for (std::size_t i = 0; i < ex.batches().size(); ++i) {
+          const ExecutedFlowBatch& b = ex.batches()[i];
+          check::StageInstants t;
+          t.cut_ns = b.cut_ns;
+          t.bpre_start_ns = b.bpre_start_ns;
+          t.bpre_end_ns = b.bpre_end_ns;
+          t.s1_start_ns = b.s1_start_ns;
+          t.s1_end_ns = b.s1_end_ns;
+          t.s2_start_ns = b.s2_start_ns;
+          t.s2_end_ns = b.s2_end_ns;
+          t.s3_start_ns = b.s3_start_ns;
+          t.s3_end_ns = b.s3_end_ns;
+          t.bottom_done_ns = b.bottom_done_ns;
+          t.top_start_ns = b.top_start_ns;
+          t.top_end_ns = b.top_end_ns;
+          check::AuditStageOrdering(i, t, &report);
+
+          host.emplace_back(b.s1_start_ns, b.s1_end_ns);
+          host.emplace_back(b.s3_start_ns, b.s3_end_ns);
+          dpu.emplace_back(b.s2_start_ns, b.s2_end_ns);
+          if (bottom == Backend::kCpu) {
+            host.emplace_back(b.bpre_start_ns, b.bpre_end_ns);
+            host.emplace_back(b.bpost_start_ns, b.bpost_end_ns);
+          } else {
+            gpu.emplace_back(b.bpre_start_ns, b.bpre_end_ns);
+          }
+          if (top == Backend::kCpu) {
+            host.emplace_back(b.top_start_ns, b.top_end_ns);
+          } else {
+            gpu.emplace_back(b.top_start_ns, b.top_end_ns);
+          }
+        }
+        EXPECT_TRUE(report.clean())
+            << Name(plan) << ": " << report.ToString();
+        for (auto* intervals : {&host, &dpu, &gpu}) {
+          std::sort(intervals->begin(), intervals->end());
+          for (std::size_t i = 1; i < intervals->size(); ++i) {
+            EXPECT_LE((*intervals)[i - 1].second,
+                      (*intervals)[i].first + 1e-6)
+                << Name(plan) << ": resource double-booked";
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::pipeline

@@ -14,6 +14,9 @@
 
 #include "cache/grace.h"
 #include "common/thread_pool.h"
+#include "pipeline/runner.h"
+#include "serve/workload.h"
+#include "telemetry/tracer.h"
 #include "trace/generator.h"
 #include "updlrm/comparison.h"
 #include "updlrm/engine.h"
@@ -160,6 +163,72 @@ TEST(DeterminismTest, HotPathLeversBitExactAcrossThreadCounts) {
     }
     ASSERT_EQ(run.ctr, serial.ctr) << threads << " threads";
     ExpectSameReport(run.report, serial.report);
+  }
+}
+
+TEST(DeterminismTest, EndToEndPipelineBitExactAcrossThreadsAndTracing) {
+  // The full request path — arrivals -> batcher -> DPU embedding run ->
+  // data-flow executor -> batched bottom/interaction/top MLPs -> CTR —
+  // inherits the contract: thread count and tracing change nothing but
+  // wall-clock time. Every CTR float and simulated latency is compared
+  // for bit equality.
+  auto run = [](std::uint32_t threads, bool tracing) {
+    telemetry::Tracer& tracer = telemetry::Tracer::Get();
+    if (tracing) {
+      tracer.Enable(telemetry::TracerOptions{});
+    } else {
+      tracer.Disable();
+    }
+    Fixture f = MakeFixture(/*functional=*/true);
+    EngineOptions options;
+    options.method = partition::Method::kCacheAware;
+    options.nc = 4;
+    options.batch_size = 16;
+    options.reserved_io_bytes = 128 * kKiB;
+    options.grace.num_hot_items = 96;
+    options.num_threads = threads;
+    auto engine = UpDlrmEngine::Create(f.model.get(), f.config, f.trace,
+                                       f.system.get(), options);
+    UPDLRM_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+
+    serve::ArrivalOptions arrivals;
+    arrivals.process = serve::ArrivalProcess::kPoisson;
+    arrivals.qps = 1.0e6;
+    arrivals.seed = 5;
+    auto requests = serve::GenerateRequests(f.trace, 0, arrivals);
+    UPDLRM_CHECK(requests.ok());
+
+    pipeline::DataFlowServeOptions serve_options;
+    serve_options.batcher.max_batch_size = 16;
+    serve_options.batcher.max_queue_delay_ns = 1.0e6;
+    serve_options.plan.depth = 2;
+    serve_options.plan.bottom_split = 1;
+    serve_options.num_threads = threads;
+    auto result = pipeline::RunDataFlowSimulation(**engine, *requests,
+                                                  &f.dense, serve_options);
+    UPDLRM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    tracer.Disable();
+    return std::move(result).value();
+  };
+
+  const pipeline::DataFlowServeResult serial = run(1, /*tracing=*/false);
+  ASSERT_FALSE(serial.ctr.empty());
+  ASSERT_EQ(serial.shed, 0u);
+  struct Leg {
+    std::uint32_t threads;
+    bool tracing;
+  };
+  for (const Leg leg : {Leg{1, true}, Leg{2, false}, Leg{2, true},
+                        Leg{4, false}, Leg{4, true}}) {
+    const pipeline::DataFlowServeResult r = run(leg.threads, leg.tracing);
+    ASSERT_EQ(r.ctr, serial.ctr)
+        << leg.threads << " threads, tracing " << leg.tracing;
+    ASSERT_EQ(r.request_latency_ns, serial.request_latency_ns)
+        << leg.threads << " threads, tracing " << leg.tracing;
+    EXPECT_EQ(r.makespan_ns, serial.makespan_ns);
+    EXPECT_EQ(r.num_batches, serial.num_batches);
+    EXPECT_EQ(r.utilization.host_mlp_busy_ns,
+              serial.utilization.host_mlp_busy_ns);
   }
 }
 

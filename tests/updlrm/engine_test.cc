@@ -420,6 +420,35 @@ TEST(EngineTest, ReplicationReducesStage2OnSkewedTrace) {
   EXPECT_LE(rb->stages.dpu_lookup, ra->stages.dpu_lookup * 1.001);
 }
 
+TEST(EngineTest, ReplicationClampsToBinCapacityInsteadOfFailing) {
+  // Regression: replicate_hot_rows larger than the bins can hold used to
+  // abort Setup with CAPACITY_EXCEEDED (bench/abl_replication at high k).
+  // The engine now sheds replicas to the largest feasible count and
+  // warns; functional results stay bit-exact against the reference.
+  Fixture f = MakeFixture();
+  EngineOptions options =
+      SmallEngineOptions(partition::Method::kNonUniform, 4);
+  options.replicate_hot_rows = 1u << 20;  // far beyond 1 MiB MRAM bins
+  auto engine = UpDlrmEngine::Create(f.model.get(), f.config, f.trace,
+                                     f.system.get(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (const auto& g : (*engine)->groups()) {
+    EXPECT_LT(g.plan.replicated_rows.size(), options.replicate_hot_rows);
+  }
+  auto batch = (*engine)->RunBatch({0, 16}, &f.dense);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_GT(batch->max_index_bytes, 0u);
+  EXPECT_GT(batch->max_output_bytes, 0u);
+  std::vector<float> expected(2 * 8);
+  for (std::size_t s = 0; s < 16; ++s) {
+    f.model->PooledEmbeddingsFixed(f.trace, s, expected);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(batch->pooled[s * 16 + i], expected[i])
+          << "sample " << s << " lane " << i;
+    }
+  }
+}
+
 TEST(EngineTest, PreminedCacheMatchesFreshMining) {
   Fixture f1 = MakeFixture(false);
   Fixture f2 = MakeFixture(false);
