@@ -12,6 +12,7 @@
 #include "pim/stats_summary.h"
 #include "telemetry/trace_export.h"
 #include "telemetry/tracer.h"
+#include "updlrm/scaleout.h"
 
 namespace updlrm::bench {
 
@@ -41,6 +42,8 @@ BenchScale ParseScale(int argc, const char* const* argv) {
     scale.trace_out = cl->GetString("trace-out", "");
     scale.trace_sample_every = static_cast<std::uint64_t>(
         std::max<std::int64_t>(1, cl->GetInt("trace-sample-every", 1)));
+    scale.dpus = static_cast<std::uint32_t>(cl->GetInt("dpus", 0));
+    scale.ranks = static_cast<std::uint32_t>(cl->GetInt("ranks", 0));
   }
   if (scale.threads > 0) {
     // Cap the process-wide pool so num_threads = 0 regions also honor
@@ -87,6 +90,26 @@ std::unique_ptr<pim::DpuSystem> MakePaperSystem() {
   return std::move(system).value();
 }
 
+pim::DpuSystemConfig MakePaperSystemConfig(const BenchScale& scale) {
+  pim::DpuSystemConfig config;  // defaults are the Table 2 system
+  config.functional = false;
+  if (scale.dpus > 0) config.num_dpus = scale.dpus;
+  if (scale.ranks > 0) {
+    UPDLRM_CHECK_MSG(config.num_dpus % scale.ranks == 0,
+                     "--ranks must divide the DPU count");
+    config.dpus_per_rank = config.num_dpus / scale.ranks;
+  } else if (config.num_dpus < config.dpus_per_rank) {
+    config.dpus_per_rank = config.num_dpus;  // small --dpus: one rank
+  }
+  return config;
+}
+
+std::unique_ptr<pim::DpuSystem> MakePaperSystem(const BenchScale& scale) {
+  auto system = pim::DpuSystem::Create(MakePaperSystemConfig(scale));
+  UPDLRM_CHECK_MSG(system.ok(), system.status().ToString());
+  return std::move(system).value();
+}
+
 core::EngineOptions PaperEngineOptions(partition::Method method,
                                        std::uint32_t nc,
                                        const BenchScale& scale) {
@@ -116,6 +139,33 @@ void AssertChecksClean(const core::UpDlrmEngine& engine,
   UPDLRM_CHECK_MSG(false, "hardware-contract checker reported " +
                               std::to_string(report->total()) +
                               " violation(s) in " + label);
+}
+
+void AssertChecksClean(const core::ShardedEngine& engine,
+                       const std::string& label) {
+  if (engine.num_shards() == 0 ||
+      engine.shard(0).check_report() == nullptr) {
+    return;  // checks off: nothing to gate on
+  }
+  const std::uint64_t total = engine.check_violations();
+  if (total == 0) {
+    std::printf("# check[%s]: clean (0 violations across %u shard(s) "
+                "and the fleet audits)\n",
+                label.c_str(), engine.num_shards());
+    return;
+  }
+  std::printf("# check[%s] fleet: %s", label.c_str(),
+              engine.fleet_check_report().ToString().c_str());
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    const check::CheckReport* shard = engine.shard(s).check_report();
+    if (shard != nullptr && !shard->clean()) {
+      std::printf("# check[%s] shard %u: %s", label.c_str(), s,
+                  shard->ToString().c_str());
+    }
+  }
+  UPDLRM_CHECK_MSG(false, "fleet checker reported " +
+                              std::to_string(total) + " violation(s) in " +
+                              label);
 }
 
 std::vector<cache::CacheRes> MineCaches(

@@ -36,6 +36,10 @@
 #include "trace/profiler.h"
 #include "updlrm/engine.h"
 
+namespace updlrm::core {
+class ShardedEngine;
+}  // namespace updlrm::core
+
 namespace updlrm::bench {
 
 struct BenchScale {
@@ -72,6 +76,13 @@ struct BenchScale {
   /// Trace 1-in-N batches/requests (TracerOptions::sample_every). The
   /// skipped spans are counted, never silently dropped.
   std::uint64_t trace_sample_every = 1;
+  /// DPU count override for MakePaperSystem(scale); 0 keeps the Table 2
+  /// default (256). The scale-out benches use this to size one replica
+  /// or shard slice.
+  std::uint32_t dpus = 0;
+  /// Rank count override: num_dpus must divide evenly; 0 keeps the
+  /// Table 2 default (4 ranks of 64).
+  std::uint32_t ranks = 0;
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
@@ -93,6 +104,14 @@ Workload PrepareWorkload(const trace::DatasetSpec& spec,
 /// The Table 2 UPMEM system: 256 DPUs, 4 ranks, paper defaults.
 /// Timing-only (full-scale tables are never materialized in benches).
 std::unique_ptr<pim::DpuSystem> MakePaperSystem();
+
+/// The Table 2 system config with the --dpus / --ranks overrides
+/// applied (0 keeps each default). Aborts if ranks does not divide the
+/// DPU count.
+pim::DpuSystemConfig MakePaperSystemConfig(const BenchScale& scale);
+
+/// MakePaperSystem honoring --dpus / --ranks.
+std::unique_ptr<pim::DpuSystem> MakePaperSystem(const BenchScale& scale);
 
 /// Engine options matching the §4.1 setup.
 core::EngineOptions PaperEngineOptions(partition::Method method,
@@ -130,6 +149,12 @@ void WriteBenchHostEntry(const std::string& name,
 /// (prefixed with `label`) and aborts the bench on any violation, so a
 /// --check bench run doubles as a zero-violation assertion in CI.
 void AssertChecksClean(const core::UpDlrmEngine& engine,
+                       const std::string& label);
+
+/// Fleet variant: gates on the fleet-level report (shard coverage,
+/// tier capacity, reduction shape) plus every shard engine's own
+/// report. No-op when the engine was built without check_mode.
+void AssertChecksClean(const core::ShardedEngine& engine,
                        const std::string& label);
 
 /// RAII wall-clock self-timer. On destruction, merges

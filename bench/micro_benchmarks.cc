@@ -209,6 +209,25 @@ void BM_GatherMapUniqueCounts(benchmark::State& state) {
 }
 BENCHMARK(BM_GatherMapUniqueCounts)->Arg(0)->Arg(1);
 
+void BM_CrossRankReduceAddI64(benchmark::State& state) {
+  simd::ForceScalar(state.range(0) != 0);
+  std::vector<std::int64_t> src(kSimdN);
+  std::vector<std::int64_t> acc(kSimdN, 0);
+  Rng rng(8);
+  for (auto& v : src) v = static_cast<std::int64_t>(rng.NextU64());
+  for (auto _ : state) {
+    simd::AddI64ToI64(src.data(), acc.data(), kSimdN);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  simd::ForceScalar(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSimdN * 2 * sizeof(std::int64_t));
+  state.SetLabel(state.range(0) != 0 ? "scalar"
+                                     : (simd::Avx2Available() ? "avx2"
+                                                              : "scalar"));
+}
+BENCHMARK(BM_CrossRankReduceAddI64)->Arg(0)->Arg(1);
+
 // Timed outside google-benchmark so the result lands in
 // BENCH_host.json next to the fig* host timings: GB/s of each kernel
 // on the scalar and dispatched paths.
@@ -265,19 +284,41 @@ void RunUniqueCounts() {
   benchmark::DoNotOptimize(counts);
 }
 
+// Cross-rank/cross-shard merge kernel: the int64 lane addition the
+// hierarchical reduction tree and the ShardedEngine merge both stream
+// through (simd::AddI64ToI64).
+std::vector<std::int64_t>& SimdRankSrc() {
+  static std::vector<std::int64_t> src = [] {
+    std::vector<std::int64_t> v(kSimdN);
+    Rng rng(7);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.NextU64());
+    return v;
+  }();
+  return src;
+}
+void RunRankMerge() {
+  static std::vector<std::int64_t> acc(kSimdN, 0);
+  simd::AddI64ToI64(SimdRankSrc().data(), acc.data(), kSimdN);
+  benchmark::DoNotOptimize(acc.data());
+}
+
 }  // namespace
 
 void WriteSimdThroughputRows() {
   constexpr std::uint64_t kPooledBytes =
       kSimdN * (sizeof(std::int32_t) + sizeof(std::int64_t));
   constexpr std::uint64_t kKeyBytes = kSimdN * sizeof(std::uint64_t);
+  constexpr std::uint64_t kMergeBytes =
+      kSimdN * 2 * sizeof(std::int64_t);  // read partial + read/write acc
 
   simd::ForceScalar(true);
   const double pooled_scalar = MeasureGbps(RunPooledSum, kPooledBytes);
   const double gather_scalar = MeasureGbps(RunUniqueCounts, kKeyBytes);
+  const double merge_scalar = MeasureGbps(RunRankMerge, kMergeBytes);
   simd::ForceScalar(false);
   const double pooled_simd = MeasureGbps(RunPooledSum, kPooledBytes);
   const double gather_simd = MeasureGbps(RunUniqueCounts, kKeyBytes);
+  const double merge_simd = MeasureGbps(RunRankMerge, kMergeBytes);
 
   std::ostringstream payload;
   payload << "{\"dispatch\": \""
@@ -285,12 +326,15 @@ void WriteSimdThroughputRows() {
           << "\", \"pooled_sum_gbps\": {\"scalar\": " << pooled_scalar
           << ", \"simd\": " << pooled_simd
           << "}, \"gather_map_gbps\": {\"scalar\": " << gather_scalar
-          << ", \"simd\": " << gather_simd << "}}";
+          << ", \"simd\": " << gather_simd
+          << "}, \"cross_rank_reduce_gbps\": {\"scalar\": " << merge_scalar
+          << ", \"simd\": " << merge_simd << "}}";
   bench::WriteBenchHostEntry("micro_simd_kernels", payload.str());
   std::printf("# simd kernels: pooled-sum %.2f -> %.2f GB/s, "
-              "gather-map %.2f -> %.2f GB/s (scalar -> %s) "
-              "-> BENCH_host.json\n",
+              "gather-map %.2f -> %.2f GB/s, cross-rank reduce "
+              "%.2f -> %.2f GB/s (scalar -> %s) -> BENCH_host.json\n",
               pooled_scalar, pooled_simd, gather_scalar, gather_simd,
+              merge_scalar, merge_simd,
               simd::UsingAvx2() ? "avx2" : "scalar");
 }
 

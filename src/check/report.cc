@@ -38,6 +38,12 @@ std::string_view RuleName(Rule rule) {
       return "dataflow-capacity";
     case Rule::kStageOrdering:
       return "stage-ordering";
+    case Rule::kShardCoverage:
+      return "shard-coverage";
+    case Rule::kTierCapacity:
+      return "tier-capacity";
+    case Rule::kReductionShape:
+      return "reduction-shape";
     case Rule::kNumRules:
       break;
   }

@@ -38,6 +38,9 @@ enum class Rule : std::uint32_t {
   kDataFlowShape,       // data-flow plan outside the legal space
   kDataFlowCapacity,    // in-flight pipeline buffers exceed reserved IO
   kStageOrdering,       // executed batch stages out of order / overlap
+  kShardCoverage,       // cross-shard row ownership not exact
+  kTierCapacity,        // tier plan exceeds a per-tier capacity clamp
+  kReductionShape,      // reduction plan tree malformed / prices worse
   kNumRules,
 };
 

@@ -25,6 +25,11 @@ void AddI32ToI64Scalar(const std::int32_t* src, std::int64_t* acc,
   for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
 }
 
+void AddI64ToI64Scalar(const std::int64_t* src, std::int64_t* acc,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+}
+
 void AddScaledF32Scalar(const float* col, float x, float* acc,
                         std::size_t n) {
   // Exactly one IEEE multiply then one IEEE add per element. Neither
@@ -102,6 +107,26 @@ __attribute__((target("avx2"))) void AddI32ToI64Avx2(
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 4));
     a0 = _mm256_add_epi64(a0, _mm256_cvtepi32_epi64(s0));
     a1 = _mm256_add_epi64(a1, _mm256_cvtepi32_epi64(s1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4), a1);
+  }
+  for (; i < n; ++i) acc[i] += src[i];
+}
+
+__attribute__((target("avx2"))) void AddI64ToI64Avx2(
+    const std::int64_t* src, std::int64_t* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 4));
+    a0 = _mm256_add_epi64(a0, s0);
+    a1 = _mm256_add_epi64(a1, s1);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), a0);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4), a1);
   }
@@ -269,6 +294,7 @@ __attribute__((target("avx2"))) void PackPaddedAvx2(
 
 struct Kernels {
   void (*add_i32_to_i64)(const std::int32_t*, std::int64_t*, std::size_t);
+  void (*add_i64_to_i64)(const std::int64_t*, std::int64_t*, std::size_t);
   void (*add_scaled_f32)(const float*, float, float*, std::size_t);
   void (*unique_stream_counts)(const std::uint64_t*, std::size_t,
                                std::uint64_t[3]);
@@ -282,7 +308,8 @@ struct Kernels {
 };
 
 constexpr Kernels kScalarKernels = {
-    AddI32ToI64Scalar,      AddScaledF32Scalar,
+    AddI32ToI64Scalar,      AddI64ToI64Scalar,
+    AddScaledF32Scalar,
     UniqueStreamCountsScalar,
     MaxU64Scalar,           SumU64Scalar,
     CountNonZeroU64Scalar,  AllZeroOrEqualU64Scalar,
@@ -291,7 +318,8 @@ constexpr Kernels kScalarKernels = {
 
 #if UPDLRM_SIMD_AVX2_BUILD
 const Kernels kAvx2Kernels = {
-    AddI32ToI64Avx2,      AddScaledF32Avx2,
+    AddI32ToI64Avx2,      AddI64ToI64Avx2,
+    AddScaledF32Avx2,
     UniqueStreamCountsAvx2,
     MaxU64Avx2,           SumU64Avx2,
     CountNonZeroU64Avx2,  AllZeroOrEqualU64Avx2,
@@ -343,6 +371,11 @@ void ForceScalar(bool force) { g_active = PickKernels(force); }
 void AddI32ToI64(const std::int32_t* src, std::int64_t* acc,
                  std::size_t n) {
   g_active->add_i32_to_i64(src, acc, n);
+}
+
+void AddI64ToI64(const std::int64_t* src, std::int64_t* acc,
+                 std::size_t n) {
+  g_active->add_i64_to_i64(src, acc, n);
 }
 
 void AddScaledF32(const float* col, float x, float* acc, std::size_t n) {

@@ -21,6 +21,19 @@ Result<EmbeddingTable> EmbeddingTable::Create(std::uint64_t rows,
   return EmbeddingTable(TableShape{rows, cols}, std::move(data));
 }
 
+Result<EmbeddingTable> EmbeddingTable::FromData(std::uint64_t rows,
+                                                std::uint32_t cols,
+                                                std::vector<float> data) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("embedding table dimensions must be > 0");
+  }
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(
+        "embedding table data size does not match rows * cols");
+  }
+  return EmbeddingTable(TableShape{rows, cols}, std::move(data));
+}
+
 std::span<const float> EmbeddingTable::Row(std::uint64_t r) const {
   UPDLRM_CHECK(r < shape_.rows);
   return {data_.data() + r * shape_.cols, shape_.cols};

@@ -31,6 +31,17 @@ class EmbeddingTable {
                                        std::uint32_t cols,
                                        std::uint64_t seed);
 
+  /// Wraps externally-built row-major contents (`data.size()` must be
+  /// rows * cols). The sharded scale-out engine extracts each shard's
+  /// owned rows from a reference table into a dense local table whose
+  /// rows are bit-identical to the originals.
+  static Result<EmbeddingTable> FromData(std::uint64_t rows,
+                                         std::uint32_t cols,
+                                         std::vector<float> data);
+
+  /// Raw row-major contents (row extraction by the sharding layer).
+  std::span<const float> data() const { return data_; }
+
   std::uint64_t rows() const { return shape_.rows; }
   std::uint32_t cols() const { return shape_.cols; }
   const TableShape& shape() const { return shape_; }

@@ -1,5 +1,8 @@
 #include "dlrm/model.h"
 
+#include <string>
+#include <utility>
+
 #include "common/fixed_point.h"
 #include "common/rng.h"
 
@@ -94,6 +97,33 @@ Result<DlrmModel> DlrmModel::Create(const DlrmConfig& config) {
         std::make_shared<const EmbeddingTable>(std::move(table).value()));
   }
 
+  return Finish(config, std::move(tables));
+}
+
+Result<DlrmModel> DlrmModel::CreateWithTables(
+    const DlrmConfig& config,
+    std::vector<std::shared_ptr<const EmbeddingTable>> tables) {
+  UPDLRM_RETURN_IF_ERROR(config.Validate());
+  if (tables.size() != config.num_tables) {
+    return Status::InvalidArgument("CreateWithTables: table count mismatch");
+  }
+  for (std::uint32_t t = 0; t < config.num_tables; ++t) {
+    if (tables[t] == nullptr) {
+      return Status::InvalidArgument("CreateWithTables: null table");
+    }
+    if (tables[t]->rows() != config.RowsInTable(t) ||
+        tables[t]->cols() != config.embedding_dim) {
+      return Status::InvalidArgument(
+          "CreateWithTables: table " + std::to_string(t) +
+          " shape does not match the config");
+    }
+  }
+  return Finish(config, std::move(tables));
+}
+
+Result<DlrmModel> DlrmModel::Finish(
+    DlrmConfig config,
+    std::vector<std::shared_ptr<const EmbeddingTable>> tables) {
   std::vector<std::uint32_t> bottom_dims;
   bottom_dims.push_back(config.dense_features);
   bottom_dims.insert(bottom_dims.end(), config.bottom_hidden.begin(),
@@ -113,8 +143,8 @@ Result<DlrmModel> DlrmModel::Create(const DlrmConfig& config) {
                          config.seed + 0x70101);
   if (!top.ok()) return top.status();
 
-  return DlrmModel(config, std::move(tables), std::move(bottom).value(),
-                   std::move(top).value());
+  return DlrmModel(std::move(config), std::move(tables),
+                   std::move(bottom).value(), std::move(top).value());
 }
 
 void DlrmModel::PooledEmbeddings(const trace::Trace& trace,

@@ -92,6 +92,15 @@ class DlrmModel {
  public:
   static Result<DlrmModel> Create(const DlrmConfig& config);
 
+  /// Builds a model around externally-constructed tables (one per
+  /// config table; shapes must match the config's table shapes). The
+  /// MLP stacks are derived from config.seed exactly as Create does, so
+  /// a shard sub-model built from extracted rows shares its reference
+  /// MLPs bit-for-bit with the flat model of the same seed.
+  static Result<DlrmModel> CreateWithTables(
+      const DlrmConfig& config,
+      std::vector<std::shared_ptr<const EmbeddingTable>> tables);
+
   const DlrmConfig& config() const { return config_; }
   const EmbeddingTable& table(std::uint32_t t) const {
     UPDLRM_CHECK(t < tables_.size());
@@ -121,6 +130,12 @@ class DlrmModel {
                                   bool fixed_point_embeddings) const;
 
  private:
+  // Shared tail of Create / CreateWithTables: builds the MLP stacks
+  // from the config seed and assembles the model.
+  static Result<DlrmModel> Finish(
+      DlrmConfig config,
+      std::vector<std::shared_ptr<const EmbeddingTable>> tables);
+
   DlrmModel(DlrmConfig config,
             std::vector<std::shared_ptr<const EmbeddingTable>> tables,
             Mlp bottom, Mlp top)

@@ -12,6 +12,7 @@ Status DpuSystemConfig::Validate() const {
   UPDLRM_RETURN_IF_ERROR(dpu.Validate());
   UPDLRM_RETURN_IF_ERROR(mram_timing.Validate());
   UPDLRM_RETURN_IF_ERROR(transfer.Validate());
+  UPDLRM_RETURN_IF_ERROR(topology.Validate());
   UPDLRM_RETURN_IF_ERROR(kernel_cost.Validate());
   return Status::Ok();
 }
@@ -20,7 +21,8 @@ DpuSystem::DpuSystem(DpuSystemConfig config)
     : config_(config),
       mram_timing_(config.mram_timing),
       pipeline_(config.dpu),
-      transfer_(config.transfer, config.num_dpus, config.dpus_per_rank),
+      transfer_(config.transfer, config.num_dpus, config.dpus_per_rank,
+                config.topology),
       kernel_cost_(config.kernel_cost, config.dpu,
                    MramTimingModel(config.mram_timing)) {
   dpus_.reserve(config_.num_dpus);

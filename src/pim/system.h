@@ -14,6 +14,7 @@
 #include "pim/kernel_cost.h"
 #include "pim/mram_timing.h"
 #include "pim/pipeline.h"
+#include "pim/topology.h"
 #include "pim/transfer.h"
 
 namespace updlrm::pim {
@@ -24,6 +25,10 @@ struct DpuSystemConfig {
   DpuConfig dpu;
   MramTimingParams mram_timing;
   HostTransferParams transfer;
+  /// Rank/host hierarchy and per-hop pricing; the default places every
+  /// rank on one host — the paper's flat testbed — under which all
+  /// transfer times match the historical model bit for bit.
+  FleetTopologyConfig topology;
   EmbeddingKernelCostParams kernel_cost;
   // When false, MRAM contents are never materialized (timing-only mode
   // for full-scale workloads; see DESIGN.md §2).
@@ -55,6 +60,8 @@ class DpuSystem {
   const MramTimingModel& mram_timing() const { return mram_timing_; }
   const PipelineModel& pipeline() const { return pipeline_; }
   const HostTransferModel& transfer() const { return transfer_; }
+  /// The fleet's rank/host topology (owned by the transfer model).
+  const FleetTopology& topology() const { return transfer_.topology(); }
   const EmbeddingKernelCostModel& kernel_cost() const {
     return kernel_cost_;
   }

@@ -1,0 +1,86 @@
+#include "pim/topology.h"
+
+namespace updlrm::pim {
+
+Status FleetTopologyConfig::Validate() const {
+  if (same_rank_bytes_per_sec <= 0.0 || cross_rank_bytes_per_sec <= 0.0 ||
+      cross_host_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("hop bandwidths must be > 0");
+  }
+  if (same_rank_latency_ns < 0.0 || cross_rank_latency_ns < 0.0 ||
+      cross_host_latency_ns < 0.0) {
+    return Status::InvalidArgument("hop latencies must be >= 0");
+  }
+  // Hop monotonicity: a farther hop is never cheaper. This is what the
+  // topology cost-model tests (and the reduction-shape audit) rely on.
+  if (cross_rank_bytes_per_sec > same_rank_bytes_per_sec ||
+      cross_host_bytes_per_sec > cross_rank_bytes_per_sec) {
+    return Status::InvalidArgument(
+        "hop bandwidth must be non-increasing with distance "
+        "(same-rank >= cross-rank >= cross-host)");
+  }
+  if (cross_rank_latency_ns < same_rank_latency_ns ||
+      cross_host_latency_ns < cross_rank_latency_ns) {
+    return Status::InvalidArgument(
+        "hop latency must be non-decreasing with distance "
+        "(same-rank <= cross-rank <= cross-host)");
+  }
+  return Status::Ok();
+}
+
+const char* TransferHopName(TransferHop hop) {
+  switch (hop) {
+    case TransferHop::kSameRank:
+      return "same-rank";
+    case TransferHop::kCrossRank:
+      return "cross-rank";
+    case TransferHop::kCrossHost:
+      return "cross-host";
+  }
+  return "?";
+}
+
+FleetTopology::FleetTopology(FleetTopologyConfig config,
+                             std::uint32_t num_ranks)
+    : config_(config), num_ranks_(num_ranks) {
+  UPDLRM_CHECK(num_ranks_ > 0);
+  UPDLRM_CHECK_MSG(config_.Validate().ok(), "invalid FleetTopologyConfig");
+  ranks_per_host_ =
+      config_.ranks_per_host == 0 ? num_ranks_ : config_.ranks_per_host;
+  num_hosts_ =
+      static_cast<std::uint32_t>(CeilDiv(num_ranks_, ranks_per_host_));
+}
+
+TransferHop FleetTopology::HopBetween(std::uint32_t rank_a,
+                                      std::uint32_t rank_b) const {
+  UPDLRM_CHECK(rank_a < num_ranks_ && rank_b < num_ranks_);
+  if (rank_a == rank_b) return TransferHop::kSameRank;
+  if (HostOfRank(rank_a) == HostOfRank(rank_b)) {
+    return TransferHop::kCrossRank;
+  }
+  return TransferHop::kCrossHost;
+}
+
+Nanos FleetTopology::HopTime(TransferHop hop, std::uint64_t bytes) const {
+  switch (hop) {
+    case TransferHop::kSameRank:
+      return config_.same_rank_latency_ns +
+             TransferNanos(bytes, config_.same_rank_bytes_per_sec);
+    case TransferHop::kCrossRank:
+      return config_.cross_rank_latency_ns +
+             TransferNanos(bytes, config_.cross_rank_bytes_per_sec);
+    case TransferHop::kCrossHost:
+      return config_.cross_host_latency_ns +
+             TransferNanos(bytes, config_.cross_host_bytes_per_sec);
+  }
+  return 0.0;
+}
+
+Nanos FleetTopology::IngressExtra(std::uint32_t rank,
+                                  std::uint64_t bytes) const {
+  UPDLRM_CHECK(rank < num_ranks_);
+  if (bytes == 0 || HostOfRank(rank) == 0) return 0.0;
+  return HopTime(TransferHop::kCrossHost, bytes);
+}
+
+}  // namespace updlrm::pim

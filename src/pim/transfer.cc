@@ -17,16 +17,27 @@ Status HostTransferParams::Validate() const {
   return Status::Ok();
 }
 
+namespace {
+
+std::uint32_t ComputeNumRanks(std::uint32_t num_dpus,
+                              std::uint32_t dpus_per_rank) {
+  UPDLRM_CHECK(num_dpus > 0);
+  UPDLRM_CHECK(dpus_per_rank > 0);
+  return static_cast<std::uint32_t>(CeilDiv(num_dpus, dpus_per_rank));
+}
+
+}  // namespace
+
 HostTransferModel::HostTransferModel(HostTransferParams params,
                                      std::uint32_t num_dpus,
-                                     std::uint32_t dpus_per_rank)
+                                     std::uint32_t dpus_per_rank,
+                                     FleetTopologyConfig topology)
     : params_(params),
       num_dpus_(num_dpus),
-      dpus_per_rank_(dpus_per_rank) {
-  UPDLRM_CHECK(num_dpus_ > 0);
-  UPDLRM_CHECK(dpus_per_rank_ > 0);
+      dpus_per_rank_(dpus_per_rank),
+      num_ranks_(ComputeNumRanks(num_dpus, dpus_per_rank)),
+      topology_(topology, num_ranks_) {
   UPDLRM_CHECK_MSG(params_.Validate().ok(), "invalid HostTransferParams");
-  num_ranks_ = static_cast<std::uint32_t>(CeilDiv(num_dpus_, dpus_per_rank_));
 }
 
 Nanos HostTransferModel::TransferTime(
@@ -47,27 +58,46 @@ Nanos HostTransferModel::TransferTime(
 
   if (all_equal || pad_to_max) {
     // Parallel path: every rank streams its (padded) buffer matrix
-    // concurrently; the slowest rank bounds the call. Padding makes each
-    // rank's matrix dpus_per_rank * max_bytes.
-    std::uint64_t worst_rank_bytes = 0;
+    // concurrently; the slowest rank bounds the call. Padding makes
+    // each rank's matrix dpus_per_rank * max_bytes; ranks owned by a
+    // remote host additionally pay the cross-host ingress hop, so the
+    // bound is per-rank, not a single worst-bytes division.
+    Nanos bound = 0.0;
     for (std::uint32_t r = 0; r < num_ranks_; ++r) {
       const std::uint32_t lo = r * dpus_per_rank_;
       const std::uint32_t hi =
           std::min(num_dpus_, lo + dpus_per_rank_);
-      worst_rank_bytes =
-          std::max<std::uint64_t>(worst_rank_bytes,
-                                  static_cast<std::uint64_t>(hi - lo) *
-                                      max_bytes);
+      const std::uint64_t rank_bytes =
+          static_cast<std::uint64_t>(hi - lo) * max_bytes;
+      bound = std::max(bound, TransferNanos(rank_bytes, rank_bw) +
+                                  topology_.IngressExtra(r, rank_bytes));
     }
-    return params_.transfer_launch_ns +
-           TransferNanos(worst_rank_bytes, rank_bw);
+    return params_.transfer_launch_ns + bound;
   }
 
   // Sequential path: ragged buffers are copied one DPU at a time.
   const std::uint64_t total =
       simd::SumU64(bytes_per_dpu.data(), bytes_per_dpu.size());
   return params_.transfer_launch_ns +
-         TransferNanos(total, params_.serial_bytes_per_sec);
+         TransferNanos(total, params_.serial_bytes_per_sec) +
+         SequentialIngress(bytes_per_dpu);
+}
+
+Nanos HostTransferModel::SequentialIngress(
+    std::span<const std::uint64_t> bytes_per_dpu) const {
+  if (topology_.single_host()) return 0.0;
+  Nanos extra = 0.0;
+  for (std::uint32_t r = 0; r < num_ranks_; ++r) {
+    const std::uint32_t lo = r * dpus_per_rank_;
+    const std::uint32_t hi = std::min(
+        static_cast<std::uint32_t>(bytes_per_dpu.size()),
+        lo + dpus_per_rank_);
+    if (lo >= hi) break;
+    const std::uint64_t rank_bytes =
+        simd::SumU64(bytes_per_dpu.data() + lo, hi - lo);
+    extra += topology_.IngressExtra(r, rank_bytes);
+  }
+  return extra;
 }
 
 std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
@@ -78,8 +108,8 @@ std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
   if (call_max == 0) return {0.0, 0};
   // Each rank streams its participating (nonzero) buffers, padded to the
   // call-wide max, concurrently with the other ranks; the fullest rank
-  // bounds the call.
-  std::uint64_t worst_rank_bytes = 0;
+  // (including any cross-host ingress hop) bounds the call.
+  Nanos bound = 0.0;
   std::uint64_t streamed = 0;
   const std::uint32_t first_rank = lo / dpus_per_rank_;
   const std::uint32_t last_rank = (hi - 1) / dpus_per_rank_;
@@ -89,10 +119,11 @@ std::pair<Nanos, std::uint64_t> HostTransferModel::PaddedStream(
     const std::uint64_t pop =
         simd::CountNonZeroU64(bytes_per_dpu.data() + rlo, rhi - rlo);
     const std::uint64_t rank_bytes = pop * call_max;
-    worst_rank_bytes = std::max(worst_rank_bytes, rank_bytes);
+    bound = std::max(bound, TransferNanos(rank_bytes, rank_bw) +
+                                topology_.IngressExtra(r, rank_bytes));
     streamed += rank_bytes;
   }
-  return {TransferNanos(worst_rank_bytes, rank_bw), streamed};
+  return {bound, streamed};
 }
 
 TransferPlan HostTransferModel::PlanTransfer(
@@ -132,7 +163,8 @@ TransferPlan HostTransferModel::PlanTransfer(
 
   // Candidate 3: one ragged call, buffers copied serially (no padding).
   const Nanos seq_time = params_.transfer_launch_ns +
-                         TransferNanos(total, params_.serial_bytes_per_sec);
+                         TransferNanos(total, params_.serial_bytes_per_sec) +
+                         SequentialIngress(bytes_per_dpu);
 
   // Deterministic choice: strict improvement required to leave the
   // coalesced path, so ties resolve coalesced > per-group > sequential.
@@ -184,11 +216,16 @@ Nanos HostTransferModel::PullTime(
 Nanos HostTransferModel::BroadcastTime(std::uint64_t bytes) const {
   if (bytes == 0) return 0.0;
   // A broadcast writes the same buffer to every DPU of every rank in
-  // parallel; each rank streams dpus_per_rank copies.
+  // parallel; each rank streams dpus_per_rank copies. Remote-host ranks
+  // ingest the source buffer over the fabric first.
   const std::uint64_t rank_bytes =
       static_cast<std::uint64_t>(dpus_per_rank_) * bytes;
-  return params_.transfer_launch_ns +
-         TransferNanos(rank_bytes, params_.push_bytes_per_sec_per_rank);
+  Nanos bound =
+      TransferNanos(rank_bytes, params_.push_bytes_per_sec_per_rank);
+  if (!topology_.single_host()) {
+    bound += topology_.HopTime(TransferHop::kCrossHost, bytes);
+  }
+  return params_.transfer_launch_ns + bound;
 }
 
 }  // namespace updlrm::pim

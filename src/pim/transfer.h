@@ -38,6 +38,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "pim/topology.h"
 
 namespace updlrm::pim {
 
@@ -74,8 +75,13 @@ struct TransferPlan {
 
 class HostTransferModel {
  public:
+  /// `topology` places the fleet's ranks onto hosts; ranks owned by a
+  /// host other than the front-end host 0 pay a cross-host ingress hop
+  /// on every push/pull that touches them. The default (single-host)
+  /// topology prices everything exactly as the historical flat model.
   HostTransferModel(HostTransferParams params, std::uint32_t num_dpus,
-                    std::uint32_t dpus_per_rank);
+                    std::uint32_t dpus_per_rank,
+                    FleetTopologyConfig topology = {});
 
   /// Time to push per-DPU buffers (bytes_per_dpu[i] to DPU i). When
   /// `pad_to_max` the buffers are padded to the per-call maximum and
@@ -112,6 +118,7 @@ class HostTransferModel {
 
   const HostTransferParams& params() const { return params_; }
   std::uint32_t num_ranks() const { return num_ranks_; }
+  const FleetTopology& topology() const { return topology_; }
 
  private:
   Nanos TransferTime(std::span<const std::uint64_t> bytes_per_dpu,
@@ -126,10 +133,16 @@ class HostTransferModel {
       std::span<const std::uint64_t> bytes_per_dpu, std::uint32_t lo,
       std::uint32_t hi, double rank_bw) const;
 
+  // Total cross-host ingress cost of a sequential (ragged) call: each
+  // remote rank's raw bytes traverse the fabric once.
+  Nanos SequentialIngress(
+      std::span<const std::uint64_t> bytes_per_dpu) const;
+
   HostTransferParams params_;
   std::uint32_t num_dpus_;
   std::uint32_t dpus_per_rank_;
   std::uint32_t num_ranks_;
+  FleetTopology topology_;
 };
 
 }  // namespace updlrm::pim

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "telemetry/tracer.h"
+#include "updlrm/scaleout.h"
 #include "updlrm/timeline.h"
 
 namespace updlrm::serve {
@@ -53,9 +54,15 @@ void ServeResult::ExportTo(telemetry::MetricsRegistry& registry,
   }
 }
 
-Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
-                                       std::span<const Request> requests,
-                                       const ServeOptions& options) {
+namespace {
+
+// The loop body is engine-shape agnostic: it only needs RunSamples()
+// and dpu_system() (telemetry anchor), which both the flat engine and
+// the sharded scale-out engine provide.
+template <typename EngineT>
+Result<ServeResult> RunServeLoop(EngineT& engine,
+                                 std::span<const Request> requests,
+                                 const ServeOptions& options) {
   DynamicBatcher batcher(options.batcher);
   PipelinedExecutor executor(options.pipeline_depth);
   ServeResult result;
@@ -239,6 +246,20 @@ Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
   UPDLRM_CHECK_MSG(result.completed + result.shed == result.offered,
                    "serving accounting mismatch");
   return result;
+}
+
+}  // namespace
+
+Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
+                                       std::span<const Request> requests,
+                                       const ServeOptions& options) {
+  return RunServeLoop(engine, requests, options);
+}
+
+Result<ServeResult> RunServeSimulation(core::ShardedEngine& engine,
+                                       std::span<const Request> requests,
+                                       const ServeOptions& options) {
+  return RunServeLoop(engine, requests, options);
 }
 
 }  // namespace updlrm::serve

@@ -31,6 +31,10 @@
 #include "telemetry/registry.h"
 #include "updlrm/engine.h"
 
+namespace updlrm::core {
+class ShardedEngine;  // updlrm/scaleout.h
+}  // namespace updlrm::core
+
 namespace updlrm::serve {
 
 struct ServeOptions {
@@ -76,6 +80,13 @@ struct ServeResult {
 /// ignored; the batcher's max_batch_size governs. Fails if a request
 /// references a sample outside the engine's trace.
 Result<ServeResult> RunServeSimulation(core::UpDlrmEngine& engine,
+                                       std::span<const Request> requests,
+                                       const ServeOptions& options);
+
+/// Sharded-fleet overload: the same discrete-event loop over a
+/// ShardedEngine (per-request shard fan-out + merge happen inside
+/// RunSamples; batch timings are the fleet composition).
+Result<ServeResult> RunServeSimulation(core::ShardedEngine& engine,
                                        std::span<const Request> requests,
                                        const ServeOptions& options);
 

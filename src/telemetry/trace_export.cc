@@ -173,6 +173,7 @@ std::string ToChromeTraceJson(const Tracer& tracer,
       {kRequestPid, "requests (simulated time)"},
       {kDpuPid, "DPU array (simulated time)"},
       {kTaskletPid, "straggler tasklets (simulated time)"},
+      {kRankPid, "rank rollup (simulated time)"},
   };
   std::set<std::int32_t> used_pids;
   for (const TraceEvent& e : events) used_pids.insert(e.pid);

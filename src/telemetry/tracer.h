@@ -88,6 +88,7 @@ inline constexpr std::int32_t kPipelinePid = 2;  // sim: batch pipeline
 inline constexpr std::int32_t kRequestPid = 3;   // sim: request lifetimes
 inline constexpr std::int32_t kDpuPid = 4;       // sim: per-DPU stage-2
 inline constexpr std::int32_t kTaskletPid = 5;   // sim: straggler tasklets
+inline constexpr std::int32_t kRankPid = 6;      // sim: per-rank rollup
 
 /// Well-known track ids (tids) within kPipelinePid. The embedding-only
 /// pipeline uses the bus + DPU pair; the full-path data-flow executor

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "pim/reduction.h"
 
 namespace updlrm::core {
 
@@ -49,10 +50,24 @@ struct BatchResult {
   /// buffer pair must hold (consumed by the data-flow capacity audit).
   std::uint64_t max_index_bytes = 0;
   std::uint64_t max_output_bytes = 0;
+  /// Total stage-3 partial-sum bytes pulled this batch (all DPUs) —
+  /// the cross-shard merge planner's per-shard input.
+  std::uint64_t partial_bytes = 0;
 
   // Functional outputs (empty in timing-only mode).
   std::vector<float> pooled;  // batch x (tables * dim), fixed-point path
   std::vector<float> ctr;     // batch
+  /// Raw Q15.16 int64 pooled accumulators (same layout as `pooled`),
+  /// emitted only under EngineOptions::emit_fixed_pooled. The sharded
+  /// scale-out engine merges shard results in integer space — exactly
+  /// associative — and converts to float once, keeping the merged
+  /// output bit-identical to a flat engine's.
+  std::vector<std::int64_t> pooled_fixed;
+
+  /// The stage-3 aggregation plan this batch was priced with (flat
+  /// stream vs per-rank + merge tree); default-initialized flat plan
+  /// unless EngineOptions::hierarchical_reduction.
+  pim::ReductionPlan reduction;
 
   /// Per-(table, bin) stage-2 launch records for the telemetry
   /// timeline; null unless tracing was enabled during the batch.

@@ -48,6 +48,10 @@ struct BatchDpuTrace {
   /// Index of the slowest slice (first one at max, so deterministic).
   std::size_t straggler = 0;
   Cycles max_cycles = 0;
+  /// Per-rank stage-1/3 byte rollups (indexed by rank id) for the
+  /// rank-level trace track; empty when capture was off.
+  std::vector<std::uint64_t> rank_push_bytes;
+  std::vector<std::uint64_t> rank_pull_bytes;
 };
 
 /// Emits `trace` as simulated-clock events anchored at `s2_start_ns`

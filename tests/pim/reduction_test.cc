@@ -1,0 +1,121 @@
+// Reduction-planner tests: plan shape, the degenerate single-rank
+// identity, and the "hierarchical only when strictly cheaper" contract.
+#include "pim/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace updlrm::pim {
+namespace {
+
+constexpr double kStreamBw = 60.0e9;
+
+TEST(ReductionTest, Log2Levels) {
+  EXPECT_EQ(Log2Levels(0), 0u);
+  EXPECT_EQ(Log2Levels(1), 0u);
+  EXPECT_EQ(Log2Levels(2), 1u);
+  EXPECT_EQ(Log2Levels(3), 2u);
+  EXPECT_EQ(Log2Levels(4), 2u);
+  EXPECT_EQ(Log2Levels(5), 3u);
+  EXPECT_EQ(Log2Levels(8), 3u);
+  EXPECT_EQ(Log2Levels(1024), 10u);
+}
+
+TEST(ReductionTest, SingleRankStaysFlat) {
+  const FleetTopology topo(FleetTopologyConfig{}, 1);
+  const std::vector<std::uint64_t> bytes = {1 << 20};
+  const ReductionPlan plan = PlanReduction(topo, bytes, 1 << 16, kStreamBw);
+  EXPECT_FALSE(plan.hierarchical);
+  EXPECT_EQ(plan.active_ranks, 1u);
+  EXPECT_EQ(plan.levels, 0u);
+  // The degenerate plan prices exactly the historical flat stream.
+  EXPECT_EQ(plan.time_ns, TransferNanos(1 << 20, kStreamBw));
+  EXPECT_EQ(plan.flat_ns, plan.hier_ns);
+}
+
+TEST(ReductionTest, EmptyRanksAreInactive) {
+  const FleetTopology topo(FleetTopologyConfig{}, 4);
+  const std::vector<std::uint64_t> bytes = {1 << 20, 0, 0, 0};
+  const ReductionPlan plan = PlanReduction(topo, bytes, 1 << 16, kStreamBw);
+  EXPECT_EQ(plan.active_ranks, 1u);
+  EXPECT_FALSE(plan.hierarchical);
+}
+
+TEST(ReductionTest, LargeFleetGoesHierarchical) {
+  // 16 ranks, big per-rank pulls, tiny pooled buffer: the flat stream
+  // pays 16x the bytes, the tree pays one rank plus a few cheap hops.
+  const FleetTopology topo(FleetTopologyConfig{}, 16);
+  const std::vector<std::uint64_t> bytes(16, 8ull << 20);
+  const ReductionPlan plan = PlanReduction(topo, bytes, 1 << 12, kStreamBw);
+  EXPECT_TRUE(plan.hierarchical);
+  EXPECT_EQ(plan.active_ranks, 16u);
+  EXPECT_EQ(plan.levels, 4u);
+  EXPECT_LT(plan.hier_ns, plan.flat_ns);
+  EXPECT_EQ(plan.time_ns, plan.hier_ns);
+}
+
+TEST(ReductionTest, HugePooledBufferStaysFlat) {
+  // When the pooled buffer dwarfs the partials, tree hops dominate and
+  // the flat stream wins.
+  const FleetTopology topo(FleetTopologyConfig{}, 16);
+  const std::vector<std::uint64_t> bytes(16, 4096);
+  const ReductionPlan plan =
+      PlanReduction(topo, bytes, 256ull << 20, kStreamBw);
+  EXPECT_FALSE(plan.hierarchical);
+  EXPECT_EQ(plan.time_ns, plan.flat_ns);
+}
+
+TEST(ReductionTest, MergeLevelHopEscalatesAtHostBoundary) {
+  FleetTopologyConfig config;
+  config.ranks_per_host = 4;
+  const FleetTopology topo(config, 16);
+  EXPECT_EQ(MergeLevelHop(topo, 0), TransferHop::kCrossRank);  // dist 1
+  EXPECT_EQ(MergeLevelHop(topo, 1), TransferHop::kCrossRank);  // dist 2
+  EXPECT_EQ(MergeLevelHop(topo, 2), TransferHop::kCrossHost);  // dist 4
+  EXPECT_EQ(MergeLevelHop(topo, 3), TransferHop::kCrossHost);  // dist 8
+
+  const FleetTopology flat(FleetTopologyConfig{}, 16);
+  for (std::uint32_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(MergeLevelHop(flat, l), TransferHop::kCrossRank);
+  }
+}
+
+// Property: time_ns is always min(flat, hier), hierarchical implies a
+// strict win, and the shape invariants hold for random fleets — the
+// same invariants check::AuditReductionPlan re-derives.
+TEST(ReductionTest, PlanInvariantsProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    FleetTopologyConfig config;
+    config.ranks_per_host =
+        static_cast<std::uint32_t>(rng.NextBounded(5));  // 0 = one host
+    const std::uint32_t ranks =
+        1 + static_cast<std::uint32_t>(rng.NextBounded(64));
+    const FleetTopology topo(config, ranks);
+    std::vector<std::uint64_t> bytes(ranks);
+    for (auto& b : bytes) {
+      b = rng.NextBernoulli(0.2) ? 0 : rng.NextBounded(16ull << 20);
+    }
+    const std::uint64_t pooled = rng.NextBounded(8ull << 20);
+    const ReductionPlan plan = PlanReduction(topo, bytes, pooled, kStreamBw);
+
+    std::uint32_t active = 0;
+    for (const auto b : bytes) active += b > 0 ? 1 : 0;
+    EXPECT_EQ(plan.active_ranks, active);
+    EXPECT_EQ(plan.levels, Log2Levels(active));
+    EXPECT_EQ(plan.time_ns, std::min(plan.flat_ns, plan.hier_ns));
+    if (plan.hierarchical) {
+      EXPECT_GT(plan.active_ranks, 1u);
+      EXPECT_LT(plan.hier_ns, plan.flat_ns);
+    } else {
+      EXPECT_EQ(plan.time_ns, plan.flat_ns);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::pim

@@ -1,0 +1,135 @@
+// Fleet-topology cost-model tests: hop classification, the monotonicity
+// theorem ("more hops never cheaper"), and the degenerate single-host
+// configuration.
+#include "pim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace updlrm::pim {
+namespace {
+
+TEST(TopologyTest, ValidateRejectsNonMonotoneBandwidth) {
+  FleetTopologyConfig config;
+  config.cross_rank_bytes_per_sec = config.same_rank_bytes_per_sec * 2;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = FleetTopologyConfig{};
+  config.cross_host_bytes_per_sec = config.cross_rank_bytes_per_sec * 2;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TopologyTest, ValidateRejectsNonMonotoneLatency) {
+  FleetTopologyConfig config;
+  config.cross_rank_latency_ns = config.cross_host_latency_ns + 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TopologyTest, ValidateRejectsZeroBandwidth) {
+  FleetTopologyConfig config;
+  config.same_rank_bytes_per_sec = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TopologyTest, HopClassification) {
+  FleetTopologyConfig config;
+  config.ranks_per_host = 2;
+  const FleetTopology topo(config, 8);
+  EXPECT_EQ(topo.num_hosts(), 4u);
+  EXPECT_FALSE(topo.single_host());
+  EXPECT_EQ(topo.HopBetween(0, 0), TransferHop::kSameRank);
+  EXPECT_EQ(topo.HopBetween(0, 1), TransferHop::kCrossRank);
+  EXPECT_EQ(topo.HopBetween(1, 0), TransferHop::kCrossRank);
+  EXPECT_EQ(topo.HopBetween(0, 2), TransferHop::kCrossHost);
+  EXPECT_EQ(topo.HopBetween(3, 6), TransferHop::kCrossHost);
+}
+
+TEST(TopologyTest, SingleHostIsDegenerate) {
+  const FleetTopology topo(FleetTopologyConfig{}, 4);
+  EXPECT_TRUE(topo.single_host());
+  EXPECT_EQ(topo.num_hosts(), 1u);
+  EXPECT_EQ(topo.HopBetween(0, 3), TransferHop::kCrossRank);
+  // No rank pays remote ingress on the front-end host.
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(topo.IngressExtra(r, 1 << 20), 0.0) << r;
+  }
+}
+
+TEST(TopologyTest, HostOffsetMakesEveryRankRemote) {
+  FleetTopologyConfig config;
+  config.host_offset = 1;  // a shard carved out onto host 1
+  const FleetTopology topo(config, 4);
+  EXPECT_FALSE(topo.single_host());
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(topo.HostOfRank(r), 1u);
+    EXPECT_GT(topo.IngressExtra(r, 1 << 20), 0.0) << r;
+  }
+  // Zero bytes never pay the ingress latency.
+  EXPECT_EQ(topo.IngressExtra(0, 0), 0.0);
+}
+
+TEST(TopologyTest, IngressExtraOnlyOffHostZero) {
+  FleetTopologyConfig config;
+  config.ranks_per_host = 2;
+  const FleetTopology topo(config, 4);
+  EXPECT_EQ(topo.IngressExtra(0, 4096), 0.0);
+  EXPECT_EQ(topo.IngressExtra(1, 4096), 0.0);
+  EXPECT_GT(topo.IngressExtra(2, 4096), 0.0);
+  EXPECT_GT(topo.IngressExtra(3, 4096), 0.0);
+}
+
+// The monotonicity theorem: for any *valid* configuration, a farther
+// hop class never prices a byte movement cheaper, at any transfer size.
+TEST(TopologyTest, MoreHopsNeverCheaperProperty) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    FleetTopologyConfig config;
+    // Random bandwidths/latencies, then sort them into the monotone
+    // order Validate demands — every valid config is reachable this way.
+    double bw[3], lat[3];
+    for (double& b : bw) b = 1.0e9 + rng.NextDouble() * 99.0e9;
+    for (double& l : lat) l = rng.NextDouble() * 20'000.0;
+    if (bw[0] < bw[1]) std::swap(bw[0], bw[1]);
+    if (bw[1] < bw[2]) std::swap(bw[1], bw[2]);
+    if (bw[0] < bw[1]) std::swap(bw[0], bw[1]);
+    if (lat[0] > lat[1]) std::swap(lat[0], lat[1]);
+    if (lat[1] > lat[2]) std::swap(lat[1], lat[2]);
+    if (lat[0] > lat[1]) std::swap(lat[0], lat[1]);
+    config.same_rank_bytes_per_sec = bw[0];
+    config.cross_rank_bytes_per_sec = bw[1];
+    config.cross_host_bytes_per_sec = bw[2];
+    config.same_rank_latency_ns = lat[0];
+    config.cross_rank_latency_ns = lat[1];
+    config.cross_host_latency_ns = lat[2];
+    config.ranks_per_host = 1 + (rng.NextBounded(4));
+    ASSERT_TRUE(config.Validate().ok());
+
+    const FleetTopology topo(config, 8);
+    const std::uint64_t bytes = rng.NextBounded(64ull << 20);
+    const Nanos same = topo.HopTime(TransferHop::kSameRank, bytes);
+    const Nanos rank = topo.HopTime(TransferHop::kCrossRank, bytes);
+    const Nanos host = topo.HopTime(TransferHop::kCrossHost, bytes);
+    EXPECT_LE(same, rank) << "trial " << trial << " bytes " << bytes;
+    EXPECT_LE(rank, host) << "trial " << trial << " bytes " << bytes;
+  }
+}
+
+TEST(TopologyTest, HopTimeMonotoneInBytes) {
+  FleetTopologyConfig config;
+  config.ranks_per_host = 2;
+  const FleetTopology topo(config, 4);
+  for (const TransferHop hop :
+       {TransferHop::kSameRank, TransferHop::kCrossRank,
+        TransferHop::kCrossHost}) {
+    Nanos prev = -1.0;
+    for (std::uint64_t bytes = 0; bytes <= (1 << 22); bytes += 1 << 20) {
+      const Nanos t = topo.HopTime(hop, bytes);
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updlrm::pim
