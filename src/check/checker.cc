@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/race_check.h"
+
 namespace updlrm::check {
 
 Checker::Checker(const pim::DpuSystemConfig& config,
@@ -16,6 +18,13 @@ Checker::Checker(const pim::DpuSystemConfig& config,
   observers_.reserve(config.num_dpus);
   for (std::uint32_t d = 0; d < config.num_dpus; ++d) {
     observers_.push_back(std::make_unique<DpuObserver>(&access_, d));
+  }
+  // Debug builds replay the runtime's lock-free protocols through the
+  // vector-clock machine on every checker construction: the sweep is a
+  // few hundred model events, and a broken happens-before edge then
+  // fails every check-mode test, not just the dedicated one.
+  if (RaceCheckEnabled()) {
+    VerifyAtomicProtocols(&report_);
   }
 }
 

@@ -1,0 +1,249 @@
+#include "check/race_check.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace updlrm::check {
+
+RaceCheck::RaceCheck(CheckReport* report) : report_(report) {
+  UPDLRM_CHECK(report != nullptr);
+}
+
+RaceCheck::ThreadId RaceCheck::NewThread(std::string name) {
+  const auto tid = static_cast<ThreadId>(thread_names_.size());
+  thread_names_.push_back(std::move(name));
+  clocks_.emplace_back(tid + 1, 0);
+  clocks_[tid][tid] = 1;  // clock 0 means "never happened"
+  return tid;
+}
+
+RaceCheck::ThreadId RaceCheck::ForkThread(ThreadId parent,
+                                          std::string name) {
+  UPDLRM_CHECK(parent < clocks_.size());
+  const ThreadId child = NewThread(std::move(name));
+  // Fork edge: the child starts having observed everything the parent
+  // did up to the fork.
+  Join(clocks_[child], clocks_[parent]);
+  Tick(parent);
+  return child;
+}
+
+void RaceCheck::JoinThread(ThreadId parent, ThreadId child) {
+  UPDLRM_CHECK(parent < clocks_.size() && child < clocks_.size());
+  Join(clocks_[parent], clocks_[child]);
+  Tick(parent);
+}
+
+RaceCheck::Loc RaceCheck::NewPlainLoc(std::string name) {
+  const auto loc = static_cast<Loc>(locs_.size());
+  locs_.push_back(Location{std::move(name), /*atomic=*/false, {}, {}, {}});
+  return loc;
+}
+
+RaceCheck::Loc RaceCheck::NewAtomicLoc(std::string name) {
+  const auto loc = static_cast<Loc>(locs_.size());
+  locs_.push_back(Location{std::move(name), /*atomic=*/true, {}, {}, {}});
+  return loc;
+}
+
+void RaceCheck::Join(std::vector<std::uint64_t>& into,
+                     const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool RaceCheck::OrderedBefore(const Epoch& e, ThreadId t) const {
+  if (e.clock == 0) return true;  // location never accessed
+  const auto& vc = clocks_[t];
+  return e.tid < vc.size() && e.clock <= vc[e.tid];
+}
+
+void RaceCheck::Report(ThreadId t, const Location& loc, const char* what,
+                       const Epoch& prior) {
+  ++violations_;
+  report_->AddViolation(
+      Rule::kAtomicProtocol,
+      std::string("protocol race on '") + loc.name + "': " + what +
+          " by thread '" + thread_names_[t] +
+          "' is not ordered after the access by thread '" +
+          thread_names_[prior.tid] + "' (missing happens-before edge)");
+}
+
+void RaceCheck::ReleaseStore(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  Join(locs_[loc].sync, clocks_[t]);
+  Tick(t);
+}
+
+void RaceCheck::AcquireLoad(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  Join(clocks_[t], locs_[loc].sync);
+  Tick(t);
+}
+
+void RaceCheck::AcqRelRmw(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  Join(clocks_[t], locs_[loc].sync);
+  Join(locs_[loc].sync, clocks_[t]);
+  Tick(t);
+}
+
+void RaceCheck::RelaxedStore(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  // Atomic, so never a data race on the location itself — but no
+  // ordering: the location's sync clock is left untouched.
+  Tick(t);
+}
+
+void RaceCheck::RelaxedLoad(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  Tick(t);
+}
+
+void RaceCheck::RelaxedRmw(ThreadId t, Loc loc) {
+  UPDLRM_CHECK(locs_[loc].atomic);
+  Tick(t);
+}
+
+void RaceCheck::PlainWrite(ThreadId t, Loc loc) {
+  Location& l = locs_[loc];
+  UPDLRM_CHECK(!l.atomic);
+  if (!OrderedBefore(l.last_write, t)) {
+    Report(t, l, "plain write", l.last_write);
+  }
+  for (const Epoch& r : l.reads) {
+    if (!OrderedBefore(r, t)) Report(t, l, "plain write (after read)", r);
+  }
+  l.last_write = Epoch{t, clocks_[t][t]};
+  l.reads.clear();
+  Tick(t);
+}
+
+void RaceCheck::PlainRead(ThreadId t, Loc loc) {
+  Location& l = locs_[loc];
+  UPDLRM_CHECK(!l.atomic);
+  if (!OrderedBefore(l.last_write, t)) {
+    Report(t, l, "plain read", l.last_write);
+  }
+  l.reads.push_back(Epoch{t, clocks_[t][t]});
+  Tick(t);
+}
+
+// ---------------------------------------------------------------------
+// Protocol drivers. Each replays the shipped event order; a fault
+// swaps exactly one operation for its unordered variant (or deletes
+// it), mirroring the one-line regression it models.
+
+std::uint64_t VerifyTelemetryRingProtocol(RaceFault fault,
+                                          CheckReport* report) {
+  RaceCheck rc(report);
+  constexpr std::uint32_t kEvents = 3;
+
+  // One writer thread appending to its per-thread buffer; the snapshot
+  // thread exists from the start (fork edge models process startup, not
+  // a publication of the writer's later appends).
+  const auto writer = rc.NewThread("trace-writer");
+  const auto snapshot = rc.ForkThread(writer, "snapshot");
+
+  const auto size = rc.NewAtomicLoc("ring.size");
+  RaceCheck::Loc slots[kEvents];
+  for (std::uint32_t i = 0; i < kEvents; ++i) {
+    slots[i] = rc.NewPlainLoc("ring.slot[" + std::to_string(i) + "]");
+  }
+
+  // Writer: fill slot i, then publish the new count. The release store
+  // is the protocol's only outbound edge — everything Snapshot() may
+  // read must be ordered behind it.
+  for (std::uint32_t i = 0; i < kEvents; ++i) {
+    rc.PlainWrite(writer, slots[i]);
+    if (fault == RaceFault::kRingSizeStoreRelaxed) {
+      rc.RelaxedStore(writer, size);
+    } else {
+      rc.ReleaseStore(writer, size);
+    }
+  }
+
+  // Snapshot: acquire the count, then copy the published slots.
+  if (fault == RaceFault::kRingSnapshotRelaxed) {
+    rc.RelaxedLoad(snapshot, size);
+  } else {
+    rc.AcquireLoad(snapshot, size);
+  }
+  for (std::uint32_t i = 0; i < kEvents; ++i) {
+    rc.PlainRead(snapshot, slots[i]);
+  }
+  return rc.violations();
+}
+
+std::uint64_t VerifyWorkStealProtocol(RaceFault fault,
+                                      CheckReport* report) {
+  RaceCheck rc(report);
+
+  const auto owner = rc.NewThread("owner");
+  const auto helper = rc.ForkThread(owner, "helper");
+  const auto stale = rc.ForkThread(owner, "stale-helper");
+
+  // The recycled ParallelForState: plain region fields guarded by the
+  // protocol, plus the three atomics that make it up. Submissions are
+  // modeled as one release/acquire location per task (the queue mutex's
+  // ordering, reduced to the edge the protocol actually relies on).
+  const auto body = rc.NewPlainLoc("state.body");
+  const auto n = rc.NewPlainLoc("state.n");
+  const auto ticket = rc.NewAtomicLoc("state.ticket");
+  const auto participants = rc.NewAtomicLoc("state.participants");
+  const auto task1 = rc.NewAtomicLoc("queue.task1");
+  const auto task2 = rc.NewAtomicLoc("queue.task2");
+
+  // --- Region 1: init, submit two helper tasks. ---
+  rc.PlainWrite(owner, body);
+  rc.PlainWrite(owner, n);
+  rc.ReleaseStore(owner, task1);
+  rc.ReleaseStore(owner, task2);
+
+  // Helper 1 runs promptly: announce, check the ticket, run chunks,
+  // leave. The leaving decrement is the edge the owner's recycle spin
+  // synchronizes with.
+  rc.AcquireLoad(helper, task1);
+  rc.AcqRelRmw(helper, participants);  // participants++
+  rc.AcquireLoad(helper, ticket);      // ticket matches: run
+  rc.PlainRead(helper, body);
+  rc.PlainRead(helper, n);
+  if (fault == RaceFault::kStealDoneRelaxed) {
+    rc.RelaxedRmw(helper, participants);  // participants-- (broken)
+  } else {
+    rc.AcqRelRmw(helper, participants);  // participants--
+  }
+
+  // --- Recycle: invalidate stale helpers, drain, reinitialize. ---
+  rc.AcqRelRmw(owner, ticket);  // ticket++ before the drain
+  if (fault != RaceFault::kStealNoDrainSpin) {
+    rc.AcquireLoad(owner, participants);  // spin observes 0
+  }
+  rc.PlainWrite(owner, body);  // region 2 init
+  rc.PlainWrite(owner, n);
+
+  // Helper 2 wakes late, after the recycle: announce, see the stale
+  // ticket, back out without touching the region fields. Skipping the
+  // ticket synchronization is exactly the bug where a stale helper
+  // reads a reinitialized (or dangling) region.
+  rc.AcquireLoad(stale, task2);
+  rc.AcqRelRmw(stale, participants);  // participants++
+  if (fault == RaceFault::kStealNoTicketSync) {
+    rc.PlainRead(stale, body);  // never checked the ticket: runs anyway
+    rc.PlainRead(stale, n);
+  } else {
+    rc.AcquireLoad(stale, ticket);  // mismatch: back out, no reads
+  }
+  rc.AcqRelRmw(stale, participants);  // participants--
+  return rc.violations();
+}
+
+void VerifyAtomicProtocols(CheckReport* report) {
+  VerifyTelemetryRingProtocol(RaceFault::kNone, report);
+  VerifyWorkStealProtocol(RaceFault::kNone, report);
+}
+
+}  // namespace updlrm::check

@@ -1,0 +1,155 @@
+// Vector-clock shadow verifier for the runtime's lock-free protocols.
+//
+// The runtime has two hand-rolled atomic protocols whose correctness
+// rests on specific happens-before edges:
+//
+//   * telemetry ring buffers (telemetry/tracer.h): each thread appends
+//     events to its own buffer and publishes the count with a release
+//     size store; Snapshot() acquires the size and may then read the
+//     published slots. Drop either side of the release/acquire pair and
+//     the slot reads race with the writer.
+//   * ParallelFor state recycling (common/thread_pool.cc): helpers
+//     announce themselves with an acq_rel participants++ and leave with
+//     a release participants--; the owner bumps the ticket (acq_rel),
+//     spins on an acquire participants load, and only then reinitializes
+//     the region descriptor. The participants release/acquire edge is
+//     what keeps the reinit writes from racing with a draining helper's
+//     field reads.
+//
+// TSan checks the *implementation* when the scheduler happens to
+// produce the conflicting interleaving; this verifier checks the
+// *protocol*: it replays each protocol as an explicit, deterministic
+// event sequence through a FastTrack-style vector-clock machine
+// (per-thread clocks; release stores join thread -> location, acquire
+// loads join location -> thread; plain accesses must be ordered against
+// every prior conflicting access). Removing a single edge — the
+// injected-fault test pattern of tests/check/race_check_test.cc — must
+// flip Rule::kAtomicProtocol from 0 to nonzero, proving both that the
+// edge is load-bearing and that the machine can see its absence.
+//
+// The machine is a model executor, not an instrumentation layer: no
+// real threads run, so verification is bit-for-bit deterministic and
+// cheap enough for every ctest run. RaceCheckEnabled() gates the
+// checker-driven sweep to debug builds; tests call the Verify*
+// functions directly in any build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+
+namespace updlrm::check {
+
+/// Debug builds run the protocol sweep inside Checker-enabled runs;
+/// release builds keep the machine available but default it off.
+constexpr bool RaceCheckEnabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// FastTrack-style happens-before machine over model threads and
+/// locations. Threads and locations are small dense ids; every check
+/// failure is recorded as Rule::kAtomicProtocol on the report passed at
+/// construction (which must outlive the machine).
+class RaceCheck {
+ public:
+  using ThreadId = std::uint32_t;
+  using Loc = std::uint32_t;
+
+  explicit RaceCheck(CheckReport* report);
+
+  /// Registers a model thread. The first thread is the "main" thread;
+  /// later threads start with a copy of `parent`'s clock (fork edge).
+  ThreadId NewThread(std::string name);
+  ThreadId ForkThread(ThreadId parent, std::string name);
+  /// Join edge: `parent` has observed everything `child` did.
+  void JoinThread(ThreadId parent, ThreadId child);
+
+  /// A non-atomic memory location (a buffer slot, a struct field).
+  Loc NewPlainLoc(std::string name);
+  /// An atomic location carrying a synchronization clock.
+  Loc NewAtomicLoc(std::string name);
+
+  // --- atomic accesses (legal on atomic locations only) ---
+  void ReleaseStore(ThreadId t, Loc loc);
+  void AcquireLoad(ThreadId t, Loc loc);
+  /// fetch_add/fetch_sub/CAS with memory_order_acq_rel.
+  void AcqRelRmw(ThreadId t, Loc loc);
+  /// Relaxed accesses: atomic (never a data race on the location
+  /// itself) but carrying no ordering — they neither publish nor
+  /// acquire the location's synchronization clock.
+  void RelaxedStore(ThreadId t, Loc loc);
+  void RelaxedLoad(ThreadId t, Loc loc);
+  /// fetch_add/fetch_sub with memory_order_relaxed.
+  void RelaxedRmw(ThreadId t, Loc loc);
+
+  // --- plain accesses (legal on plain locations only) ---
+  /// Must be ordered after every prior access to `loc`.
+  void PlainWrite(ThreadId t, Loc loc);
+  /// Must be ordered after the prior write to `loc` (reads may be
+  /// concurrent with each other).
+  void PlainRead(ThreadId t, Loc loc);
+
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  struct Epoch {
+    ThreadId tid = 0;
+    std::uint64_t clock = 0;  // 0 = never accessed
+  };
+  struct Location {
+    std::string name;
+    bool atomic = false;
+    std::vector<std::uint64_t> sync;  // atomic: published clock
+    Epoch last_write;                 // plain: last writer epoch
+    std::vector<Epoch> reads;         // plain: reads since last write
+  };
+
+  void Join(std::vector<std::uint64_t>& into,
+            const std::vector<std::uint64_t>& from);
+  bool OrderedBefore(const Epoch& e, ThreadId t) const;
+  void Report(ThreadId t, const Location& loc, const char* what,
+              const Epoch& prior);
+  void Tick(ThreadId t) { ++clocks_[t][t]; }
+
+  CheckReport* report_;
+  std::vector<std::string> thread_names_;
+  std::vector<std::vector<std::uint64_t>> clocks_;  // [thread][thread]
+  std::vector<Location> locs_;
+  std::uint64_t violations_ = 0;
+};
+
+/// Happens-before edges a protocol driver can deliberately drop. Each
+/// fault removes exactly one edge of one protocol; kNone replays the
+/// shipped protocol, which must verify clean.
+enum class RaceFault {
+  kNone = 0,
+  // Telemetry ring buffer (tracer).
+  kRingSizeStoreRelaxed,  // writer publishes size with a relaxed store
+  kRingSnapshotRelaxed,   // snapshot reads size with a relaxed load
+  // ParallelFor state recycling (thread pool).
+  kStealNoDrainSpin,   // owner reinitializes without draining helpers
+  kStealDoneRelaxed,   // helper leaves with a relaxed participants--
+  kStealNoTicketSync,  // helper skips the ticket acquire before reading
+};
+
+/// Replays the telemetry per-thread ring-buffer protocol (N writer
+/// appends, one snapshot) through `rc`-style machinery against
+/// `report`. Returns the number of kAtomicProtocol violations added.
+std::uint64_t VerifyTelemetryRingProtocol(RaceFault fault,
+                                          CheckReport* report);
+
+/// Replays the ParallelFor region-recycling protocol (one region run by
+/// owner + helper, then a recycle and a second run) against `report`.
+std::uint64_t VerifyWorkStealProtocol(RaceFault fault, CheckReport* report);
+
+/// The clean sweep the checker runs in debug builds: both protocols,
+/// no injected fault.
+void VerifyAtomicProtocols(CheckReport* report);
+
+}  // namespace updlrm::check

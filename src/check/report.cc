@@ -44,6 +44,8 @@ std::string_view RuleName(Rule rule) {
       return "tier-capacity";
     case Rule::kReductionShape:
       return "reduction-shape";
+    case Rule::kAtomicProtocol:
+      return "atomic-protocol";
     case Rule::kNumRules:
       break;
   }
@@ -55,7 +57,7 @@ void CheckReport::AddViolation(Rule rule, std::string context) {
   const std::uint64_t prior =
       counts_[i].fetch_add(1, std::memory_order_relaxed);
   if (prior == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (first_[i].empty()) first_[i] = std::move(context);
   }
 }
@@ -67,7 +69,7 @@ std::uint64_t CheckReport::total() const {
 }
 
 std::string CheckReport::first_offender(Rule rule) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_[static_cast<std::size_t>(rule)];
 }
 
@@ -108,7 +110,7 @@ std::string CheckReport::ToJson() const {
 
 void CheckReport::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& f : first_) f.clear();
 }
 

@@ -10,9 +10,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace updlrm::check {
 
@@ -41,6 +43,7 @@ enum class Rule : std::uint32_t {
   kShardCoverage,       // cross-shard row ownership not exact
   kTierCapacity,        // tier plan exceeds a per-tier capacity clamp
   kReductionShape,      // reduction plan tree malformed / prices worse
+  kAtomicProtocol,      // lock-free protocol breaks a happens-before edge
   kNumRules,
 };
 
@@ -79,8 +82,8 @@ class CheckReport {
 
  private:
   std::array<std::atomic<std::uint64_t>, kNumCheckRules> counts_{};
-  mutable std::mutex mu_;
-  std::array<std::string, kNumCheckRules> first_;
+  mutable Mutex mu_;
+  std::array<std::string, kNumCheckRules> first_ GUARDED_BY(mu_);
 };
 
 }  // namespace updlrm::check

@@ -1,0 +1,67 @@
+// Clang thread-safety analysis annotations.
+//
+// The macros below attach capability (lock) semantics to classes,
+// members and functions so `clang -Wthread-safety` can prove, at
+// compile time, that every access to a GUARDED_BY member happens with
+// its mutex held and that ACQUIRE/RELEASE pairs balance on every path.
+// Under GCC (which has no such analysis) every macro expands to
+// nothing, so the annotations are free documentation there.
+//
+// The analysis only understands lock types that are themselves
+// annotated; std::mutex is not. common/mutex.h wraps it in an
+// annotated Mutex/MutexLock/CondVar triple — use those (not raw
+// std::mutex) for any lock that guards annotated state. The CI
+// `thread-safety` leg builds with clang and -Werror, making these
+// annotations binding (see .github/workflows/ci.yml and DESIGN.md
+// §11).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define UPDLRM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define UPDLRM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (lockable) type; `name` is the
+/// capability kind shown in diagnostics (e.g. "mutex").
+#define CAPABILITY(name) UPDLRM_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock below).
+#define SCOPED_CAPABILITY UPDLRM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member that may only be read or written with `x` held.
+#define GUARDED_BY(x) UPDLRM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PT_GUARDED_BY(x) UPDLRM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held.
+#define REQUIRES(...) \
+  UPDLRM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capabilities NOT held
+/// (deadlock guard for functions that take the lock themselves).
+#define EXCLUDES(...) UPDLRM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  UPDLRM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define RELEASE(...) \
+  UPDLRM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define TRY_ACQUIRE(result, ...) \
+  UPDLRM_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its
+/// result (accessor pattern).
+#define RETURN_CAPABILITY(x) UPDLRM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must carry a comment explaining why the function is safe (typical:
+/// adopting a lock held by the caller through a non-annotated API).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  UPDLRM_THREAD_ANNOTATION(no_thread_safety_analysis)

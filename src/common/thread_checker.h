@@ -1,0 +1,60 @@
+// Debug-gated single-writer thread checker.
+//
+// Some hot-path state machines (the serving batcher, the request
+// slab) are deliberately lock-free because their contract is "driven
+// by exactly one thread" — the simulated-time serve loop. That
+// contract is invisible to both TSan (no second thread ever touches
+// the state, so nothing races *until someone breaks it*) and the
+// clang thread-safety analysis (there is no capability to hold). This
+// checker makes it executable: the first checked call binds the
+// calling thread, and every later call asserts it is the same thread.
+// Release builds compile the check out entirely (the member is an
+// empty struct), so the contract costs nothing in production.
+#pragma once
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+#endif
+
+namespace updlrm {
+
+#ifndef NDEBUG
+
+class ThreadChecker {
+ public:
+  /// Asserts the caller is the binding thread (binding on first call).
+  void Check() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return;  // first call: bound to this thread
+    }
+    UPDLRM_CHECK(expected == self &&
+                 "single-writer contract violated: state driven from a "
+                 "second thread (see common/thread_checker.h)");
+  }
+
+  /// Unbinds, allowing a handoff to another driving thread (legal only
+  /// between runs, when no calls are in flight).
+  void Detach() {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+#else
+
+struct ThreadChecker {
+  void Check() const {}
+  void Detach() {}
+};
+
+#endif
+
+}  // namespace updlrm

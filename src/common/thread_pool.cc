@@ -39,88 +39,6 @@ void PinCurrentThread(unsigned cpu) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads_ = threads;
-  queues_.resize(std::max(1u, threads - 1));
-  workers_.reserve(threads - 1);
-  const bool pin = EnvPinThreads();
-  for (unsigned i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this, i, pin] {
-      // Worker i takes CPU i+1, leaving CPU 0 to the caller thread.
-      if (pin) PinCurrentThread(i + 1);
-      WorkerLoop(i);
-    });
-  }
-  if (pin && threads > 1) PinCurrentThread(0);
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-  // Workers are joined: no task can reference a state anymore.
-  for (ParallelForState* s : all_states_) delete s;
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
-  if (workers_.empty()) {
-    task();  // single-threaded pool: run inline
-    return;
-  }
-  const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
-                     static_cast<unsigned>(queues_.size());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queues_[q].push_back(std::move(task));
-  }
-  cv_.notify_one();
-}
-
-bool ThreadPool::TryRunOneTask(unsigned home) {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Own deque first (LIFO: newest task, warm caches) ...
-    if (!queues_[home].empty()) {
-      task = std::move(queues_[home].back());
-      queues_[home].pop_back();
-    } else {
-      // ... then steal the oldest task from a sibling (FIFO).
-      for (std::size_t off = 1; off < queues_.size() && !task; ++off) {
-        auto& victim = queues_[(home + off) % queues_.size()];
-        if (!victim.empty()) {
-          task = std::move(victim.front());
-          victim.pop_front();
-        }
-      }
-    }
-  }
-  if (!task) return false;
-  task();
-  return true;
-}
-
-void ThreadPool::WorkerLoop(unsigned worker_index) {
-  for (;;) {
-    if (TryRunOneTask(worker_index)) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this, worker_index] {
-      if (stopping_) return true;
-      for (const auto& q : queues_) {
-        if (!q.empty()) return true;
-      }
-      return false;
-    });
-    if (stopping_) return;
-  }
-}
-
 // Region descriptor, recycled across ParallelFor calls. The recycling
 // protocol against stale helper tasks (a Submit()ed helper can run
 // arbitrarily late, after its region finished and the state moved on):
@@ -149,12 +67,95 @@ struct ThreadPool::ParallelForState {
   std::atomic<std::size_t> done{0};  // indices fully processed
   std::atomic<std::uint64_t> ticket{0};
   std::atomic<unsigned> participants{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::exception_ptr error;
-  std::mutex error_mu;
+  Mutex done_mu;
+  CondVar done_cv;
+  Mutex error_mu;
+  std::exception_ptr error GUARDED_BY(error_mu);
   ParallelForState* free_next = nullptr;
 };
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = threads;
+  queues_.resize(std::max(1u, threads - 1));
+  workers_.reserve(threads - 1);
+  const bool pin = EnvPinThreads();
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, i, pin] {
+      // Worker i takes CPU i+1, leaving CPU 0 to the caller thread.
+      if (pin) PinCurrentThread(i + 1);
+      WorkerLoop(i);
+    });
+  }
+  if (pin && threads > 1) PinCurrentThread(0);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& w : workers_) w.join();
+  // Workers are joined: no task can reference a state anymore.
+  for (ParallelForState* s : all_states_) delete s;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // single-threaded pool: run inline
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(queues_.size());
+    queues_[q].push_back(std::move(task));
+  }
+  cv_.NotifyOne();
+}
+
+bool ThreadPool::TryRunOneTask(unsigned home) {
+  std::function<void()> task;
+  {
+    MutexLock lock(mu_);
+    // Own deque first (LIFO: newest task, warm caches) ...
+    if (!queues_[home].empty()) {
+      task = std::move(queues_[home].back());
+      queues_[home].pop_back();
+    } else {
+      // ... then steal the oldest task from a sibling (FIFO).
+      for (std::size_t off = 1; off < queues_.size() && !task; ++off) {
+        auto& victim = queues_[(home + off) % queues_.size()];
+        if (!victim.empty()) {
+          task = std::move(victim.front());
+          victim.pop_front();
+        }
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
+bool ThreadPool::HaveQueuedTaskLocked() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned worker_index) {
+  for (;;) {
+    if (TryRunOneTask(worker_index)) continue;
+    MutexLock lock(mu_);
+    while (!stopping_ && !HaveQueuedTaskLocked()) cv_.Wait(mu_);
+    if (stopping_) return;
+  }
+}
 
 ThreadPool::ParallelForState* ThreadPool::AcquireState() {
   ParallelForState* head =
@@ -171,7 +172,7 @@ ThreadPool::ParallelForState* ThreadPool::AcquireState() {
   // active regions ever reached, not by call count.
   auto* state = new ParallelForState();
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     all_states_.push_back(state);
   }
   return state;
@@ -185,6 +186,11 @@ void ThreadPool::ReleaseState(ParallelForState* state) {
       head, state, std::memory_order_acq_rel, std::memory_order_relaxed));
 }
 
+// UPDLRM_NOALLOC_BEGIN: ParallelFor steady state. Region descriptors
+// are recycled (AcquireState's freelist; the mint-on-empty `new` lives
+// outside this region by design), helper closures fit std::function's
+// small-object buffer, and chunk dispatch touches only the shared
+// atomics — a warm region allocates nothing.
 void ThreadPool::RunChunks(ParallelForState& state) {
   for (;;) {
     const std::size_t begin =
@@ -194,15 +200,15 @@ void ThreadPool::RunChunks(ParallelForState& state) {
     try {
       state.body(begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state.error_mu);
+      MutexLock lock(state.error_mu);
       if (!state.error) state.error = std::current_exception();
     }
     const std::size_t done =
         state.done.fetch_add(end - begin, std::memory_order_acq_rel) +
         (end - begin);
     if (done >= state.n) {
-      std::lock_guard<std::mutex> lock(state.done_mu);
-      state.done_cv.notify_all();
+      MutexLock lock(state.done_mu);
+      state.done_cv.NotifyAll();
     }
   }
 }
@@ -251,7 +257,10 @@ void ThreadPool::ParallelFor(
   state->grain = grain;
   state->body = body;
   state->done.store(0, std::memory_order_relaxed);
-  state->error = nullptr;
+  {
+    MutexLock lock(state->error_mu);
+    state->error = nullptr;
+  }
 
   // One helper per extra thread; busy workers simply never pick theirs
   // up and the caller (or a stealing sibling) drains the range instead.
@@ -262,17 +271,22 @@ void ThreadPool::ParallelFor(
   }
   RunChunks(*state);
   if (state->done.load(std::memory_order_acquire) < n) {
-    std::unique_lock<std::mutex> lock(state->done_mu);
-    state->done_cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) >= n;
-    });
+    MutexLock lock(state->done_mu);
+    while (state->done.load(std::memory_order_acquire) < n) {
+      state->done_cv.Wait(state->done_mu);
+    }
   }
   // `body` dangles once we return; helpers that wake late see a stale
   // ticket (or an exhausted cursor) and never touch it.
-  const std::exception_ptr error = state->error;
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->error_mu);
+    error = state->error;
+  }
   ReleaseState(state);
   if (error) std::rethrow_exception(error);
 }
+// UPDLRM_NOALLOC_END
 
 ThreadPool& ThreadPool::Default() {
   static ThreadPool pool(g_default_threads.load(std::memory_order_acquire));

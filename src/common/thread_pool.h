@@ -30,15 +30,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/function_ref.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace updlrm {
 
@@ -83,6 +83,8 @@ class ThreadPool {
 
   void WorkerLoop(unsigned worker_index);
   bool TryRunOneTask(unsigned home);
+  // True when any worker deque holds a task (stealable work exists).
+  bool HaveQueuedTaskLocked() const REQUIRES(mu_);
   static void RunChunks(ParallelForState& state);
   // Helper-task entry: joins `state`'s region iff its ticket is still
   // current (see the recycling protocol in thread_pool.cc).
@@ -93,18 +95,18 @@ class ThreadPool {
 
   unsigned num_threads_ = 1;  // workers + caller
   std::vector<std::thread> workers_;
-  std::vector<std::deque<std::function<void()>>> queues_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  std::vector<std::deque<std::function<void()>>> queues_ GUARDED_BY(mu_);
+  CondVar cv_;
   std::atomic<unsigned> next_queue_{0};
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 
   // Freelist of recycled region descriptors (Treiber stack). States
   // live until pool destruction — stale helper tasks may dereference
   // them long after their region completed.
   std::atomic<ParallelForState*> free_states_{nullptr};
-  std::mutex states_mu_;  // guards all_states_
-  std::vector<ParallelForState*> all_states_;
+  Mutex states_mu_;
+  std::vector<ParallelForState*> all_states_ GUARDED_BY(states_mu_);
 };
 
 /// ParallelFor on the process-wide default pool. `num_threads` is the

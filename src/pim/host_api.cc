@@ -40,6 +40,7 @@ Result<Nanos> DpuSet::Push(
   if (buffers.size() != count_) {
     return Status::InvalidArgument("need one buffer per DPU of the set");
   }
+  // UPDLRM_NOALLOC_BEGIN: per-batch transfer path; member scratch only.
   // The transfer model prices the whole system; DPUs outside the set
   // move zero bytes. Scratch is reused across calls.
   bytes_scratch_.assign(system_->num_dpus(), 0);
@@ -62,12 +63,14 @@ Result<Nanos> DpuSet::Push(
         mram_offset, std::span<const std::uint8_t>(row, buffers[i].size())));
   }
   return system_->transfer().PushTime(bytes_scratch_, /*pad_to_max=*/true);
+  // UPDLRM_NOALLOC_END
 }
 
 Result<Nanos> DpuSet::Pull(std::uint64_t mram_offset,
                            std::uint64_t bytes_per_dpu,
                            std::vector<std::vector<std::uint8_t>>* out) {
   UPDLRM_CHECK(out != nullptr);
+  // UPDLRM_NOALLOC_BEGIN: per-batch transfer path; member scratch only.
   // resize() (not assign with a temporary) keeps each inner buffer's
   // capacity across calls.
   out->resize(count_);
@@ -78,20 +81,24 @@ Result<Nanos> DpuSet::Pull(std::uint64_t mram_offset,
     bytes_scratch_[first_ + i] = bytes_per_dpu;
   }
   return system_->transfer().PullTime(bytes_scratch_, /*pad_to_max=*/true);
+  // UPDLRM_NOALLOC_END
 }
 
 Result<Nanos> DpuSet::Launch(DpuProgram& program) {
+  // UPDLRM_NOALLOC_BEGIN: per-batch kernel path; phase descriptors live
+  // in member scratch (a fresh local vector here cost one allocation
+  // per Launch on the hot serving loop).
   Cycles max_cycles = 0;
-  std::vector<KernelWorkload> phases;
   for (std::uint32_t i = 0; i < count_; ++i) {
-    phases.clear();
-    UPDLRM_RETURN_IF_ERROR(program.Run(i, dpu(i).mram(), phases));
-    const Cycles cycles = system_->pipeline().Makespan(phases);
+    phases_scratch_.clear();
+    UPDLRM_RETURN_IF_ERROR(program.Run(i, dpu(i).mram(), phases_scratch_));
+    const Cycles cycles = system_->pipeline().Makespan(phases_scratch_);
     dpu(i).stats().kernel_cycles += cycles;
     max_cycles = std::max(max_cycles, cycles);
   }
   return system_->transfer().KernelLaunchOverhead() +
          CyclesToNanos(max_cycles, system_->config().dpu.clock_hz);
+  // UPDLRM_NOALLOC_END
 }
 
 }  // namespace updlrm::pim

@@ -81,10 +81,11 @@ class DpuSet {
   DpuSystem* system_;
   std::uint32_t first_;
   std::uint32_t count_;
-  // Per-call scratch, reused across Push/Pull calls (capacity persists:
-  // steady-state transfers allocate nothing).
+  // Per-call scratch, reused across Push/Pull/Launch calls (capacity
+  // persists: steady-state transfers allocate nothing).
   std::vector<std::uint64_t> bytes_scratch_;
   std::vector<std::uint8_t> staging_;
+  std::vector<KernelWorkload> phases_scratch_;
 };
 
 }  // namespace updlrm::pim

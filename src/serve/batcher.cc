@@ -13,6 +13,7 @@ DynamicBatcher::DynamicBatcher(BatcherOptions options)
 }
 
 Admission DynamicBatcher::Offer(const Request& request, Nanos now) {
+  thread_checker_.Check();
   const bool bounded = options_.queue_capacity > 0;
   if (bounded && queue_.size() >= options_.queue_capacity) {
     if (options_.policy == AdmissionPolicy::kShed) {
@@ -41,6 +42,7 @@ Nanos DynamicBatcher::NextDeadline() const {
 }
 
 std::vector<QueuedRequest> DynamicBatcher::Cut(Nanos now) {
+  thread_checker_.Check();
   std::vector<QueuedRequest> batch;
   batch.reserve(std::min(queue_.size(), options_.max_batch_size));
   CutInto(now, batch);
@@ -49,6 +51,7 @@ std::vector<QueuedRequest> DynamicBatcher::Cut(Nanos now) {
 
 void DynamicBatcher::CutInto(Nanos now,
                              std::vector<QueuedRequest>& out) {
+  thread_checker_.Check();
   UPDLRM_CHECK_MSG(!queue_.empty(), "Cut on an empty queue");
   const std::size_t n = std::min(queue_.size(), options_.max_batch_size);
   for (std::size_t i = 0; i < n; ++i) {

@@ -10,7 +10,12 @@
 //
 // The batcher is a pure simulated-time state machine — the serving
 // simulator drives it with `Offer` (arrivals, in time order) and `Cut`
-// (when the pipelined executor can accept a batch). Tie-breaking
+// (when the pipelined executor can accept a batch). It is therefore
+// single-writer by contract, not by lock: exactly one thread may drive
+// it, which a debug-gated ThreadChecker enforces on every mutating
+// call (no capability exists for -Wthread-safety to track, and TSan
+// only sees the bug after it happens — the checker makes the contract
+// itself executable). Tie-breaking
 // contract: an arrival timestamped exactly at the oldest request's
 // deadline is offered *before* the deadline cut is taken, so it joins
 // that batch (tests/serve/batcher_test.cc pins this boundary).
@@ -21,6 +26,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/thread_checker.h"
 #include "common/units.h"
 #include "serve/slab.h"
 #include "serve/workload.h"
@@ -94,6 +100,8 @@ class DynamicBatcher {
   // are O(1) with zero steady-state allocation once the high-water
   // depth has been provisioned (serve/slab.h).
   BatcherOptions options_;
+  // Enforces the single-driving-thread contract (debug builds only).
+  ThreadChecker thread_checker_;
   RequestSlab<QueuedRequest> slab_;
   std::deque<QueuedRequest*> queue_;
   std::deque<QueuedRequest*> blocked_;

@@ -21,6 +21,12 @@
 // T must be trivially destructible: slots are recycled by overwrite and
 // the destructor just frees the blocks. (Requests are plain structs of
 // ids and timestamps; this is a static_assert, not a silent contract.)
+//
+// Concurrency contract: single writer. The intrusive free list is
+// deliberately lock-free-by-exclusion — one thread drives the slab
+// (the serve loop). A debug-gated ThreadChecker asserts that on every
+// mutating call; there is no mutex for -Wthread-safety to track here
+// by design (see DESIGN.md §11).
 #pragma once
 
 #include <cstddef>
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_checker.h"
 
 namespace updlrm::serve {
 
@@ -48,6 +55,7 @@ class RequestSlab {
   /// Places a copy of `value` into a free slot and returns its stable
   /// address. O(1); allocates only when every provisioned slot is live.
   T* Insert(const T& value) {
+    thread_checker_.Check();
     Node* node = PopFree();
     return ::new (static_cast<void*>(node->storage)) T(value);
   }
@@ -55,6 +63,7 @@ class RequestSlab {
   /// Constructs in place; same guarantees as Insert.
   template <typename... Args>
   T* Emplace(Args&&... args) {
+    thread_checker_.Check();
     Node* node = PopFree();
     return ::new (static_cast<void*>(node->storage))
         T(std::forward<Args>(args)...);
@@ -63,6 +72,7 @@ class RequestSlab {
   /// Returns `p`'s slot to the free list. `p` must be a live pointer
   /// previously returned by Insert/Emplace. O(1).
   void Erase(T* p) {
+    thread_checker_.Check();
     UPDLRM_CHECK(p != nullptr && live_ > 0);
     Node* node = std::launder(reinterpret_cast<Node*>(p));
     node->next_free = free_;
@@ -116,6 +126,7 @@ class RequestSlab {
     capacity_ += n;
   }
 
+  ThreadChecker thread_checker_;
   std::vector<std::unique_ptr<Node[]>> blocks_;
   Node* free_ = nullptr;
   std::size_t live_ = 0;

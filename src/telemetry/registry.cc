@@ -87,14 +87,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 void MetricsRegistry::Increment(const std::string& name, double delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   UPDLRM_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
                    "metric name reused across kinds: " + name);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   UPDLRM_CHECK_MSG(
       counters_.count(name) == 0 && histograms_.count(name) == 0,
       "metric name reused across kinds: " + name);
@@ -102,39 +102,39 @@ void MetricsRegistry::SetGauge(const std::string& name, double value) {
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   UPDLRM_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
                    "metric name reused across kinds: " + name);
   histograms_[name].Observe(value);
 }
 
 double MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 ValueHistogram MetricsRegistry::HistogramValue(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? ValueHistogram{} : it->second;
 }
 
 bool MetricsRegistry::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
          histograms_.count(name) != 0;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -177,7 +177,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

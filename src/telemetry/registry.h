@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace updlrm::telemetry {
 
@@ -95,10 +97,10 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, ValueHistogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, double> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, ValueHistogram> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace updlrm::telemetry

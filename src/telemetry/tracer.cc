@@ -33,7 +33,7 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::Enable(TracerOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   options_ = options;
   if (options_.buffer_capacity == 0) options_.buffer_capacity = 1;
   if (options_.sample_every == 0) options_.sample_every = 1;
@@ -46,6 +46,11 @@ void Tracer::Enable(TracerOptions options) {
   // can start.
   generation_.fetch_add(1, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
+}
+
+TracerOptions Tracer::options() const {
+  MutexLock lock(mu_);
+  return options_;
 }
 
 void Tracer::Disable() {
@@ -64,7 +69,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   if (tls_slot.buffer != nullptr && tls_slot.generation == gen) {
     return tls_slot.buffer;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Re-check under the lock: Enable() may have bumped the generation
   // between the load above and here; registering against the newest
   // epoch is always correct (events land in the current trace).
@@ -200,13 +205,13 @@ void Tracer::AsyncEnd(std::int32_t pid, std::uint64_t id, Clock clock,
 }
 
 void Tracer::SetProcessName(std::int32_t pid, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   process_names_[pid] = std::move(name);
 }
 
 void Tracer::SetThreadName(std::int32_t pid, std::int64_t tid,
                            std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   thread_names_[{pid, tid}] = std::move(name);
 }
 
@@ -215,7 +220,7 @@ void Tracer::CountSampledOut(std::uint64_t n) {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> events;
   std::size_t total = 0;
   for (const auto& buf : buffers_) {
@@ -231,7 +236,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 std::uint64_t Tracer::recorded_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& buf : buffers_) {
     total += buf->size.load(std::memory_order_acquire);
@@ -240,7 +245,7 @@ std::uint64_t Tracer::recorded_events() const {
 }
 
 std::uint64_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& buf : buffers_) {
     total += buf->dropped.load(std::memory_order_relaxed);
@@ -249,13 +254,13 @@ std::uint64_t Tracer::dropped_events() const {
 }
 
 std::map<std::int32_t, std::string> Tracer::process_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return process_names_;
 }
 
 std::map<std::pair<std::int32_t, std::int64_t>, std::string>
 Tracer::thread_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return thread_names_;
 }
 

@@ -34,11 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace updlrm::telemetry {
@@ -123,10 +124,12 @@ class Tracer {
   /// Stops recording. Already-recorded events stay available to
   /// Snapshot() until the next Enable().
   void Disable();
+  // Acquire pairs with Enable()'s release store so a thread that sees
+  // enabled == true also sees the epoch/options written before it.
   bool enabled() const {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_acquire);
   }
-  const TracerOptions& options() const { return options_; }
+  TracerOptions options() const EXCLUDES(mu_);
 
   /// Host wall-clock nanoseconds since Enable().
   Nanos HostNowNs() const;
@@ -187,14 +190,17 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<std::uint64_t> sampled_out_{0};
-  TracerOptions options_;
+  // Written only by Enable() (sequenced before the enabled_ release
+  // store, which every emitter acquires), read on the emission path —
+  // the enabled_ edge, not mu_, is what orders it.
   std::chrono::steady_clock::time_point epoch_{};
 
-  mutable std::mutex mu_;  // guards buffers_ and the name maps
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::map<std::int32_t, std::string> process_names_;
+  mutable Mutex mu_;
+  TracerOptions options_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+  std::map<std::int32_t, std::string> process_names_ GUARDED_BY(mu_);
   std::map<std::pair<std::int32_t, std::int64_t>, std::string>
-      thread_names_;
+      thread_names_ GUARDED_BY(mu_);
 };
 
 /// True when events would actually be recorded. The one-branch gate

@@ -643,6 +643,10 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   telemetry::TraceSpan batch_span("engine.RunSamples", "engine");
 
   BatchResult out;
+  // UPDLRM_NOALLOC_BEGIN: steady-state batch path. Everything from here
+  // through the stage-latency computation reuses member scratch or the
+  // worker arenas; tests/serve/alloc_test.cc enforces the dynamic side
+  // of the same contract.
   // assign() reuses capacity: after the first batch these are pure
   // fills, part of the zero-allocations-per-batch contract.
   push_bytes_.assign(system_->num_dpus(), 0);
@@ -676,6 +680,8 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
   // write disjoint entries, so capture is deterministic and race-free.
   std::shared_ptr<BatchDpuTrace> dpu_trace;
   if (capture) {
+    // UPDLRM_LINT_ALLOW(noalloc-region): observation-only; `capture` is
+    // off on the measured steady-state path.
     dpu_trace = std::make_shared<BatchDpuTrace>();
     dpu_trace->slices.resize(num_bin_tasks);
   }
@@ -779,6 +785,7 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
           if (idx_bytes > group.layout.index_bytes) {
             bin_status[task] = Status::CapacityExceeded(
                 "stage-1 index buffer overflow (" +
+                // UPDLRM_LINT_ALLOW(noalloc-region): rejection path.
                 std::to_string(idx_bytes) +
                 " bytes); increase EngineOptions::reserved_io_bytes");
             continue;
@@ -1067,6 +1074,8 @@ Result<BatchResult> UpDlrmEngine::RunSamples(
                       4);
   out.total = std::max(out.bottom_mlp, out.stages.EmbeddingTotal()) +
               out.interaction_top;
+  // UPDLRM_NOALLOC_END (the functional-mode output copy below is the
+  // documented per-batch allocation: results leave by value).
 
   if (fn) {
     // The one unavoidable per-batch allocation of functional mode: the

@@ -1,0 +1,172 @@
+// Injected-fault tests of the vector-clock protocol verifier: the
+// shipped protocols verify clean, and removing any single
+// happens-before edge flips Rule::kAtomicProtocol — proving both that
+// the edge is load-bearing and that the machine detects its absence.
+#include "check/race_check.h"
+
+#include <gtest/gtest.h>
+
+#include "check/report.h"
+
+namespace updlrm::check {
+namespace {
+
+// --- The machine itself. ---
+
+TEST(RaceCheckTest, ReleaseAcquireOrdersPlainAccess) {
+  CheckReport report;
+  RaceCheck rc(&report);
+  const auto a = rc.NewThread("a");
+  const auto b = rc.ForkThread(a, "b");
+  const auto flag = rc.NewAtomicLoc("flag");
+  const auto data = rc.NewPlainLoc("data");
+
+  rc.PlainWrite(a, data);
+  rc.ReleaseStore(a, flag);
+  rc.AcquireLoad(b, flag);
+  rc.PlainRead(b, data);
+  EXPECT_EQ(rc.violations(), 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(RaceCheckTest, RelaxedPublishIsARace) {
+  CheckReport report;
+  RaceCheck rc(&report);
+  const auto a = rc.NewThread("a");
+  const auto b = rc.ForkThread(a, "b");
+  const auto flag = rc.NewAtomicLoc("flag");
+  const auto data = rc.NewPlainLoc("data");
+
+  rc.PlainWrite(a, data);
+  rc.RelaxedStore(a, flag);  // publishes nothing
+  rc.AcquireLoad(b, flag);
+  rc.PlainRead(b, data);
+  EXPECT_EQ(rc.violations(), 1u);
+  EXPECT_EQ(report.count(Rule::kAtomicProtocol), 1u);
+  EXPECT_NE(report.first_offender(Rule::kAtomicProtocol).find("data"),
+            std::string::npos);
+}
+
+TEST(RaceCheckTest, ForkAndJoinEdgesOrderAccesses) {
+  CheckReport report;
+  RaceCheck rc(&report);
+  const auto main = rc.NewThread("main");
+  const auto data = rc.NewPlainLoc("data");
+  rc.PlainWrite(main, data);
+  const auto worker = rc.ForkThread(main, "worker");
+  rc.PlainWrite(worker, data);  // ordered by the fork edge
+  rc.JoinThread(main, worker);
+  rc.PlainWrite(main, data);  // ordered by the join edge
+  EXPECT_EQ(rc.violations(), 0u);
+}
+
+TEST(RaceCheckTest, ConcurrentWritesRaceBothWays) {
+  CheckReport report;
+  RaceCheck rc(&report);
+  const auto a = rc.NewThread("a");
+  const auto b = rc.ForkThread(a, "b");
+  const auto data = rc.NewPlainLoc("data");
+  rc.PlainWrite(a, data);
+  rc.PlainWrite(b, data);  // no edge between the writes
+  EXPECT_EQ(rc.violations(), 1u);
+}
+
+TEST(RaceCheckTest, ConcurrentReadsDoNotRace) {
+  CheckReport report;
+  RaceCheck rc(&report);
+  const auto a = rc.NewThread("a");
+  const auto data = rc.NewPlainLoc("data");
+  rc.PlainWrite(a, data);
+  const auto b = rc.ForkThread(a, "b");
+  const auto c = rc.ForkThread(a, "c");
+  rc.PlainRead(b, data);
+  rc.PlainRead(c, data);  // readers may be concurrent with each other
+  EXPECT_EQ(rc.violations(), 0u);
+  // ... but a write unordered against either reader races.
+  rc.PlainWrite(a, data);
+  EXPECT_EQ(rc.violations(), 2u);
+}
+
+// --- Telemetry ring-buffer protocol. ---
+
+TEST(RaceCheckTest, TelemetryRingProtocolVerifiesClean) {
+  CheckReport report;
+  EXPECT_EQ(VerifyTelemetryRingProtocol(RaceFault::kNone, &report), 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(RaceCheckTest, RelaxedRingSizeStoreFlipsAtomicProtocol) {
+  CheckReport report;
+  EXPECT_GT(
+      VerifyTelemetryRingProtocol(RaceFault::kRingSizeStoreRelaxed, &report),
+      0u);
+  EXPECT_GT(report.count(Rule::kAtomicProtocol), 0u);
+}
+
+TEST(RaceCheckTest, RelaxedSnapshotLoadFlipsAtomicProtocol) {
+  CheckReport report;
+  EXPECT_GT(
+      VerifyTelemetryRingProtocol(RaceFault::kRingSnapshotRelaxed, &report),
+      0u);
+  EXPECT_GT(report.count(Rule::kAtomicProtocol), 0u);
+}
+
+// --- ParallelFor recycling protocol. ---
+
+TEST(RaceCheckTest, WorkStealProtocolVerifiesClean) {
+  CheckReport report;
+  EXPECT_EQ(VerifyWorkStealProtocol(RaceFault::kNone, &report), 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(RaceCheckTest, SkippingTheDrainSpinFlipsAtomicProtocol) {
+  CheckReport report;
+  EXPECT_GT(VerifyWorkStealProtocol(RaceFault::kStealNoDrainSpin, &report),
+            0u);
+  EXPECT_GT(report.count(Rule::kAtomicProtocol), 0u);
+}
+
+TEST(RaceCheckTest, RelaxedParticipantsDecrementFlipsAtomicProtocol) {
+  CheckReport report;
+  EXPECT_GT(VerifyWorkStealProtocol(RaceFault::kStealDoneRelaxed, &report),
+            0u);
+  EXPECT_GT(report.count(Rule::kAtomicProtocol), 0u);
+}
+
+TEST(RaceCheckTest, StaleHelperWithoutTicketSyncFlipsAtomicProtocol) {
+  CheckReport report;
+  EXPECT_GT(VerifyWorkStealProtocol(RaceFault::kStealNoTicketSync, &report),
+            0u);
+  EXPECT_GT(report.count(Rule::kAtomicProtocol), 0u);
+}
+
+// --- Determinism and reporting. ---
+
+TEST(RaceCheckTest, VerificationIsDeterministic) {
+  for (const RaceFault fault :
+       {RaceFault::kNone, RaceFault::kRingSizeStoreRelaxed,
+        RaceFault::kStealDoneRelaxed, RaceFault::kStealNoTicketSync}) {
+    CheckReport r1;
+    CheckReport r2;
+    EXPECT_EQ(VerifyTelemetryRingProtocol(fault, &r1),
+              VerifyTelemetryRingProtocol(fault, &r2));
+    EXPECT_EQ(VerifyWorkStealProtocol(fault, &r1),
+              VerifyWorkStealProtocol(fault, &r2));
+    EXPECT_EQ(r1.count(Rule::kAtomicProtocol),
+              r2.count(Rule::kAtomicProtocol));
+  }
+}
+
+TEST(RaceCheckTest, SweepReportsUnderTheAtomicProtocolRule) {
+  CheckReport report;
+  VerifyAtomicProtocols(&report);
+  EXPECT_TRUE(report.clean());
+  // A faulted run names the racing location in the offender context.
+  VerifyWorkStealProtocol(RaceFault::kStealNoDrainSpin, &report);
+  EXPECT_NE(report.first_offender(Rule::kAtomicProtocol).find("state."),
+            std::string::npos);
+  EXPECT_NE(report.ToString().find("atomic-protocol"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace updlrm::check

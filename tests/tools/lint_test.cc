@@ -1,0 +1,331 @@
+// Fixture tests of the project-invariant lint engine: each rule R1-R6
+// is tripped by exactly one minimal fixture, a clean fixture passes,
+// and UPDLRM_LINT_ALLOW suppressions are honored and auditable. The
+// fixtures use virtual repo-relative paths ("src/updlrm/fixture.cc") —
+// rule scoping depends only on the path string, never the filesystem.
+#include "updlrm_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "updlrm_lint/rules.h"
+
+namespace updlrm::lint {
+namespace {
+
+std::vector<Finding> LintSnippet(const std::string& path, const char* source) {
+  return LintSource(path, std::string(source));
+}
+
+int CountRule(const std::vector<Finding>& findings, RuleId rule) {
+  int n = 0;
+  for (const Finding& f : findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+// --- R1: unordered-container iteration. ---
+
+TEST(LintTest, R1FlagsRangeForOverUnorderedMap) {
+  const auto findings = LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <unordered_map>
+    int Sum(const std::unordered_map<int, int>& hist) {
+      int sum = 0;
+      for (const auto& kv : hist) sum += kv.second;
+      return sum;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kUnorderedIteration), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintTest, R1AllowsLookupAndFlagsIteratorWalk) {
+  // Lookup is fine...
+  EXPECT_TRUE(LintSnippet("src/cache/fixture.cc", R"(
+    #include <unordered_map>
+    int Get(std::unordered_map<int, int>& m) {
+      auto it = m.find(3);
+      return it == m.end() ? 0 : it->second;
+    }
+  )").empty());
+  // ... an explicit begin() walk is not.
+  const auto findings = LintSnippet("src/cache/fixture.cc", R"(
+    #include <unordered_set>
+    int First(std::unordered_set<int>& seen) {
+      return *seen.begin();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kUnorderedIteration), 1);
+}
+
+TEST(LintTest, R1ScopesToSrcAndBenchOnly) {
+  const char* source = R"(
+    #include <unordered_map>
+    void Dump(const std::unordered_map<int, int>& m) {
+      for (const auto& kv : m) (void)kv;
+    }
+  )";
+  EXPECT_EQ(CountRule(LintSnippet("tests/updlrm/fixture.cc", source),
+                      RuleId::kUnorderedIteration),
+            0);
+  EXPECT_EQ(CountRule(LintSnippet("bench/fixture.cc", source),
+                      RuleId::kUnorderedIteration),
+            1);
+}
+
+// --- R2: allocation inside a NOALLOC region. ---
+
+TEST(LintTest, R2FlagsAllocationInNoallocRegion) {
+  const auto findings = LintSnippet("src/serve/fixture.cc", R"(
+    void Hot(int n) {
+      // UPDLRM_NOALLOC_BEGIN
+      int* p = new int[n];
+      delete[] p;
+      // UPDLRM_NOALLOC_END
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kNoallocRegion), 1);
+}
+
+TEST(LintTest, R2AllowsWarmReuseAndPlacementNew) {
+  EXPECT_TRUE(LintSnippet("src/serve/fixture.cc", R"(
+    #include <vector>
+    struct S {
+      std::vector<int> scratch_;
+      char slot_[16];
+      void Hot(int n) {
+        // UPDLRM_NOALLOC_BEGIN
+        scratch_.assign(n, 0);
+        scratch_.resize(n * 2);
+        new (slot_) int(7);
+        // UPDLRM_NOALLOC_END
+      }
+    };
+  )").empty());
+}
+
+TEST(LintTest, R2FlagsUnbalancedRegion) {
+  const auto findings = LintSnippet("src/serve/fixture.cc", R"(
+    // UPDLRM_NOALLOC_BEGIN
+    void Hot() {}
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kNoallocRegion), 1);
+}
+
+// --- R3: ambient clock / randomness sources. ---
+
+TEST(LintTest, R3FlagsSystemClockOutsideTelemetry) {
+  const auto findings = LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <chrono>
+    double Now() {
+      return std::chrono::system_clock::now().time_since_epoch().count();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kClockSource), 1);
+}
+
+TEST(LintTest, R3AllowsSteadyClockAndSanctionedHomes) {
+  EXPECT_TRUE(LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <chrono>
+    auto T() { return std::chrono::steady_clock::now(); }
+  )").empty());
+  // telemetry/ owns the host-clock domain; rng.h owns entropy.
+  EXPECT_TRUE(LintSnippet("src/telemetry/fixture.cc", R"(
+    #include <chrono>
+    auto T() { return std::chrono::system_clock::now(); }
+  )").empty());
+  EXPECT_TRUE(LintSnippet("src/common/rng.h", R"(
+    #include <random>
+    auto Seed() { return std::random_device{}(); }
+  )").empty());
+}
+
+TEST(LintTest, R3FlagsRandomEnginesEverywhereElse) {
+  const auto findings = LintSnippet("tests/updlrm/fixture.cc", R"(
+    #include <random>
+    int Draw() {
+      std::mt19937 gen(42);
+      return static_cast<int>(gen());
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kClockSource), 1);
+}
+
+// --- R4: include layering. ---
+
+TEST(LintTest, R4FlagsDownwardInclude) {
+  const auto findings = LintSnippet("src/pim/fixture.cc", R"(
+    #include "pim/dpu.h"
+    #include "updlrm/engine.h"
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kIncludeLayering), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, R4AllowsDagEdgesTransitively) {
+  EXPECT_TRUE(LintSnippet("src/serve/fixture.cc", R"(
+    #include <vector>
+    #include "common/status.h"
+    #include "telemetry/tracer.h"
+    #include "updlrm/engine.h"
+    #include "serve/batcher.h"
+  )").empty());
+}
+
+// --- R5: DpuStats / X-macro coverage. ---
+
+TEST(LintTest, R5FlagsCounterMissingFromXmacro) {
+  const auto findings = LintSnippet("src/pim/fixture.h", R"(
+    #include <cstdint>
+    #define UPDLRM_DPU_COUNTER_FIELDS(X) \
+      X(lookups)                         \
+      X(samples)
+    struct DpuStats {
+      std::uint64_t lookups = 0;
+      std::uint64_t samples = 0;
+      std::uint64_t forgotten = 0;
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kCounterXmacro), 1);
+}
+
+TEST(LintTest, R5FlagsXmacroEntryWithoutField) {
+  const auto findings = LintSnippet("src/pim/fixture.h", R"(
+    #include <cstdint>
+    #define UPDLRM_DPU_COUNTER_FIELDS(X) \
+      X(lookups)                         \
+      X(ghost)
+    struct DpuStats {
+      std::uint64_t lookups = 0;
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kCounterXmacro), 1);
+}
+
+TEST(LintTest, R5AcceptsExactCoverageAndIgnoresNonCounters) {
+  EXPECT_TRUE(LintSnippet("src/pim/fixture.h", R"(
+    #include <cstdint>
+    using Cycles = std::uint64_t;
+    #define UPDLRM_DPU_COUNTER_FIELDS(X) \
+      X(lookups)                         \
+      X(samples)
+    struct DpuStats {
+      std::uint64_t lookups = 0;
+      std::uint64_t samples = 0;
+      Cycles kernel_cycles = 0;  // not a std::uint64_t-spelled counter
+    };
+  )").empty());
+}
+
+// --- R6: float accumulation in parallel regions. ---
+
+TEST(LintTest, R6FlagsFloatCompoundAddInParallelFor) {
+  const auto findings = LintSnippet("src/updlrm/fixture.cc", R"(
+    void Merge(double* out) {
+      double acc = 0.0;
+      ParallelFor(100, [&](std::size_t b, std::size_t e) {
+        acc += static_cast<double>(e - b);
+      });
+      *out = acc;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kFloatAccumulation), 1);
+}
+
+TEST(LintTest, R6AllowsIntegerLanesAndSerialFloatFolds) {
+  EXPECT_TRUE(LintSnippet("src/updlrm/fixture.cc", R"(
+    void Merge(long* lanes, double* out, int n) {
+      ParallelFor(100, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) lanes[i] += 1;
+      });
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) acc += static_cast<double>(lanes[i]);
+      *out = acc;
+    }
+  )").empty());
+}
+
+TEST(LintTest, R6FlagsAtomicFloatAnywhereInSrc) {
+  const auto findings = LintSnippet("src/host/fixture.h", R"(
+    #include <atomic>
+    struct Totals {
+      std::atomic<double> energy{0.0};
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kFloatAccumulation), 1);
+}
+
+// --- Clean fixture, suppressions, report rendering. ---
+
+TEST(LintTest, CleanFixtureProducesNoFindings) {
+  EXPECT_TRUE(LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <cstdint>
+    #include <map>
+    #include "common/status.h"
+    #include "pim/dpu.h"
+    std::uint64_t Tally(const std::map<int, std::uint64_t>& ordered) {
+      std::uint64_t sum = 0;
+      for (const auto& kv : ordered) sum += kv.second;
+      return sum;
+    }
+  )").empty());
+}
+
+TEST(LintTest, AllowDirectiveSuppressesOnItsLineAndTheNext) {
+  EXPECT_TRUE(LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <chrono>
+    double Wall() {
+      // UPDLRM_LINT_ALLOW(clock-source): exporter labels wall time.
+      auto t = std::chrono::system_clock::now();
+      return static_cast<double>(t.time_since_epoch().count());
+    }
+  )").empty());
+  // The suppression is rule-specific: allowing R3 does not hide R1.
+  const auto findings = LintSnippet("src/updlrm/fixture.cc", R"(
+    #include <unordered_map>
+    int Sum(const std::unordered_map<int, int>& m) {
+      int sum = 0;
+      // UPDLRM_LINT_ALLOW(clock-source): wrong rule on purpose.
+      for (const auto& kv : m) sum += kv.second;
+      return sum;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kUnorderedIteration), 1);
+}
+
+TEST(LintTest, UnknownAllowRuleIsItselfReported) {
+  const auto findings = LintSnippet("src/updlrm/fixture.cc", R"(
+    // UPDLRM_LINT_ALLOW(no-such-rule): typo.
+    void F() {}
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(LintTest, RuleNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumLintRules; ++i) {
+    const auto rule = static_cast<RuleId>(i);
+    EXPECT_EQ(RuleFromName(RuleName(rule)), rule);
+    EXPECT_EQ(RuleFromName(RuleCode(rule)), rule);
+  }
+  EXPECT_EQ(RuleFromName("bogus"), RuleId::kNumRules);
+}
+
+TEST(LintTest, JsonReportCarriesFindings) {
+  LintResult result;
+  result.files = {"src/a.cc"};
+  result.findings.push_back(Finding{
+      RuleId::kClockSource, "src/a.cc", 7, "use of \"system_clock\""});
+  const std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"R3\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"system_clock\\\""), std::string::npos);
+  EXPECT_NE(ToText(result).find("src/a.cc:7: [R3] clock-source"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace updlrm::lint

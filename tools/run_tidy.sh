@@ -6,10 +6,14 @@
 #   tools/run_tidy.sh [build_dir] [-- <extra clang-tidy args>]
 #
 # build_dir defaults to ./build and must contain compile_commands.json
-# (the top-level CMakeLists.txt exports it). If clang-tidy is not
-# installed the script reports that and exits 0 so local workflows on
-# minimal containers are not blocked; CI's `analysis` job installs it,
-# making the gate binding there.
+# (the top-level CMakeLists.txt exports it; the same database feeds
+# tools/updlrm_lint's CI job). If clang-tidy is not installed the
+# script reports that and exits 0 so local workflows on minimal
+# containers are not blocked; CI's `analysis` job installs it, making
+# the gate binding there. When clang-tidy IS present, any finding is
+# fatal: .clang-tidy promotes every enabled check to an error
+# (WarningsAsErrors: '*'), so this script exiting 0 means zero
+# findings, not zero errors.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

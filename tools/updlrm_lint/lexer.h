@@ -1,0 +1,66 @@
+// Lightweight C++ lexer for the project-invariant lint engine.
+//
+// The lint rules (rules.h) do not need a full parse — they match token
+// patterns ("range-for over an identifier declared std::unordered_map",
+// "`new` outside a placement form", "#include \"module/...\"") plus
+// comment *directives* that scope or suppress rules. So the lexer does
+// exactly that much: it splits a translation unit into identifier /
+// number / punctuation / string tokens with 1-based line numbers,
+// strips comments and string bodies from the token stream (a `new`
+// inside a string is not an allocation), and returns the comments
+// separately so directive scanning (UPDLRM_NOALLOC_BEGIN/END,
+// UPDLRM_LINT_ALLOW) sees them with exact line anchors.
+//
+// Deliberately freestanding: the lint library depends on nothing in
+// src/ so it can audit every layer — including common/ — without
+// being part of the layering graph it checks (R4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace updlrm::lint {
+
+enum class TokenKind {
+  kIdentifier,  // names and keywords, including `new`, `for`
+  kNumber,
+  kPunct,       // one operator/punctuator per token (see lexer.cc)
+  kString,      // string or char literal (text excludes quotes)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kIdentifier;
+  std::string_view text;  // view into the lexed source buffer
+  int line = 0;           // 1-based
+};
+
+/// One // or /* */ comment; `text` excludes the comment markers.
+struct Comment {
+  std::string_view text;
+  int line = 0;  // line the comment starts on
+};
+
+/// An #include directive with a quoted (project) path. Angle-bracket
+/// includes are recorded with `system = true` so R4 can ignore them.
+struct IncludeDirective {
+  std::string_view path;
+  int line = 0;
+  bool system = false;
+};
+
+struct LexedFile {
+  // The source buffer all string_views point into. Owned here so a
+  // LexedFile is self-contained.
+  std::string source;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lexes `source`. Never fails: malformed input degrades to best-effort
+/// tokens (the lint is advisory; the compiler owns syntax errors).
+LexedFile Lex(std::string source);
+
+}  // namespace updlrm::lint

@@ -1,0 +1,147 @@
+#include "updlrm_lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace updlrm::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string NormalizeSlashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  // Strip a leading "./" so scoping prefixes match.
+  while (path.size() >= 2 && path[0] == '.' && path[1] == '/') {
+    path.erase(0, 2);
+  }
+  return path;
+}
+
+std::string RelativeTo(const fs::path& p, const std::string& root) {
+  if (root.empty()) return NormalizeSlashes(p.generic_string());
+  std::error_code ec;
+  const fs::path rel = fs::proximate(p, root, ec);
+  if (ec || rel.empty()) return NormalizeSlashes(p.generic_string());
+  return NormalizeSlashes(rel.generic_string());
+}
+
+void JsonEscape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool IsLintableFile(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string_view ext = std::string_view(path).substr(dot);
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string source) {
+  return LintLexedFile(path, Lex(std::move(source)));
+}
+
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const std::string& root) {
+  LintResult result;
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) &&
+            IsLintableFile(it->path().generic_string())) {
+          files.push_back(it->path());
+        }
+      }
+    } else {
+      files.emplace_back(p);
+    }
+  }
+
+  // Deterministic report order regardless of directory enumeration.
+  std::vector<std::string> rel;
+  rel.reserve(files.size());
+  for (const fs::path& f : files) rel.push_back(RelativeTo(f, root));
+  std::vector<std::size_t> order(files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rel[a] < rel[b];
+  });
+
+  for (const std::size_t i : order) {
+    std::ifstream in(files[i], std::ios::binary);
+    if (!in) {
+      ++result.unreadable_files;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.files.push_back(rel[i]);
+    auto findings = LintSource(rel[i], std::move(buf).str());
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  return result;
+}
+
+std::string ToText(const LintResult& result) {
+  std::ostringstream os;
+  for (const Finding& f : result.findings) {
+    os << f.file << ":" << f.line << ": [" << RuleCode(f.rule) << "] "
+       << RuleName(f.rule) << ": " << f.message << "\n";
+  }
+  if (!result.findings.empty() || result.unreadable_files > 0) {
+    os << "updlrm_lint: " << result.findings.size() << " finding(s) in "
+       << result.files.size() << " file(s)";
+    if (result.unreadable_files > 0) {
+      os << ", " << result.unreadable_files << " unreadable";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ToJson(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"files_scanned\": " << result.files.size()
+     << ",\n  \"unreadable_files\": " << result.unreadable_files
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \"" << RuleName(f.rule)
+       << "\", \"code\": \"" << RuleCode(f.rule) << "\", \"file\": \"";
+    JsonEscape(os, f.file);
+    os << "\", \"line\": " << f.line << ", \"message\": \"";
+    JsonEscape(os, f.message);
+    os << "\"}";
+  }
+  os << (result.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace updlrm::lint

@@ -1,0 +1,43 @@
+// Driver layer of updlrm_lint: file discovery, per-file linting, and
+// report rendering (human text + machine JSON for CI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "updlrm_lint/rules.h"
+
+namespace updlrm::lint {
+
+struct LintResult {
+  std::vector<Finding> findings;   // sorted by (file, line, rule)
+  std::vector<std::string> files;  // every file linted, sorted
+  int unreadable_files = 0;        // paths that could not be opened
+
+  bool Clean() const { return findings.empty() && unreadable_files == 0; }
+};
+
+/// True for the extensions the lint understands (.h .hpp .cc .cpp .cxx).
+bool IsLintableFile(const std::string& path);
+
+/// Lints one in-memory source; `path` should be repo-relative (it
+/// drives rule scoping). Exposed for tests.
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string source);
+
+/// Lints each path: files are linted directly, directories are walked
+/// recursively for lintable files. Paths are normalized relative to
+/// `root` (pass the repo root; "" keeps them as given) so diagnostics
+/// and rule scoping are stable regardless of invocation directory.
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const std::string& root);
+
+/// Human-readable report: "file:line: [R?] rule-name: message" lines
+/// plus a summary; empty string when the result is clean.
+std::string ToText(const LintResult& result);
+
+/// Machine-readable report for CI artifacts:
+/// {"files_scanned":N,"findings":[{"rule","code","file","line","message"},...]}
+std::string ToJson(const LintResult& result);
+
+}  // namespace updlrm::lint

@@ -1,0 +1,85 @@
+// updlrm_lint — project-invariant static analysis for the UpDLRM tree.
+//
+// Usage:
+//   updlrm_lint [--root=DIR] [--json=FILE] [path ...]
+//
+// Paths default to {src, bench, tools, tests} under --root (default:
+// the current directory). Exits 1 when any finding survives
+// suppression, 2 on usage errors, 0 when clean — so CI can gate on it
+// directly. --json writes the machine-readable report ("-" = stdout).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "updlrm_lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root=DIR] [--json=FILE] [path ...]\n"
+               "  --root=DIR   repo root for path normalization and "
+               "default scan set (default: .)\n"
+               "  --json=FILE  write JSON report to FILE (\"-\" = stdout)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    for (const char* d : {"src", "bench", "tools", "tests"}) {
+      const std::string p = root + "/" + d;
+      std::error_code ec;
+      if (std::filesystem::is_directory(p, ec)) paths.push_back(p);
+    }
+  }
+
+  const updlrm::lint::LintResult result =
+      updlrm::lint::LintPaths(paths, root);
+
+  if (!json_path.empty()) {
+    const std::string json = updlrm::lint::ToJson(result);
+    if (json_path == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "updlrm_lint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      out << json;
+    }
+  }
+
+  std::cerr << updlrm::lint::ToText(result);
+  if (result.files.empty()) {
+    std::fprintf(stderr, "updlrm_lint: no lintable files found\n");
+    return 2;
+  }
+  return result.Clean() ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// The project-invariant rules of updlrm_lint.
+//
+// Each rule enforces a contract the codebase states in prose (DESIGN.md,
+// header comments) but that no compiler flag or sanitizer checks:
+//
+//   R1 unordered-iteration  Iterating a std::unordered_{map,set}
+//      visits elements in hash order — which varies across libstdc++
+//      versions and hash seeds — so any output derived from the walk
+//      breaks the bit-exact determinism contract. Lookup (find/[],
+//      try_emplace) is fine; iteration in src/ and bench/ is not.
+//   R2 noalloc-region       Inside a // UPDLRM_NOALLOC_BEGIN/END
+//      region, constructs that unconditionally heap-
+//      allocate are forbidden: non-placement `new`, malloc family,
+//      make_unique/make_shared, std::to_string, and fresh container /
+//      std::function declarations. Warm-capacity reuse (assign/resize
+//      on member scratch) is the *point* of those regions and stays
+//      legal; tests/serve/alloc_test.cc enforces the dynamic side.
+//   R3 clock-source         Wall-clock time and ambient randomness
+//      (rand/srand, std::random_device, <random> engines,
+//      system_clock/high_resolution_clock, std::time) are only
+//      allowed in common/rng.* (the one seeded entropy source) and
+//      telemetry/ (which owns the host-clock domain). steady_clock is
+//      deliberately legal everywhere: monotonic wall timing feeds
+//      BENCH_host.json and never leaks into simulated results.
+//   R4 include-layering     src/ modules form a DAG
+//      (common ← {telemetry,trace,host} ← {cache,dlrm,pim} ←
+//       partition/baselines ← check ← updlrm ← serve ← pipeline);
+//      a quoted include against an edge not in the closure fails.
+//   R5 counter-xmacro       Every std::uint64_t field of DpuStats must
+//      appear in the UPDLRM_DPU_COUNTER_FIELDS X-macro and vice versa,
+//      so aggregation/export can never silently miss a counter.
+//   R6 float-accumulation   Inside a ParallelFor body, compound
+//      addition into float/double state is the classic determinism
+//      bug (merge order = thread schedule). Reductions must use
+//      integer/fixed-point lanes or a post-region fixed-order fold.
+//      std::atomic<float/double> is flagged unconditionally.
+//
+// Suppression: `// UPDLRM_LINT_ALLOW(<rule-name>): reason` on the same
+// line or the line above silences that rule there — grep-able, so every
+// suppression is an auditable decision, mirroring NOLINT.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "updlrm_lint/lexer.h"
+
+namespace updlrm::lint {
+
+enum class RuleId {
+  kUnorderedIteration = 0,  // R1
+  kNoallocRegion,           // R2
+  kClockSource,             // R3
+  kIncludeLayering,         // R4
+  kCounterXmacro,           // R5
+  kFloatAccumulation,       // R6
+  kNumRules,
+};
+
+inline constexpr std::size_t kNumLintRules =
+    static_cast<std::size_t>(RuleId::kNumRules);
+
+/// Stable kebab-case rule name ("unordered-iteration", ...).
+std::string_view RuleName(RuleId rule);
+/// Short code ("R1" .. "R6").
+std::string_view RuleCode(RuleId rule);
+/// Reverse lookup for suppression parsing; kNumRules when unknown.
+RuleId RuleFromName(std::string_view name);
+
+struct Finding {
+  RuleId rule = RuleId::kNumRules;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Runs every rule over one lexed file. `path` is used both for
+/// diagnostics and for scoping (src/ module classification, rule
+/// applicability); use repo-relative paths.
+std::vector<Finding> LintLexedFile(const std::string& path,
+                                   const LexedFile& lexed);
+
+}  // namespace updlrm::lint
