@@ -6,8 +6,18 @@
 // generator swaps a fraction of the hot items' identities for the
 // second half of the trace; plans are built from first-half profiles
 // and evaluated by replaying the second half.
+//
+// The same history/served split doubles as the validation harness for
+// the fleet-health drift detector (telemetry/monitor.h): a FleetMonitor
+// armed with the history-mined baseline replays the served half in
+// fixed windows and must (a) stay silent at drift 0 — zero bad windows,
+// no alert — and (b) raise its alert within kMaxAlertWindow windows of
+// the shift for drift >= 0.5. Either failure aborts the bench, so a CI
+// run of abl_drift is also the detector's end-to-end gate.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <span>
 
 #include "bench_common.h"
 #include "cache/grace.h"
@@ -15,6 +25,7 @@
 #include "partition/cache_aware.h"
 #include "partition/metrics.h"
 #include "partition/nonuniform.h"
+#include "telemetry/monitor.h"
 #include "trace/profiler.h"
 
 namespace updlrm {
@@ -25,6 +36,46 @@ trace::TableTrace SliceSamples(const trace::TableTrace& table,
   trace::TableTrace out;
   for (std::size_t s = begin; s < end; ++s) out.AppendSample(table.Sample(s));
   return out;
+}
+
+// The detector must alert no later than this window index; the shift
+// is at window 0 (the served half starts drifted), so this is "within
+// <= 4 windows of the injected skew shift".
+constexpr std::int64_t kMaxAlertWindow = 4;
+
+struct DriftMonitorVerdict {
+  std::int64_t first_alert_window = -1;
+  std::uint64_t bad_windows = 0;
+  std::uint64_t windows = 0;
+};
+
+// Replays the served half through a FleetMonitor armed with the
+// history-built baseline, in fixed same-size sample windows (synthetic
+// timestamps: the detector is keyed to simulated ns, so the replay
+// assigns each sample a time inside its window).
+DriftMonitorVerdict ReplayThroughMonitor(
+    const trace::TableTrace& served,
+    std::span<const std::uint64_t> history_freq) {
+  telemetry::MonitorOptions options;
+  options.window_ns = 1.0e3;
+  const std::size_t samples_per_window =
+      std::max<std::size_t>(32, served.num_samples() / 4);
+  telemetry::FleetMonitor monitor(options);
+  const auto by_freq = trace::ItemsByFrequency(history_freq);
+  monitor.AddTableBaseline(
+      0, telemetry::BuildDriftBaseline(history_freq, by_freq,
+                                       options.drift));
+  for (std::size_t s = 0; s < served.num_samples(); ++s) {
+    const Nanos t = static_cast<double>(s / samples_per_window) *
+                    options.window_ns;
+    monitor.OnAccess(0, t, served.Sample(s));
+  }
+  monitor.Finalize();
+  DriftMonitorVerdict verdict;
+  verdict.first_alert_window = monitor.summary().first_drift_alert_window;
+  verdict.bad_windows = monitor.summary().drift_bad_table_windows;
+  verdict.windows = monitor.summary().windows;
+  return verdict;
 }
 
 }  // namespace
@@ -41,7 +92,7 @@ int main(int argc, char** argv) {
   UPDLRM_CHECK(spec.ok());
 
   TablePrinter out({"drift", "NU imbalance (served)", "CA traffic cut",
-                    "CA imbalance (served)"});
+                    "CA imbalance (served)", "detector"});
   for (double drift : {0.0, 0.25, 0.5, 1.0}) {
     trace::TraceGeneratorOptions options;
     options.num_samples = scale.num_samples;
@@ -79,10 +130,34 @@ int main(int argc, char** argv) {
     UPDLRM_CHECK_MSG(ca.ok(), ca.status().ToString());
     const auto ca_report = partition::ReplayLoads(served, ca->plan);
 
+    // Detector gate: silent when stationary, alerting within
+    // kMaxAlertWindow windows once the hot set moved.
+    const DriftMonitorVerdict verdict = ReplayThroughMonitor(served, freq);
+    std::string detector;
+    if (drift == 0.0) {
+      UPDLRM_CHECK_MSG(verdict.bad_windows == 0 &&
+                           verdict.first_alert_window < 0,
+                       "drift detector false positive on stationary data");
+      detector = "quiet";
+    } else if (verdict.first_alert_window >= 0) {
+      detector =
+          "alert@w" + std::to_string(verdict.first_alert_window);
+      UPDLRM_CHECK_MSG(verdict.first_alert_window <= kMaxAlertWindow,
+                       "drift detector alerted too late (window " +
+                           std::to_string(verdict.first_alert_window) +
+                           " > " + std::to_string(kMaxAlertWindow) + ")");
+    } else {
+      detector = "quiet";
+      UPDLRM_CHECK_MSG(drift < 0.5,
+                       "drift detector missed a " +
+                           TablePrinter::FmtPercent(drift, 0) +
+                           " hot-set shift");
+    }
+
     out.AddRow({TablePrinter::FmtPercent(drift, 0),
                 TablePrinter::Fmt(nu_report.imbalance, 2),
                 TablePrinter::FmtPercent(ca_report.TrafficReduction(), 1),
-                TablePrinter::Fmt(ca_report.imbalance, 2)});
+                TablePrinter::Fmt(ca_report.imbalance, 2), detector});
   }
   out.Print(std::cout);
   std::printf(

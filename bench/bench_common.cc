@@ -44,6 +44,10 @@ BenchScale ParseScale(int argc, const char* const* argv) {
         std::max<std::int64_t>(1, cl->GetInt("trace-sample-every", 1)));
     scale.dpus = static_cast<std::uint32_t>(cl->GetInt("dpus", 0));
     scale.ranks = static_cast<std::uint32_t>(cl->GetInt("ranks", 0));
+    scale.health_out = cl->GetString("health-out", "");
+    scale.health_window_us = static_cast<double>(std::max<std::int64_t>(
+        1, cl->GetInt("health-window-us",
+                      static_cast<std::int64_t>(scale.health_window_us))));
   }
   if (scale.threads > 0) {
     // Cap the process-wide pool so num_threads = 0 regions also honor
@@ -220,6 +224,75 @@ std::vector<trace::TableProfile> ProfileTables(const Workload& workload,
 
 baselines::FaeOptions PaperFaeOptions() {
   return baselines::FaeOptions{};  // 64 MB hot cache (see systems.h)
+}
+
+std::unique_ptr<telemetry::FleetMonitor> MakeFleetMonitor(
+    const Workload& workload, const BenchScale& scale, Nanos slo_ns,
+    std::uint32_t units_per_rank, std::uint32_t units_per_shard,
+    const std::vector<trace::TableProfile>* profiles) {
+  if (scale.health_out.empty()) return nullptr;
+#ifdef UPDLRM_TELEMETRY_DISABLED
+  std::fprintf(stderr,
+               "# health: telemetry compiled out (-DUPDLRM_TELEMETRY=OFF); "
+               "--health-out ignored\n");
+  return nullptr;
+#else
+  telemetry::MonitorOptions options;
+  options.window_ns = scale.health_window_us * 1e3;
+  options.slo.slo_ns = slo_ns;
+  options.health.units_per_rank = units_per_rank;
+  options.health.units_per_shard = units_per_shard;
+  auto monitor = std::make_unique<telemetry::FleetMonitor>(options);
+
+  std::vector<trace::TableProfile> own;
+  if (profiles == nullptr) {
+    own = ProfileTables(workload, scale.threads);
+    profiles = &own;
+  }
+  UPDLRM_CHECK_MSG(profiles->size() == workload.config.num_tables,
+                   "profiles must hold one TableProfile per table");
+  for (std::uint32_t t = 0; t < workload.config.num_tables; ++t) {
+    monitor->AddTableBaseline(
+        t, telemetry::BuildDriftBaseline((*profiles)[t].freq,
+                                         (*profiles)[t].by_freq,
+                                         options.drift));
+  }
+  return monitor;
+#endif
+}
+
+void WriteHealthArtifacts(telemetry::FleetMonitor* monitor,
+                          const BenchScale& scale) {
+  if (monitor == nullptr) return;
+  monitor->Finalize();
+  // Counter events must land before the TraceSession snapshots the
+  // buffer — callers sequence this before the session destructor runs.
+  monitor->EmitTraceCounters();
+
+  const Status written = monitor->WriteJsonl(scale.health_out);
+  UPDLRM_CHECK_MSG(written.ok(), written.ToString());
+  const std::string jsonl = monitor->ToJsonl();
+  const Status valid = telemetry::ValidateHealthJsonl(jsonl, 1);
+  UPDLRM_CHECK_MSG(valid.ok(), valid.ToString());
+
+  monitor->ExportTo(telemetry::MetricsRegistry::Global(), "health");
+
+  const telemetry::HealthSummary& summary = monitor->summary();
+  std::fprintf(
+      stderr,
+      "# health: %llu window(s) -> %s (drift: %llu bad table-window(s), "
+      "first alert window %lld, %llu table(s) alerting; slo: %llu "
+      "alert window(s), max burn %.2f/%.2f; stragglers: %llu "
+      "window(s), max |z| %.2f)\n",
+      static_cast<unsigned long long>(summary.windows),
+      scale.health_out.c_str(),
+      static_cast<unsigned long long>(summary.drift_bad_table_windows),
+      static_cast<long long>(summary.first_drift_alert_window),
+      static_cast<unsigned long long>(summary.drift_tables_alerting),
+      static_cast<unsigned long long>(summary.slo_alert_windows),
+      summary.max_fast_burn, summary.max_slow_burn,
+      static_cast<unsigned long long>(summary.straggler_windows),
+      summary.max_unit_z);
 }
 
 namespace {

@@ -30,6 +30,7 @@
 #include "common/cli.h"
 #include "dlrm/model.h"
 #include "pim/system.h"
+#include "telemetry/monitor.h"
 #include "telemetry/registry.h"
 #include "trace/dataset.h"
 #include "trace/generator.h"
@@ -83,12 +84,19 @@ struct BenchScale {
   /// Rank count override: num_dpus must divide evenly; 0 keeps the
   /// Table 2 default (4 ranks of 64).
   std::uint32_t ranks = 0;
+  /// Fleet-health JSONL output path (--health-out); empty = monitoring
+  /// off. Benches honoring it attach a FleetMonitor to one
+  /// representative serve run (the same run --trace-out captures).
+  std::string health_out;
+  /// Monitor window width in simulated microseconds (--health-window-us).
+  double health_window_us = 100.0;
 };
 
 /// Parses --samples / --full / --batch / --threads / --seed / --arrival
 /// / --dedup / --wram=N / --coalesce / --check / --e2e /
-/// --trace-out=PATH / --trace-sample-every=N from argv; sizes the
-/// process-wide default pool and prints a scale banner.
+/// --trace-out=PATH / --trace-sample-every=N / --health-out=PATH /
+/// --health-window-us=N from argv; sizes the process-wide default pool
+/// and prints a scale banner.
 BenchScale ParseScale(int argc, const char* const* argv);
 
 struct Workload {
@@ -136,6 +144,28 @@ std::vector<trace::TableProfile> ProfileTables(
 
 /// FAE GPU hot-cache provisioning used in comparisons.
 baselines::FaeOptions PaperFaeOptions();
+
+/// Builds the --health-out FleetMonitor for one monitored serve run:
+/// window width from --health-window-us, SLO target `slo_ns`, straggler
+/// rank/shard grouping from `units_per_rank` / `units_per_shard` (0 =
+/// no such grouping), and a drift baseline per table mined from
+/// `profiles` (ProfileTables output; computed here when nullptr).
+/// Returns nullptr — monitoring off — when scale.health_out is empty
+/// or telemetry is compiled out (with a stderr note, like TraceSession).
+std::unique_ptr<telemetry::FleetMonitor> MakeFleetMonitor(
+    const Workload& workload, const BenchScale& scale, Nanos slo_ns,
+    std::uint32_t units_per_rank = 0, std::uint32_t units_per_shard = 0,
+    const std::vector<trace::TableProfile>* profiles = nullptr);
+
+/// Finalizes `monitor` and lands every health artifact: per-window
+/// counters into the live trace (call this BEFORE the TraceSession
+/// closes), the JSONL stream to scale.health_out (self-checked with
+/// ValidateHealthJsonl — the bench aborts on a malformed stream), the
+/// summary into MetricsRegistry::Global() under "health." (so it rides
+/// into BENCH_metrics.json), and a one-line stderr digest. No-op when
+/// `monitor` is null.
+void WriteHealthArtifacts(telemetry::FleetMonitor* monitor,
+                          const BenchScale& scale);
 
 /// Merges "<name>": <payload> (payload = a JSON value) into
 /// BENCH_host.json — the same file HostTimer writes — for benches that

@@ -72,13 +72,16 @@ struct LoadPoint {
   serve::SloReport report;
 };
 
-// Serves `engine` at every load factor x its own capacity.
+// Serves `engine` at every load factor x its own capacity. `monitor`
+// (optional) attaches to the 1.0x-capacity run only — the same
+// representative-run convention as --trace-out in serve_latency.
 template <typename EngineT>
 std::vector<LoadPoint> Sweep(EngineT& engine, const bench::Workload& w,
                              const bench::BenchScale& scale,
                              serve::ArrivalProcess process,
                              double capacity_qps, Nanos batch_total,
-                             Nanos slo_ns) {
+                             Nanos slo_ns,
+                             telemetry::FleetMonitor* monitor = nullptr) {
   std::vector<LoadPoint> points;
   for (const double load : kLoadFactors) {
     const double qps = load * capacity_qps;
@@ -93,6 +96,7 @@ std::vector<LoadPoint> Sweep(EngineT& engine, const bench::Workload& w,
     options.batcher.max_queue_delay_ns = batch_total;
     options.batcher.queue_capacity = 4 * scale.batch_size;
     options.batcher.policy = serve::AdmissionPolicy::kShed;
+    if (monitor != nullptr && load == 1.0) options.monitor = monitor;
     auto result = serve::RunServeSimulation(engine, *requests, options);
     UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
     points.push_back({result->MakeSloReport(qps, slo_ns)});
@@ -247,12 +251,24 @@ int main(int argc, char** argv) {
                                       scale));
         UPDLRM_CHECK_MSG(sharded.ok(), sharded.status().ToString());
         const Calibration cal = Calibrate(**sharded, scale.batch_size);
+        // --health-out monitors one representative run: the largest
+        // CA-shard fleet on the first workload, at 1.0x capacity (the
+        // configuration with the most units and the reduction tree in
+        // play). Units are global DPU ids — dpus_per_rank consecutive
+        // units per rank, num_dpus per shard.
+        std::unique_ptr<telemetry::FleetMonitor> monitor;
+        if (wi == 0 &&
+            shards == kReplicaCounts[std::size(kReplicaCounts) - 1]) {
+          monitor = bench::MakeFleetMonitor(
+              w, scale, slo_ns, base.dpus_per_rank, base.num_dpus);
+        }
         const auto points = Sweep(**sharded, w, scale, *arrival,
                                   cal.capacity_qps, cal.batch_total,
-                                  slo_ns);
+                                  slo_ns, monitor.get());
         bench::AssertChecksClean(**sharded,
                                  spec.name + "/CA-shard/" +
                                      std::to_string(shards));
+        bench::WriteHealthArtifacts(monitor.get(), scale);
         fleets.push_back(
             SingleEngineResult(points, cal.capacity_qps, slo_ns));
       }

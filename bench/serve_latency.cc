@@ -107,16 +107,22 @@ int main(int argc, char** argv) {
         options.batcher.max_queue_delay_ns = batch_total;
         options.batcher.queue_capacity = 4 * scale.batch_size;
         options.batcher.policy = serve::AdmissionPolicy::kShed;
-        // --trace-out captures one representative serve run (cache-aware
-        // at 1.0x capacity): each run restarts the simulated clock at 0,
-        // so one trace file holds exactly one run.
+        // --trace-out / --health-out capture one representative serve
+        // run (cache-aware at 1.0x capacity): each run restarts the
+        // simulated clock at 0, so one trace file holds exactly one run.
         std::optional<bench::TraceSession> trace_session;
+        std::unique_ptr<telemetry::FleetMonitor> monitor;
         if (method == partition::Method::kCacheAware && load == 1.0) {
           trace_session.emplace(scale);
+          monitor = bench::MakeFleetMonitor(
+              w, scale, slo_ns, pim::DpuSystemConfig{}.dpus_per_rank);
+          options.monitor = monitor.get();
         }
         auto result =
             serve::RunServeSimulation(**engine, *requests, options);
         UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
+        // Health first so its counters land inside the open trace.
+        bench::WriteHealthArtifacts(monitor.get(), scale);
         trace_session.reset();  // write + validate the trace, if tracing
 
         const std::string method_name(partition::MethodShortName(method));
@@ -240,13 +246,21 @@ int main(int argc, char** argv) {
       options.plan = tuned->best;
       options.num_threads = scale.threads;
       if (scale.check) options.audit = &audit;
-      // In --e2e mode --trace-out captures the full-path run at 1.0x
-      // capacity, including the mlp_bottom / interact / mlp_top spans.
+      // In --e2e mode --trace-out / --health-out capture the full-path
+      // run at 1.0x capacity, including the mlp_bottom / interact /
+      // mlp_top spans.
       std::optional<bench::TraceSession> trace_session;
-      if (scale.e2e && load == 1.0) trace_session.emplace(scale);
+      std::unique_ptr<telemetry::FleetMonitor> monitor;
+      if (scale.e2e && load == 1.0) {
+        trace_session.emplace(scale);
+        monitor = bench::MakeFleetMonitor(
+            w, scale, e2e_slo_ns, pim::DpuSystemConfig{}.dpus_per_rank);
+        options.monitor = monitor.get();
+      }
       auto result = pipeline::RunDataFlowSimulation(
           **engine, *requests, nullptr, options);
       UPDLRM_CHECK_MSG(result.ok(), result.status().ToString());
+      bench::WriteHealthArtifacts(monitor.get(), scale);
       trace_session.reset();
 
       const serve::SloReport report =

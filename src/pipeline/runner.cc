@@ -97,6 +97,24 @@ Result<DataFlowServeResult> RunDataFlowSimulation(
   using telemetry::kPipelinePid;
   using telemetry::kRequestPid;
 
+  // Fleet-health monitor (observation only; mirrors serve/server.cc).
+  // The pre-loop sample anchors the cumulative per-DPU counters so
+  // window 0's deltas cover the first batch.
+  telemetry::FleetMonitor* const monitor =
+      telemetry::MonitorEnabled(options.monitor) ? options.monitor
+                                                 : nullptr;
+  std::vector<std::uint64_t> unit_work;
+  auto sample_units = [&](Nanos t) {
+    unit_work.clear();
+    const pim::DpuSystem& system = engine.dpu_system();
+    for (std::uint32_t i = 0; i < system.num_dpus(); ++i) {
+      const pim::DpuStats& stats = system.dpu(i).stats();
+      unit_work.push_back(stats.kernel_cycles + stats.index_bytes_pushed);
+    }
+    monitor->OnUnitSample(t, unit_work);
+  };
+  if (monitor != nullptr) sample_units(0.0);
+
   const std::size_t expected_batches =
       options.batcher.max_batch_size > 0
           ? requests.size() / options.batcher.max_batch_size + 2
@@ -173,6 +191,7 @@ Result<DataFlowServeResult> RunDataFlowSimulation(
     if (tracing) batch_traces.push_back(batch->dpu_trace);
     queue_depth.push_back(
         serve::QueueDepthSample{t, batcher.queue_depth()});
+    if (monitor != nullptr) sample_units(t);
 
     if (compute_ctr) {
       if (samples.size() * config.dense_features > dense_rows.capacity()) {
@@ -313,6 +332,18 @@ Result<DataFlowServeResult> RunDataFlowSimulation(
     const std::span<const serve::QueuedRequest> batch_requests(
         request_log.data() + batch_start[b],
         batch_start[b + 1] - batch_start[b]);
+    if (monitor != nullptr) {
+      // Drift accesses at the batch's cut instant; SLO completions at
+      // its full-path done instant (both non-decreasing over b).
+      const trace::Trace& workload = engine.trace();
+      for (const serve::QueuedRequest& q : batch_requests) {
+        for (std::uint32_t t = 0; t < workload.num_tables(); ++t) {
+          monitor->OnAccess(t, sched.cut_ns,
+                            workload.tables[t].Sample(q.request.sample));
+        }
+        monitor->OnRequest(done, done - q.request.arrival_ns);
+      }
+    }
     for (const serve::QueuedRequest& q : batch_requests) {
       const Nanos latency = done - q.request.arrival_ns;
       result.latency.Add(latency);

@@ -24,6 +24,7 @@
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/workload.h"
+#include "telemetry/monitor.h"
 #include "updlrm/engine.h"
 
 namespace updlrm::pipeline {
@@ -43,6 +44,9 @@ struct DataFlowServeOptions {
   /// the depth-implied MRAM IO footprint, and the stage ordering of
   /// every executed batch into this report. Observation only.
   check::CheckReport* audit = nullptr;
+  /// Optional fleet-health monitor (telemetry/monitor.h), observation
+  /// only — same feeding contract as serve::ServeOptions::monitor.
+  telemetry::FleetMonitor* monitor = nullptr;
 };
 
 struct DataFlowServeResult {

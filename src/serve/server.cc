@@ -56,6 +56,34 @@ void ServeResult::ExportTo(telemetry::MetricsRegistry& registry,
 
 namespace {
 
+// Per-unit cumulative work proxy for the straggler scorer: kernel
+// cycles plus index wire bytes (a stand-in for per-DPU transfer cycles
+// — z-scores are scale-free, so the mix only needs to be consistent).
+void AppendUnitWork(const pim::DpuSystem& system,
+                    std::vector<std::uint64_t>& out) {
+  for (std::uint32_t i = 0; i < system.num_dpus(); ++i) {
+    const pim::DpuStats& stats = system.dpu(i).stats();
+    out.push_back(stats.kernel_cycles + stats.index_bytes_pushed);
+  }
+}
+
+// Flat engine: units are its DPUs.
+void SampleUnitWork(const core::UpDlrmEngine& engine,
+                    std::vector<std::uint64_t>& out) {
+  out.clear();
+  AppendUnitWork(engine.dpu_system(), out);
+}
+
+// Sharded fleet: units are every shard's DPUs, concatenated in shard
+// order (global unit id = shard * shard_dpus + local dpu).
+void SampleUnitWork(const core::ShardedEngine& engine,
+                    std::vector<std::uint64_t>& out) {
+  out.clear();
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    AppendUnitWork(engine.shard(s).dpu_system(), out);
+  }
+}
+
 // The loop body is engine-shape agnostic: it only needs RunSamples()
 // and dpu_system() (telemetry anchor), which both the flat engine and
 // the sharded scale-out engine provide.
@@ -81,6 +109,19 @@ Result<ServeResult> RunServeLoop(EngineT& engine,
   using telemetry::kHostBusTrack;
   using telemetry::kPipelinePid;
   using telemetry::kRequestPid;
+
+  // Fleet-health monitor: observation only, fed at the single-threaded
+  // loop boundaries. The pre-loop sample anchors the cumulative unit
+  // counters so window 0's deltas cover the first batch even when the
+  // engine served earlier runs.
+  telemetry::FleetMonitor* const monitor =
+      telemetry::MonitorEnabled(options.monitor) ? options.monitor
+                                                 : nullptr;
+  std::vector<std::uint64_t> unit_work;
+  if (monitor != nullptr) {
+    SampleUnitWork(engine, unit_work);
+    monitor->OnUnitSample(0.0, unit_work);
+  }
 
   // Flat request log: every cut appends its requests here (for latency
   // attribution) and records its start offset in batch_start — one
@@ -155,6 +196,12 @@ Result<ServeResult> RunServeLoop(EngineT& engine,
     result.batch_stages.push_back(batch->stages);
     if (tracing) batch_traces.push_back(batch->dpu_trace);
     result.queue_depth.push_back(QueueDepthSample{t, batcher.queue_depth()});
+    if (monitor != nullptr) {
+      // Cumulative unit counters only exist mid-run, so the straggler
+      // stream samples at cut times; cut times are non-decreasing.
+      SampleUnitWork(engine, unit_work);
+      monitor->OnUnitSample(t, unit_work);
+    }
   }
   batch_start.push_back(request_log.size());  // closing sentinel
 
@@ -206,6 +253,20 @@ Result<ServeResult> RunServeLoop(EngineT& engine,
     const std::span<const QueuedRequest> batch_requests(
         request_log.data() + batch_start[b],
         batch_start[b + 1] - batch_start[b]);
+    if (monitor != nullptr) {
+      // Drift stream: every request's table accesses at its batch's cut
+      // instant (submit times are non-decreasing over b); SLO stream:
+      // completions at the batch's stage-3 end (also non-decreasing —
+      // stage 3 drains FIFO).
+      const trace::Trace& workload = engine.trace();
+      for (const QueuedRequest& q : batch_requests) {
+        for (std::uint32_t t = 0; t < workload.num_tables(); ++t) {
+          monitor->OnAccess(t, sched.submit_ns,
+                            workload.tables[t].Sample(q.request.sample));
+        }
+        monitor->OnRequest(done, done - q.request.arrival_ns);
+      }
+    }
     for (const QueuedRequest& q : batch_requests) {
       const Nanos latency = done - q.request.arrival_ns;
       result.latency.Add(latency);

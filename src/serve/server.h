@@ -28,6 +28,7 @@
 #include "serve/executor.h"
 #include "serve/metrics.h"
 #include "serve/workload.h"
+#include "telemetry/monitor.h"
 #include "telemetry/registry.h"
 #include "updlrm/engine.h"
 
@@ -41,6 +42,11 @@ struct ServeOptions {
   BatcherOptions batcher;
   /// MRAM buffer pairs for the pipelined executor (2 = double-buffered).
   std::uint32_t pipeline_depth = 2;
+  /// Optional fleet-health monitor (telemetry/monitor.h). Observation
+  /// only: the loop feeds it batch-cut accesses, per-unit work samples
+  /// and request completions; results are bit-exact with or without it.
+  /// The caller owns it and calls Finalize() after the run.
+  telemetry::FleetMonitor* monitor = nullptr;
 };
 
 struct ServeResult {

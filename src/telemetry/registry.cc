@@ -1,5 +1,6 @@
 #include "telemetry/registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -54,6 +55,20 @@ void ValueHistogram::Observe(double value) {
   }
   ++count_;
   sum_ += value;
+}
+
+void ValueHistogram::Merge(const ValueHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 double ValueHistogram::Percentile(double p) const {

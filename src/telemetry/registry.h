@@ -40,6 +40,12 @@ class ValueHistogram {
 
   void Observe(double value);
 
+  /// Folds `other` in, bucket-wise: equivalent to observing every one
+  /// of its samples (exact count/sum/min/max; identical buckets since
+  /// the bucket grid is fixed). Merging an empty histogram is a no-op;
+  /// merging into an empty one copies.
+  void Merge(const ValueHistogram& other);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }

@@ -326,6 +326,63 @@ Status ValidateChromeTraceFile(const std::string& path,
   return ValidateChromeTraceJson(buffer.str(), min_events);
 }
 
+Status ValidateChromeTraceCounters(std::string_view json,
+                                   std::span<const std::string> required) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("missing \"traceEvents\" array");
+  }
+  // Last timestamp per counter series; (pid, name) is a series the way
+  // the viewer draws it.
+  std::map<std::pair<double, std::string>, double> last_ts;
+  std::set<std::string> seen;
+  const JsonArray& array = events->AsArray();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const JsonValue& event = array[i];
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->AsString() != "C") {
+      continue;
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return EventError(i, "counter missing string \"name\"");
+    }
+    const JsonValue* args = event.Find("args");
+    const JsonValue* value =
+        args != nullptr && args->is_object() ? args->Find("value") : nullptr;
+    if (value == nullptr || !value->is_number()) {
+      return EventError(i, "counter \"" + name->AsString() +
+                               "\" missing numeric args.value");
+    }
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* ts = event.Find("ts");
+    if (pid == nullptr || !pid->is_number() || ts == nullptr ||
+        !ts->is_number()) {
+      return EventError(i, "counter missing numeric \"pid\"/\"ts\"");
+    }
+    const auto key = std::make_pair(pid->AsNumber(), name->AsString());
+    const auto it = last_ts.find(key);
+    if (it != last_ts.end() && ts->AsNumber() < it->second) {
+      return EventError(
+          i, "counter series \"" + name->AsString() +
+                 "\" timestamps go backwards (" +
+                 std::to_string(ts->AsNumber()) + " after " +
+                 std::to_string(it->second) + ")");
+    }
+    last_ts[key] = ts->AsNumber();
+    seen.insert(name->AsString());
+  }
+  for (const std::string& name : required) {
+    if (seen.count(name) == 0) {
+      return Status::FailedPrecondition(
+          "no counter series named \"" + name + "\"");
+    }
+  }
+  return Status::Ok();
+}
+
 Result<bool> ChromeTraceContainsEvent(std::string_view json,
                                       std::string_view name) {
   auto parsed = ParseJson(json);

@@ -25,6 +25,7 @@
 // rendering blank in the viewer.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,5 +61,14 @@ Status ValidateChromeTraceFile(const std::string& path,
 /// exact name (used by tools/trace_check --require).
 Result<bool> ChromeTraceContainsEvent(std::string_view json,
                                       std::string_view name);
+
+/// Counter ("C") stream checker (tools/trace_check --require-counter):
+/// every counter event must carry a numeric args.value, every counter
+/// series — one per (pid, name) — must have non-decreasing timestamps
+/// (a counter that jumps back in time renders as garbage in the
+/// viewer), and each name in `required` must appear as at least one
+/// counter event.
+Status ValidateChromeTraceCounters(
+    std::string_view json, std::span<const std::string> required = {});
 
 }  // namespace updlrm::telemetry

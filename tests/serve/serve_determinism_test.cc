@@ -6,12 +6,15 @@
 // tsan-labelled determinism_test binary (see tests/CMakeLists.txt).
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "serve/server.h"
+#include "telemetry/monitor.h"
 #include "trace/generator.h"
+#include "trace/profiler.h"
 
 namespace updlrm::serve {
 namespace {
@@ -21,7 +24,8 @@ struct ServeRun {
   ServeResult result;
 };
 
-ServeRun RunServeAt(std::uint32_t threads) {
+ServeRun RunServeAt(std::uint32_t threads,
+                    telemetry::FleetMonitor* monitor = nullptr) {
   dlrm::DlrmConfig config;
   config.num_tables = 2;
   config.rows_per_table = 600;
@@ -46,6 +50,16 @@ ServeRun RunServeAt(std::uint32_t threads) {
   trace_options.num_threads = threads;
   auto trace = trace::TraceGenerator(spec).Generate(trace_options);
   UPDLRM_CHECK(trace.ok());
+  if (monitor != nullptr) {
+    for (std::uint32_t t = 0; t < 2; ++t) {
+      const auto freq =
+          trace::ItemFrequencies(trace->tables[t], spec.num_items);
+      monitor->AddTableBaseline(
+          t, telemetry::BuildDriftBaseline(freq,
+                                           trace::ItemsByFrequency(freq),
+                                           monitor->options().drift));
+    }
+  }
 
   pim::DpuSystemConfig sys;
   sys.num_dpus = 8;
@@ -80,6 +94,7 @@ ServeRun RunServeAt(std::uint32_t threads) {
   options.batcher.max_queue_delay_ns = 5.0e4;
   options.batcher.queue_capacity = 24;
   options.batcher.policy = AdmissionPolicy::kShed;
+  options.monitor = monitor;
   auto result = RunServeSimulation(**engine, run.requests, options);
   UPDLRM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
   run.result = std::move(result).value();
@@ -129,6 +144,49 @@ TEST(ServeDeterminismTest, SimulationBitExactAcrossThreadCounts) {
     const auto buckets_b = b.latency.buckets();
     for (std::size_t i = 0; i < buckets_b.size(); ++i) {
       ASSERT_EQ(buckets_a[i], buckets_b[i]) << "bucket " << i;
+    }
+  }
+}
+
+// The fleet monitor's observation-only contract (DESIGN.md §"Fleet
+// health monitoring"): attaching a FleetMonitor must not perturb the
+// simulation, and the monitor's own output must be thread-invariant.
+TEST(ServeDeterminismTest, MonitorIsObservationOnlyAndThreadInvariant) {
+  const ServeRun bare = RunServeAt(1);
+  std::string serial_jsonl;
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    telemetry::MonitorOptions monitor_options;
+    monitor_options.window_ns = 5.0e4;
+    monitor_options.drift.min_accesses = 1;
+    telemetry::FleetMonitor monitor(monitor_options);
+    const ServeRun run = RunServeAt(threads, &monitor);
+    monitor.Finalize();
+    const ServeResult& a = run.result;
+    const ServeResult& b = bare.result;
+    EXPECT_EQ(a.offered, b.offered) << threads;
+    EXPECT_EQ(a.completed, b.completed) << threads;
+    EXPECT_EQ(a.shed, b.shed) << threads;
+    EXPECT_EQ(a.num_batches, b.num_batches) << threads;
+    EXPECT_EQ(a.makespan_ns, b.makespan_ns) << threads;
+    ASSERT_EQ(a.request_latency_ns.size(), b.request_latency_ns.size());
+    for (std::size_t i = 0; i < b.request_latency_ns.size(); ++i) {
+      ASSERT_EQ(a.request_latency_ns[i], b.request_latency_ns[i])
+          << "latency " << i << " at " << threads << " threads";
+    }
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    for (std::size_t i = 0; i < b.schedule.size(); ++i) {
+      ASSERT_EQ(a.schedule[i].s1_start_ns, b.schedule[i].s1_start_ns);
+      ASSERT_EQ(a.schedule[i].s3_end_ns, b.schedule[i].s3_end_ns);
+    }
+    // The monitor itself is fed from simulated time, so its JSONL
+    // stream is byte-identical at every thread count.
+    ASSERT_GT(monitor.windows().size(), 0u) << threads;
+    const std::string jsonl = monitor.ToJsonl();
+    if (threads == 1) {
+      serial_jsonl = jsonl;
+      EXPECT_TRUE(telemetry::ValidateHealthJsonl(jsonl, 1).ok());
+    } else {
+      EXPECT_EQ(jsonl, serial_jsonl) << threads << " threads";
     }
   }
 }

@@ -131,8 +131,8 @@ TEST(LintTest, R3AllowsSteadyClockAndSanctionedHomes) {
     #include <chrono>
     auto T() { return std::chrono::steady_clock::now(); }
   )").empty());
-  // telemetry/ owns the host-clock domain; rng.h owns entropy.
-  EXPECT_TRUE(LintSnippet("src/telemetry/fixture.cc", R"(
+  // The tracer owns the host-clock domain; rng.h owns entropy.
+  EXPECT_TRUE(LintSnippet("src/telemetry/tracer.cc", R"(
     #include <chrono>
     auto T() { return std::chrono::system_clock::now(); }
   )").empty());
@@ -140,6 +140,19 @@ TEST(LintTest, R3AllowsSteadyClockAndSanctionedHomes) {
     #include <random>
     auto Seed() { return std::random_device{}(); }
   )").empty());
+}
+
+TEST(LintTest, R3ChecksTelemetryFilesOutsideTheTracer) {
+  // The exemption is the tracer file pair, not the whole module: the
+  // fleet monitor runs on simulated time and must never read the wall
+  // clock (DESIGN.md §"Fleet health monitoring").
+  const auto findings = LintSnippet("src/telemetry/monitor.cc", R"(
+    #include <chrono>
+    double Now() {
+      return std::chrono::system_clock::now().time_since_epoch().count();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, RuleId::kClockSource), 1);
 }
 
 TEST(LintTest, R3FlagsRandomEnginesEverywhereElse) {

@@ -2,11 +2,14 @@
 // benches (--trace-out) against the telemetry schema checker.
 //
 // Usage:
-//   trace_check [--min-events=N] [--require=NAME ...] FILE [FILE ...]
+//   trace_check [--min-events=N] [--require=NAME ...]
+//               [--require-counter=NAME ...] FILE [FILE ...]
 //
 // Exit status is 0 only if every file parses, passes the schema check
-// with at least N non-metadata events, and contains every --require'd
-// event name. CI's trace-smoke step runs this over the traces the
+// with at least N non-metadata events, passes the counter-stream check
+// (every "C" series has non-decreasing timestamps and a numeric value),
+// and contains every --require'd event name and --require-counter'd
+// counter series. CI's trace-smoke step runs this over the traces the
 // smoke benches emit, so a malformed or empty trace fails the build
 // instead of silently rendering blank in the viewer.
 #include <cstdio>
@@ -42,20 +45,24 @@ int Run(int argc, char** argv) {
       static_cast<std::size_t>(cli->GetInt("min-events", 1));
   // CommandLine keeps one value per flag; a comma-separated list keeps
   // `--require=a,b` usable alongside repeated positional files.
-  std::vector<std::string> required;
-  {
-    std::string list = cli->GetString("require", "");
+  const auto split = [](const std::string& list) {
+    std::vector<std::string> names;
     std::size_t start = 0;
     while (start <= list.size() && !list.empty()) {
       const std::size_t comma = list.find(',', start);
       const std::string name =
           list.substr(start, comma == std::string::npos ? std::string::npos
                                                         : comma - start);
-      if (!name.empty()) required.push_back(name);
+      if (!name.empty()) names.push_back(name);
       if (comma == std::string::npos) break;
       start = comma + 1;
     }
-  }
+    return names;
+  };
+  const std::vector<std::string> required =
+      split(cli->GetString("require", ""));
+  const std::vector<std::string> required_counters =
+      split(cli->GetString("require-counter", ""));
   const std::vector<std::string>& files = cli->positional();
   const std::vector<std::string> unused = cli->UnusedFlags();
   if (!unused.empty()) {
@@ -68,7 +75,7 @@ int Run(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: trace_check [--min-events=N] [--require=a,b] "
-                 "FILE [FILE ...]\n");
+                 "[--require-counter=a,b] FILE [FILE ...]\n");
     return 2;
   }
 
@@ -86,6 +93,14 @@ int Run(int argc, char** argv) {
     if (!valid.ok()) {
       std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
                    valid.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const Status counters =
+        telemetry::ValidateChromeTraceCounters(*json, required_counters);
+    if (!counters.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   counters.ToString().c_str());
       ++failures;
       continue;
     }

@@ -356,9 +356,12 @@ void CheckNoallocRegions(const std::string& path, const Tokens& t,
 void CheckClockSources(const std::string& path, const Tokens& t,
                        const Directives& d,
                        std::vector<Finding>& findings) {
-  // The two sanctioned homes of entropy and wall-clock time.
+  // The two sanctioned homes of entropy and wall-clock time. Only the
+  // tracer itself may touch the wall clock — the rest of telemetry/
+  // (monitor, health, registry, exporters) runs on simulated time and
+  // is checked like any other module.
   if (path.find("common/rng.") != std::string::npos ||
-      path.find("src/telemetry/") != std::string::npos) {
+      path.find("src/telemetry/tracer.") != std::string::npos) {
     return;
   }
   static const std::set<std::string_view> kBanned = {
@@ -371,8 +374,8 @@ void CheckClockSources(const std::string& path, const Tokens& t,
     findings.push_back(
         {RuleId::kClockSource, path, line,
          what + ": ambient time/randomness outside common/rng.h and "
-                "telemetry/ breaks seed-reproducibility; draw from "
-                "updlrm::Rng (or steady_clock for wall timing)"});
+                "telemetry/tracer breaks seed-reproducibility; draw "
+                "from updlrm::Rng (or steady_clock for wall timing)"});
   };
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokenKind::kIdentifier) continue;
